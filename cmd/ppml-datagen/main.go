@@ -1,0 +1,68 @@
+// Command ppml-datagen writes the synthetic stand-ins for the three Section
+// VI data sets to CSV files that ppml-train (and LoadCSV) read back.
+//
+// Usage:
+//
+//	ppml-datagen -out data/              # all three at default sizes
+//	ppml-datagen -dataset higgs -n 11000 -out data/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/ppml-go/ppml"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppml-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppml-datagen", flag.ContinueOnError)
+	out := fs.String("out", ".", "output directory")
+	which := fs.String("dataset", "all", "cancer, higgs, ocr, or all")
+	n := fs.Int("n", 0, "sample count (0: the data set's original size)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	gens := map[string]func(int, int64) *ppml.Dataset{
+		"cancer": ppml.SyntheticCancer,
+		"higgs":  ppml.SyntheticHiggs,
+		"ocr":    ppml.SyntheticOCR,
+	}
+	names := []string{"cancer", "higgs", "ocr"}
+	if *which != "all" {
+		if _, ok := gens[*which]; !ok {
+			return fmt.Errorf("unknown dataset %q (want cancer, higgs, ocr, all)", *which)
+		}
+		names = []string{*which}
+	}
+	for _, name := range names {
+		d := gens[name](*n, *seed)
+		path := filepath.Join(*out, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := d.WriteCSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d samples x %d features\n", path, d.Len(), d.Features())
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-n", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cancer.csv", "higgs.csv", "ocr.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines != 50 {
+			t.Errorf("%s has %d rows, want 50", name, lines)
+		}
+	}
+}
+
+func TestRunSingleDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-dataset", "higgs", "-n", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "higgs.csv")); err != nil {
+		t.Error("higgs.csv missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cancer.csv")); err == nil {
+		t.Error("cancer.csv written despite -dataset higgs")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-dataset", "nope"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

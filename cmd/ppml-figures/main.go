@@ -1,0 +1,192 @@
+// Command ppml-figures regenerates the evaluation of Section VI of the
+// paper: every panel of Fig. 4, the centralized baseline, and the
+// scalability sweep. Output is tab-separated, one block per experiment,
+// suitable for plotting.
+//
+// Usage:
+//
+//	ppml-figures                    # all Fig. 4 panels + baseline
+//	ppml-figures -panel c           # one panel
+//	ppml-figures -panel baseline    # centralized benchmark accuracies
+//	ppml-figures -panel scalability # learner-count sweep
+//	ppml-figures -paper-scale       # full Section VI data sizes (slow)
+//	ppml-figures -distributed       # run on the simulated cluster with
+//	                                # secure aggregation instead of in-process
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+
+	"github.com/ppml-go/ppml/internal/experiments"
+)
+
+// outDir receives per-experiment CSV files when -csv is set.
+var outDir string
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppml-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppml-figures", flag.ContinueOnError)
+	panel := fs.String("panel", "all", "a..h, baseline, scalability, or all")
+	paperScale := fs.Bool("paper-scale", false, "use the full Section VI data sizes (slow)")
+	distributed := fs.Bool("distributed", false, "run on the simulated cluster with secure aggregation")
+	iterations := fs.Int("iterations", 0, "override the iteration budget")
+	learners := fs.Int("learners", 0, "override the learner count M")
+	seed := fs.Int64("seed", 0, "override the random seed")
+	csvDir := fs.String("csv", "", "also write each experiment as CSV into this directory")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	outDir = *csvDir
+
+	opts := experiments.Defaults()
+	if *paperScale {
+		opts = experiments.PaperScale()
+	}
+	opts.Distributed = *distributed
+	if *iterations > 0 {
+		opts.Iterations = *iterations
+	}
+	if *learners > 0 {
+		opts.Learners = *learners
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	switch *panel {
+	case "all":
+		for _, id := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+			if err := printPanel(id, opts); err != nil {
+				return err
+			}
+		}
+		return printBaseline(opts)
+	case "baseline":
+		return printBaseline(opts)
+	case "scalability":
+		return printScalability(opts)
+	default:
+		if len(*panel) == 1 && strings.Contains("abcdefgh", *panel) {
+			return printPanel(*panel, opts)
+		}
+		return fmt.Errorf("unknown panel %q (want a..h, baseline, scalability, all)", *panel)
+	}
+}
+
+func printPanel(id string, opts experiments.Options) error {
+	p, err := experiments.RunPanel(id, opts)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WritePanel(os.Stdout, p); err != nil {
+		return err
+	}
+	fmt.Println()
+	if outDir != "" {
+		if err := writePanelCSV(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePanelCSV stores the panel as fig4<id>.csv: iter, then per data set a
+// Δz² column and an accuracy column.
+func writePanelCSV(p *experiments.Panel) error {
+	f, err := os.Create(filepath.Join(outDir, "fig4"+p.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"iter"}
+	for _, s := range p.Series {
+		header = append(header, s.Dataset+"_dz2", s.Dataset+"_acc")
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	rows := 0
+	for _, s := range p.Series {
+		if len(s.DeltaZSq) > rows {
+			rows = len(s.DeltaZSq)
+		}
+	}
+	for t := 0; t < rows; t++ {
+		rec := []string{strconv.Itoa(t + 1)}
+		for _, s := range p.Series {
+			rec = append(rec, csvAt(s.DeltaZSq, t), csvAt(s.Accuracy, t))
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func csvAt(vals []float64, t int) string {
+	if t >= len(vals) {
+		return ""
+	}
+	return strconv.FormatFloat(vals[t], 'g', -1, 64)
+}
+
+func printBaseline(opts experiments.Options) error {
+	rows, err := experiments.RunBaseline(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Centralized SVM benchmark (Section VI in-text)")
+	fmt.Println("dataset\tkernel\taccuracy\tpaper")
+	for _, r := range rows {
+		fmt.Printf("%s\t%s\t%.3f\t%.2f\n", r.Dataset, r.Kernel, r.Accuracy, r.PaperAccuracy)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printScalability(opts experiments.Options) error {
+	rows, err := experiments.RunScalability(opts, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Scalability: horizontal linear on cancer, distributed with secure aggregation")
+	fmt.Println("learners\titerations\tseconds\tmessages\tbytes\taccuracy")
+	for _, r := range rows {
+		fmt.Printf("%d\t%d\t%.2f\t%d\t%d\t%.3f\n",
+			r.Learners, r.Iterations, r.Seconds, r.Messages, r.Bytes, r.Accuracy)
+	}
+	fmt.Println()
+	return nil
+}

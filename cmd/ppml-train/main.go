@@ -1,0 +1,218 @@
+// Command ppml-train trains one of the four privacy-preserving consensus
+// schemes on a CSV or LIBSVM file and reports test accuracy and convergence.
+//
+// Usage:
+//
+//	ppml-train -data records.csv -scheme horizontal-linear -learners 4
+//	ppml-train -data higgs.libsvm -format libsvm -scheme horizontal-kernel \
+//	    -kernel rbf:0.05 -landmarks 40 -distributed
+//
+// The input is split 50/50 into train/test (like Section VI) unless -split
+// overrides the fraction, and features are standardized on the training
+// statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ppml-go/ppml"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppml-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppml-train", flag.ContinueOnError)
+	dataPath := fs.String("data", "", "path to the training file (required)")
+	format := fs.String("format", "csv", "input format: csv or libsvm")
+	schemeName := fs.String("scheme", "horizontal-linear",
+		"horizontal-linear, horizontal-kernel, vertical-linear, vertical-kernel, horizontal-logistic, or horizontal-naivebayes")
+	kernelSpec := fs.String("kernel", "rbf:0.1",
+		"kernel for the nonlinear schemes: linear, rbf:<gamma>, poly:<a>:<b>:<d>, sigmoid:<a>:<c>")
+	learners := fs.Int("learners", 4, "number of collaborating learners M")
+	c := fs.Float64("c", 50, "slack penalty C")
+	rho := fs.Float64("rho", 100, "ADMM penalty rho")
+	iterations := fs.Int("iterations", 100, "consensus iteration budget")
+	tol := fs.Float64("tol", 0, "early-stop tolerance on |dz|^2 (0: run the budget)")
+	landmarks := fs.Int("landmarks", 20, "landmark count for horizontal-kernel")
+	seed := fs.Int64("seed", 1, "random seed for partitioning")
+	split := fs.Float64("split", 0.5, "training fraction of the input")
+	distributed := fs.Bool("distributed", false, "run Mappers/Reducer as message-passing nodes")
+	tcp := fs.Bool("tcp", false, "distributed mode over loopback TCP")
+	plain := fs.Bool("plain-aggregation", false, "disable secure summation (no privacy)")
+	trace := fs.Bool("trace", false, "print per-iteration |dz|^2 and accuracy")
+	modelOut := fs.String("model-out", "", "write the trained model to this JSON file")
+	loadModel := fs.String("load-model", "", "skip training: load this model and evaluate it on -data")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var data *ppml.Dataset
+	switch *format {
+	case "csv":
+		data, err = ppml.LoadCSV(f, *dataPath)
+	case "libsvm":
+		data, err = ppml.LoadLIBSVM(f, *dataPath, 0)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+
+	var scheme ppml.Scheme
+	switch *schemeName {
+	case "horizontal-linear":
+		scheme = ppml.HorizontalLinear
+	case "horizontal-kernel":
+		scheme = ppml.HorizontalKernel
+	case "vertical-linear":
+		scheme = ppml.VerticalLinear
+	case "vertical-kernel":
+		scheme = ppml.VerticalKernel
+	case "horizontal-logistic":
+		scheme = ppml.HorizontalLogistic
+	case "horizontal-naivebayes":
+		scheme = ppml.HorizontalNaiveBayes
+	default:
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+
+	if *loadModel != "" {
+		mf, err := os.Open(*loadModel)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		model, scaler, err := ppml.LoadModelWithScaler(mf)
+		if err != nil {
+			return err
+		}
+		if scaler != nil {
+			if err := scaler.Apply(data); err != nil {
+				return err
+			}
+		}
+		acc, err := ppml.Evaluate(model, data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model        %s\n", *loadModel)
+		fmt.Printf("samples      %d\n", data.Len())
+		fmt.Printf("accuracy     %.4f\n", acc)
+		return nil
+	}
+
+	train, test, err := data.Split(*split)
+	if err != nil {
+		return err
+	}
+	scaler, err := ppml.Standardize(train, test)
+	if err != nil {
+		return err
+	}
+
+	opts := []ppml.Option{
+		ppml.WithLearners(*learners),
+		ppml.WithC(*c),
+		ppml.WithRho(*rho),
+		ppml.WithIterations(*iterations),
+		ppml.WithLandmarks(*landmarks),
+		ppml.WithSeed(*seed),
+		ppml.WithEvalSet(test),
+	}
+	if *tol > 0 {
+		opts = append(opts, ppml.WithTolerance(*tol))
+	}
+	if scheme == ppml.HorizontalKernel || scheme == ppml.VerticalKernel {
+		k, err := parseKernel(*kernelSpec)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, ppml.WithKernel(k))
+	}
+	switch {
+	case *tcp:
+		opts = append(opts, ppml.WithTCP())
+	case *distributed:
+		opts = append(opts, ppml.WithDistributed())
+	}
+	if *plain {
+		opts = append(opts, ppml.WithPlainAggregation())
+	}
+
+	res, err := ppml.Train(train, scheme, opts...)
+	if err != nil {
+		return err
+	}
+	acc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheme       %s\n", res.Scheme)
+	fmt.Printf("learners     %d\n", res.Learners)
+	fmt.Printf("train/test   %d/%d samples, %d features\n", train.Len(), test.Len(), train.Features())
+	fmt.Printf("iterations   %d (converged: %v)\n", res.History.Iterations, res.History.Converged)
+	fmt.Printf("accuracy     %.4f\n", acc)
+	fmt.Printf("elapsed      %.2fs\n", res.History.ElapsedSeconds)
+	if res.History.BytesSent > 0 {
+		fmt.Printf("traffic      %d messages, %d bytes\n", res.History.MessagesSent, res.History.BytesSent)
+	}
+	if *trace {
+		fmt.Println("iter\t|dz|^2\taccuracy")
+		for t := range res.History.DeltaZSq {
+			fmt.Printf("%d\t%.6g\t%.4f\n", t+1, res.History.DeltaZSq[t], res.History.Accuracy[t])
+		}
+	}
+	if *modelOut != "" {
+		mf, err := os.Create(*modelOut)
+		if err != nil {
+			return err
+		}
+		if err := ppml.SaveModelWithScaler(mf, res.Model, scaler); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("model saved  %s\n", *modelOut)
+	}
+	return nil
+}
+
+func parseKernel(spec string) (ppml.Kernel, error) {
+	var gamma, a, b, cc float64
+	var degree int
+	switch {
+	case spec == "linear":
+		return ppml.LinearKernel(), nil
+	case scan(spec, "rbf:%g", &gamma):
+		return ppml.RBFKernel(gamma), nil
+	case scan(spec, "poly:%g:%g:%d", &a, &b, &degree):
+		return ppml.PolynomialKernel(a, b, degree), nil
+	case scan(spec, "sigmoid:%g:%g", &a, &cc):
+		return ppml.SigmoidKernel(a, cc), nil
+	}
+	return ppml.Kernel{}, fmt.Errorf("unknown kernel spec %q", spec)
+}
+
+func scan(s, format string, args ...any) bool {
+	n, err := fmt.Sscanf(s, format, args...)
+	return err == nil && n == len(args)
+}

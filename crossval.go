@@ -1,0 +1,56 @@
+package ppml
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ppml-go/ppml/internal/dataset"
+)
+
+// CVResult reports a cross-validation run.
+type CVResult struct {
+	// FoldAccuracy holds the test accuracy of each fold.
+	FoldAccuracy []float64
+	// Mean and Std summarize FoldAccuracy.
+	Mean, Std float64
+}
+
+// CrossValidate estimates the out-of-sample accuracy of a scheme by k-fold
+// cross-validation: each fold standardizes on its own training part (no
+// leakage), trains the privacy-preserving scheme, and evaluates on the
+// held-out part. The same options accepted by Train apply.
+func CrossValidate(data *Dataset, scheme Scheme, folds int, opts ...Option) (*CVResult, error) {
+	if data == nil || data.inner == nil {
+		return nil, fmt.Errorf("%w: nil data set", ErrBadRequest)
+	}
+	kf, err := dataset.KFold(data.inner, folds)
+	if err != nil {
+		return nil, fmt.Errorf("ppml: %w", err)
+	}
+	res := &CVResult{FoldAccuracy: make([]float64, 0, folds)}
+	for i, f := range kf {
+		train := &Dataset{inner: f.Train.Clone()}
+		test := &Dataset{inner: f.Test.Clone()}
+		if _, err := Standardize(train, test); err != nil {
+			return nil, fmt.Errorf("ppml: fold %d: %w", i, err)
+		}
+		r, err := Train(train, scheme, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("ppml: fold %d: %w", i, err)
+		}
+		acc, err := Evaluate(r.Model, test)
+		if err != nil {
+			return nil, fmt.Errorf("ppml: fold %d: %w", i, err)
+		}
+		res.FoldAccuracy = append(res.FoldAccuracy, acc)
+	}
+	for _, a := range res.FoldAccuracy {
+		res.Mean += a
+	}
+	res.Mean /= float64(len(res.FoldAccuracy))
+	for _, a := range res.FoldAccuracy {
+		res.Std += (a - res.Mean) * (a - res.Mean)
+	}
+	res.Std = math.Sqrt(res.Std / float64(len(res.FoldAccuracy)))
+	return res, nil
+}

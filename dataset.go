@@ -1,0 +1,146 @@
+package ppml
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ppml-go/ppml/internal/dataset"
+	"github.com/ppml-go/ppml/internal/linalg"
+)
+
+// Dataset is a labeled binary-classification data set: rows of feature
+// vectors with labels in {−1, +1}.
+type Dataset struct {
+	inner *dataset.Dataset
+}
+
+// NewDataset builds a data set from rows of features and matching labels
+// (each −1 or +1; 0 is also accepted and mapped to −1).
+func NewDataset(name string, features [][]float64, labels []float64) (*Dataset, error) {
+	if len(features) == 0 {
+		return nil, fmt.Errorf("%w: no samples", ErrBadRequest)
+	}
+	if len(features) != len(labels) {
+		return nil, fmt.Errorf("%w: %d rows but %d labels", ErrBadRequest, len(features), len(labels))
+	}
+	k := len(features[0])
+	x := linalg.NewMatrix(len(features), k)
+	y := make([]float64, len(labels))
+	for i, row := range features {
+		if len(row) != k {
+			return nil, fmt.Errorf("%w: row %d has %d features, row 0 has %d", ErrBadRequest, i, len(row), k)
+		}
+		copy(x.Row(i), row)
+		switch labels[i] {
+		case 1:
+			y[i] = 1
+		case -1, 0:
+			y[i] = -1
+		default:
+			return nil, fmt.Errorf("%w: label %d = %g, want ±1 or 0/1", ErrBadRequest, i, labels[i])
+		}
+	}
+	d, err := dataset.New(name, x, y)
+	if err != nil {
+		return nil, fmt.Errorf("ppml: %w", err)
+	}
+	return &Dataset{inner: d}, nil
+}
+
+// LoadCSV reads a headerless numeric CSV whose last column is the label
+// (±1 or 0/1).
+func LoadCSV(r io.Reader, name string) (*Dataset, error) {
+	d, err := dataset.LoadCSV(r, name)
+	if err != nil {
+		return nil, fmt.Errorf("ppml: %w", err)
+	}
+	return &Dataset{inner: d}, nil
+}
+
+// WriteCSV writes the data set in the format LoadCSV reads.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if err := dataset.WriteCSV(w, d.inner); err != nil {
+		return fmt.Errorf("ppml: %w", err)
+	}
+	return nil
+}
+
+// LoadLIBSVM reads the sparse LIBSVM text format. numFeatures may be 0 to
+// infer the dimensionality.
+func LoadLIBSVM(r io.Reader, name string, numFeatures int) (*Dataset, error) {
+	d, err := dataset.LoadLIBSVM(r, name, numFeatures)
+	if err != nil {
+		return nil, fmt.Errorf("ppml: %w", err)
+	}
+	return &Dataset{inner: d}, nil
+}
+
+// SyntheticCancer generates the stand-in for the UCI breast-cancer data set
+// used in Section VI: 9 features, largely linearly separable (a centralized
+// SVM reaches ≈ 95%). n ≤ 0 selects the original size (569).
+func SyntheticCancer(n int, seed int64) *Dataset {
+	return &Dataset{inner: dataset.SyntheticCancer(n, seed)}
+}
+
+// SyntheticHiggs generates the stand-in for the HIGGS subset of Section VI:
+// 28 features, heavily overlapping classes (≈ 70% centralized accuracy).
+// n ≤ 0 selects the paper's subset size (11,000).
+func SyntheticHiggs(n int, seed int64) *Dataset {
+	return &Dataset{inner: dataset.SyntheticHiggs(n, seed)}
+}
+
+// SyntheticOCR generates the stand-in for the UCI handwritten-digits data
+// set of Section VI: 64 spatially correlated pixel features, easily
+// separable (≈ 98%). n ≤ 0 selects the original size (5,620).
+func SyntheticOCR(n int, seed int64) *Dataset {
+	return &Dataset{inner: dataset.SyntheticOCR(n, seed)}
+}
+
+// Name returns the data set's name.
+func (d *Dataset) Name() string { return d.inner.Name }
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return d.inner.Len() }
+
+// Features returns the number of feature attributes.
+func (d *Dataset) Features() int { return d.inner.Features() }
+
+// Row returns a copy of sample i's features.
+func (d *Dataset) Row(i int) []float64 { return linalg.CopyVec(d.inner.X.Row(i)) }
+
+// Label returns sample i's label.
+func (d *Dataset) Label(i int) float64 { return d.inner.Y[i] }
+
+// Split divides the samples into a training prefix holding frac of the data
+// and a test remainder. The generators pre-shuffle, so the split is random.
+func (d *Dataset) Split(frac float64) (train, test *Dataset, err error) {
+	tr, te, err := d.inner.Split(frac)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ppml: %w", err)
+	}
+	return &Dataset{inner: tr}, &Dataset{inner: te}, nil
+}
+
+// Standardize scales every feature to zero mean and unit variance using
+// statistics fit on train only, then applies the same transform to the other
+// data sets — the leakage-free protocol for SVM features. The fitted scaler
+// is returned so it can be saved with the model (SaveModelWithScaler) and
+// applied to future inputs.
+func Standardize(train *Dataset, others ...*Dataset) (*Scaler, error) {
+	if train == nil || train.inner == nil {
+		return nil, fmt.Errorf("%w: nil training set", ErrBadRequest)
+	}
+	s := dataset.FitScaler(train.inner)
+	if err := s.Apply(train.inner); err != nil {
+		return nil, fmt.Errorf("ppml: %w", err)
+	}
+	for i, o := range others {
+		if o == nil || o.inner == nil {
+			return nil, fmt.Errorf("%w: nil data set at %d", ErrBadRequest, i)
+		}
+		if err := s.Apply(o.inner); err != nil {
+			return nil, fmt.Errorf("ppml: %w", err)
+		}
+	}
+	return &Scaler{inner: s}, nil
+}

@@ -1,0 +1,72 @@
+// Banks: the paper's motivating vertical scenario — several financial
+// institutions know *different attributes of the same customers* (one holds
+// transaction history, another loan records, a third card activity) and want
+// a joint credit-risk classifier. The customer list and risk labels are
+// shared; each bank's feature columns are private.
+//
+// This is data mining over vertically partitioned data (Fig. 3): learners
+// exchange only masked score vectors X_m·w_m, never feature values, and the
+// coordinator reconstructs only their sum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ppml-go/ppml"
+)
+
+func main() {
+	// 28 customer attributes spread across banks; the HIGGS stand-in plays
+	// the role of a hard, noisy risk-scoring task (≈70% is the ceiling).
+	data := ppml.SyntheticHiggs(2000, 11)
+	train, test, err := data.Split(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ppml.Standardize(train, test); err != nil {
+		log.Fatal(err)
+	}
+
+	const banks = 4
+	fmt.Printf("%d banks, %d shared customers, %d total attributes (each bank holds ~%d columns)\n",
+		banks, train.Len(), train.Features(), train.Features()/banks)
+
+	res, err := ppml.Train(train, ppml.VerticalLinear,
+		ppml.WithLearners(banks),
+		ppml.WithC(50),
+		ppml.WithRho(100),
+		ppml.WithIterations(60),
+		ppml.WithDistributed(),
+		ppml.WithEvalSet(test),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jointAcc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What could any single bank do alone? Train on the full rows but with
+	// only its own quarter of the attributes (simulated by zeroing the
+	// rest via a solo vertical run with 1 learner on a column subset is
+	// equivalent to centralized on that subset; here we approximate with
+	// the pooled centralized model for the upper bound instead).
+	central, err := ppml.TrainCentralized(train, ppml.WithC(50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	centralAcc, err := ppml.Evaluate(central.Model, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("joint private credit model:  %.1f%% accuracy\n", 100*jointAcc)
+	fmt.Printf("pooled no-privacy benchmark: %.1f%% accuracy\n", 100*centralAcc)
+	fmt.Printf("iterations: %d, traffic: %d messages / %.1f KiB\n",
+		res.History.Iterations, res.History.MessagesSent,
+		float64(res.History.BytesSent)/1024)
+	fmt.Println("\nwhat each bank revealed per iteration: a masked score vector")
+	fmt.Println("what stayed private: every customer attribute column")
+}

@@ -1,0 +1,67 @@
+// Hospitals: the paper's motivating horizontal scenario — several medical
+// institutions each hold their own patients' records (same attributes,
+// different patients) and want a joint diagnostic classifier without any
+// record leaving its hospital.
+//
+// This example runs the full distributed simulation: each hospital is a
+// Mapper node, the coordinator is the Reducer, and every iteration's local
+// results cross the network only through the coalition-resistant secure
+// summation protocol. It prints what the coordinator actually observes:
+// traffic volume and the aggregate — never an individual hospital's model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ppml-go/ppml"
+)
+
+func main() {
+	// Patient records with correlated diagnostic features; the OCR stand-in
+	// plays the role of a feature-rich clinical data set.
+	data := ppml.SyntheticOCR(1200, 7)
+	train, test, err := data.Split(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ppml.Standardize(train, test); err != nil {
+		log.Fatal(err)
+	}
+
+	const hospitals = 4
+	fmt.Printf("%d hospitals, %d joint training records (each hospital keeps ~%d locally)\n",
+		hospitals, train.Len(), train.Len()/hospitals)
+
+	// Nonlinear diagnosis boundary: RBF kernel with the landmark consensus,
+	// over real message-passing nodes with secure aggregation.
+	res, err := ppml.Train(train, ppml.HorizontalKernel,
+		ppml.WithLearners(hospitals),
+		ppml.WithC(50),
+		ppml.WithRho(10),
+		ppml.WithIterations(40),
+		ppml.WithKernel(ppml.RBFKernel(1.0/64)),
+		ppml.WithLandmarks(40),
+		ppml.WithDistributed(),
+		ppml.WithEvalSet(test),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("joint diagnostic accuracy: %.1f%%\n", 100*acc)
+	fmt.Printf("iterations: %d\n", res.History.Iterations)
+	fmt.Printf("network traffic: %d messages, %.1f KiB total\n",
+		res.History.MessagesSent, float64(res.History.BytesSent)/1024)
+	fmt.Println("\nwhat the coordinator saw per iteration: one masked share per hospital")
+	fmt.Println("what never left a hospital: its patients and its local model")
+	fmt.Println("\nconsensus forming (every 5 iterations):")
+	fmt.Println("  iter   ‖Δz‖²        accuracy")
+	for t := 0; t < len(res.History.Accuracy); t += 5 {
+		fmt.Printf("  %4d   %-12.4g %.1f%%\n", t+1, res.History.DeltaZSq[t], 100*res.History.Accuracy[t])
+	}
+}

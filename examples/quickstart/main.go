@@ -1,0 +1,55 @@
+// Quickstart: four organizations jointly train a linear SVM on horizontally
+// partitioned private data without revealing any records, then compare the
+// consensus model against the centralized (no-privacy) benchmark.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ppml-go/ppml"
+)
+
+func main() {
+	// The breast-cancer stand-in from the paper's evaluation: 569 samples,
+	// 9 features, mostly linearly separable.
+	data := ppml.SyntheticCancer(0, 1)
+	train, test, err := data.Split(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ppml.Standardize(train, test); err != nil {
+		log.Fatal(err)
+	}
+
+	// Privacy-preserving consensus training with the paper's parameters:
+	// M = 4 learners, C = 50, ρ = 100.
+	res, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(4),
+		ppml.WithC(50),
+		ppml.WithRho(100),
+		ppml.WithIterations(50),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	consensusAcc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The benchmark: one SVM over the pooled data, no privacy.
+	central, err := ppml.TrainCentralized(train, ppml.WithC(50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	centralAcc, err := ppml.Evaluate(central.Model, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("consensus (private, 4 learners): %.1f%% accuracy in %d iterations\n",
+		100*consensusAcc, res.History.Iterations)
+	fmt.Printf("centralized (no privacy):        %.1f%% accuracy\n", 100*centralAcc)
+	fmt.Printf("privacy cost: %.1f accuracy points\n", 100*(centralAcc-consensusAcc))
+}

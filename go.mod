@@ -1,0 +1,3 @@
+module github.com/ppml-go/ppml
+
+go 1.22

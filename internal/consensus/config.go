@@ -1,0 +1,270 @@
+package consensus
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ppml-go/ppml/internal/dataset"
+	"github.com/ppml-go/ppml/internal/dfs"
+	"github.com/ppml-go/ppml/internal/kernel"
+	"github.com/ppml-go/ppml/internal/mapreduce"
+	"github.com/ppml-go/ppml/internal/paillier"
+	"github.com/ppml-go/ppml/internal/transport"
+)
+
+// Errors returned by the trainers.
+var (
+	// ErrBadConfig indicates unusable training parameters.
+	ErrBadConfig = errors.New("consensus: bad configuration")
+	// ErrBadPartition indicates malformed learner partitions.
+	ErrBadPartition = errors.New("consensus: bad partition")
+)
+
+// Config are the training parameters shared by all four schemes. The zero
+// value is not usable; call Normalize or fill the required fields (C, Rho).
+type Config struct {
+	// C is the slack penalty of problem (1). The paper uses C = 50.
+	C float64
+	// Rho is the ADMM penalty ρ; the paper uses ρ = 100 and discusses the
+	// convergence-vs-margin trade-off in Section VI.
+	Rho float64
+	// MaxIterations caps the consensus loop (paper plots 100). Default 100.
+	MaxIterations int
+	// Tol stops the loop when ‖z_{t+1} − z_t‖² drops below it. Default 0
+	// (run the full budget, like the paper's plots).
+	Tol float64
+	// Kernel is required by the kernel schemes and ignored by the linear
+	// ones.
+	Kernel kernel.Kernel
+	// Landmarks is the number l of landmark points spanning the reduced
+	// consensus space of Section IV-B. Default 20.
+	Landmarks int
+	// QPTol is the tolerance of the local dual solves. Default 1e-6.
+	QPTol float64
+	// QPSecondOrder selects second-order SMO working sets for the
+	// equality-constrained local solves (the PaperSplit path).
+	QPSecondOrder bool
+	// Seed drives landmark generation and any tie-breaking; fixed default 1.
+	Seed int64
+	// PaperSplit (HL only) reproduces the paper's printed Gauss-Seidel
+	// (w,b)-split with the lagged equality constraint of eq. (12), instead
+	// of the provably convergent joint update. See package doc.
+	PaperSplit bool
+
+	// Distributed runs the job on the full simulated cluster (transport,
+	// secure aggregation). When false the trainers use the sequential
+	// in-process engine, which computes the identical iterates.
+	Distributed bool
+	// Aggregation selects the Reducer protocol in distributed mode
+	// (default: masked secure summation).
+	Aggregation mapreduce.Aggregation
+	// PaillierKey supplies the homomorphic key pair when Aggregation is
+	// mapreduce.AggregationPaillier.
+	PaillierKey *paillier.PrivateKey
+	// Network overrides the transport in distributed mode (default:
+	// in-process channels).
+	Network transport.Network
+	// MapRetries forwards to the MapReduce driver.
+	MapRetries int
+	// TrackLocality (distributed mode) stores every learner's partition in
+	// the simulated HDFS on that learner's own node and asks the driver to
+	// account for map-input movement; History.RemoteInputBytes then reports
+	// how much training data crossed the network (zero: full locality).
+	TrackLocality bool
+
+	// EvalSet, when non-nil, is classified after every iteration and the
+	// accuracy recorded in History — the data behind Fig. 4(e)–(h).
+	EvalSet *dataset.Dataset
+}
+
+func (c Config) normalized() (Config, error) {
+	if !(c.C > 0) {
+		return c, fmt.Errorf("%w: C = %g, want > 0", ErrBadConfig, c.C)
+	}
+	if !(c.Rho > 0) {
+		return c, fmt.Errorf("%w: Rho = %g, want > 0", ErrBadConfig, c.Rho)
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 100
+	}
+	if c.MaxIterations < 0 {
+		return c, fmt.Errorf("%w: MaxIterations = %d", ErrBadConfig, c.MaxIterations)
+	}
+	if c.Landmarks == 0 {
+		c.Landmarks = 20
+	}
+	if c.Landmarks < 0 {
+		return c, fmt.Errorf("%w: Landmarks = %d", ErrBadConfig, c.Landmarks)
+	}
+	if c.QPTol == 0 {
+		c.QPTol = 1e-6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, nil
+}
+
+// History records the per-iteration behaviour the paper plots in Fig. 4.
+type History struct {
+	// DeltaZSq[t] is ‖z_{t+1} − z_t‖² (panels a–d).
+	DeltaZSq []float64
+	// Accuracy[t] is the correct-classification ratio on Config.EvalSet
+	// after iteration t (panels e–h); empty when EvalSet is nil.
+	Accuracy []float64
+	// Iterations actually run.
+	Iterations int
+	// Converged reports whether Tol was reached before the cap.
+	Converged bool
+	// Elapsed is the wall-clock training time.
+	Elapsed time.Duration
+	// Net holds transport counters (distributed mode only).
+	Net transport.Stats
+	// RemoteInputBytes is map-input data moved across the simulated network
+	// (distributed mode with a locality plan; zero means full locality).
+	RemoteInputBytes int64
+}
+
+// runJob dispatches to the local or distributed engine per the config.
+// parts are the learners' private partitions, used only to build the
+// HDFS-locality plan when TrackLocality is set.
+func runJob(cfg Config, job mapreduce.IterativeJob, parts []*dataset.Dataset) (*mapreduce.IterativeResult, *History, error) {
+	start := time.Now()
+	h := &History{}
+	if !cfg.Distributed {
+		res, err := mapreduce.RunLocal(job)
+		if err != nil {
+			return nil, nil, err
+		}
+		h.Iterations = res.Iterations
+		h.Converged = res.Converged
+		h.Elapsed = time.Since(start)
+		return res, h, nil
+	}
+	var locality *mapreduce.LocalityPlan
+	if cfg.TrackLocality && len(parts) > 0 {
+		plan, err := buildLocalityPlan(parts)
+		if err != nil {
+			return nil, nil, err
+		}
+		locality = plan
+	}
+	res, err := mapreduce.RunDistributed(context.Background(), job, mapreduce.DriverOptions{
+		Network:     cfg.Network,
+		Aggregation: cfg.Aggregation,
+		MapRetries:  cfg.MapRetries,
+		Locality:    locality,
+		PaillierKey: cfg.PaillierKey,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	h.Iterations = res.Iterations
+	h.Converged = res.Converged
+	h.Elapsed = time.Since(start)
+	h.Net = res.Net
+	h.RemoteInputBytes = res.RemoteInputBytes
+	return &res.IterativeResult, h, nil
+}
+
+// buildLocalityPlan materializes the Fig. 1 storage layout in the simulated
+// HDFS: learner m's partition is written (replication 1 — private data must
+// not leave its owner) to learner m's own data node, and the Map task for
+// that partition is scheduled on the same node. RemoteInputBytes is
+// therefore zero by construction, which is exactly the data-locality
+// property the paper's privacy argument relies on.
+func buildLocalityPlan(parts []*dataset.Dataset) (*mapreduce.LocalityPlan, error) {
+	cluster, err := dfs.NewCluster()
+	if err != nil {
+		return nil, err
+	}
+	plan := &mapreduce.LocalityPlan{
+		Cluster:   cluster,
+		InputPath: make([]string, len(parts)),
+		NodeOf:    make([]string, len(parts)),
+	}
+	for i, p := range parts {
+		node := fmt.Sprintf("learner-%d", i)
+		if err := cluster.AddNode(node); err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := dataset.WriteCSV(&buf, p); err != nil {
+			return nil, err
+		}
+		path := fmt.Sprintf("/partitions/%d.csv", i)
+		if err := cluster.Write(path, buf.Bytes(), node); err != nil {
+			return nil, err
+		}
+		plan.InputPath[i] = path
+		plan.NodeOf[i] = node
+	}
+	return plan, nil
+}
+
+// validateHorizontalParts checks the learner shares of a horizontal split.
+func validateHorizontalParts(parts []*dataset.Dataset) (features int, err error) {
+	if len(parts) == 0 {
+		return 0, fmt.Errorf("%w: no learners", ErrBadPartition)
+	}
+	features = parts[0].Features()
+	for i, p := range parts {
+		if p == nil || p.Len() == 0 {
+			return 0, fmt.Errorf("%w: learner %d has no data", ErrBadPartition, i)
+		}
+		if p.Features() != features {
+			return 0, fmt.Errorf("%w: learner %d has %d features, learner 0 has %d",
+				ErrBadPartition, i, p.Features(), features)
+		}
+		for j, y := range p.Y {
+			if y != 1 && y != -1 {
+				return 0, fmt.Errorf("%w: learner %d label %d = %g", ErrBadPartition, i, j, y)
+			}
+		}
+	}
+	return features, nil
+}
+
+// validateVerticalParts checks the learner shares of a vertical split: same
+// row count everywhere, identical shared labels, and a consistent column map.
+func validateVerticalParts(parts []*dataset.Dataset, cols [][]int) (rows, features int, err error) {
+	if len(parts) == 0 {
+		return 0, 0, fmt.Errorf("%w: no learners", ErrBadPartition)
+	}
+	if len(cols) != len(parts) {
+		return 0, 0, fmt.Errorf("%w: %d column maps for %d learners", ErrBadPartition, len(cols), len(parts))
+	}
+	rows = parts[0].Len()
+	seen := map[int]bool{}
+	for i, p := range parts {
+		if p == nil || p.Len() != rows {
+			return 0, 0, fmt.Errorf("%w: learner %d row count differs", ErrBadPartition, i)
+		}
+		if p.Features() == 0 || p.Features() != len(cols[i]) {
+			return 0, 0, fmt.Errorf("%w: learner %d has %d features but %d column indices",
+				ErrBadPartition, i, p.Features(), len(cols[i]))
+		}
+		for _, c := range cols[i] {
+			if seen[c] {
+				return 0, 0, fmt.Errorf("%w: column %d assigned twice", ErrBadPartition, c)
+			}
+			seen[c] = true
+			if c >= features {
+				features = c + 1
+			}
+		}
+		for j := range p.Y {
+			if p.Y[j] != parts[0].Y[j] {
+				return 0, 0, fmt.Errorf("%w: learner %d label %d differs from learner 0 (labels must be shared)",
+					ErrBadPartition, i, j)
+			}
+		}
+	}
+	if len(seen) != features {
+		return 0, 0, fmt.Errorf("%w: column map covers %d of %d columns", ErrBadPartition, len(seen), features)
+	}
+	return rows, features, nil
+}

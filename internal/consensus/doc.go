@@ -1,0 +1,78 @@
+// Package consensus implements the paper's primary contribution: ADMM-based
+// consensus training over MapReduce with privacy-preserving aggregation at
+// the Reducer — the four SVM variants of Section IV ({linear, kernel} ×
+// {horizontally, vertically} partitioned data), plus consensus logistic
+// regression, single-round secure Gaussian Naive Bayes, and secure feature
+// standardization on the same machinery.
+//
+// Every trainer decomposes the global SVM into per-learner sub-problems
+// (Map), aggregates only masked local iterates (secure summation at Reduce),
+// and feeds the consensus back until ‖z_{t+1} − z_t‖² falls below tolerance —
+// the loop of Fig. 1, executed on the iterative MapReduce engine.
+//
+// # Derivations actually implemented
+//
+// The paper's printed equations (10)–(13), (19) and (29) contain OCR-level
+// typos and one structural defect (the lagged equality constraint in (12)
+// freezes the bias; see WithPaperSplit). The implementation therefore follows
+// the clean derivations below, which agree with the paper's own foundations —
+// Forero, Cano, Giannakis (JMLR 2010) for the horizontal case and Boyd et al.
+// §7.3 (sharing ADMM) for the vertical case.
+//
+// Horizontal, linear (HL). Local problem at learner m with consensus
+// (z, s) and scaled duals (γ_m, β_m):
+//
+//	min  1/(2M)‖w‖² + C·1ᵀξ + ρ/2‖w − (z−γ_m)‖² + ρ/2 (b − (s−β_m))²
+//	s.t. Y_m(X_m w + 1b) ≥ 1 − ξ,  ξ ≥ 0.
+//
+// Eliminating (w, b, ξ) jointly gives a BOX-ONLY dual in λ ∈ [0,C]^{N_m}:
+//
+//	Q = η·Y X Xᵀ Y + (1/ρ)·y yᵀ,   η = M/(1+ρM)
+//	P_i = ηρ·y_i·x_iᵀu + t·y_i − 1,   u = z−γ_m,  t = s−β_m
+//	w = η(XᵀYλ + ρu),   b = t + (1/ρ)·yᵀλ.
+//
+// The (1/ρ)yyᵀ term is exactly what the paper's equality constraint becomes
+// when b is eliminated analytically instead of lagged. Consensus updates are
+// z ← mean(w_m + γ_m), s ← mean(b_m + β_m) (computed via secure summation),
+// and the duals advance by γ_m ← γ_m + w_m − z on receipt of the new z.
+//
+// Horizontal, kernel (HK). Consensus moves to the landmark projection
+// z = G w_m ∈ R^l with G = φ(X_g) for l public landmark points X_g
+// (Section IV-B). With P = (I/M + ρGᵀG)⁻¹ and the Woodbury identity
+// (eq. 20), every P-product reduces to kernel blocks; writing
+// K⁻¹_g = (I + ρM·K_gg)⁻¹:
+//
+//	ΦPΦᵀ  = M[K_mm − ρM·K_mg·K⁻¹_g·K_gm]
+//	ΦPGᵀ  = M[K_mg − ρM·K_mg·K⁻¹_g·K_gg]
+//	GPGᵀ  = M[K_gg − ρM·K_gg·K⁻¹_g·K_gg]
+//
+// and the local dual is the HL dual with YXXᵀY → Y·ΦPΦᵀ·Y and
+// ηρ·YXu → ρ·Y·ΦPGᵀ·(z−r_m). The learner's share of the consensus is
+// Gw = (ΦPGᵀ)ᵀYλ + ρ·GPGᵀ(z−r_m), and its discriminant for a test point x
+// substitutes K(x, X_m) and K(x, X_g) rows into the same formulas (eq. 25).
+//
+// Vertical (VL/VK). With feature blocks X_m and per-block weights w_m, the
+// global problem is the sharing form min Σ_m ½‖w_m‖² + g(Σ_m X_m w_m) with
+// g the hinge loss over scores. Boyd's sharing ADMM gives:
+//
+//	w_m ← ρ(I + ρX_mᵀX_m)⁻¹X_mᵀ q_m,   q_m = X_m w_m + (z̄ − ā − u)
+//	Reducer: ā = (1/M)·Σ X_m w_m (secure sum), then the prox-hinge QP
+//	  min ½(M/ρ)‖λ‖² + (M·Y(u+ā) − 1)ᵀλ  s.t. 0 ≤ λ ≤ C, yᵀλ = 0
+//	  with ζ = M(u+ā) + (M/ρ)Yλ, z̄ = ζ/M, u ← u + ā − z̄.
+//
+// The Hessian is uniform-diagonal, so the Reducer uses the exact bisection
+// solver qp.SolveUniformDiagEqualityBox — the paper's printed A = (1/ρ)Y11ᵀY
+// is rank-one and cannot be this Hessian (see DESIGN.md). The kernel variant
+// VK replaces the ridge solve by its kernelized form via Woodbury:
+// Φ_m w_m = ρK_m(I+ρK_m)⁻¹q_m with K_m the block-feature Gram matrix, so only
+// kernel evaluations on the learner's own feature block are ever needed.
+//
+// # Privacy
+//
+// What leaves each Mapper per iteration is exactly one vector — (w+γ, b+β)
+// for HL, (Gw+r, b+β) for HK, X_m w_m for VL/VK — and under the default
+// masked aggregation the Reducer observes only the SUM of those vectors
+// (plus, in the vertical case, the labels, which Section IV-C assumes are
+// shared). Individual local iterates, which Section V argues could be
+// reverse-engineered into training data, are never visible to anyone.
+package consensus

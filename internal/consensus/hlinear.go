@@ -1,0 +1,244 @@
+package consensus
+
+import (
+	"fmt"
+
+	"github.com/ppml-go/ppml/internal/dataset"
+	"github.com/ppml-go/ppml/internal/eval"
+	"github.com/ppml-go/ppml/internal/linalg"
+	"github.com/ppml-go/ppml/internal/mapreduce"
+	"github.com/ppml-go/ppml/internal/qp"
+)
+
+// LinearModel is a trained linear classifier f(x) = wᵀx + b, produced by
+// both the horizontal and the vertical linear schemes.
+type LinearModel struct {
+	W []float64
+	B float64
+}
+
+// Decision returns the signed margin of x.
+func (m *LinearModel) Decision(x []float64) float64 { return linalg.Dot(m.W, x) + m.B }
+
+// Predict returns the class label, +1 or −1.
+func (m *LinearModel) Predict(x []float64) float64 {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// TrainHorizontalLinear runs the Section IV-A scheme: M learners each hold a
+// horizontal share (rows) of the training set, solve a local regularized SVM
+// dual per iteration, and reach consensus on (w, b) through the secure
+// Reducer. It returns the consensus model and the per-iteration history.
+func TrainHorizontalLinear(parts []*dataset.Dataset, cfg Config) (*LinearModel, *History, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, nil, err
+	}
+	k, err := validateHorizontalParts(parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := len(parts)
+
+	mappers := make([]mapreduce.IterativeMapper, m)
+	for i, p := range parts {
+		mp, err := newHLMapper(p, m, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("learner %d: %w", i, err)
+		}
+		mappers[i] = mp
+	}
+	red := &meanConsensusReducer{
+		m:   m,
+		tol: cfg.Tol,
+	}
+	if cfg.EvalSet != nil {
+		red.eval = func(state []float64) float64 {
+			model := LinearModel{W: state[:k], B: state[k]}
+			acc, err := eval.ClassifierAccuracy(&model, cfg.EvalSet)
+			if err != nil {
+				return 0
+			}
+			return acc
+		}
+	}
+
+	job := mapreduce.IterativeJob{
+		Mappers:         mappers,
+		Reducer:         red,
+		InitialState:    make([]float64, k+1),
+		ContributionDim: k + 1,
+		MaxIterations:   cfg.MaxIterations,
+	}
+	res, h, err := runJob(cfg, job, parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.DeltaZSq = red.deltaZSq
+	h.Accuracy = red.accuracy
+	model := &LinearModel{W: linalg.CopyVec(res.FinalState[:k]), B: res.FinalState[k]}
+	return model, h, nil
+}
+
+// hlMapper is one learner's Map() task for the horizontal linear scheme.
+type hlMapper struct {
+	m   int
+	cfg Config
+	eta float64 // M/(1+ρM)
+
+	x *linalg.Matrix // N_m × k local rows (never leave this struct)
+	y []float64
+
+	q *linalg.Matrix // precomputed dual Hessian
+
+	gamma []float64 // scaled dual for w = z
+	beta  float64   // scaled dual for b = s
+
+	prevW  []float64
+	prevB  float64
+	haveW  bool
+	lambda []float64 // warm start across iterations
+
+	lastIter int
+	cached   []float64
+}
+
+func newHLMapper(p *dataset.Dataset, m int, cfg Config) (*hlMapper, error) {
+	eta := float64(m) / (1 + cfg.Rho*float64(m))
+	mp := &hlMapper{
+		m: m, cfg: cfg, eta: eta,
+		x: p.X, y: p.Y,
+		gamma:    make([]float64, p.Features()),
+		lastIter: -1,
+	}
+	// Dual Hessian: η·Y X Xᵀ Y (+ (1/ρ)·y yᵀ for the joint update).
+	gram, err := linalg.MatMulT(p.X, p.X)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < gram.Rows; i++ {
+		row := gram.Row(i)
+		for j := range row {
+			row[j] *= eta * p.Y[i] * p.Y[j]
+			if !cfg.PaperSplit {
+				row[j] += p.Y[i] * p.Y[j] / cfg.Rho
+			}
+		}
+	}
+	mp.q = gram
+	return mp, nil
+}
+
+// Contribution implements mapreduce.IterativeMapper: one ADMM sub-step.
+func (mp *hlMapper) Contribution(iter int, state []float64) ([]float64, error) {
+	if iter == mp.lastIter && mp.cached != nil {
+		return mp.cached, nil // idempotent under task retry
+	}
+	k := mp.x.Cols
+	z := state[:k]
+	s := state[k]
+
+	// Scaled-dual update with the consensus just received: γ += w − z.
+	if mp.haveW {
+		for j := range mp.gamma {
+			mp.gamma[j] += mp.prevW[j] - z[j]
+		}
+		mp.beta += mp.prevB - s
+	}
+	u := linalg.SubVec(z, mp.gamma, nil)
+	t := s - mp.beta
+
+	// Linear term: P_i = ηρ·y_i·x_iᵀu + t·y_i − 1 (the t·y term is folded
+	// into the equality constraint in paper-split mode).
+	n := mp.x.Rows
+	p := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p[i] = mp.eta*mp.cfg.Rho*mp.y[i]*linalg.Dot(mp.x.Row(i), u) - 1
+		if !mp.cfg.PaperSplit {
+			p[i] += t * mp.y[i]
+		}
+	}
+	prob := qp.Problem{Q: mp.q, P: p, C: mp.cfg.C}
+	opts := []qp.Option{qp.WithTolerance(mp.cfg.QPTol)}
+	if mp.lambda != nil {
+		opts = append(opts, qp.WithWarmStart(mp.lambda))
+	}
+	var res *qp.Result
+	var err error
+	if mp.cfg.PaperSplit {
+		// Equality constraint of eq. (12) with the lagged right-hand side.
+		if mp.cfg.QPSecondOrder {
+			opts = append(opts, qp.WithSecondOrderSelection())
+		}
+		d := mp.cfg.Rho * (mp.prevB - s + mp.beta)
+		res, err = qp.SolveEqualityBox(prob, mp.y, d, opts...)
+	} else {
+		res, err = qp.SolveBox(prob, opts...)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("consensus hl local solve: %w", err)
+	}
+	mp.lambda = res.Lambda
+
+	// Primal recovery: w = η(XᵀYλ + ρu), b = t + (1/ρ)·yᵀλ.
+	ylambda := make([]float64, n)
+	sumYL := 0.0
+	for i := range ylambda {
+		ylambda[i] = mp.y[i] * res.Lambda[i]
+		sumYL += ylambda[i]
+	}
+	w, err := mp.x.MulVecT(ylambda, nil)
+	if err != nil {
+		return nil, err
+	}
+	for j := range w {
+		w[j] = mp.eta * (w[j] + mp.cfg.Rho*u[j])
+	}
+	b := t + sumYL/mp.cfg.Rho
+
+	mp.prevW, mp.prevB, mp.haveW = w, b, true
+	contrib := make([]float64, k+1)
+	for j := range w {
+		contrib[j] = w[j] + mp.gamma[j]
+	}
+	contrib[k] = b + mp.beta
+	mp.lastIter, mp.cached = iter, contrib
+	return contrib, nil
+}
+
+// meanConsensusReducer is the Reduce() side shared by both horizontal
+// schemes: the next consensus state is the mean of the (securely summed)
+// contributions, and convergence is judged on ‖Δstate‖².
+type meanConsensusReducer struct {
+	m    int
+	tol  float64
+	eval func(state []float64) float64
+
+	prev     []float64
+	deltaZSq []float64
+	accuracy []float64
+}
+
+// Combine implements mapreduce.IterativeReducer.
+func (r *meanConsensusReducer) Combine(iter int, sum []float64) ([]float64, bool, error) {
+	next := make([]float64, len(sum))
+	for i, v := range sum {
+		next[i] = v / float64(r.m)
+	}
+	var delta float64
+	if r.prev == nil {
+		delta = linalg.Norm2Sq(next)
+	} else {
+		delta = linalg.Dist2Sq(next, r.prev)
+	}
+	r.prev = next
+	r.deltaZSq = append(r.deltaZSq, delta)
+	if r.eval != nil {
+		r.accuracy = append(r.accuracy, r.eval(next))
+	}
+	done := r.tol > 0 && delta < r.tol
+	return next, done, nil
+}

@@ -1,0 +1,117 @@
+package consensus
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/dataset"
+)
+
+func TestSecureStandardizeMatchesCentralized(t *testing.T) {
+	d := dataset.SyntheticCancer(240, 5)
+	// Centralized reference statistics on the pooled data.
+	ref := dataset.FitScaler(d)
+
+	parts := horizontalParts(t, d, 4, 9)
+	scaler, err := SecureStandardize(parts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ref.Mean {
+		if math.Abs(scaler.Mean[j]-ref.Mean[j]) > 1e-6 {
+			t.Errorf("mean[%d]: secure %g vs centralized %g", j, scaler.Mean[j], ref.Mean[j])
+		}
+		if math.Abs(scaler.Std[j]-ref.Std[j]) > 1e-6 {
+			t.Errorf("std[%d]: secure %g vs centralized %g", j, scaler.Std[j], ref.Std[j])
+		}
+	}
+	// The partitions were standardized in place: pooled moments are ≈ (0, 1).
+	var n float64
+	sums := make([]float64, d.Features())
+	sumsq := make([]float64, d.Features())
+	for _, p := range parts {
+		n += float64(p.Len())
+		for i := 0; i < p.Len(); i++ {
+			for j, v := range p.X.Row(i) {
+				sums[j] += v
+				sumsq[j] += v * v
+			}
+		}
+	}
+	for j := range sums {
+		mean := sums[j] / n
+		std := math.Sqrt(sumsq[j]/n - mean*mean)
+		if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-9 {
+			t.Errorf("feature %d after secure standardize: mean %g std %g", j, mean, std)
+		}
+	}
+}
+
+func TestSecureStandardizeDistributed(t *testing.T) {
+	d := dataset.SyntheticHiggs(200, 5)
+	ref := dataset.FitScaler(d)
+	parts := horizontalParts(t, d, 3, 11)
+	scaler, err := SecureStandardize(parts, Config{Distributed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ref.Mean {
+		// Fixed-point masking rounds at 2^-30; sums of squares accumulate a
+		// little of that noise.
+		if math.Abs(scaler.Mean[j]-ref.Mean[j]) > 1e-6 {
+			t.Errorf("mean[%d]: secure %g vs centralized %g", j, scaler.Mean[j], ref.Mean[j])
+		}
+		if math.Abs(scaler.Std[j]-ref.Std[j]) > 1e-6 {
+			t.Errorf("std[%d]: secure %g vs centralized %g", j, scaler.Std[j], ref.Std[j])
+		}
+	}
+}
+
+func TestSecureStandardizeScalerAppliesToTestData(t *testing.T) {
+	d := dataset.SyntheticCancer(200, 7)
+	train, test, err := d.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := horizontalParts(t, train, 2, 3)
+	scaler, err := SecureStandardize(parts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scaler.Apply(test); err != nil {
+		t.Fatal(err)
+	}
+	// Test data standardized with train statistics should be near (0, 1).
+	s2 := dataset.FitScaler(test)
+	for j := range s2.Mean {
+		if math.Abs(s2.Mean[j]) > 0.5 || s2.Std[j] < 0.5 || s2.Std[j] > 2 {
+			t.Errorf("feature %d on test: mean %g std %g", j, s2.Mean[j], s2.Std[j])
+		}
+	}
+}
+
+func TestSecureStandardizeValidation(t *testing.T) {
+	if _, err := SecureStandardize(nil, Config{}); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("no parts: err = %v, want ErrBadPartition", err)
+	}
+}
+
+func TestSecureStandardizeConstantFeature(t *testing.T) {
+	// A constant feature must get Std = 1, matching dataset.FitScaler.
+	x := dataset.TwoGaussians("g", 40, 3, 2, 5)
+	for i := 0; i < x.Len(); i++ {
+		x.X.Set(i, 1, 7) // feature 1 constant
+	}
+	parts := horizontalParts(t, x, 2, 1)
+	scaler, err := SecureStandardize(parts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaler.Std[1] != 1 {
+		t.Errorf("constant feature std = %g, want 1", scaler.Std[1])
+	}
+	if math.Abs(scaler.Mean[1]-7) > 1e-9 {
+		t.Errorf("constant feature mean = %g, want 7", scaler.Mean[1])
+	}
+}

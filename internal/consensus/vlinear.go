@@ -1,0 +1,268 @@
+package consensus
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ppml-go/ppml/internal/dataset"
+	"github.com/ppml-go/ppml/internal/eval"
+	"github.com/ppml-go/ppml/internal/linalg"
+	"github.com/ppml-go/ppml/internal/mapreduce"
+	"github.com/ppml-go/ppml/internal/qp"
+)
+
+// TrainVerticalLinear runs the Section IV-C scheme: M learners each hold a
+// vertical share (feature columns) of every record, labels are shared, and
+// the learners reach consensus on the score vector z = Σ_m X_m w_m through
+// the secure Reducer, which also solves the hinge proximal step. cols[m]
+// lists the global column indices learner m holds (as returned by
+// partition.Vertical); the returned model reassembles the full-width weight
+// vector from the per-learner blocks.
+func TrainVerticalLinear(parts []*dataset.Dataset, cols [][]int, cfg Config) (*LinearModel, *History, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, features, err := validateVerticalParts(parts, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := len(parts)
+
+	mappers := make([]mapreduce.IterativeMapper, m)
+	vlMappers := make([]*vlMapper, m)
+	for i, p := range parts {
+		mp, err := newVLMapper(p, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("learner %d: %w", i, err)
+		}
+		mappers[i] = mp
+		vlMappers[i] = mp
+	}
+	assemble := func(b float64) *LinearModel {
+		w := make([]float64, features)
+		for i, mp := range vlMappers {
+			for j, c := range cols[i] {
+				w[c] = mp.w[j]
+			}
+		}
+		return &LinearModel{W: w, B: b}
+	}
+	red := newVerticalReducer(parts[0].Y, m, cfg)
+	if cfg.EvalSet != nil {
+		red.eval = func(b float64) float64 {
+			acc, err := eval.ClassifierAccuracy(assemble(b), cfg.EvalSet)
+			if err != nil {
+				return 0
+			}
+			return acc
+		}
+	}
+
+	job := mapreduce.IterativeJob{
+		Mappers:         mappers,
+		Reducer:         red,
+		InitialState:    make([]float64, rows),
+		ContributionDim: rows,
+		MaxIterations:   cfg.MaxIterations,
+	}
+	_, h, err := runJob(cfg, job, parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.DeltaZSq = red.deltaZSq
+	h.Accuracy = red.accuracy
+	return assemble(red.b), h, nil
+}
+
+// vlMapper is one learner's Map() task for the vertical linear scheme: a
+// ridge-regularized least-squares fit of its feature block to the broadcast
+// residual target.
+type vlMapper struct {
+	cfg Config
+	x   *linalg.Matrix // N × k_m feature block (private)
+	ch  *linalg.Cholesky
+
+	w      []float64 // current block weights
+	prevXw []float64 // X_m·w at the previous iterate
+
+	lastIter int
+	cached   []float64
+}
+
+func newVLMapper(p *dataset.Dataset, cfg Config) (*vlMapper, error) {
+	// (I + ρ·X_mᵀX_m) is constant across iterations: factor once.
+	gram, err := linalg.MatMulT(p.X.T(), p.X.T())
+	if err != nil {
+		return nil, err
+	}
+	gram.Scale(cfg.Rho)
+	if err := gram.AddScaledIdentity(1); err != nil {
+		return nil, err
+	}
+	ch, err := linalg.FactorizeCholesky(gram)
+	if err != nil {
+		return nil, fmt.Errorf("consensus vl: ridge matrix not SPD: %w", err)
+	}
+	return &vlMapper{
+		cfg:      cfg,
+		x:        p.X,
+		ch:       ch,
+		w:        make([]float64, p.Features()),
+		prevXw:   make([]float64, p.Len()),
+		lastIter: -1,
+	}, nil
+}
+
+// Contribution implements mapreduce.IterativeMapper: the w_m-update of the
+// sharing ADMM, w = ρ(I + ρXᵀX)⁻¹Xᵀq with q = X·w_prev + broadcast.
+func (mp *vlMapper) Contribution(iter int, state []float64) ([]float64, error) {
+	if iter == mp.lastIter && mp.cached != nil {
+		return mp.cached, nil
+	}
+	if len(state) != mp.x.Rows {
+		return nil, fmt.Errorf("%w: state of %d values for %d records", ErrBadPartition, len(state), mp.x.Rows)
+	}
+	q := linalg.AddVec(mp.prevXw, state, nil)
+	xtq, err := mp.x.MulVecT(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	w, err := mp.ch.SolveVec(xtq, nil)
+	if err != nil {
+		return nil, err
+	}
+	linalg.Scale(mp.cfg.Rho, w)
+	mp.w = w
+	xw, err := mp.x.MulVec(w, nil)
+	if err != nil {
+		return nil, err
+	}
+	mp.prevXw = xw
+	contrib := linalg.CopyVec(xw)
+	mp.lastIter, mp.cached = iter, contrib
+	return contrib, nil
+}
+
+// verticalReducer is the Reduce() side shared by both vertical schemes: it
+// owns the shared labels, solves the hinge proximal QP on the securely
+// summed scores, and maintains the scaled dual u.
+type verticalReducer struct {
+	y    []float64
+	m    int
+	cfg  Config
+	eval func(b float64) float64
+
+	u        []float64
+	zbar     []float64
+	prevZeta []float64
+	b        float64
+
+	deltaZSq []float64
+	accuracy []float64
+}
+
+func newVerticalReducer(y []float64, m int, cfg Config) *verticalReducer {
+	return &verticalReducer{
+		y:    linalg.CopyVec(y),
+		m:    m,
+		cfg:  cfg,
+		u:    make([]float64, len(y)),
+		zbar: make([]float64, len(y)),
+	}
+}
+
+// Combine implements mapreduce.IterativeReducer: the (z, b)-update and dual
+// step of the sharing ADMM, then the next broadcast z̄ − ā − u.
+func (r *verticalReducer) Combine(iter int, sum []float64) ([]float64, bool, error) {
+	n := len(r.y)
+	if len(sum) != n {
+		return nil, false, fmt.Errorf("%w: aggregate of %d values for %d records", ErrBadPartition, len(sum), n)
+	}
+	abar := make([]float64, n)
+	for i := range abar {
+		abar[i] = sum[i] / float64(r.m)
+	}
+	d := linalg.AddVec(r.u, abar, nil)
+
+	// Prox-hinge dual: min ½(M/ρ)‖λ‖² + (M·Y·d − 1)ᵀλ, 0 ≤ λ ≤ C, yᵀλ = 0.
+	mf := float64(r.m)
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = mf*r.y[i]*d[i] - 1
+	}
+	res, err := qp.SolveUniformDiagEqualityBox(mf/r.cfg.Rho, p, r.cfg.C, r.y, 0)
+	if err != nil {
+		return nil, false, fmt.Errorf("consensus vertical reducer solve: %w", err)
+	}
+
+	// ζ = M·d + (M/ρ)·Yλ; z̄ = ζ/M; u ← u + ā − z̄.
+	zeta := make([]float64, n)
+	for i := range zeta {
+		zeta[i] = mf*d[i] + mf/r.cfg.Rho*r.y[i]*res.Lambda[i]
+		r.zbar[i] = zeta[i] / mf
+		r.u[i] += abar[i] - r.zbar[i]
+	}
+	r.b = biasFromScores(zeta, r.y, res.Lambda, r.cfg.C)
+
+	var delta float64
+	if r.prevZeta == nil {
+		delta = linalg.Norm2Sq(zeta)
+	} else {
+		delta = linalg.Dist2Sq(zeta, r.prevZeta)
+	}
+	r.prevZeta = zeta
+	r.deltaZSq = append(r.deltaZSq, delta)
+	if r.eval != nil {
+		r.accuracy = append(r.accuracy, r.eval(r.b))
+	}
+
+	next := make([]float64, n)
+	for i := range next {
+		next[i] = r.zbar[i] - abar[i] - r.u[i]
+	}
+	done := r.cfg.Tol > 0 && delta < r.cfg.Tol
+	return next, done, nil
+}
+
+// biasFromScores recovers b from the KKT conditions of the hinge step: free
+// support vectors satisfy y_i(ζ_i + b) = 1; with none free, b falls back to
+// the midpoint of the interval the margin inequalities allow.
+func biasFromScores(scores, y, lambda []float64, c float64) float64 {
+	const svEps = 1e-8
+	var sum float64
+	var free int
+	lb, ub := math.Inf(-1), math.Inf(1)
+	for i := range lambda {
+		margin := y[i] - scores[i]
+		switch {
+		case lambda[i] > svEps && lambda[i] < c-svEps:
+			sum += margin
+			free++
+		case lambda[i] <= svEps:
+			if y[i] > 0 {
+				lb = math.Max(lb, margin)
+			} else {
+				ub = math.Min(ub, margin)
+			}
+		default:
+			if y[i] > 0 {
+				ub = math.Min(ub, margin)
+			} else {
+				lb = math.Max(lb, margin)
+			}
+		}
+	}
+	switch {
+	case free > 0:
+		return sum / float64(free)
+	case !math.IsInf(lb, -1) && !math.IsInf(ub, 1):
+		return (lb + ub) / 2
+	case !math.IsInf(lb, -1):
+		return lb
+	case !math.IsInf(ub, 1):
+		return ub
+	default:
+		return 0
+	}
+}

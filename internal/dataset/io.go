@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/ppml-go/ppml/internal/linalg"
+)
+
+// LoadCSV reads a headerless numeric CSV where the last column is the label.
+// Labels may be {−1,+1} or {0,1}; zeros are mapped to −1 so standard UCI
+// exports load directly.
+func LoadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("%w: empty CSV", ErrBadData)
+	}
+	cols := len(records[0])
+	if cols < 2 {
+		return nil, fmt.Errorf("%w: need at least one feature and a label column", ErrBadData)
+	}
+	x := linalg.NewMatrix(len(records), cols-1)
+	y := make([]float64, len(records))
+	for i, rec := range records {
+		if len(rec) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want %d", ErrBadData, i, len(rec), cols)
+		}
+		row := x.Row(i)
+		for j := 0; j < cols-1; j++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %d col %d: %v", ErrBadData, i, j, err)
+			}
+			row[j] = v
+		}
+		lbl, err := strconv.ParseFloat(strings.TrimSpace(rec[cols-1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d label: %v", ErrBadData, i, err)
+		}
+		switch lbl {
+		case 1:
+			y[i] = 1
+		case -1, 0:
+			y[i] = -1
+		default:
+			return nil, fmt.Errorf("%w: row %d label %g, want ±1 or 0/1", ErrBadData, i, lbl)
+		}
+	}
+	return New(name, x, y)
+}
+
+// WriteCSV writes the data set in the format LoadCSV reads back.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.Len(); i++ {
+		row := d.X.Row(i)
+		for _, v := range row {
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return fmt.Errorf("dataset csv write: %w", err)
+			}
+			if err := bw.WriteByte(','); err != nil {
+				return fmt.Errorf("dataset csv write: %w", err)
+			}
+		}
+		if _, err := bw.WriteString(strconv.FormatFloat(d.Y[i], 'g', -1, 64)); err != nil {
+			return fmt.Errorf("dataset csv write: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("dataset csv write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadLIBSVM reads the sparse LIBSVM text format: each line is
+// "<label> <index>:<value> ...", with 1-based feature indices. numFeatures
+// may be 0 to infer the dimensionality from the data.
+func LoadLIBSVM(r io.Reader, name string, numFeatures int) (*Dataset, error) {
+	type sparseRow struct {
+		label float64
+		idx   []int
+		val   []float64
+	}
+	var rows []sparseRow
+	maxIdx := numFeatures
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		lbl, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d label: %v", ErrBadData, lineNo, err)
+		}
+		switch lbl {
+		case 1:
+		case -1, 0:
+			lbl = -1
+		default:
+			return nil, fmt.Errorf("%w: line %d label %g, want ±1 or 0/1", ErrBadData, lineNo, lbl)
+		}
+		sr := sparseRow{label: lbl}
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("%w: line %d: feature %q missing ':'", ErrBadData, lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("%w: line %d: bad feature index %q", ErrBadData, lineNo, f[:colon])
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad feature value %q", ErrBadData, lineNo, f[colon+1:])
+			}
+			sr.idx = append(sr.idx, idx-1)
+			sr.val = append(sr.val, v)
+			if idx > maxIdx {
+				maxIdx = idx
+			}
+		}
+		rows = append(rows, sr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset libsvm: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%w: empty LIBSVM input", ErrBadData)
+	}
+	x := linalg.NewMatrix(len(rows), maxIdx)
+	y := make([]float64, len(rows))
+	for i, sr := range rows {
+		y[i] = sr.label
+		row := x.Row(i)
+		for j, idx := range sr.idx {
+			row[idx] = sr.val[j]
+		}
+	}
+	return New(name, x, y)
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := SyntheticCancer(40, 9)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf, "cancer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Features() != d.Features() {
+		t.Fatalf("round trip shape %dx%d, want %dx%d", back.Len(), back.Features(), d.Len(), d.Features())
+	}
+	for i := range d.X.Data {
+		if back.X.Data[i] != d.X.Data[i] {
+			t.Fatalf("round trip differs at element %d: %g vs %g", i, back.X.Data[i], d.X.Data[i])
+		}
+	}
+	for i := range d.Y {
+		if back.Y[i] != d.Y[i] {
+			t.Fatalf("round trip label %d differs", i)
+		}
+	}
+}
+
+func TestLoadCSVZeroOneLabels(t *testing.T) {
+	in := "1.5,2.5,0\n-1.5,0.5,1\n"
+	d, err := LoadCSV(strings.NewReader(in), "zo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Y[0] != -1 || d.Y[1] != 1 {
+		t.Errorf("0/1 labels mapped to %v, want [-1 1]", d.Y)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"1\n",            // too few columns
+		"a,b,1\n",        // non-numeric feature
+		"1,2,7\n",        // bad label
+		"1,2,zzz\n",      // non-numeric label
+		"1,2,1\n3,4\n",   // ragged rows
+		"1,2,1\n3,4,5\n", // bad label in later row
+	}
+	for _, in := range cases {
+		if _, err := LoadCSV(strings.NewReader(in), "bad"); err == nil {
+			t.Errorf("LoadCSV(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestLoadLIBSVM(t *testing.T) {
+	in := `# comment line
++1 1:0.5 3:2.0
+-1 2:-1.5
+0 1:1.0 4:4.0
+`
+	d, err := LoadLIBSVM(strings.NewReader(in), "ls", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Features() != 4 {
+		t.Fatalf("shape %dx%d, want 3x4", d.Len(), d.Features())
+	}
+	if d.Y[0] != 1 || d.Y[1] != -1 || d.Y[2] != -1 {
+		t.Errorf("labels = %v, want [1 -1 -1]", d.Y)
+	}
+	if d.X.At(0, 0) != 0.5 || d.X.At(0, 2) != 2.0 || d.X.At(1, 1) != -1.5 || d.X.At(2, 3) != 4.0 {
+		t.Errorf("sparse values wrong: %+v", d.X.Data)
+	}
+	if d.X.At(0, 1) != 0 {
+		t.Error("missing sparse entries must be zero")
+	}
+}
+
+func TestLoadLIBSVMFixedWidth(t *testing.T) {
+	d, err := LoadLIBSVM(strings.NewReader("1 1:1\n"), "fw", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Features() != 10 {
+		t.Errorf("fixed width = %d, want 10", d.Features())
+	}
+}
+
+func TestLoadLIBSVMErrors(t *testing.T) {
+	cases := []string{
+		"",            // empty
+		"5 1:1\n",     // bad label
+		"1 0:1\n",     // 0-based index
+		"1 x:1\n",     // bad index
+		"1 1:x\n",     // bad value
+		"1 nocolon\n", // missing colon
+	}
+	for _, in := range cases {
+		if _, err := LoadLIBSVM(strings.NewReader(in), "bad", 0); err == nil {
+			t.Errorf("LoadLIBSVM(%q) succeeded, want error", in)
+		}
+	}
+	if _, err := LoadLIBSVM(strings.NewReader(""), "bad", 0); !errors.Is(err, ErrBadData) {
+		t.Errorf("empty input: err = %v, want ErrBadData", err)
+	}
+}

@@ -1,0 +1,33 @@
+package dataset
+
+import "fmt"
+
+// Fold is one train/test division of a k-fold split.
+type Fold struct {
+	Train, Test *Dataset
+}
+
+// KFold divides d into k contiguous folds and returns the k train/test
+// pairs; fold i's test set is the i-th slice of rows and its training set is
+// everything else. Shuffle d first for a random fold assignment. Fold sizes
+// differ by at most one row.
+func KFold(d *Dataset, k int) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("%w: k = %d, want ≥ 2", ErrBadData, k)
+	}
+	if d.Len() < k {
+		return nil, fmt.Errorf("%w: %d samples cannot fill %d folds", ErrBadData, d.Len(), k)
+	}
+	n := d.Len()
+	folds := make([]Fold, k)
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		test := rangeInts(lo, hi)
+		train := make([]int, 0, n-(hi-lo))
+		train = append(train, rangeInts(0, lo)...)
+		train = append(train, rangeInts(hi, n)...)
+		folds[i] = Fold{Train: d.Subset(train), Test: d.Subset(test)}
+	}
+	return folds, nil
+}

@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestKFoldCoversEveryRowExactlyOnce(t *testing.T) {
+	d := TwoGaussians("g", 103, 4, 2, 1) // deliberately not divisible by k
+	const k = 5
+	folds, err := KFold(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != k {
+		t.Fatalf("got %d folds, want %d", len(folds), k)
+	}
+	totalTest := 0
+	for i, f := range folds {
+		if f.Train.Len()+f.Test.Len() != d.Len() {
+			t.Errorf("fold %d: train %d + test %d != %d", i, f.Train.Len(), f.Test.Len(), d.Len())
+		}
+		if f.Test.Len() < d.Len()/k || f.Test.Len() > d.Len()/k+1 {
+			t.Errorf("fold %d: test size %d unbalanced", i, f.Test.Len())
+		}
+		totalTest += f.Test.Len()
+	}
+	if totalTest != d.Len() {
+		t.Errorf("test folds cover %d rows, want %d", totalTest, d.Len())
+	}
+}
+
+func TestKFoldDisjointTrainTest(t *testing.T) {
+	// Tag each row with a unique value; train and test of a fold must not
+	// share any tag.
+	d := TwoGaussians("g", 30, 1, 0, 2)
+	for i := 0; i < d.Len(); i++ {
+		d.X.Set(i, 0, float64(i))
+	}
+	folds, err := KFold(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, f := range folds {
+		inTest := map[float64]bool{}
+		for i := 0; i < f.Test.Len(); i++ {
+			inTest[f.Test.X.At(i, 0)] = true
+		}
+		for i := 0; i < f.Train.Len(); i++ {
+			if inTest[f.Train.X.At(i, 0)] {
+				t.Fatalf("fold %d: row appears in both train and test", fi)
+			}
+		}
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	d := TwoGaussians("g", 10, 2, 1, 3)
+	if _, err := KFold(d, 1); !errors.Is(err, ErrBadData) {
+		t.Errorf("k=1: err = %v, want ErrBadData", err)
+	}
+	if _, err := KFold(d, 11); !errors.Is(err, ErrBadData) {
+		t.Errorf("k>n: err = %v, want ErrBadData", err)
+	}
+}

@@ -1,0 +1,442 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newTestCluster(t *testing.T, nodes int, opts ...Option) *Cluster {
+	t.Helper()
+	c, err := NewCluster(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		if err := c.AddNode(nodeName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func nodeName(i int) string { return string(rune('a'+i)) + "-node" }
+
+func randomBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(WithBlockSize(0)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("block size 0: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := NewCluster(WithReplication(0)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("replication 0: err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := newTestCluster(t, 3, WithBlockSize(16))
+	data := randomBytes(100, 1) // forces 7 blocks
+	if err := c.Write("/x", data, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("read differs from written data")
+	}
+	sz, err := c.FileSize("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz != 100 {
+		t.Errorf("FileSize = %d, want 100", sz)
+	}
+	locs, err := c.Locations("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 7 {
+		t.Errorf("got %d blocks, want 7", len(locs))
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if err := c.Write("/empty", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read("/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty file read %d bytes", len(got))
+	}
+}
+
+func TestPreferredPlacement(t *testing.T) {
+	c := newTestCluster(t, 4, WithBlockSize(8))
+	data := randomBytes(64, 2)
+	if err := c.Write("/local", data, nodeName(2)); err != nil {
+		t.Fatal(err)
+	}
+	primary, err := c.PrimaryLocation("/local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primary != nodeName(2) {
+		t.Errorf("primary location = %q, want %q", primary, nodeName(2))
+	}
+	used, err := c.Used(nodeName(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 64 {
+		t.Errorf("preferred node stores %d bytes, want all 64", used)
+	}
+}
+
+func TestPreferredUnknownNode(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if err := c.Write("/x", []byte("hi"), "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown preferred: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestReplication(t *testing.T) {
+	c := newTestCluster(t, 3, WithBlockSize(8), WithReplication(2))
+	if err := c.Write("/r", randomBytes(24, 3), ""); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := c.Locations("/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nodes := range locs {
+		if len(nodes) != 2 {
+			t.Errorf("block %d has %d replicas, want 2", i, len(nodes))
+		}
+	}
+}
+
+func TestReplicationExceedsNodes(t *testing.T) {
+	c := newTestCluster(t, 1, WithReplication(3))
+	if err := c.Write("/x", []byte("d"), ""); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("replication > nodes: err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestWriteNoNodes(t *testing.T) {
+	c := newTestCluster(t, 0)
+	if err := c.Write("/x", []byte("d"), ""); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("no nodes: err = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestOverwriteReleasesSpace(t *testing.T) {
+	c := newTestCluster(t, 1, WithBlockSize(8))
+	if err := c.Write("/x", randomBytes(64, 4), nodeName(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write("/x", randomBytes(8, 5), nodeName(0)); err != nil {
+		t.Fatal(err)
+	}
+	used, err := c.Used(nodeName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 8 {
+		t.Errorf("after overwrite node uses %d bytes, want 8", used)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if err := c.Write("/x", []byte("data"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read("/x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("read deleted: err = %v, want ErrNotFound", err)
+	}
+	if err := c.Delete("/x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: err = %v, want ErrNotFound", err)
+	}
+	if got := len(c.List()); got != 0 {
+		t.Errorf("List after delete = %d entries", got)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	c := newTestCluster(t, 1)
+	for _, p := range []string{"/c", "/a", "/b"} {
+		if err := c.Write(p, []byte("x"), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.List()
+	want := []string{"/a", "/b", "/c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRemoveNodeReReplicates(t *testing.T) {
+	c := newTestCluster(t, 3, WithBlockSize(8), WithReplication(2))
+	data := randomBytes(32, 6)
+	if err := c.Write("/r", data, nodeName(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveNode(nodeName(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Data still fully readable and still at replication 2.
+	got, err := c.Read("/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("data corrupted after node removal")
+	}
+	locs, err := c.Locations("/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nodes := range locs {
+		if len(nodes) != 2 {
+			t.Errorf("block %d has %d replicas after removal, want 2", i, len(nodes))
+		}
+		for _, n := range nodes {
+			if n == nodeName(0) {
+				t.Errorf("block %d still lists removed node", i)
+			}
+		}
+	}
+}
+
+func TestRemoveNodeDataLoss(t *testing.T) {
+	c := newTestCluster(t, 2, WithReplication(1))
+	if err := c.Write("/solo", []byte("data"), nodeName(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveNode(nodeName(0)); !errors.Is(err, ErrDataLoss) {
+		t.Errorf("removing last replica holder: err = %v, want ErrDataLoss", err)
+	}
+	// The node must still be present after the refused removal.
+	if got := len(c.Nodes()); got != 2 {
+		t.Errorf("nodes after refused removal = %d, want 2", got)
+	}
+}
+
+func TestDuplicateNode(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if err := c.AddNode(nodeName(0)); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate node: err = %v, want ErrExists", err)
+	}
+}
+
+func TestLeastUsedPlacementBalances(t *testing.T) {
+	c := newTestCluster(t, 4, WithBlockSize(1024))
+	for i := 0; i < 16; i++ {
+		if err := c.Write(string(rune('a'+i)), randomBytes(1024, int64(i)), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No preferred node: 16 equal blocks over 4 nodes should balance 4/4/4/4.
+	for i := 0; i < 4; i++ {
+		used, err := c.Used(nodeName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if used != 4*1024 {
+			t.Errorf("node %d stores %d bytes, want %d", i, used, 4*1024)
+		}
+	}
+}
+
+func TestChecksumSelfHealingRead(t *testing.T) {
+	c := newTestCluster(t, 3, WithBlockSize(16), WithReplication(2))
+	data := randomBytes(48, 10)
+	if err := c.Write("/heal", data, ""); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := c.Locations("/heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one replica of every block.
+	for bi, nodes := range locs {
+		if err := c.CorruptReplica("/heal", bi, nodes[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read succeeds from the healthy replicas and heals the corrupt ones.
+	got, err := c.Read("/heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("healed read returned wrong data")
+	}
+	// Corrupt the OTHER replica now; the previously corrupt (now healed)
+	// copy must carry the read.
+	for bi, nodes := range locs {
+		if err := c.CorruptReplica("/heal", bi, nodes[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err = c.Read("/heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("second healed read returned wrong data; healing did not persist")
+	}
+}
+
+func TestAllReplicasCorrupt(t *testing.T) {
+	c := newTestCluster(t, 2, WithBlockSize(16), WithReplication(2))
+	if err := c.Write("/doomed", randomBytes(16, 11), ""); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := c.Locations("/doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range locs[0] {
+		if err := c.CorruptReplica("/doomed", 0, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Read("/doomed"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("all-corrupt read: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptReplicaValidation(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if err := c.CorruptReplica("/ghost", 0, nodeName(0)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing file: err = %v, want ErrNotFound", err)
+	}
+	if err := c.Write("/x", []byte("abc"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CorruptReplica("/x", 5, nodeName(0)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("bad block index: err = %v, want ErrNotFound", err)
+	}
+	if err := c.CorruptReplica("/x", 0, "ghost-node"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("no replica on node: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRemoveNodeSourcesFromHealthyReplica(t *testing.T) {
+	// Decommissioning must not propagate corruption: re-replication reads a
+	// checksum-valid source.
+	c := newTestCluster(t, 3, WithBlockSize(64), WithReplication(2))
+	data := randomBytes(64, 12)
+	if err := c.Write("/r", data, nodeName(0)); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := c.Locations("/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the replica on the surviving node, then remove the OTHER one:
+	// re-replication must heal from... the only healthy copy is on the node
+	// being removed — healthyCopyLocked still sees it because removal happens
+	// after sourcing. Corrupt the copy on locs[0][1], remove locs[0][0].
+	if err := c.CorruptReplica("/r", 0, locs[0][1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveNode(locs[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read("/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted through decommissioning")
+	}
+}
+
+func TestRandomizedOperationsPreserveData(t *testing.T) {
+	// Property: under a random sequence of writes, overwrites, deletes,
+	// single-replica corruptions and reads, every read returns exactly what
+	// was last written (replication 2 heals single corruptions).
+	rng := rand.New(rand.NewSource(99))
+	c := newTestCluster(t, 4, WithBlockSize(32), WithReplication(2))
+	expected := map[string][]byte{}
+	paths := []string{"/a", "/b", "/c", "/d", "/e"}
+	for step := 0; step < 400; step++ {
+		path := paths[rng.Intn(len(paths))]
+		switch rng.Intn(5) {
+		case 0, 1: // write or overwrite
+			data := randomBytes(rng.Intn(200), int64(step))
+			if err := c.Write(path, data, ""); err != nil {
+				t.Fatalf("step %d write: %v", step, err)
+			}
+			expected[path] = data
+		case 2: // delete
+			if _, ok := expected[path]; ok {
+				if err := c.Delete(path); err != nil {
+					t.Fatalf("step %d delete: %v", step, err)
+				}
+				delete(expected, path)
+			}
+		case 3: // corrupt one replica of one block
+			if _, ok := expected[path]; !ok {
+				continue
+			}
+			locs, err := c.Locations(path)
+			if err != nil || len(locs) == 0 {
+				continue
+			}
+			bi := rng.Intn(len(locs))
+			if len(locs[bi]) == 0 {
+				continue
+			}
+			node := locs[bi][rng.Intn(len(locs[bi]))]
+			if err := c.CorruptReplica(path, bi, node); err != nil {
+				t.Fatalf("step %d corrupt: %v", step, err)
+			}
+		default: // read and verify
+			want, ok := expected[path]
+			got, err := c.Read(path)
+			if !ok {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("step %d: read deleted %q: err = %v", step, path, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d read %q: %v", step, path, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d: %q read %d bytes != expected %d", step, path, len(got), len(want))
+			}
+		}
+	}
+	// Final sweep: everything still intact.
+	for path, want := range expected {
+		got, err := c.Read(path)
+		if err != nil {
+			t.Fatalf("final read %q: %v", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("final read %q differs", path)
+		}
+	}
+}

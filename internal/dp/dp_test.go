@@ -1,0 +1,129 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// detRand adapts math/rand for reproducible tests.
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) { return d.r.Read(p) }
+
+func TestPerturbValidation(t *testing.T) {
+	w := []float64{1, 2}
+	if err := PerturbVector(w, 0, 1, nil); !errors.Is(err, ErrBadParams) {
+		t.Errorf("epsilon 0: err = %v, want ErrBadParams", err)
+	}
+	if err := PerturbVector(w, 1, 0, nil); !errors.Is(err, ErrBadParams) {
+		t.Errorf("sensitivity 0: err = %v, want ErrBadParams", err)
+	}
+	if err := PerturbVector(nil, 1, 1, nil); !errors.Is(err, ErrBadParams) {
+		t.Errorf("empty: err = %v, want ErrBadParams", err)
+	}
+}
+
+func TestSVMSensitivity(t *testing.T) {
+	if got := SVMSensitivity(50); got != 100 {
+		t.Errorf("SVMSensitivity(50) = %g, want 100", got)
+	}
+}
+
+func TestPerturbActuallyPerturbs(t *testing.T) {
+	w := []float64{1, 2, 3}
+	orig := append([]float64(nil), w...)
+	if err := PerturbVector(w, 1, 1, detRand{rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range w {
+		if w[i] != orig[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("perturbation left the vector unchanged")
+	}
+}
+
+func TestNoiseMagnitudeMatchesGamma(t *testing.T) {
+	// ‖b‖ ~ Gamma(dim, sens/ε): mean dim·sens/ε, variance dim·(sens/ε)².
+	const dim = 8
+	const eps, sens = 2.0, 3.0
+	const trials = 4000
+	theta := sens / eps
+	rng := detRand{rand.New(rand.NewSource(7))}
+	var sum, sumsq float64
+	for trial := 0; trial < trials; trial++ {
+		w := make([]float64, dim)
+		if err := PerturbVector(w, eps, sens, rng); err != nil {
+			t.Fatal(err)
+		}
+		var norm float64
+		for _, v := range w {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		sum += norm
+		sumsq += norm * norm
+	}
+	mean := sum / trials
+	variance := sumsq/trials - mean*mean
+	wantMean := dim * theta
+	wantVar := dim * theta * theta
+	if math.Abs(mean-wantMean) > 0.05*wantMean {
+		t.Errorf("noise mean = %g, want ≈ %g", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar) > 0.2*wantVar {
+		t.Errorf("noise variance = %g, want ≈ %g", variance, wantVar)
+	}
+}
+
+func TestStrongerPrivacyMeansMoreNoise(t *testing.T) {
+	// Smaller ε must produce larger expected perturbations.
+	avgNorm := func(eps float64, seed int64) float64 {
+		rng := detRand{rand.New(rand.NewSource(seed))}
+		var total float64
+		for trial := 0; trial < 300; trial++ {
+			w := make([]float64, 4)
+			if err := PerturbVector(w, eps, 1, rng); err != nil {
+				t.Fatal(err)
+			}
+			var norm float64
+			for _, v := range w {
+				norm += v * v
+			}
+			total += math.Sqrt(norm)
+		}
+		return total / 300
+	}
+	loose := avgNorm(10, 1)  // weak privacy
+	tight := avgNorm(0.1, 2) // strong privacy
+	if tight < 50*loose {
+		t.Errorf("ε=0.1 noise (%g) should dwarf ε=10 noise (%g)", tight, loose)
+	}
+}
+
+func TestDirectionIsotropy(t *testing.T) {
+	// The mean noise vector should be near zero: no preferred direction.
+	const dim = 3
+	rng := detRand{rand.New(rand.NewSource(11))}
+	mean := make([]float64, dim)
+	const trials = 3000
+	for trial := 0; trial < trials; trial++ {
+		w := make([]float64, dim)
+		if err := PerturbVector(w, 1, 1, rng); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range w {
+			mean[i] += v / trials
+		}
+	}
+	for i, v := range mean {
+		if math.Abs(v) > 0.3 {
+			t.Errorf("mean noise component %d = %g, want ≈ 0", i, v)
+		}
+	}
+}

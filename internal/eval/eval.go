@@ -1,0 +1,102 @@
+// Package eval computes the classification metrics reported in Section VI:
+// the correct-classification ratio and supporting confusion statistics.
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ppml-go/ppml/internal/dataset"
+)
+
+// ErrBadInput indicates mismatched prediction/label lengths.
+var ErrBadInput = errors.New("eval: bad input")
+
+// Classifier is anything that assigns a ±1 label to a feature vector. Both
+// the centralized SVM model and the consensus models satisfy it.
+type Classifier interface {
+	Predict(x []float64) float64
+}
+
+// Accuracy returns the correct-classification ratio of pred against truth.
+func Accuracy(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("%w: %d predictions vs %d labels", ErrBadInput, len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("%w: empty input", ErrBadInput)
+	}
+	correct := 0
+	for i := range pred {
+		if (pred[i] >= 0) == (truth[i] >= 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred)), nil
+}
+
+// Confusion counts binary classification outcomes with +1 as the positive
+// class.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// ConfusionMatrix tallies outcomes of pred against truth.
+func ConfusionMatrix(pred, truth []float64) (Confusion, error) {
+	var c Confusion
+	if len(pred) != len(truth) {
+		return c, fmt.Errorf("%w: %d predictions vs %d labels", ErrBadInput, len(pred), len(truth))
+	}
+	for i := range pred {
+		switch {
+		case pred[i] >= 0 && truth[i] >= 0:
+			c.TP++
+		case pred[i] >= 0 && truth[i] < 0:
+			c.FP++
+		case pred[i] < 0 && truth[i] >= 0:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c, nil
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when undefined.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// ClassifierAccuracy runs clf over every sample of d and returns the correct ratio.
+func ClassifierAccuracy(clf Classifier, d *dataset.Dataset) (float64, error) {
+	if d.Len() == 0 {
+		return 0, fmt.Errorf("%w: empty data set", ErrBadInput)
+	}
+	correct := 0
+	for i := 0; i < d.Len(); i++ {
+		if (clf.Predict(d.X.Row(i)) >= 0) == (d.Y[i] >= 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len()), nil
+}

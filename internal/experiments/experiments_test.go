@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps unit tests fast; the benchmarks use Defaults().
+func tinyOptions() Options {
+	o := Defaults()
+	o.CancerN = 200
+	o.HiggsN = 200
+	o.OCRN = 200
+	o.Iterations = 8
+	o.Landmarks = 10
+	return o
+}
+
+func TestRunPanelUnknown(t *testing.T) {
+	if _, err := RunPanel("z", tinyOptions()); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("unknown panel: err = %v, want ErrUnknownExperiment", err)
+	}
+}
+
+func TestRunPanelShapes(t *testing.T) {
+	o := tinyOptions()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		id := id
+		t.Run("panel-"+id, func(t *testing.T) {
+			p, err := RunPanel(id, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.Series) != 3 {
+				t.Fatalf("panel %s has %d series, want 3", id, len(p.Series))
+			}
+			names := []string{"ocr", "cancer", "higgs"}
+			for i, s := range p.Series {
+				if s.Dataset != names[i] {
+					t.Errorf("series %d is %q, want %q", i, s.Dataset, names[i])
+				}
+				if len(s.DeltaZSq) != o.Iterations {
+					t.Errorf("%s: %d Δz² points, want %d", s.Dataset, len(s.DeltaZSq), o.Iterations)
+				}
+				if len(s.Accuracy) != o.Iterations {
+					t.Errorf("%s: %d accuracy points, want %d", s.Dataset, len(s.Accuracy), o.Iterations)
+				}
+				for _, a := range s.Accuracy {
+					if a < 0 || a > 1 {
+						t.Errorf("%s: accuracy %g outside [0,1]", s.Dataset, a)
+					}
+				}
+				for _, d := range s.DeltaZSq {
+					if d < 0 {
+						t.Errorf("%s: negative Δz² %g", s.Dataset, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPanelPairsShareScheme(t *testing.T) {
+	// Panels (a) and (e) are two views of the same runs.
+	sA, dA, err := schemeOf("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sE, dE, err := schemeOf("e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sA != sE || dA != dE {
+		t.Error("panels a and e must map to the same scheme")
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	o := tinyOptions()
+	o.CancerN = 300 // enough signal for the accuracy bands
+	rows, err := RunBaseline(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d baseline rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.5 || r.Accuracy > 1 {
+			t.Errorf("%s: baseline accuracy %g implausible", r.Dataset, r.Accuracy)
+		}
+		if r.PaperAccuracy == 0 {
+			t.Errorf("%s: missing paper reference accuracy", r.Dataset)
+		}
+	}
+}
+
+func TestRunScalability(t *testing.T) {
+	o := tinyOptions()
+	o.Iterations = 5
+	rows, err := RunScalability(o, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d scalability rows, want 2", len(rows))
+	}
+	if rows[1].Messages <= rows[0].Messages {
+		t.Errorf("messages must grow with M: M=2 → %d, M=4 → %d", rows[0].Messages, rows[1].Messages)
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.8 {
+			t.Errorf("M=%d: accuracy %g too low", r.Learners, r.Accuracy)
+		}
+	}
+}
+
+func TestWritePanel(t *testing.T) {
+	o := tinyOptions()
+	o.Iterations = 3
+	p, err := RunPanel("a", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePanel(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig.4(a)") {
+		t.Error("missing panel header")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header comment + column header + 3 iterations
+	if len(lines) != 5 {
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "iter\tocr\tcancer\thiggs") {
+		t.Errorf("bad column header: %q", lines[1])
+	}
+}
+
+func TestRunPanelDistributed(t *testing.T) {
+	o := tinyOptions()
+	o.Iterations = 3
+	o.Distributed = true
+	p, err := RunPanel("a", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Series) != 3 {
+		t.Fatalf("distributed panel has %d series", len(p.Series))
+	}
+	for _, s := range p.Series {
+		if len(s.DeltaZSq) != 3 {
+			t.Errorf("%s: %d points, want 3", s.Dataset, len(s.DeltaZSq))
+		}
+	}
+}
+
+func TestPaperScaleSizes(t *testing.T) {
+	o := PaperScale()
+	if o.HiggsN != 11000 || o.OCRN != 5620 || o.CancerN != 569 {
+		t.Errorf("paper scale sizes wrong: %+v", o)
+	}
+	d := Defaults()
+	if d.C != 50 || d.Rho != 100 || d.Learners != 4 || d.Iterations != 100 {
+		t.Errorf("defaults do not match the paper: %+v", d)
+	}
+}

@@ -1,0 +1,154 @@
+// Package fixedpoint encodes float64 values into the ring Z_{2^64} so that
+// secure-summation masks can be drawn uniformly at random from the whole
+// ring. Uniform masks over a finite ring hide a masked value
+// information-theoretically; masks added to raw floats would not (the
+// exponent leaks magnitude), which is why the secure summation protocol of
+// Section V operates on these fixed-point ring elements rather than on
+// floating-point numbers directly.
+//
+// Encoding multiplies by 2^FracBits and rounds to the nearest integer,
+// represented two's-complement in a uint64. Addition in uint64 then coincides
+// with exact fixed-point addition as long as the true sum stays inside the
+// representable range, which Codec.MaxAbs and MaxSummands let callers verify
+// up front.
+package fixedpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the codec.
+var (
+	// ErrRange indicates a value (or vector element) too large in magnitude
+	// to encode without wrapping.
+	ErrRange = errors.New("fixedpoint: value out of encodable range")
+	// ErrBadConfig indicates an unusable codec configuration.
+	ErrBadConfig = errors.New("fixedpoint: bad configuration")
+	// ErrNotFinite indicates a NaN or infinite input.
+	ErrNotFinite = errors.New("fixedpoint: value is not finite")
+)
+
+// Codec converts between float64 and two's-complement fixed point with
+// FracBits fractional bits.
+type Codec struct {
+	fracBits uint
+	scale    float64
+}
+
+// DefaultFracBits balances ≈ 9 decimal digits of fraction against ≈ 9·10^9
+// of integer headroom, comfortable for SVM iterates and their sums across
+// realistic learner counts.
+const DefaultFracBits = 30
+
+// New returns a codec with the given number of fractional bits (1–62).
+func New(fracBits uint) (Codec, error) {
+	if fracBits < 1 || fracBits > 62 {
+		return Codec{}, fmt.Errorf("%w: fracBits = %d, want 1..62", ErrBadConfig, fracBits)
+	}
+	return Codec{fracBits: fracBits, scale: math.Ldexp(1, int(fracBits))}, nil
+}
+
+// Default returns the codec with DefaultFracBits.
+func Default() Codec {
+	c, err := New(DefaultFracBits)
+	if err != nil {
+		panic(err) // unreachable: DefaultFracBits is in range
+	}
+	return c
+}
+
+// FracBits returns the configured number of fractional bits.
+func (c Codec) FracBits() uint { return c.fracBits }
+
+// Resolution returns the smallest representable increment, 2^−FracBits.
+func (c Codec) Resolution() float64 { return 1 / c.scale }
+
+// MaxAbs returns the largest magnitude encodable without wrapping.
+func (c Codec) MaxAbs() float64 {
+	return math.Ldexp(1, 63-int(c.fracBits)) - 1
+}
+
+// MaxSummands returns how many values of magnitude ≤ maxAbs can be summed in
+// the ring without the true total leaving the representable range.
+func (c Codec) MaxSummands(maxAbs float64) int {
+	if maxAbs <= 0 {
+		return math.MaxInt32
+	}
+	n := c.MaxAbs() / maxAbs
+	if n > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(n)
+}
+
+// Encode converts v to a ring element.
+func (c Codec) Encode(v float64) (uint64, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%w: %g", ErrNotFinite, v)
+	}
+	scaled := math.Round(v * c.scale)
+	if scaled > math.MaxInt64 || scaled < math.MinInt64 || math.Abs(v) > c.MaxAbs() {
+		return 0, fmt.Errorf("%w: |%g| > %g", ErrRange, v, c.MaxAbs())
+	}
+	return uint64(int64(scaled)), nil
+}
+
+// Decode converts a ring element back to float64, interpreting it as a
+// two's-complement fixed-point value.
+func (c Codec) Decode(u uint64) float64 {
+	return float64(int64(u)) / c.scale
+}
+
+// EncodeVec encodes every element of v into dst (allocated when nil).
+func (c Codec) EncodeVec(v []float64, dst []uint64) ([]uint64, error) {
+	if dst == nil {
+		dst = make([]uint64, len(v))
+	} else if len(dst) != len(v) {
+		return nil, fmt.Errorf("%w: dst length %d, want %d", ErrBadConfig, len(dst), len(v))
+	}
+	for i, x := range v {
+		u, err := c.Encode(x)
+		if err != nil {
+			return nil, fmt.Errorf("element %d: %w", i, err)
+		}
+		dst[i] = u
+	}
+	return dst, nil
+}
+
+// DecodeVec decodes every element of u into dst (allocated when nil).
+func (c Codec) DecodeVec(u []uint64, dst []float64) ([]float64, error) {
+	if dst == nil {
+		dst = make([]float64, len(u))
+	} else if len(dst) != len(u) {
+		return nil, fmt.Errorf("%w: dst length %d, want %d", ErrBadConfig, len(dst), len(u))
+	}
+	for i, x := range u {
+		dst[i] = c.Decode(x)
+	}
+	return dst, nil
+}
+
+// AddVec accumulates src into acc element-wise in the ring (wrapping).
+func AddVec(acc, src []uint64) error {
+	if len(acc) != len(src) {
+		return fmt.Errorf("%w: length %d vs %d", ErrBadConfig, len(acc), len(src))
+	}
+	for i, v := range src {
+		acc[i] += v
+	}
+	return nil
+}
+
+// SubVec subtracts src from acc element-wise in the ring (wrapping).
+func SubVec(acc, src []uint64) error {
+	if len(acc) != len(src) {
+		return fmt.Errorf("%w: length %d vs %d", ErrBadConfig, len(acc), len(src))
+	}
+	for i, v := range src {
+		acc[i] -= v
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package fixedpoint
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []uint{0, 63, 64, 100} {
+		if _, err := New(bad); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("New(%d): err = %v, want ErrBadConfig", bad, err)
+		}
+	}
+	c, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FracBits() != 16 {
+		t.Errorf("FracBits = %d, want 16", c.FracBits())
+	}
+	if c.Resolution() != 1.0/65536 {
+		t.Errorf("Resolution = %g, want 2^-16", c.Resolution())
+	}
+}
+
+func TestRoundTripExactForRepresentable(t *testing.T) {
+	c := Default()
+	for _, v := range []float64{0, 1, -1, 0.5, -0.5, 123.25, -99.75, 1e6} {
+		u, err := c.Encode(v)
+		if err != nil {
+			t.Fatalf("Encode(%g): %v", v, err)
+		}
+		if got := c.Decode(u); got != v {
+			t.Errorf("round trip %g -> %g", v, got)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	c := Default()
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > c.MaxAbs() {
+			return true
+		}
+		u, err := c.Encode(v)
+		if err != nil {
+			return false
+		}
+		return math.Abs(c.Decode(u)-v) <= c.Resolution()/2+1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c := Default()
+	if _, err := c.Encode(math.NaN()); !errors.Is(err, ErrNotFinite) {
+		t.Errorf("NaN: err = %v, want ErrNotFinite", err)
+	}
+	if _, err := c.Encode(math.Inf(1)); !errors.Is(err, ErrNotFinite) {
+		t.Errorf("Inf: err = %v, want ErrNotFinite", err)
+	}
+	if _, err := c.Encode(c.MaxAbs() * 2); !errors.Is(err, ErrRange) {
+		t.Errorf("overflow: err = %v, want ErrRange", err)
+	}
+	if _, err := c.Encode(-c.MaxAbs() * 2); !errors.Is(err, ErrRange) {
+		t.Errorf("negative overflow: err = %v, want ErrRange", err)
+	}
+}
+
+func TestRingAdditionMatchesFloatAddition(t *testing.T) {
+	c := Default()
+	f := func(a, b float64) bool {
+		lim := c.MaxAbs() / 4
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) ||
+			math.Abs(a) > lim || math.Abs(b) > lim {
+			return true
+		}
+		ua, err := c.Encode(a)
+		if err != nil {
+			return false
+		}
+		ub, err := c.Encode(b)
+		if err != nil {
+			return false
+		}
+		sum := c.Decode(ua + ub)
+		return math.Abs(sum-(a+b)) <= c.Resolution()+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskingCancels(t *testing.T) {
+	// The core secure-summation identity: (v + m) − m = v in the ring, for
+	// any mask including ones that cause wraparound.
+	c := Default()
+	v, err := c.Encode(-42.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks := []uint64{0, 1, math.MaxUint64, math.MaxUint64 / 2, 0xDEADBEEF12345678}
+	for _, m := range masks {
+		if got := c.Decode(v + m - m); got != -42.5 {
+			t.Errorf("mask %x: got %g, want -42.5", m, got)
+		}
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	c := Default()
+	v := []float64{1.5, -2.25, 3}
+	enc, err := c.EncodeVec(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.DecodeVec(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if dec[i] != v[i] {
+			t.Errorf("vec round trip [%d]: %g vs %g", i, dec[i], v[i])
+		}
+	}
+	acc := append([]uint64(nil), enc...)
+	if err := AddVec(acc, enc); err != nil {
+		t.Fatal(err)
+	}
+	dbl, err := c.DecodeVec(acc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if dbl[i] != 2*v[i] {
+			t.Errorf("AddVec [%d]: %g, want %g", i, dbl[i], 2*v[i])
+		}
+	}
+	if err := SubVec(acc, enc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.DecodeVec(acc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if back[i] != v[i] {
+			t.Errorf("SubVec [%d]: %g, want %g", i, back[i], v[i])
+		}
+	}
+}
+
+func TestVecErrors(t *testing.T) {
+	c := Default()
+	if _, err := c.EncodeVec([]float64{math.NaN()}, nil); err == nil {
+		t.Error("EncodeVec(NaN) succeeded")
+	}
+	if _, err := c.EncodeVec([]float64{1}, make([]uint64, 2)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("EncodeVec bad dst: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := c.DecodeVec([]uint64{1}, make([]float64, 2)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("DecodeVec bad dst: err = %v, want ErrBadConfig", err)
+	}
+	if err := AddVec([]uint64{1}, []uint64{1, 2}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("AddVec mismatch: err = %v, want ErrBadConfig", err)
+	}
+	if err := SubVec([]uint64{1}, []uint64{1, 2}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("SubVec mismatch: err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestMaxSummands(t *testing.T) {
+	c := Default()
+	n := c.MaxSummands(1000)
+	if n <= 0 {
+		t.Fatalf("MaxSummands = %d, want > 0", n)
+	}
+	// Summing exactly n values of magnitude 1000 must stay decodable.
+	total := 0.0
+	var acc uint64
+	u, err := c.Encode(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		acc += u
+		total += 1000
+	}
+	if got := c.Decode(acc); math.Abs(got-total) > 1 {
+		t.Errorf("sum of %d values decodes to %g, want %g", n, got, total)
+	}
+	if c.MaxSummands(0) != math.MaxInt32 {
+		t.Error("MaxSummands(0) should be unbounded")
+	}
+}

@@ -1,0 +1,34 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/linalg"
+)
+
+func benchSamples(n, k int) *linalg.Matrix {
+	rng := rand.New(rand.NewSource(1))
+	m := linalg.NewMatrix(n, k)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkGramRBF300x20(b *testing.B) {
+	x := benchSamples(300, 20)
+	k := RBF{Gamma: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GramMatrix(k, x)
+	}
+}
+
+func BenchmarkGramLinear300x20(b *testing.B) {
+	x := benchSamples(300, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GramMatrix(Linear{}, x)
+	}
+}

@@ -1,0 +1,109 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n int) *Matrix {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkMatMul100(b *testing.B) {
+	x := benchMatrix(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(x, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulT100(b *testing.B) {
+	x := benchMatrix(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMulT(x, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulVec500(b *testing.B) {
+	x := benchMatrix(500)
+	v := make([]float64, 500)
+	dst := make([]float64, 500)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.MulVec(v, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskyFactorize200(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomSPD(rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorizeCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskySolve200(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSPD(rng, 200)
+	ch, err := FactorizeCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, 200)
+	dst := make([]float64, 200)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ch.SolveVec(rhs, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLUFactorize200(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := benchMatrix(200)
+	if err := a.AddScaledIdentity(200); err != nil {
+		b.Fatal(err)
+	}
+	_ = rng
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorizeLU(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDot1000(b *testing.B) {
+	x := make([]float64, 1000)
+	y := make([]float64, 1000)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(1000 - i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}

@@ -1,0 +1,114 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when LU factorization meets an (effectively) zero
+// pivot even after partial pivoting.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU is an LU decomposition with partial pivoting: P A = L U.
+type LU struct {
+	lu   *Matrix // packed: strictly-lower L (unit diagonal implied) + upper U
+	piv  []int   // row permutation
+	sign int     // permutation parity; +1 or -1
+}
+
+// FactorizeLU computes the pivoted LU decomposition of the square matrix a.
+// a is not modified.
+func FactorizeLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("lu: %w: matrix %dx%d not square", ErrShape, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest magnitude in column k at or
+		// below the diagonal.
+		p, maxAbs := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		if maxAbs == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivot
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// SolveVec solves A x = b; the solution is returned in a new slice unless a
+// destination of the right size is provided. dst must not alias b.
+func (f *LU) SolveVec(b, dst []float64) ([]float64, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("lu solve: %w: rhs length %d, want %d", ErrShape, len(b), n)
+	}
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		dst[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		ri := f.lu.Row(i)
+		s := dst[i]
+		for k := 0; k < i; k++ {
+			s -= ri[k] * dst[k]
+		}
+		dst[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		ri := f.lu.Row(i)
+		s := dst[i]
+		for k := i + 1; k < n; k++ {
+			s -= ri[k] * dst[k]
+		}
+		if ri[i] == 0 {
+			return nil, ErrSingular
+		}
+		dst[i] = s / ri[i]
+	}
+	return dst, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}

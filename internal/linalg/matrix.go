@@ -1,0 +1,202 @@
+// Package linalg provides the dense linear-algebra substrate used by every
+// solver in this repository: row-major matrices, vector kernels, and SPD /
+// general factorizations (Cholesky, LU).
+//
+// The package is deliberately small and allocation-conscious rather than a
+// general BLAS replacement: the consensus trainers call these routines inside
+// tight ADMM loops, so most mutating operations accept destination buffers.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Matrix is a dense, row-major matrix.
+//
+// The zero value is an empty 0x0 matrix. Data is laid out so that element
+// (i, j) lives at Data[i*Cols+j]; Row returns a slice view into that storage.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// ErrShape is returned (wrapped) by operations whose operand dimensions do
+// not conform.
+var ErrShape = errors.New("linalg: dimension mismatch")
+
+// NewMatrix allocates a zeroed r x c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// NewMatrixFrom builds an r x c matrix copying the supplied row-major data.
+func NewMatrixFrom(r, c int, data []float64) (*Matrix, error) {
+	if len(data) != r*c {
+		return nil, fmt.Errorf("%w: want %d elements, have %d", ErrShape, r*c, len(data))
+	}
+	m := NewMatrix(r, c)
+	copy(m.Data, data)
+	return m, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j). Bounds are checked by the slice access.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice view into the matrix storage. Mutating the
+// returned slice mutates the matrix.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col copies column j into dst (allocated when nil) and returns it.
+func (m *Matrix) Col(j int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
+	return dst
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// MulVec computes dst = m * x. dst is allocated when nil; it must not alias x.
+func (m *Matrix) MulVec(x, dst []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("MulVec: %w: matrix %dx%d, vector %d", ErrShape, m.Rows, m.Cols, len(x))
+	}
+	if dst == nil {
+		dst = make([]float64, m.Rows)
+	} else if len(dst) != m.Rows {
+		return nil, fmt.Errorf("MulVec: %w: dst length %d, want %d", ErrShape, len(dst), m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+	return dst, nil
+}
+
+// MulVecT computes dst = mᵀ * x without materializing the transpose.
+func (m *Matrix) MulVecT(x, dst []float64) ([]float64, error) {
+	if len(x) != m.Rows {
+		return nil, fmt.Errorf("MulVecT: %w: matrix %dx%d, vector %d", ErrShape, m.Rows, m.Cols, len(x))
+	}
+	if dst == nil {
+		dst = make([]float64, m.Cols)
+	} else if len(dst) != m.Cols {
+		return nil, fmt.Errorf("MulVecT: %w: dst length %d, want %d", ErrShape, len(dst), m.Cols)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		Axpy(x[i], m.Row(i), dst)
+	}
+	return dst, nil
+}
+
+// MatMul returns a * b.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("MatMul: %w: %dx%d by %dx%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			Axpy(av, b.Row(k), orow)
+		}
+	}
+	return out, nil
+}
+
+// MatMulT returns a * bᵀ; the common Gram-matrix pattern.
+func MatMulT(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Cols {
+		return nil, fmt.Errorf("MatMulT: %w: %dx%d by (%dx%d)ᵀ", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return out, nil
+}
+
+// Add computes m += a, element-wise.
+func (m *Matrix) Add(a *Matrix) error {
+	if m.Rows != a.Rows || m.Cols != a.Cols {
+		return fmt.Errorf("Add: %w", ErrShape)
+	}
+	for i, v := range a.Data {
+		m.Data[i] += v
+	}
+	return nil
+}
+
+// Scale multiplies every element of m by alpha.
+func (m *Matrix) Scale(alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// AddScaledIdentity computes m += alpha * I for square m.
+func (m *Matrix) AddScaledIdentity(alpha float64) error {
+	if m.Rows != m.Cols {
+		return fmt.Errorf("AddScaledIdentity: %w: matrix %dx%d not square", ErrShape, m.Rows, m.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += alpha
+	}
+	return nil
+}
+
+// SymmetrizeUpper copies the upper triangle onto the lower one, enforcing
+// exact symmetry after accumulated floating-point asymmetry.
+func (m *Matrix) SymmetrizeUpper() {
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			m.Data[j*m.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+}

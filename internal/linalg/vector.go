@@ -1,0 +1,136 @@
+package linalg
+
+import "math"
+
+// Dot returns the inner product of x and y. The slices must have equal
+// length; the shorter is honored to keep the hot path branch-free, so callers
+// are expected to pass conforming vectors.
+func Dot(x, y []float64) float64 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Axpy computes y += alpha * x in place.
+func Axpy(alpha float64, x, y []float64) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	for i := 0; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// CopyVec copies src into a new slice.
+func CopyVec(src []float64) []float64 {
+	dst := make([]float64, len(src))
+	copy(dst, src)
+	return dst
+}
+
+// Zero sets every element of x to zero.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// AddVec computes dst = x + y, allocating dst when nil.
+func AddVec(x, y, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(x))
+	}
+	for i := range x {
+		dst[i] = x[i] + y[i]
+	}
+	return dst
+}
+
+// SubVec computes dst = x - y, allocating dst when nil.
+func SubVec(x, y, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(x))
+	}
+	for i := range x {
+		dst[i] = x[i] - y[i]
+	}
+	return dst
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow for large
+// entries by scaling.
+func Norm2(x []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Norm2Sq returns the squared Euclidean norm of x.
+func Norm2Sq(x []float64) float64 { return Dot(x, x) }
+
+// NormInf returns the maximum absolute entry of x (0 for empty x).
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Dist2Sq returns ‖x−y‖₂².
+func Dist2Sq(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// Clamp returns v limited to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

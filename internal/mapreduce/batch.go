@@ -1,0 +1,248 @@
+// Package mapreduce is the execution substrate the paper assumes: a
+// MapReduce engine in the style of Hadoop plus the iterative extension of
+// Twister (Ekanayake et al., reference [12] of the paper), which the
+// consensus trainers require because ADMM repeats Map → Reduce → feedback
+// until convergence.
+//
+// Two engines are provided. The batch engine (RunBatch) is the classic
+// map/shuffle/reduce over arbitrary records. The iterative engine (Driver)
+// keeps long-lived Mappers holding their private partitions resident (data
+// locality), broadcasts the consensus state each round, aggregates Mapper
+// contributions through a pluggable — by default privacy-preserving —
+// aggregation protocol, and feeds the combined result back.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+)
+
+// Errors returned by the engines.
+var (
+	// ErrBadJob indicates a malformed job description.
+	ErrBadJob = errors.New("mapreduce: bad job")
+	// ErrTaskFailed wraps a map or reduce task error after retries were
+	// exhausted.
+	ErrTaskFailed = errors.New("mapreduce: task failed")
+)
+
+// KeyValue is one intermediate record of a batch job.
+type KeyValue[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// MapFunc transforms one input record into intermediate key/value pairs via
+// emit. It must be safe for concurrent invocation on distinct inputs.
+type MapFunc[I any, K comparable, V any] func(input I, emit func(K, V)) error
+
+// ReduceFunc folds all values of one key into zero or more outputs via emit.
+type ReduceFunc[K comparable, V any, O any] func(key K, values []V, emit func(O)) error
+
+// CombineFunc locally folds the values of one key on the map side before the
+// shuffle — Hadoop's combiner. It must be associative and commutative with
+// respect to the reducer's semantics.
+type CombineFunc[K comparable, V any] func(key K, values []V) (V, error)
+
+// BatchOptions tunes RunBatch.
+type BatchOptions struct {
+	// MapParallelism is the number of concurrent map workers (default 1;
+	// the simulation host is assumed small).
+	MapParallelism int
+	// Partitions is the number of reduce partitions (default 1).
+	Partitions int
+	// MaxTaskRetries re-runs a failing map task this many times before the
+	// job fails (default 0: fail fast).
+	MaxTaskRetries int
+}
+
+func (o *BatchOptions) normalize() error {
+	if o.MapParallelism == 0 {
+		o.MapParallelism = 1
+	}
+	if o.Partitions == 0 {
+		o.Partitions = 1
+	}
+	if o.MapParallelism < 0 || o.Partitions < 0 || o.MaxTaskRetries < 0 {
+		return fmt.Errorf("%w: negative option", ErrBadJob)
+	}
+	return nil
+}
+
+// RunBatch executes a classic MapReduce job over inputs: map every record,
+// hash-shuffle the intermediate pairs into partitions, reduce each key group.
+// Output order is deterministic (sorted by partition, then key insertion
+// order within a partition's first-seen sequence).
+func RunBatch[I any, K comparable, V any, O any](
+	inputs []I,
+	mapper MapFunc[I, K, V],
+	reducer ReduceFunc[K, V, O],
+	opts BatchOptions,
+) ([]O, error) {
+	return RunBatchCombined[I, K, V, O](inputs, mapper, nil, reducer, opts)
+}
+
+// RunBatchCombined is RunBatch with a map-side combiner: each worker folds
+// its local values per key with combine before the shuffle, cutting the
+// shuffled volume to one value per (worker, key) — the optimization that
+// makes aggregations scale in real MapReduce deployments.
+func RunBatchCombined[I any, K comparable, V any, O any](
+	inputs []I,
+	mapper MapFunc[I, K, V],
+	combine CombineFunc[K, V],
+	reducer ReduceFunc[K, V, O],
+	opts BatchOptions,
+) ([]O, error) {
+	if mapper == nil || reducer == nil {
+		return nil, fmt.Errorf("%w: nil mapper or reducer", ErrBadJob)
+	}
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+
+	// Map phase. Each worker accumulates into its own partition set; the
+	// shuffle merges them afterwards, mirroring the per-mapper spill files
+	// of a real implementation.
+	type partSet struct {
+		groups map[K][]V
+		order  map[K]int
+		seq    int
+	}
+	newPartSet := func() *partSet {
+		return &partSet{groups: make(map[K][]V), order: make(map[K]int)}
+	}
+
+	workers := opts.MapParallelism
+	if workers > len(inputs) && len(inputs) > 0 {
+		workers = len(inputs)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	perWorker := make([][]*partSet, workers)
+	for w := range perWorker {
+		perWorker[w] = make([]*partSet, opts.Partitions)
+		for p := range perWorker[w] {
+			perWorker[w][p] = newPartSet()
+		}
+	}
+
+	seed := maphash.MakeSeed()
+	partitionOf := func(k K) int {
+		if opts.Partitions == 1 {
+			return 0
+		}
+		var h maphash.Hash
+		h.SetSeed(seed)
+		_, _ = fmt.Fprintf(&h, "%v", k)
+		return int(h.Sum64() % uint64(opts.Partitions))
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	// Buffered and pre-filled so a worker that exits early on failure can
+	// never deadlock the producer.
+	jobs := make(chan int, len(inputs))
+	for i := range inputs {
+		jobs <- i
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sets := perWorker[w]
+			emit := func(k K, v V) {
+				ps := sets[partitionOf(k)]
+				if _, ok := ps.groups[k]; !ok {
+					ps.order[k] = ps.seq
+					ps.seq++
+				}
+				ps.groups[k] = append(ps.groups[k], v)
+			}
+			for idx := range jobs {
+				var err error
+				for attempt := 0; attempt <= opts.MaxTaskRetries; attempt++ {
+					if err = mapper(inputs[idx], emit); err == nil {
+						break
+					}
+				}
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("%w: map input %d: %v", ErrTaskFailed, idx, err)
+					})
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Map-side combine: collapse each worker's per-key values to one.
+	if combine != nil {
+		for _, sets := range perWorker {
+			for _, ps := range sets {
+				for k, vs := range ps.groups {
+					if len(vs) < 2 {
+						continue
+					}
+					v, err := combine(k, vs)
+					if err != nil {
+						return nil, fmt.Errorf("%w: combine key %v: %v", ErrTaskFailed, k, err)
+					}
+					ps.groups[k] = []V{v}
+				}
+			}
+		}
+	}
+
+	// Shuffle: merge the per-worker partition sets.
+	merged := make([]*partSet, opts.Partitions)
+	for p := range merged {
+		merged[p] = newPartSet()
+	}
+	for _, sets := range perWorker {
+		for p, ps := range sets {
+			mp := merged[p]
+			keys := make([]K, 0, len(ps.groups))
+			for k := range ps.groups {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return ps.order[keys[i]] < ps.order[keys[j]] })
+			for _, k := range keys {
+				if _, ok := mp.groups[k]; !ok {
+					mp.order[k] = mp.seq
+					mp.seq++
+				}
+				mp.groups[k] = append(mp.groups[k], ps.groups[k]...)
+			}
+		}
+	}
+
+	// Reduce phase, partition by partition for deterministic output order.
+	var out []O
+	emitOut := func(o O) { out = append(out, o) }
+	for p := 0; p < opts.Partitions; p++ {
+		mp := merged[p]
+		keys := make([]K, 0, len(mp.groups))
+		for k := range mp.groups {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return mp.order[keys[i]] < mp.order[keys[j]] })
+		for _, k := range keys {
+			if err := reducer(k, mp.groups[k], emitOut); err != nil {
+				return nil, fmt.Errorf("%w: reduce key %v: %v", ErrTaskFailed, k, err)
+			}
+		}
+	}
+	return out, nil
+}

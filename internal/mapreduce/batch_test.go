@@ -1,0 +1,284 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func wordCount(t *testing.T, docs []string, opts BatchOptions) map[string]int {
+	t.Helper()
+	type out struct {
+		word  string
+		count int
+	}
+	res, err := RunBatch(docs,
+		func(doc string, emit func(string, int)) error {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		func(word string, counts []int, emit func(out)) error {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			emit(out{word, total})
+			return nil
+		},
+		opts,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make(map[string]int, len(res))
+	for _, o := range res {
+		m[o.word] = o.count
+	}
+	return m
+}
+
+func TestBatchWordCount(t *testing.T) {
+	docs := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog",
+	}
+	got := wordCount(t, docs, BatchOptions{})
+	want := map[string]int{"the": 3, "quick": 2, "brown": 1, "fox": 1, "lazy": 1, "dog": 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %d words, want %d", len(got), len(want))
+	}
+	for w, c := range want {
+		if got[w] != c {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], c)
+		}
+	}
+}
+
+func TestBatchParallelMatchesSerial(t *testing.T) {
+	docs := make([]string, 64)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("w%d common w%d common", i%7, i%13)
+	}
+	serial := wordCount(t, docs, BatchOptions{})
+	parallel := wordCount(t, docs, BatchOptions{MapParallelism: 8, Partitions: 4})
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial has %d words, parallel %d", len(serial), len(parallel))
+	}
+	for w, c := range serial {
+		if parallel[w] != c {
+			t.Errorf("parallel count[%q] = %d, want %d", w, parallel[w], c)
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	if _, err := RunBatch[int, int, int, int](nil, nil, nil, BatchOptions{}); !errors.Is(err, ErrBadJob) {
+		t.Errorf("nil funcs: err = %v, want ErrBadJob", err)
+	}
+	mapper := func(i int, emit func(int, int)) error { return nil }
+	reducer := func(k int, vs []int, emit func(int)) error { return nil }
+	if _, err := RunBatch([]int{1}, mapper, reducer, BatchOptions{MapParallelism: -1}); !errors.Is(err, ErrBadJob) {
+		t.Errorf("negative parallelism: err = %v, want ErrBadJob", err)
+	}
+}
+
+func TestBatchMapErrorFailsJob(t *testing.T) {
+	mapper := func(i int, emit func(string, int)) error {
+		if i == 3 {
+			return errors.New("boom")
+		}
+		emit("k", i)
+		return nil
+	}
+	reducer := func(k string, vs []int, emit func(int)) error { return nil }
+	_, err := RunBatch([]int{1, 2, 3, 4}, mapper, reducer, BatchOptions{})
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Errorf("map error: err = %v, want ErrTaskFailed", err)
+	}
+}
+
+func TestBatchMapRetrySucceeds(t *testing.T) {
+	var attempts atomic.Int64
+	mapper := func(i int, emit func(string, int)) error {
+		if i == 2 && attempts.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		emit("k", 1)
+		return nil
+	}
+	reducer := func(k string, vs []int, emit func(int)) error {
+		emit(len(vs))
+		return nil
+	}
+	res, err := RunBatch([]int{1, 2, 3}, mapper, reducer, BatchOptions{MaxTaskRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != 3 {
+		t.Errorf("result = %v, want [3]", res)
+	}
+}
+
+func TestBatchReduceErrorFailsJob(t *testing.T) {
+	mapper := func(i int, emit func(string, int)) error { emit("k", i); return nil }
+	reducer := func(k string, vs []int, emit func(int)) error { return errors.New("reduce boom") }
+	if _, err := RunBatch([]int{1}, mapper, reducer, BatchOptions{}); !errors.Is(err, ErrTaskFailed) {
+		t.Errorf("reduce error: err = %v, want ErrTaskFailed", err)
+	}
+}
+
+func TestBatchEmptyInput(t *testing.T) {
+	mapper := func(i int, emit func(string, int)) error { emit("k", i); return nil }
+	reducer := func(k string, vs []int, emit func(int)) error { emit(len(vs)); return nil }
+	res, err := RunBatch(nil, mapper, reducer, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("empty input produced %v", res)
+	}
+}
+
+func TestBatchDeterministicOutputOrder(t *testing.T) {
+	docs := []string{"b a c", "a c b"}
+	mapper := func(doc string, emit func(string, int)) error {
+		for _, w := range strings.Fields(doc) {
+			emit(w, 1)
+		}
+		return nil
+	}
+	reducer := func(w string, vs []int, emit func(string)) error { emit(w); return nil }
+	first, err := RunBatch(docs, mapper, reducer, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		again, err := RunBatch(docs, mapper, reducer, BatchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatal("output length changed between runs")
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("output order not deterministic: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestBatchInvertedIndex(t *testing.T) {
+	type doc struct {
+		id   int
+		text string
+	}
+	docs := []doc{
+		{1, "go distributed systems"},
+		{2, "go concurrency"},
+		{3, "distributed consensus"},
+	}
+	type posting struct {
+		word string
+		docs []int
+	}
+	res, err := RunBatch(docs,
+		func(d doc, emit func(string, int)) error {
+			for _, w := range strings.Fields(d.text) {
+				emit(w, d.id)
+			}
+			return nil
+		},
+		func(word string, ids []int, emit func(posting)) error {
+			emit(posting{word, ids})
+			return nil
+		},
+		BatchOptions{Partitions: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := make(map[string][]int)
+	for _, p := range res {
+		index[p.word] = p.docs
+	}
+	if got := index["go"]; len(got) != 2 {
+		t.Errorf(`index["go"] = %v, want two docs`, got)
+	}
+	if got := index["distributed"]; len(got) != 2 {
+		t.Errorf(`index["distributed"] = %v, want two docs`, got)
+	}
+	if got := index["consensus"]; len(got) != 1 || got[0] != 3 {
+		t.Errorf(`index["consensus"] = %v, want [3]`, got)
+	}
+}
+
+func TestBatchCombinerMatchesPlainReduce(t *testing.T) {
+	docs := make([]string, 40)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("a b c w%d a", i%5)
+	}
+	mapper := func(doc string, emit func(string, int)) error {
+		for _, w := range strings.Fields(doc) {
+			emit(w, 1)
+		}
+		return nil
+	}
+	type out struct {
+		word  string
+		count int
+	}
+	reducer := func(w string, vs []int, emit func(out)) error {
+		total := 0
+		for _, v := range vs {
+			total += v
+		}
+		emit(out{w, total})
+		return nil
+	}
+	combine := func(w string, vs []int) (int, error) {
+		total := 0
+		for _, v := range vs {
+			total += v
+		}
+		return total, nil
+	}
+	plain, err := RunBatch(docs, mapper, reducer, BatchOptions{MapParallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := RunBatchCombined(docs, mapper, combine, reducer, BatchOptions{MapParallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	toMap := func(rows []out) map[string]int {
+		m := map[string]int{}
+		for _, r := range rows {
+			m[r.word] = r.count
+		}
+		return m
+	}
+	pm, cm := toMap(plain), toMap(combined)
+	if len(pm) != len(cm) {
+		t.Fatalf("key counts differ: %d vs %d", len(pm), len(cm))
+	}
+	for k, v := range pm {
+		if cm[k] != v {
+			t.Errorf("count[%q]: combined %d vs plain %d", k, cm[k], v)
+		}
+	}
+}
+
+func TestBatchCombinerErrorFailsJob(t *testing.T) {
+	mapper := func(i int, emit func(string, int)) error { emit("k", i); return nil }
+	reducer := func(k string, vs []int, emit func(int)) error { emit(len(vs)); return nil }
+	combine := func(k string, vs []int) (int, error) { return 0, errors.New("combine boom") }
+	if _, err := RunBatchCombined([]int{1, 2, 3}, mapper, combine, reducer, BatchOptions{}); !errors.Is(err, ErrTaskFailed) {
+		t.Errorf("combine error: err = %v, want ErrTaskFailed", err)
+	}
+}

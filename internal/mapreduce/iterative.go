@@ -1,0 +1,110 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+)
+
+// IterativeMapper is a long-lived Map() task of the Twister-style engine. It
+// holds its private data partition for the whole job (data locality) and per
+// iteration turns the broadcast consensus state into a local contribution
+// vector. Only the contribution ever leaves the node, and in the default
+// configuration it leaves masked.
+type IterativeMapper interface {
+	// Contribution computes the Mapper's local update for this iteration.
+	// The returned vector must always have the same length for a given job.
+	Contribution(iter int, state []float64) ([]float64, error)
+}
+
+// IterativeReducer is the Reduce() side: it receives only the aggregated sum
+// of all Mapper contributions and produces the next broadcast state.
+type IterativeReducer interface {
+	// Combine folds the aggregate into the next state. done=true ends the
+	// job with next as the final state.
+	Combine(iter int, sum []float64) (next []float64, done bool, err error)
+}
+
+// ErrAborted reports that a Mapper failed fatally and the job unwound.
+var ErrAborted = errors.New("mapreduce: job aborted")
+
+// IterativeJob describes one consensus training job.
+type IterativeJob struct {
+	Mappers []IterativeMapper
+	Reducer IterativeReducer
+	// InitialState is the iteration-0 broadcast.
+	InitialState []float64
+	// ContributionDim is the length of every Mapper contribution.
+	ContributionDim int
+	// MaxIterations caps the loop; reaching it without Combine reporting
+	// done is not an error (the trainers treat it as "ran the budget").
+	MaxIterations int
+}
+
+func (j *IterativeJob) validate() error {
+	switch {
+	case len(j.Mappers) == 0:
+		return fmt.Errorf("%w: no mappers", ErrBadJob)
+	case j.Reducer == nil:
+		return fmt.Errorf("%w: nil reducer", ErrBadJob)
+	case j.ContributionDim <= 0:
+		return fmt.Errorf("%w: contribution dim %d", ErrBadJob, j.ContributionDim)
+	case j.MaxIterations <= 0:
+		return fmt.Errorf("%w: max iterations %d", ErrBadJob, j.MaxIterations)
+	}
+	for i, m := range j.Mappers {
+		if m == nil {
+			return fmt.Errorf("%w: mapper %d is nil", ErrBadJob, i)
+		}
+	}
+	return nil
+}
+
+// IterativeResult reports a finished job.
+type IterativeResult struct {
+	// FinalState is the last consensus state.
+	FinalState []float64
+	// Iterations is the number of completed rounds.
+	Iterations int
+	// Converged reports whether the Reducer signalled done before the cap.
+	Converged bool
+}
+
+// RunLocal executes the job sequentially in process, summing contributions
+// directly. It is bit-for-bit the same computation the distributed driver
+// performs (plain aggregation), without transport; the trainers' unit tests
+// and the pure-math benchmarks use it.
+func RunLocal(job IterativeJob) (*IterativeResult, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	state := append([]float64(nil), job.InitialState...)
+	res := &IterativeResult{}
+	for iter := 0; iter < job.MaxIterations; iter++ {
+		sum := make([]float64, job.ContributionDim)
+		for mi, m := range job.Mappers {
+			contrib, err := m.Contribution(iter, state)
+			if err != nil {
+				return nil, fmt.Errorf("%w: mapper %d at iteration %d: %v", ErrAborted, mi, iter, err)
+			}
+			if len(contrib) != job.ContributionDim {
+				return nil, fmt.Errorf("%w: mapper %d contributed %d values, want %d",
+					ErrBadJob, mi, len(contrib), job.ContributionDim)
+			}
+			for j, v := range contrib {
+				sum[j] += v
+			}
+		}
+		next, done, err := job.Reducer.Combine(iter, sum)
+		if err != nil {
+			return nil, fmt.Errorf("%w: reducer at iteration %d: %v", ErrAborted, iter, err)
+		}
+		state = append(state[:0], next...)
+		res.Iterations = iter + 1
+		if done {
+			res.Converged = true
+			break
+		}
+	}
+	res.FinalState = state
+	return res, nil
+}

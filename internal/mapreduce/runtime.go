@@ -1,0 +1,483 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"time"
+
+	"github.com/ppml-go/ppml/internal/dfs"
+	"github.com/ppml-go/ppml/internal/fixedpoint"
+	"github.com/ppml-go/ppml/internal/paillier"
+	"github.com/ppml-go/ppml/internal/securesum"
+	"github.com/ppml-go/ppml/internal/transport"
+)
+
+// Aggregation selects how Mapper contributions reach the Reducer.
+type Aggregation int
+
+const (
+	// AggregationMasked runs the Section V pairwise-mask secure summation
+	// protocol; the Reducer sees only the sum. This is the default.
+	AggregationMasked Aggregation = iota + 1
+	// AggregationPlain sends raw contributions; no privacy. Included for the
+	// overhead ablation and for debugging.
+	AggregationPlain
+	// AggregationPaillier encrypts every contribution element under an
+	// additively homomorphic public key; the Reducer multiplies ciphertexts
+	// and only the aggregate is ever decrypted (by the key authority, which
+	// the driver simulates). Orders of magnitude more expensive than
+	// AggregationMasked — the trade the paper's Section V argues against —
+	// and provided to measure exactly that at the system level.
+	AggregationPaillier
+)
+
+// DriverOptions configures RunDistributed.
+type DriverOptions struct {
+	// Network defaults to a fresh in-process network.
+	Network transport.Network
+	// Aggregation defaults to AggregationMasked.
+	Aggregation Aggregation
+	// Codec for masked aggregation; defaults to fixedpoint.Default().
+	Codec fixedpoint.Codec
+	// MapRetries re-invokes a failing Contribution this many times per
+	// iteration before the Mapper aborts the job.
+	MapRetries int
+	// PaillierKey supplies the key pair for AggregationPaillier: the public
+	// half goes to every Mapper, the private half stays with the simulated
+	// key authority that decrypts only aggregates.
+	PaillierKey *paillier.PrivateKey
+	// Checkpoint enables Twister-style crash recovery: the consensus state
+	// is written to the DFS every CheckpointEvery iterations, and a job that
+	// finds a checkpoint at start warm-restarts from it (consensus state and
+	// iteration counter resume; Mapper-local dual state restarts cold, which
+	// ADMM tolerates — it converges from any starting point).
+	Checkpoint *CheckpointPlan
+	// Locality optionally describes where each Mapper's input lives in a
+	// DFS, for data-movement accounting.
+	Locality *LocalityPlan
+}
+
+// CheckpointPlan configures consensus-state checkpointing.
+type CheckpointPlan struct {
+	// Cluster stores the checkpoints.
+	Cluster *dfs.Cluster
+	// Path is the DFS file holding the latest checkpoint.
+	Path string
+	// Every writes a checkpoint after each Every-th completed iteration
+	// (default 1).
+	Every int
+}
+
+// LocalityPlan maps Mappers to their DFS input and their execution node.
+type LocalityPlan struct {
+	Cluster *dfs.Cluster
+	// InputPath[i] is the DFS path of mapper i's partition.
+	InputPath []string
+	// NodeOf[i] is the cluster node mapper i is scheduled on.
+	NodeOf []string
+}
+
+// DriverResult reports a distributed run.
+type DriverResult struct {
+	IterativeResult
+	// Net are the transport counters accumulated by the job.
+	Net transport.Stats
+	// RemoteInputBytes is the map-input volume that had to cross the
+	// network because a task was not co-located with its data. Zero under
+	// locality-aware placement.
+	RemoteInputBytes int64
+	// Elapsed is the wall-clock job duration.
+	Elapsed time.Duration
+}
+
+const reducerName = "reducer"
+
+// RunDistributed executes the iterative job over a simulated cluster: one
+// transport endpoint per Mapper plus the Reducer, per-iteration broadcast and
+// (by default) secure aggregation, exactly the system structure of Fig. 1.
+func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (*DriverResult, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	net := opts.Network
+	if net == nil {
+		net = transport.NewInProc()
+		defer net.Close()
+	}
+	agg := opts.Aggregation
+	if agg == 0 {
+		agg = AggregationMasked
+	}
+	if agg == AggregationPaillier && opts.PaillierKey == nil {
+		return nil, fmt.Errorf("%w: AggregationPaillier needs DriverOptions.PaillierKey", ErrBadJob)
+	}
+	codec := opts.Codec
+	if codec.FracBits() == 0 {
+		codec = fixedpoint.Default()
+	}
+
+	start := time.Now()
+	res := &DriverResult{}
+	if opts.Locality != nil {
+		remote, err := opts.Locality.remoteBytes(len(job.Mappers))
+		if err != nil {
+			return nil, err
+		}
+		res.RemoteInputBytes = remote
+	}
+
+	m := len(job.Mappers)
+	names := make([]string, m)
+	for i := range names {
+		names[i] = fmt.Sprintf("mapper-%d", i)
+	}
+	redEP, err := net.Endpoint(reducerName)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: reducer endpoint: %w", err)
+	}
+	mapEPs := make([]transport.Endpoint, m)
+	for i := range mapEPs {
+		ep, err := net.Endpoint(names[i])
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: mapper endpoint: %w", err)
+		}
+		mapEPs[i] = ep
+	}
+
+	mapperErrs := make(chan error, m)
+	for i := 0; i < m; i++ {
+		go func(i int) {
+			cfg := mapperNodeConfig{
+				id:      i,
+				names:   names,
+				ep:      &stashEndpoint{Endpoint: mapEPs[i]},
+				mapper:  job.Mappers[i],
+				agg:     agg,
+				codec:   codec,
+				retries: opts.MapRetries,
+			}
+			if opts.PaillierKey != nil {
+				cfg.paillierPub = &opts.PaillierKey.PublicKey
+			}
+			mapperErrs <- runMapperNode(ctx, cfg)
+		}(i)
+	}
+
+	state := append([]float64(nil), job.InitialState...)
+	startIter := 0
+	if opts.Checkpoint != nil {
+		if opts.Checkpoint.Cluster == nil || opts.Checkpoint.Path == "" {
+			return nil, fmt.Errorf("%w: checkpoint plan incomplete", ErrBadJob)
+		}
+		if raw, err := opts.Checkpoint.Cluster.Read(opts.Checkpoint.Path); err == nil {
+			iter, saved, err := decodeStatePayload(raw)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce checkpoint: %w", err)
+			}
+			state = saved
+			startIter = iter
+			res.Iterations = iter
+		}
+	}
+	var jobErr error
+reduceLoop:
+	for iter := startIter; iter < job.MaxIterations; iter++ {
+		payload := encodeStatePayload(iter, state)
+		for _, name := range names {
+			if err := redEP.Send(name, KindBroadcast, payload); err != nil {
+				jobErr = fmt.Errorf("mapreduce: broadcast: %w", err)
+				break reduceLoop
+			}
+		}
+		sum, err := collectContributions(ctx, redEP, m, job.ContributionDim, agg, codec, opts.PaillierKey)
+		if err != nil {
+			jobErr = err
+			break
+		}
+		next, done, err := job.Reducer.Combine(iter, sum)
+		if err != nil {
+			jobErr = fmt.Errorf("%w: reducer at iteration %d: %v", ErrAborted, iter, err)
+			break
+		}
+		state = append(state[:0], next...)
+		res.Iterations = iter + 1
+		if cp := opts.Checkpoint; cp != nil {
+			every := cp.Every
+			if every <= 0 {
+				every = 1
+			}
+			if (iter+1)%every == 0 || done {
+				payload := encodeStatePayload(iter+1, state)
+				if err := cp.Cluster.Write(cp.Path, payload, ""); err != nil {
+					jobErr = fmt.Errorf("mapreduce checkpoint: %w", err)
+					break
+				}
+			}
+		}
+		if done {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Tear down: final state rides on the stop message.
+	stopPayload := encodeStatePayload(res.Iterations, state)
+	for _, name := range names {
+		_ = redEP.Send(name, KindStop, stopPayload)
+	}
+	for i := 0; i < m; i++ {
+		if err := <-mapperErrs; err != nil && jobErr == nil {
+			jobErr = err
+		}
+	}
+	if jobErr != nil {
+		return nil, jobErr
+	}
+	res.FinalState = state
+	res.Net = net.Stats()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func (p *LocalityPlan) remoteBytes(mappers int) (int64, error) {
+	if p.Cluster == nil || len(p.InputPath) != mappers || len(p.NodeOf) != mappers {
+		return 0, fmt.Errorf("%w: locality plan incomplete", ErrBadJob)
+	}
+	var remote int64
+	for i := 0; i < mappers; i++ {
+		primary, err := p.Cluster.PrimaryLocation(p.InputPath[i])
+		if err != nil {
+			return 0, fmt.Errorf("mapreduce locality: %w", err)
+		}
+		if primary != p.NodeOf[i] {
+			sz, err := p.Cluster.FileSize(p.InputPath[i])
+			if err != nil {
+				return 0, fmt.Errorf("mapreduce locality: %w", err)
+			}
+			remote += int64(sz)
+		}
+	}
+	return remote, nil
+}
+
+type mapperNodeConfig struct {
+	id          int
+	names       []string
+	ep          *stashEndpoint
+	mapper      IterativeMapper
+	agg         Aggregation
+	codec       fixedpoint.Codec
+	retries     int
+	paillierPub *paillier.PublicKey
+}
+
+// runMapperNode is the long-lived Mapper loop: wait for a broadcast, compute
+// the local contribution (with retries), hand it to the aggregation
+// protocol; exit on stop.
+func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
+	for {
+		msg, err := recvBroadcast(ctx, cfg.ep)
+		if err != nil {
+			return fmt.Errorf("mapper %d: %w", cfg.id, err)
+		}
+		if msg.Kind == KindStop {
+			return nil
+		}
+		iter, state, err := decodeStatePayload(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("mapper %d: %w", cfg.id, err)
+		}
+		var contrib []float64
+		for attempt := 0; ; attempt++ {
+			contrib, err = cfg.mapper.Contribution(iter, state)
+			if err == nil {
+				break
+			}
+			if attempt >= cfg.retries {
+				_ = cfg.ep.Send(reducerName, KindAbort, []byte(err.Error()))
+				return fmt.Errorf("%w: mapper %d at iteration %d: %v", ErrAborted, cfg.id, iter, err)
+			}
+		}
+		switch cfg.agg {
+		case AggregationPlain:
+			if err := cfg.ep.Send(reducerName, KindPlainShare, encodeVector(contrib)); err != nil {
+				return fmt.Errorf("mapper %d: %w", cfg.id, err)
+			}
+		case AggregationPaillier:
+			payload, err := encryptContribution(contrib, cfg.codec, cfg.paillierPub)
+			if err != nil {
+				_ = cfg.ep.Send(reducerName, KindAbort, []byte(err.Error()))
+				return fmt.Errorf("mapper %d: %w", cfg.id, err)
+			}
+			if err := cfg.ep.Send(reducerName, KindCipherShare, payload); err != nil {
+				return fmt.Errorf("mapper %d: %w", cfg.id, err)
+			}
+		default:
+			err := securesum.RunParty(ctx, cfg.ep, cfg.names, cfg.id, reducerName, contrib, cfg.codec, nil)
+			if err != nil {
+				// A stop or abort that lands mid-protocol unwinds here; it is
+				// not this mapper's fault, so report it plainly.
+				return fmt.Errorf("mapper %d aggregation: %w", cfg.id, err)
+			}
+		}
+	}
+}
+
+// recvBroadcast waits for the next broadcast or stop, stashing any secure-
+// summation masks that outran the reducer's broadcast to this node.
+func recvBroadcast(ctx context.Context, ep *stashEndpoint) (transport.Message, error) {
+	for {
+		msg, err := ep.Recv(ctx)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		switch msg.Kind {
+		case KindBroadcast, KindStop:
+			return msg, nil
+		case securesum.KindMask:
+			// A peer already started the upcoming aggregation round.
+			ep.stash(msg)
+		default:
+			return transport.Message{}, fmt.Errorf("%w: unexpected %q while idle", ErrBadJob, msg.Kind)
+		}
+	}
+}
+
+// encryptContribution fixed-point-encodes the vector and encrypts every
+// element under the Paillier public key.
+func encryptContribution(contrib []float64, codec fixedpoint.Codec, pub *paillier.PublicKey) ([]byte, error) {
+	enc, err := codec.EncodeVec(contrib, nil)
+	if err != nil {
+		return nil, fmt.Errorf("paillier share encode: %w", err)
+	}
+	cs := make([]*big.Int, len(enc))
+	elem := new(big.Int)
+	for i, u := range enc {
+		elem.SetUint64(u)
+		c, err := pub.Encrypt(nil, elem)
+		if err != nil {
+			return nil, fmt.Errorf("paillier share encrypt: %w", err)
+		}
+		cs[i] = c
+	}
+	return paillier.MarshalCiphertexts(cs), nil
+}
+
+// collectContributions gathers one aggregate on the Reducer.
+func collectContributions(ctx context.Context, ep transport.Endpoint, m, dim int, agg Aggregation, codec fixedpoint.Codec, key *paillier.PrivateKey) ([]float64, error) {
+	switch agg {
+	case AggregationPaillier:
+		var acc []*big.Int
+		for got := 0; got < m; got++ {
+			msg, err := ep.Recv(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce reduce: %w", err)
+			}
+			switch msg.Kind {
+			case KindCipherShare:
+				cs, err := paillier.UnmarshalCiphertexts(msg.Payload)
+				if err != nil {
+					return nil, err
+				}
+				if len(cs) != dim {
+					return nil, fmt.Errorf("%w: cipher share of %d values, want %d", ErrBadJob, len(cs), dim)
+				}
+				if acc == nil {
+					acc = cs
+					continue
+				}
+				for j := range acc {
+					acc[j] = key.Add(acc[j], cs[j])
+				}
+			case KindAbort:
+				return nil, fmt.Errorf("%w: %s", ErrAborted, msg.Payload)
+			default:
+				return nil, fmt.Errorf("%w: unexpected %q at reducer", ErrBadJob, msg.Kind)
+			}
+		}
+		// Key-authority step: decrypt only the aggregate.
+		sum := make([]uint64, dim)
+		ring := new(big.Int).Lsh(big.NewInt(1), 64)
+		red := new(big.Int)
+		for j, c := range acc {
+			mval, err := key.Decrypt(c)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce paillier decrypt: %w", err)
+			}
+			sum[j] = red.Mod(mval, ring).Uint64()
+		}
+		return codec.DecodeVec(sum, nil)
+	case AggregationPlain:
+		sum := make([]float64, dim)
+		for got := 0; got < m; got++ {
+			msg, err := ep.Recv(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce reduce: %w", err)
+			}
+			switch msg.Kind {
+			case KindPlainShare:
+				v, err := decodeVector(msg.Payload)
+				if err != nil {
+					return nil, err
+				}
+				if len(v) != dim {
+					return nil, fmt.Errorf("%w: share of %d values, want %d", ErrBadJob, len(v), dim)
+				}
+				for j, x := range v {
+					sum[j] += x
+				}
+			case KindAbort:
+				return nil, fmt.Errorf("%w: %s", ErrAborted, msg.Payload)
+			default:
+				return nil, fmt.Errorf("%w: unexpected %q at reducer", ErrBadJob, msg.Kind)
+			}
+		}
+		return sum, nil
+	default:
+		col, err := securesum.NewCollector(m, dim, codec)
+		if err != nil {
+			return nil, err
+		}
+		for got := 0; got < m; got++ {
+			msg, err := ep.Recv(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce reduce: %w", err)
+			}
+			switch msg.Kind {
+			case securesum.KindShare:
+				share, err := securesum.DecodeShares(msg.Payload)
+				if err != nil {
+					return nil, err
+				}
+				if err := col.Add(share); err != nil {
+					return nil, fmt.Errorf("share from %q: %w", msg.From, err)
+				}
+			case KindAbort:
+				return nil, fmt.Errorf("%w: %s", ErrAborted, msg.Payload)
+			default:
+				return nil, fmt.Errorf("%w: unexpected %q at reducer", ErrBadJob, msg.Kind)
+			}
+		}
+		return col.Sum()
+	}
+}
+
+// stashEndpoint lets the mapper loop defer messages that legitimately arrive
+// early (a fast peer's masks) without losing ordering for everything else.
+type stashEndpoint struct {
+	transport.Endpoint
+	pending []transport.Message
+}
+
+func (s *stashEndpoint) stash(m transport.Message) { s.pending = append(s.pending, m) }
+
+// Recv pops stashed messages first, then reads from the live endpoint.
+func (s *stashEndpoint) Recv(ctx context.Context) (transport.Message, error) {
+	if len(s.pending) > 0 {
+		msg := s.pending[0]
+		s.pending = s.pending[1:]
+		return msg, nil
+	}
+	return s.Endpoint.Recv(ctx)
+}

@@ -1,0 +1,65 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Message kinds used by the iterative driver on the transport.
+const (
+	// KindBroadcast carries the consensus state from Reducer to Mappers.
+	KindBroadcast = "mr.broadcast"
+	// KindStop tells Mappers the job finished (payload: final state).
+	KindStop = "mr.stop"
+	// KindPlainShare carries an unmasked contribution (plain aggregation).
+	KindPlainShare = "mr.plainshare"
+	// KindCipherShare carries a Paillier-encrypted contribution.
+	KindCipherShare = "mr.ciphershare"
+	// KindAbort reports a fatal Mapper error to the Reducer.
+	KindAbort = "mr.abort"
+)
+
+// encodeStatePayload frames (iteration, vector) for broadcast messages.
+func encodeStatePayload(iter int, state []float64) []byte {
+	buf := make([]byte, 8+8*len(state))
+	binary.LittleEndian.PutUint64(buf, uint64(iter))
+	for i, v := range state {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// decodeStatePayload parses a broadcast frame.
+func decodeStatePayload(b []byte) (int, []float64, error) {
+	if len(b) < 8 || (len(b)-8)%8 != 0 {
+		return 0, nil, fmt.Errorf("%w: state payload of %d bytes", ErrBadJob, len(b))
+	}
+	iter := int(binary.LittleEndian.Uint64(b))
+	state := make([]float64, (len(b)-8)/8)
+	for i := range state {
+		state[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8+8*i:]))
+	}
+	return iter, state, nil
+}
+
+// encodeVector frames a bare float64 vector (plain shares).
+func encodeVector(v []float64) []byte {
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+// decodeVector parses a bare float64 vector.
+func decodeVector(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("%w: vector payload of %d bytes", ErrBadJob, len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package paillier
+
+import (
+	"math/big"
+	"testing"
+)
+
+func BenchmarkEncrypt(b *testing.B) {
+	m := big.NewInt(123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := testKey.Encrypt(nil, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	c, err := testKey.Encrypt(nil, big.NewInt(123456789))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := testKey.Decrypt(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHomomorphicAdd(b *testing.B) {
+	c1, err := testKey.Encrypt(nil, big.NewInt(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c2, err := testKey.Encrypt(nil, big.NewInt(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		testKey.Add(c1, c2)
+	}
+}

@@ -1,0 +1,51 @@
+package paillier
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+)
+
+// MarshalCiphertexts serializes a ciphertext vector as length-prefixed
+// big-endian integers, the wire format of the Paillier aggregation mode.
+func MarshalCiphertexts(cs []*big.Int) []byte {
+	size := binary.MaxVarintLen64
+	for _, c := range cs {
+		size += binary.MaxVarintLen64 + (c.BitLen()+7)/8
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(cs)))
+	for _, c := range cs {
+		b := c.Bytes()
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		buf = append(buf, b...)
+	}
+	return buf
+}
+
+// UnmarshalCiphertexts parses a MarshalCiphertexts payload.
+func UnmarshalCiphertexts(buf []byte) ([]*big.Int, error) {
+	n, read := binary.Uvarint(buf)
+	if read <= 0 {
+		return nil, fmt.Errorf("%w: truncated ciphertext count", ErrBadCiphertext)
+	}
+	buf = buf[read:]
+	// Guard against absurd allocations from corrupt payloads.
+	if n > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible ciphertext count %d", ErrBadCiphertext, n)
+	}
+	out := make([]*big.Int, n)
+	for i := range out {
+		l, read := binary.Uvarint(buf)
+		if read <= 0 || uint64(len(buf)-read) < l {
+			return nil, fmt.Errorf("%w: truncated ciphertext %d", ErrBadCiphertext, i)
+		}
+		buf = buf[read:]
+		out[i] = new(big.Int).SetBytes(buf[:l])
+		buf = buf[l:]
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCiphertext, len(buf))
+	}
+	return out, nil
+}

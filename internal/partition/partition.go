@@ -1,0 +1,102 @@
+// Package partition splits a data set among M learners the two ways the
+// paper studies: horizontally (Fig. 2 — each learner holds a subset of the
+// rows with all features) and vertically (Fig. 3 — each learner holds all
+// rows but only a subset of the feature columns; labels are shared).
+//
+// Assignment is random, matching Section VI ("each record is randomly
+// assigned to one learner", "features are randomly assigned"), but every
+// learner is guaranteed at least one row/feature so no degenerate Mapper
+// exists.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/ppml-go/ppml/internal/dataset"
+)
+
+// ErrBadPartition indicates an impossible split request.
+var ErrBadPartition = errors.New("partition: bad partition request")
+
+// Horizontal randomly assigns each row of d to one of m learners, guaranteeing
+// every learner at least one row. It returns the per-learner data sets and
+// the global row indices each learner received.
+func Horizontal(d *dataset.Dataset, m int, rng *rand.Rand) ([]*dataset.Dataset, [][]int, error) {
+	if m < 1 {
+		return nil, nil, fmt.Errorf("%w: m = %d", ErrBadPartition, m)
+	}
+	if d.Len() < m {
+		return nil, nil, fmt.Errorf("%w: %d rows cannot cover %d learners", ErrBadPartition, d.Len(), m)
+	}
+	assign := randomAssignment(d.Len(), m, rng)
+	parts := make([]*dataset.Dataset, m)
+	idx := make([][]int, m)
+	for i, learner := range assign {
+		idx[learner] = append(idx[learner], i)
+	}
+	for learner := range parts {
+		parts[learner] = d.Subset(idx[learner])
+		parts[learner].Name = fmt.Sprintf("%s/h%d", d.Name, learner)
+	}
+	return parts, idx, nil
+}
+
+// Vertical randomly assigns each feature column of d to one of m learners,
+// guaranteeing every learner at least one feature. Every part keeps the full
+// label vector (labels are "agreed and shared among M learners", Section
+// IV-C). It returns the per-learner data sets and the global column indices
+// each learner received.
+func Vertical(d *dataset.Dataset, m int, rng *rand.Rand) ([]*dataset.Dataset, [][]int, error) {
+	if m < 1 {
+		return nil, nil, fmt.Errorf("%w: m = %d", ErrBadPartition, m)
+	}
+	if d.Features() < m {
+		return nil, nil, fmt.Errorf("%w: %d features cannot cover %d learners", ErrBadPartition, d.Features(), m)
+	}
+	assign := randomAssignment(d.Features(), m, rng)
+	cols := make([][]int, m)
+	for j, learner := range assign {
+		cols[learner] = append(cols[learner], j)
+	}
+	parts := make([]*dataset.Dataset, m)
+	for learner := range parts {
+		parts[learner] = d.SelectFeatures(cols[learner])
+		parts[learner].Name = fmt.Sprintf("%s/v%d", d.Name, learner)
+	}
+	return parts, cols, nil
+}
+
+// randomAssignment maps n items onto m owners uniformly at random, then
+// repairs empty owners by stealing from the largest ones.
+func randomAssignment(n, m int, rng *rand.Rand) []int {
+	assign := make([]int, n)
+	counts := make([]int, m)
+	for i := range assign {
+		a := rng.Intn(m)
+		assign[i] = a
+		counts[a]++
+	}
+	for owner := 0; owner < m; owner++ {
+		if counts[owner] > 0 {
+			continue
+		}
+		// Steal one item from the currently largest owner.
+		largest := 0
+		for o := 1; o < m; o++ {
+			if counts[o] > counts[largest] {
+				largest = o
+			}
+		}
+		for i := range assign {
+			if assign[i] == largest {
+				assign[i] = owner
+				counts[largest]--
+				counts[owner]++
+				break
+			}
+		}
+	}
+	return assign
+}

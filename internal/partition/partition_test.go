@@ -1,0 +1,138 @@
+package partition
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/dataset"
+)
+
+func TestHorizontalCoversAllRows(t *testing.T) {
+	d := dataset.TwoGaussians("g", 200, 5, 2, 1)
+	rng := rand.New(rand.NewSource(2))
+	parts, idx, err := Horizontal(d, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts, want 4", len(parts))
+	}
+	seen := make(map[int]bool)
+	total := 0
+	for m, p := range parts {
+		if p.Len() == 0 {
+			t.Errorf("learner %d is empty", m)
+		}
+		if p.Features() != d.Features() {
+			t.Errorf("learner %d has %d features, want %d", m, p.Features(), d.Features())
+		}
+		total += p.Len()
+		for _, i := range idx[m] {
+			if seen[i] {
+				t.Fatalf("row %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+		if len(idx[m]) != p.Len() {
+			t.Errorf("learner %d: %d indices but %d rows", m, len(idx[m]), p.Len())
+		}
+	}
+	if total != d.Len() {
+		t.Errorf("parts hold %d rows, want %d", total, d.Len())
+	}
+}
+
+func TestHorizontalDataMatchesIndices(t *testing.T) {
+	d := dataset.TwoGaussians("g", 50, 3, 2, 3)
+	parts, idx, err := Horizontal(d, 3, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, p := range parts {
+		for r, i := range idx[m] {
+			for c := 0; c < d.Features(); c++ {
+				if p.X.At(r, c) != d.X.At(i, c) {
+					t.Fatalf("learner %d row %d differs from global row %d", m, r, i)
+				}
+			}
+			if p.Y[r] != d.Y[i] {
+				t.Fatalf("learner %d label %d differs from global %d", m, r, i)
+			}
+		}
+	}
+}
+
+func TestVerticalCoversAllFeatures(t *testing.T) {
+	d := dataset.TwoGaussians("g", 60, 10, 2, 5)
+	parts, cols, err := Vertical(d, 4, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	total := 0
+	for m, p := range parts {
+		if p.Features() == 0 {
+			t.Errorf("learner %d has no features", m)
+		}
+		if p.Len() != d.Len() {
+			t.Errorf("learner %d has %d rows, want %d", m, p.Len(), d.Len())
+		}
+		total += p.Features()
+		for _, j := range cols[m] {
+			if seen[j] {
+				t.Fatalf("feature %d assigned twice", j)
+			}
+			seen[j] = true
+		}
+		// Every learner shares the full label vector.
+		for i := range p.Y {
+			if p.Y[i] != d.Y[i] {
+				t.Fatalf("learner %d label %d differs", m, i)
+			}
+		}
+	}
+	if total != d.Features() {
+		t.Errorf("parts hold %d features, want %d", total, d.Features())
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	d := dataset.TwoGaussians("g", 3, 2, 2, 7)
+	if _, _, err := Horizontal(d, 0, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("m=0: err = %v, want ErrBadPartition", err)
+	}
+	if _, _, err := Horizontal(d, 5, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("m>rows: err = %v, want ErrBadPartition", err)
+	}
+	if _, _, err := Vertical(d, 3, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("m>features: err = %v, want ErrBadPartition", err)
+	}
+}
+
+func TestEveryLearnerNonEmptyManyTrials(t *testing.T) {
+	// Random assignment with a repair step must never leave a learner empty,
+	// even when m is close to the item count.
+	d := dataset.TwoGaussians("g", 9, 8, 2, 8)
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		parts, _, err := Horizontal(d, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m, p := range parts {
+			if p.Len() == 0 {
+				t.Fatalf("trial %d: learner %d empty", trial, m)
+			}
+		}
+		vparts, _, err := Vertical(d, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m, p := range vparts {
+			if p.Features() == 0 {
+				t.Fatalf("trial %d: vertical learner %d empty", trial, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package qp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchProblem(n int, seed int64) (Problem, []float64, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	prob := randomProblem(rng, n, 2)
+	y := randomLabels(rng, n)
+	x := randomFeasibleBox(rng, n, prob.C)
+	d := 0.0
+	for i := range x {
+		d += y[i] * x[i]
+	}
+	return prob, y, d
+}
+
+func BenchmarkSolveBox200Cold(b *testing.B) {
+	prob, _, _ := benchProblem(200, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveBox(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveBox200Warm(b *testing.B) {
+	prob, _, _ := benchProblem(200, 1)
+	res, err := SolveBox(prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveBox(prob, WithWarmStart(res.Lambda)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveEqualityBox200(b *testing.B) {
+	prob, y, d := benchProblem(200, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveEqualityBox(prob, y, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveUniformDiag10000(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 10000
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = rng.NormFloat64()
+	}
+	y := randomLabels(rng, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveUniformDiagEqualityBox(0.04, p, 50, y, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveEqualityBox200WSS2(b *testing.B) {
+	prob, y, d := benchProblem(200, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveEqualityBox(prob, y, d, WithSecondOrderSelection()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package securesum
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/fixedpoint"
+)
+
+func BenchmarkMaskedSum(b *testing.B) {
+	codec := fixedpoint.Default()
+	for _, m := range []int{2, 4, 8, 16} {
+		for _, dim := range []int{10, 1000} {
+			m, dim := m, dim
+			b.Run(fmt.Sprintf("m=%d/dim=%d", m, dim), func(b *testing.B) {
+				values := randomValues(rand.New(rand.NewSource(1)), m, dim, 100)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := MaskedSum(values, codec, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkEncodeShares1000(b *testing.B) {
+	v := make([]uint64, 1000)
+	for i := range v {
+		v[i] = uint64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := EncodeShares(v)
+		if _, err := DecodeShares(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

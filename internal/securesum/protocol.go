@@ -1,0 +1,104 @@
+package securesum
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/ppml-go/ppml/internal/fixedpoint"
+	"github.com/ppml-go/ppml/internal/transport"
+)
+
+// Message kinds used on the wire.
+const (
+	// KindMask carries a pairwise mask between Mappers.
+	KindMask = "securesum.mask"
+	// KindShare carries a masked share from a Mapper to the Reducer.
+	KindShare = "securesum.share"
+)
+
+// RunParty executes one full protocol round for one Mapper over its
+// transport endpoint: it sends a fresh mask to every peer, absorbs the peers'
+// masks, and submits the masked share of value to the reducer endpoint.
+//
+// names lists every party's endpoint name indexed by party id; self is this
+// party's id. The caller must guarantee no other message kinds are in flight
+// on ep during the round (the consensus driver barriers rounds, so this
+// holds by construction).
+func RunParty(ctx context.Context, ep transport.Endpoint, names []string, self int, reducer string, value []float64, codec fixedpoint.Codec, random io.Reader) error {
+	m := len(names)
+	party, err := NewParty(self, m, len(value), codec, random)
+	if err != nil {
+		return err
+	}
+	idOf := make(map[string]int, m)
+	for id, name := range names {
+		idOf[name] = id
+	}
+	for peer := 0; peer < m; peer++ {
+		if peer == self {
+			continue
+		}
+		mask, err := party.MaskFor(peer)
+		if err != nil {
+			return err
+		}
+		if err := ep.Send(names[peer], KindMask, EncodeShares(mask)); err != nil {
+			return fmt.Errorf("securesum: send mask to %q: %w", names[peer], err)
+		}
+	}
+	for received := 0; received < m-1; received++ {
+		msg, err := ep.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("securesum: receive mask: %w", err)
+		}
+		if msg.Kind != KindMask {
+			return fmt.Errorf("%w: party %d got %q mid-round", ErrProtocol, self, msg.Kind)
+		}
+		peer, ok := idOf[msg.From]
+		if !ok {
+			return fmt.Errorf("%w: mask from unknown party %q", ErrProtocol, msg.From)
+		}
+		mask, err := DecodeShares(msg.Payload)
+		if err != nil {
+			return err
+		}
+		if err := party.SetPeerMask(peer, mask); err != nil {
+			return err
+		}
+	}
+	share, err := party.Share(value)
+	if err != nil {
+		return err
+	}
+	if err := ep.Send(reducer, KindShare, EncodeShares(share)); err != nil {
+		return fmt.Errorf("securesum: send share: %w", err)
+	}
+	return nil
+}
+
+// RunCollector executes the Reducer's side of one round: it waits for the m
+// masked shares on ep and returns their decoded sum.
+func RunCollector(ctx context.Context, ep transport.Endpoint, m, dim int, codec fixedpoint.Codec) ([]float64, error) {
+	col, err := NewCollector(m, dim, codec)
+	if err != nil {
+		return nil, err
+	}
+	for received := 0; received < m; received++ {
+		msg, err := ep.Recv(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("securesum: receive share: %w", err)
+		}
+		if msg.Kind != KindShare {
+			return nil, fmt.Errorf("%w: reducer got %q mid-round", ErrProtocol, msg.Kind)
+		}
+		share, err := DecodeShares(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := col.Add(share); err != nil {
+			return nil, fmt.Errorf("share from %q: %w", msg.From, err)
+		}
+	}
+	return col.Sum()
+}

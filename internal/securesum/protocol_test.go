@@ -1,0 +1,121 @@
+package securesum
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/ppml-go/ppml/internal/fixedpoint"
+	"github.com/ppml-go/ppml/internal/transport"
+)
+
+// runDistributedRound wires m parties and a reducer over the given network
+// and executes one protocol round, returning the reducer's decoded sum.
+func runDistributedRound(t *testing.T, net transport.Network, values [][]float64) []float64 {
+	t.Helper()
+	codec := fixedpoint.Default()
+	m := len(values)
+	dim := len(values[0])
+	names := make([]string, m)
+	for i := range names {
+		names[i] = fmt.Sprintf("mapper-%d", i)
+	}
+	const reducer = "reducer"
+
+	red, err := net.Endpoint(reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]transport.Endpoint, m)
+	for i := range eps {
+		ep, err := net.Endpoint(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	errs := make(chan error, m)
+	for i := 0; i < m; i++ {
+		go func(i int) {
+			errs <- RunParty(ctx, eps[i], names, i, reducer, values[i], codec, nil)
+		}(i)
+	}
+	sum, err := RunCollector(ctx, red, m, dim, codec)
+	if err != nil {
+		t.Fatalf("collector: %v", err)
+	}
+	for i := 0; i < m; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("party: %v", err)
+		}
+	}
+	return sum
+}
+
+func TestDistributedRoundInProc(t *testing.T) {
+	net := transport.NewInProc()
+	defer net.Close()
+	rng := rand.New(rand.NewSource(3))
+	values := randomValues(rng, 4, 6, 50)
+	got := runDistributedRound(t, net, values)
+	want := plainSum(values)
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-6 {
+			t.Fatalf("element %d: %g, want %g", j, got[j], want[j])
+		}
+	}
+}
+
+func TestDistributedRoundTCP(t *testing.T) {
+	net := transport.NewTCP()
+	defer net.Close()
+	rng := rand.New(rand.NewSource(4))
+	values := randomValues(rng, 3, 5, 50)
+	got := runDistributedRound(t, net, values)
+	want := plainSum(values)
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-6 {
+			t.Fatalf("element %d: %g, want %g", j, got[j], want[j])
+		}
+	}
+}
+
+func TestDistributedTrafficShape(t *testing.T) {
+	// One round of the protocol moves exactly m(m−1) mask messages plus m
+	// share messages, each of 8·dim payload bytes.
+	net := transport.NewInProc()
+	defer net.Close()
+	const m, dim = 4, 6
+	rng := rand.New(rand.NewSource(5))
+	values := randomValues(rng, m, dim, 10)
+	runDistributedRound(t, net, values)
+	st := net.Stats()
+	wantMsgs := int64(m*(m-1) + m)
+	if st.Messages != wantMsgs {
+		t.Errorf("messages = %d, want %d", st.Messages, wantMsgs)
+	}
+	if want := wantMsgs * 8 * dim; st.Bytes != want {
+		t.Errorf("bytes = %d, want %d", st.Bytes, want)
+	}
+}
+
+func TestRunCollectorTimeout(t *testing.T) {
+	net := transport.NewInProc()
+	defer net.Close()
+	red, err := net.Endpoint("reducer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := RunCollector(ctx, red, 2, 3, fixedpoint.Default()); err == nil {
+		t.Error("collector with no shares should time out")
+	}
+}

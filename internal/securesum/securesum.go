@@ -1,0 +1,258 @@
+// Package securesum implements the coalition-resistant secure summation
+// protocol of Section V, which is the only cryptographic machinery the
+// framework needs at the Reducer:
+//
+//  1. each Mapper i generates one uniformly random mask for every other
+//     Mapper and sends it over a pairwise channel;
+//  2. Mapper i forms wᵢ + Sedᵢ − Revᵢ, where Sedᵢ is the sum of the masks it
+//     generated and Revᵢ the sum of the masks it received;
+//  3. the Reducer adds the M masked shares: every mask was added once and
+//     subtracted once, so the masks cancel and only the sum Σwᵢ remains.
+//
+// Arithmetic happens in the fixed-point ring Z_{2^64} (package fixedpoint),
+// where uniformly random masks hide each share information-theoretically.
+// The protocol resists coalitions: as long as two parties are honest, the
+// mask on their pairwise channel stays unknown to everyone else, so their
+// individual inputs cannot be recovered even if all other Mappers and the
+// Reducer pool their knowledge.
+//
+// The package exposes the protocol at three levels: Party/Collector state
+// machines (used by the MapReduce integration), Run* helpers that drive a
+// full round over a transport.Network, and Summer backends (plain, masked,
+// Paillier) that the consensus Reducer plugs in.
+package securesum
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/ppml-go/ppml/internal/fixedpoint"
+)
+
+// Errors returned by the protocol.
+var (
+	// ErrBadParty indicates invalid party configuration or peer IDs.
+	ErrBadParty = errors.New("securesum: bad party")
+	// ErrProtocol indicates an out-of-order or duplicate protocol step.
+	ErrProtocol = errors.New("securesum: protocol violation")
+	// ErrIncomplete indicates an attempt to finish a round before every
+	// expected message arrived.
+	ErrIncomplete = errors.New("securesum: round incomplete")
+)
+
+// Party is one Mapper's state for a single protocol round over vectors of a
+// fixed dimension.
+type Party struct {
+	id    int
+	m     int
+	dim   int
+	codec fixedpoint.Codec
+	rng   io.Reader
+
+	sent map[int][]uint64
+	recv map[int][]uint64
+}
+
+// NewParty creates the round state for party id of m (ids are 0-based).
+// random defaults to crypto/rand.
+func NewParty(id, m, dim int, codec fixedpoint.Codec, random io.Reader) (*Party, error) {
+	if m < 1 || id < 0 || id >= m || dim <= 0 {
+		return nil, fmt.Errorf("%w: id=%d m=%d dim=%d", ErrBadParty, id, m, dim)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	return &Party{
+		id: id, m: m, dim: dim, codec: codec, rng: random,
+		sent: make(map[int][]uint64, m-1),
+		recv: make(map[int][]uint64, m-1),
+	}, nil
+}
+
+// MaskFor draws the uniform mask this party sends to peer, recording it for
+// the share computation. Each peer may be asked once per round.
+func (p *Party) MaskFor(peer int) ([]uint64, error) {
+	if peer < 0 || peer >= p.m || peer == p.id {
+		return nil, fmt.Errorf("%w: mask for peer %d of %d", ErrBadParty, peer, p.m)
+	}
+	if _, dup := p.sent[peer]; dup {
+		return nil, fmt.Errorf("%w: mask for peer %d generated twice", ErrProtocol, peer)
+	}
+	mask, err := randomVector(p.rng, p.dim)
+	if err != nil {
+		return nil, err
+	}
+	p.sent[peer] = mask
+	return mask, nil
+}
+
+// SetPeerMask records the mask received from peer. Each peer may deliver
+// once per round.
+func (p *Party) SetPeerMask(peer int, mask []uint64) error {
+	if peer < 0 || peer >= p.m || peer == p.id {
+		return fmt.Errorf("%w: mask from peer %d of %d", ErrBadParty, peer, p.m)
+	}
+	if len(mask) != p.dim {
+		return fmt.Errorf("%w: mask from %d has %d elements, want %d", ErrProtocol, peer, len(mask), p.dim)
+	}
+	if _, dup := p.recv[peer]; dup {
+		return fmt.Errorf("%w: duplicate mask from peer %d", ErrProtocol, peer)
+	}
+	p.recv[peer] = append([]uint64(nil), mask...)
+	return nil
+}
+
+// Share computes the masked contribution wᵢ + Sedᵢ − Revᵢ. Every pairwise
+// mask must have been generated and received first.
+func (p *Party) Share(value []float64) ([]uint64, error) {
+	if len(value) != p.dim {
+		return nil, fmt.Errorf("%w: value has %d elements, want %d", ErrBadParty, len(value), p.dim)
+	}
+	if len(p.sent) != p.m-1 || len(p.recv) != p.m-1 {
+		return nil, fmt.Errorf("%w: have %d/%d sent and %d/%d received masks",
+			ErrIncomplete, len(p.sent), p.m-1, len(p.recv), p.m-1)
+	}
+	share, err := p.codec.EncodeVec(value, nil)
+	if err != nil {
+		return nil, fmt.Errorf("securesum encode: %w", err)
+	}
+	for _, mask := range p.sent {
+		if err := fixedpoint.AddVec(share, mask); err != nil {
+			return nil, err
+		}
+	}
+	for _, mask := range p.recv {
+		if err := fixedpoint.SubVec(share, mask); err != nil {
+			return nil, err
+		}
+	}
+	return share, nil
+}
+
+// Collector is the Reducer's state for one round: it accumulates the M
+// masked shares and exposes only their sum.
+type Collector struct {
+	m     int
+	dim   int
+	codec fixedpoint.Codec
+	seen  int
+	acc   []uint64
+}
+
+// NewCollector creates a collector expecting m shares of the given dimension.
+func NewCollector(m, dim int, codec fixedpoint.Codec) (*Collector, error) {
+	if m < 1 || dim <= 0 {
+		return nil, fmt.Errorf("%w: m=%d dim=%d", ErrBadParty, m, dim)
+	}
+	return &Collector{m: m, dim: dim, codec: codec, acc: make([]uint64, dim)}, nil
+}
+
+// Add folds one masked share into the aggregate.
+func (c *Collector) Add(share []uint64) error {
+	if len(share) != c.dim {
+		return fmt.Errorf("%w: share has %d elements, want %d", ErrProtocol, len(share), c.dim)
+	}
+	if c.seen >= c.m {
+		return fmt.Errorf("%w: more than %d shares", ErrProtocol, c.m)
+	}
+	if err := fixedpoint.AddVec(c.acc, share); err != nil {
+		return err
+	}
+	c.seen++
+	return nil
+}
+
+// Sum returns Σᵢ wᵢ once all m shares arrived.
+func (c *Collector) Sum() ([]float64, error) {
+	if c.seen != c.m {
+		return nil, fmt.Errorf("%w: %d of %d shares", ErrIncomplete, c.seen, c.m)
+	}
+	return c.codec.DecodeVec(c.acc, nil)
+}
+
+// MaskedSum runs the whole protocol in memory over the given private
+// vectors, returning their sum. It exists for tests and for the Summer
+// backend; the distributed path goes through RunParty/RunCollector.
+func MaskedSum(values [][]float64, codec fixedpoint.Codec, random io.Reader) ([]float64, error) {
+	m := len(values)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: no parties", ErrBadParty)
+	}
+	dim := len(values[0])
+	parties := make([]*Party, m)
+	for i := range parties {
+		if len(values[i]) != dim {
+			return nil, fmt.Errorf("%w: party %d has %d elements, want %d", ErrBadParty, i, len(values[i]), dim)
+		}
+		p, err := NewParty(i, m, dim, codec, random)
+		if err != nil {
+			return nil, err
+		}
+		parties[i] = p
+	}
+	for i := range parties {
+		for j := range parties {
+			if i == j {
+				continue
+			}
+			mask, err := parties[i].MaskFor(j)
+			if err != nil {
+				return nil, err
+			}
+			if err := parties[j].SetPeerMask(i, mask); err != nil {
+				return nil, err
+			}
+		}
+	}
+	col, err := NewCollector(m, dim, codec)
+	if err != nil {
+		return nil, err
+	}
+	for i := range parties {
+		share, err := parties[i].Share(values[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := col.Add(share); err != nil {
+			return nil, err
+		}
+	}
+	return col.Sum()
+}
+
+// randomVector draws dim uniform ring elements from random.
+func randomVector(random io.Reader, dim int) ([]uint64, error) {
+	buf := make([]byte, 8*dim)
+	if _, err := io.ReadFull(random, buf); err != nil {
+		return nil, fmt.Errorf("securesum randomness: %w", err)
+	}
+	out := make([]uint64, dim)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return out, nil
+}
+
+// EncodeShares serializes a ring vector for the wire.
+func EncodeShares(v []uint64) []byte {
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], x)
+	}
+	return buf
+}
+
+// DecodeShares parses a wire payload back into a ring vector.
+func DecodeShares(b []byte) ([]uint64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("%w: payload of %d bytes is not a uint64 vector", ErrProtocol, len(b))
+	}
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package securesum
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sync/atomic"
+
+	"github.com/ppml-go/ppml/internal/fixedpoint"
+	"github.com/ppml-go/ppml/internal/paillier"
+)
+
+// Summer is the Reducer's pluggable aggregation backend: it turns the
+// Mappers' private vectors into their element-wise sum. Implementations
+// differ in what the Reducer could learn along the way and in cost, which is
+// exactly the trade-off the paper's "limited cryptographic operations"
+// argument is about.
+type Summer interface {
+	// Sum returns the element-wise sum of the parties' vectors, all of which
+	// must share one length.
+	Sum(values [][]float64) ([]float64, error)
+	// Name identifies the backend in experiment output.
+	Name() string
+	// CryptoOps returns the cumulative count of cryptographic operations
+	// (mask generations, encryptions, decryptions) this backend performed.
+	CryptoOps() int64
+}
+
+// PlainSummer adds the vectors directly. It offers no privacy and exists as
+// the baseline the benchmarks compare against.
+type PlainSummer struct{}
+
+var _ Summer = (*PlainSummer)(nil)
+
+// Sum implements Summer.
+func (*PlainSummer) Sum(values [][]float64) ([]float64, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("%w: no parties", ErrBadParty)
+	}
+	dim := len(values[0])
+	out := make([]float64, dim)
+	for i, v := range values {
+		if len(v) != dim {
+			return nil, fmt.Errorf("%w: party %d has %d elements, want %d", ErrBadParty, i, len(v), dim)
+		}
+		for j, x := range v {
+			out[j] += x
+		}
+	}
+	return out, nil
+}
+
+// Name implements Summer.
+func (*PlainSummer) Name() string { return "plain" }
+
+// CryptoOps implements Summer.
+func (*PlainSummer) CryptoOps() int64 { return 0 }
+
+// MaskedSummer runs the Section V pairwise-mask protocol.
+type MaskedSummer struct {
+	// Codec defaults to fixedpoint.Default() when zero.
+	Codec fixedpoint.Codec
+	// Random defaults to crypto/rand.
+	Random io.Reader
+
+	ops atomic.Int64
+}
+
+var _ Summer = (*MaskedSummer)(nil)
+
+// Sum implements Summer.
+func (s *MaskedSummer) Sum(values [][]float64) ([]float64, error) {
+	codec := s.Codec
+	if codec.FracBits() == 0 {
+		codec = fixedpoint.Default()
+	}
+	out, err := MaskedSum(values, codec, s.Random)
+	if err != nil {
+		return nil, err
+	}
+	// One mask generation per ordered party pair.
+	m := int64(len(values))
+	s.ops.Add(m * (m - 1))
+	return out, nil
+}
+
+// Name implements Summer.
+func (*MaskedSummer) Name() string { return "masked" }
+
+// CryptoOps implements Summer.
+func (s *MaskedSummer) CryptoOps() int64 { return s.ops.Load() }
+
+// PaillierSummer aggregates under additively homomorphic encryption: every
+// element of every party's vector is encrypted, the Reducer multiplies
+// ciphertexts, and only the total is decrypted. It is included as the
+// expensive alternative the paper's design deliberately avoids.
+type PaillierSummer struct {
+	Key *paillier.PrivateKey
+	// Codec defaults to fixedpoint.Default() when zero.
+	Codec fixedpoint.Codec
+
+	ops atomic.Int64
+}
+
+var _ Summer = (*PaillierSummer)(nil)
+
+// Sum implements Summer.
+func (s *PaillierSummer) Sum(values [][]float64) ([]float64, error) {
+	if s.Key == nil {
+		return nil, fmt.Errorf("%w: PaillierSummer needs a key", ErrBadParty)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("%w: no parties", ErrBadParty)
+	}
+	codec := s.Codec
+	if codec.FracBits() == 0 {
+		codec = fixedpoint.Default()
+	}
+	dim := len(values[0])
+	acc := make([]*big.Int, dim)
+	elem := new(big.Int)
+	for i, v := range values {
+		if len(v) != dim {
+			return nil, fmt.Errorf("%w: party %d has %d elements, want %d", ErrBadParty, i, len(v), dim)
+		}
+		enc, err := codec.EncodeVec(v, nil)
+		if err != nil {
+			return nil, fmt.Errorf("securesum paillier encode: %w", err)
+		}
+		for j, u := range enc {
+			elem.SetUint64(u)
+			c, err := s.Key.Encrypt(nil, elem)
+			if err != nil {
+				return nil, fmt.Errorf("securesum paillier encrypt: %w", err)
+			}
+			s.ops.Add(1)
+			if acc[j] == nil {
+				acc[j] = c
+			} else {
+				acc[j] = s.Key.Add(acc[j], c)
+			}
+		}
+	}
+	out := make([]uint64, dim)
+	ring := new(big.Int).Lsh(big.NewInt(1), 64)
+	red := new(big.Int)
+	for j, c := range acc {
+		m, err := s.Key.Decrypt(c)
+		if err != nil {
+			return nil, fmt.Errorf("securesum paillier decrypt: %w", err)
+		}
+		s.ops.Add(1)
+		// Reduce the exact integer sum back into the fixed-point ring.
+		out[j] = red.Mod(m, ring).Uint64()
+	}
+	return codec.DecodeVec(out, nil)
+}
+
+// Name implements Summer.
+func (*PaillierSummer) Name() string { return "paillier" }
+
+// CryptoOps implements Summer.
+func (s *PaillierSummer) CryptoOps() int64 { return s.ops.Load() }

@@ -1,0 +1,107 @@
+package securesum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/paillier"
+)
+
+var testPaillierKey = mustTestKey()
+
+func mustTestKey() *paillier.PrivateKey {
+	k, err := paillier.GenerateKey(nil, 512)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func TestSummersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	values := randomValues(rng, 4, 5, 75)
+	want := plainSum(values)
+
+	summers := []Summer{
+		&PlainSummer{},
+		&MaskedSummer{},
+		&PaillierSummer{Key: testPaillierKey},
+	}
+	for _, s := range summers {
+		got, err := s.Sum(values)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-6 {
+				t.Errorf("%s element %d: %g, want %g", s.Name(), j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestSummerCryptoOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	values := randomValues(rng, 3, 4, 10)
+
+	plain := &PlainSummer{}
+	if _, err := plain.Sum(values); err != nil {
+		t.Fatal(err)
+	}
+	if plain.CryptoOps() != 0 {
+		t.Errorf("plain crypto ops = %d, want 0", plain.CryptoOps())
+	}
+
+	masked := &MaskedSummer{Random: detRand(3)}
+	if _, err := masked.Sum(values); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(3 * 2); masked.CryptoOps() != want {
+		t.Errorf("masked crypto ops = %d, want %d", masked.CryptoOps(), want)
+	}
+
+	p := &PaillierSummer{Key: testPaillierKey}
+	if _, err := p.Sum(values); err != nil {
+		t.Fatal(err)
+	}
+	// 3 parties × 4 elements encryptions + 4 decryptions.
+	if want := int64(3*4 + 4); p.CryptoOps() != want {
+		t.Errorf("paillier crypto ops = %d, want %d", p.CryptoOps(), want)
+	}
+}
+
+func TestPaillierSummerNegativeValues(t *testing.T) {
+	// Negative fixed-point encodings are huge uint64s; the modular reduction
+	// back into the ring must recover the signed sum.
+	values := [][]float64{{-10.5, 3}, {4.5, -1}, {-2, -2}}
+	s := &PaillierSummer{Key: testPaillierKey}
+	got, err := s.Sum(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-8, 0}
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-6 {
+			t.Errorf("element %d: %g, want %g", j, got[j], want[j])
+		}
+	}
+}
+
+func TestPaillierSummerNeedsKey(t *testing.T) {
+	s := &PaillierSummer{}
+	if _, err := s.Sum([][]float64{{1}}); err == nil {
+		t.Error("PaillierSummer without key should fail")
+	}
+}
+
+func TestSummerErrorPaths(t *testing.T) {
+	for _, s := range []Summer{&PlainSummer{}, &MaskedSummer{}, &PaillierSummer{Key: testPaillierKey}} {
+		if _, err := s.Sum(nil); err == nil {
+			t.Errorf("%s: empty input should fail", s.Name())
+		}
+		if _, err := s.Sum([][]float64{{1, 2}, {3}}); err == nil {
+			t.Errorf("%s: ragged input should fail", s.Name())
+		}
+	}
+}

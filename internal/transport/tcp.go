@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCP is a Network whose endpoints talk over loopback TCP sockets with gob
+// framing. It runs the exact same protocols as InProc across real sockets,
+// demonstrating that nothing in the system depends on shared memory. Every
+// endpoint owns a listener on an ephemeral port; the network keeps the
+// name → address book.
+type TCP struct {
+	mu        sync.Mutex
+	addrs     map[string]string
+	endpoints map[string]*tcpEndpoint
+	closed    bool
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
+var _ Network = (*TCP)(nil)
+
+// NewTCP creates an empty TCP network on the loopback interface.
+func NewTCP() *TCP {
+	return &TCP{addrs: make(map[string]string), endpoints: make(map[string]*tcpEndpoint)}
+}
+
+// Endpoint implements Network. It binds a listener on 127.0.0.1 with an
+// ephemeral port and starts its accept loop.
+func (n *TCP) Endpoint(name string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.addrs[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateEndpoint, name)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport tcp listen: %w", err)
+	}
+	ep := &tcpEndpoint{
+		name:  name,
+		net:   n,
+		ln:    ln,
+		inbox: make(chan Message, inboxSize),
+		done:  make(chan struct{}),
+		conns: make(map[string]*tcpConn),
+	}
+	n.addrs[name] = ln.Addr().String()
+	n.endpoints[name] = ep
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Stats implements Network.
+func (n *TCP) Stats() Stats {
+	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load()}
+}
+
+// Close implements Network.
+func (n *TCP) Close() error {
+	n.mu.Lock()
+	eps := make([]*tcpEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+func (n *TCP) addressOf(name string) (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return "", ErrClosed
+	}
+	addr, ok := n.addrs[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownEndpoint, name)
+	}
+	return addr, nil
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+type tcpEndpoint struct {
+	name  string
+	net   *TCP
+	ln    net.Listener
+	inbox chan Message
+
+	closeOnce sync.Once
+	done      chan struct{}
+
+	connMu sync.Mutex
+	conns  map[string]*tcpConn // outbound, keyed by destination name
+}
+
+func (e *tcpEndpoint) Name() string { return e.name }
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(conn)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		select {
+		case e.inbox <- msg:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Send(to, kind string, payload []byte) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	c, err := e.connTo(to)
+	if err != nil {
+		return err
+	}
+	msg := Message{From: e.name, To: to, Kind: kind, Payload: payload}
+	c.mu.Lock()
+	err = c.enc.Encode(&msg)
+	c.mu.Unlock()
+	if err != nil {
+		// Drop the cached connection so the next send re-dials.
+		e.connMu.Lock()
+		if e.conns[to] == c {
+			delete(e.conns, to)
+		}
+		e.connMu.Unlock()
+		c.conn.Close()
+		return fmt.Errorf("transport tcp send to %q: %w", to, err)
+	}
+	e.net.messages.Add(1)
+	e.net.bytes.Add(int64(len(payload)))
+	return nil
+}
+
+func (e *tcpEndpoint) connTo(to string) (*tcpConn, error) {
+	e.connMu.Lock()
+	defer e.connMu.Unlock()
+	if c, ok := e.conns[to]; ok {
+		return c, nil
+	}
+	addr, err := e.net.addressOf(to)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport tcp dial %q: %w", to, err)
+	}
+	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	e.conns[to] = c
+	return c, nil
+}
+
+func (e *tcpEndpoint) Recv(ctx context.Context) (Message, error) {
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	case <-e.done:
+		return Message{}, ErrClosed
+	}
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.ln.Close()
+		e.connMu.Lock()
+		for _, c := range e.conns {
+			c.conn.Close()
+		}
+		e.connMu.Unlock()
+		e.net.mu.Lock()
+		delete(e.net.endpoints, e.name)
+		delete(e.net.addrs, e.name)
+		e.net.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,201 @@
+// Package transport is the message-passing layer connecting the simulated
+// cluster nodes: Mappers, the Reducer, and the coordinator. Two
+// implementations are provided behind one interface — an in-process network
+// (channels) used by the default simulation and tests, and a TCP network
+// (net + encoding/gob) that runs the same protocols across real sockets.
+//
+// Every network keeps byte and message counters, which the benchmarks use to
+// quantify the data-locality argument of Section I: the bytes a consensus
+// round moves are a few vectors, not the training data.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by networks and endpoints.
+var (
+	// ErrUnknownEndpoint indicates a send to a name never registered.
+	ErrUnknownEndpoint = errors.New("transport: unknown endpoint")
+	// ErrClosed indicates use of a closed endpoint or network.
+	ErrClosed = errors.New("transport: closed")
+	// ErrDuplicateEndpoint indicates a name registered twice.
+	ErrDuplicateEndpoint = errors.New("transport: endpoint already exists")
+)
+
+// Message is one datagram between named endpoints. Kind routes it within the
+// receiving protocol (e.g. "mask", "share", "broadcast").
+type Message struct {
+	From    string
+	To      string
+	Kind    string
+	Payload []byte
+}
+
+// Endpoint is one party's connection to the network.
+type Endpoint interface {
+	// Name returns the endpoint's registered name.
+	Name() string
+	// Send delivers a message to the named peer. It must be safe for
+	// concurrent use.
+	Send(to, kind string, payload []byte) error
+	// Recv blocks for the next inbound message or context cancellation.
+	Recv(ctx context.Context) (Message, error)
+	// Close releases the endpoint; subsequent operations return ErrClosed.
+	Close() error
+}
+
+// Stats are cumulative traffic counters for a network.
+type Stats struct {
+	Messages int64
+	// Bytes counts payload bytes only, the protocol-relevant volume.
+	Bytes int64
+}
+
+// Network creates endpoints and reports traffic statistics.
+type Network interface {
+	// Endpoint registers and returns a new named endpoint.
+	Endpoint(name string) (Endpoint, error)
+	// Stats returns a snapshot of the cumulative traffic counters.
+	Stats() Stats
+	// Close tears down the network and every endpoint.
+	Close() error
+}
+
+// inboxSize bounds per-endpoint buffering. Protocol rounds deliver at most
+// one message per peer per step, so this absorbs full rounds of clusters far
+// larger than the simulations use without ever blocking a sender.
+const inboxSize = 4096
+
+// InProc is the in-process Network backed by Go channels.
+type InProc struct {
+	mu        sync.Mutex
+	endpoints map[string]*inprocEndpoint
+	closed    bool
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
+var _ Network = (*InProc)(nil)
+
+// NewInProc creates an empty in-process network.
+func NewInProc() *InProc {
+	return &InProc{endpoints: make(map[string]*inprocEndpoint)}
+}
+
+// Endpoint implements Network.
+func (n *InProc) Endpoint(name string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateEndpoint, name)
+	}
+	ep := &inprocEndpoint{
+		name:  name,
+		net:   n,
+		inbox: make(chan Message, inboxSize),
+		done:  make(chan struct{}),
+	}
+	n.endpoints[name] = ep
+	return ep, nil
+}
+
+// Stats implements Network.
+func (n *InProc) Stats() Stats {
+	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load()}
+}
+
+// Close implements Network.
+func (n *InProc) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for _, ep := range n.endpoints {
+		ep.closeLocked()
+	}
+	return nil
+}
+
+func (n *InProc) lookup(name string) (*inprocEndpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	ep, ok := n.endpoints[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownEndpoint, name)
+	}
+	return ep, nil
+}
+
+type inprocEndpoint struct {
+	name  string
+	net   *InProc
+	inbox chan Message
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func (e *inprocEndpoint) Name() string { return e.name }
+
+func (e *inprocEndpoint) Send(to, kind string, payload []byte) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	dst, err := e.net.lookup(to)
+	if err != nil {
+		return err
+	}
+	msg := Message{From: e.name, To: to, Kind: kind, Payload: payload}
+	select {
+	case dst.inbox <- msg:
+		e.net.messages.Add(1)
+		e.net.bytes.Add(int64(len(payload)))
+		return nil
+	case <-dst.done:
+		return fmt.Errorf("send to %q: %w", to, ErrClosed)
+	}
+}
+
+func (e *inprocEndpoint) Recv(ctx context.Context) (Message, error) {
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	case <-e.done:
+		return Message{}, ErrClosed
+	}
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	e.closeLocked()
+	delete(e.net.endpoints, e.name)
+	return nil
+}
+
+func (e *inprocEndpoint) closeLocked() {
+	e.closeOnce.Do(func() { close(e.done) })
+}

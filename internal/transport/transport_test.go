@@ -1,0 +1,335 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// networks under test; each constructor returns a fresh Network.
+var implementations = []struct {
+	name string
+	mk   func() Network
+}{
+	{"inproc", func() Network { return NewInProc() }},
+	{"tcp", func() Network { return NewTCP() }},
+}
+
+func TestSendRecv(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := n.Endpoint("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Send("b", "greet", []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			msg, err := b.Recv(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg.From != "a" || msg.To != "b" || msg.Kind != "greet" || string(msg.Payload) != "hello" {
+				t.Errorf("got %+v", msg)
+			}
+		})
+	}
+}
+
+func TestUnknownEndpoint(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Send("ghost", "k", nil); !errors.Is(err, ErrUnknownEndpoint) {
+				t.Errorf("send to ghost: err = %v, want ErrUnknownEndpoint", err)
+			}
+		})
+	}
+}
+
+func TestDuplicateEndpoint(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			if _, err := n.Endpoint("x"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := n.Endpoint("x"); !errors.Is(err, ErrDuplicateEndpoint) {
+				t.Errorf("duplicate: err = %v, want ErrDuplicateEndpoint", err)
+			}
+		})
+	}
+}
+
+func TestRecvContextCancel(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			if _, err := a.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("Recv on empty inbox: err = %v, want DeadlineExceeded", err)
+			}
+		})
+	}
+}
+
+func TestClosedEndpoint(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Send("a", "k", nil); !errors.Is(err, ErrClosed) {
+				t.Errorf("send after close: err = %v, want ErrClosed", err)
+			}
+			// The name becomes free again.
+			if _, err := n.Endpoint("a"); err != nil {
+				t.Errorf("re-register after close: %v", err)
+			}
+		})
+	}
+}
+
+func TestStatsCountPayloadBytes(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := n.Endpoint("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := make([]byte, 1000)
+			for i := 0; i < 5; i++ {
+				if err := a.Send("b", "blob", payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for i := 0; i < 5; i++ {
+				if _, err := b.Recv(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := n.Stats()
+			if st.Messages != 5 || st.Bytes != 5000 {
+				t.Errorf("stats = %+v, want 5 msgs / 5000 bytes", st)
+			}
+		})
+	}
+}
+
+func TestManyToOneConcurrent(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			const senders, msgs = 8, 20
+			n := impl.mk()
+			defer n.Close()
+			sink, err := n.Endpoint("sink")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				name := fmt.Sprintf("s%d", s)
+				ep, err := n.Endpoint(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(ep Endpoint) {
+					defer wg.Done()
+					for i := 0; i < msgs; i++ {
+						if err := ep.Send("sink", "n", []byte{byte(i)}); err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+					}
+				}(ep)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			got := make(map[string]int)
+			for i := 0; i < senders*msgs; i++ {
+				msg, err := sink.Recv(ctx)
+				if err != nil {
+					t.Fatalf("recv %d: %v", i, err)
+				}
+				got[msg.From]++
+			}
+			wg.Wait()
+			for s := 0; s < senders; s++ {
+				if got[fmt.Sprintf("s%d", s)] != msgs {
+					t.Errorf("sender s%d delivered %d, want %d", s, got[fmt.Sprintf("s%d", s)], msgs)
+				}
+			}
+		})
+	}
+}
+
+func TestPerSenderOrdering(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := n.Endpoint("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 50; i++ {
+				if err := a.Send("b", "seq", []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for i := 0; i < 50; i++ {
+				msg, err := b.Recv(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if msg.Payload[0] != byte(i) {
+					t.Fatalf("out of order: got %d at position %d", msg.Payload[0], i)
+				}
+			}
+		})
+	}
+}
+
+func TestNetworkCloseUnblocksRecv(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() {
+				_, err := a.Recv(context.Background())
+				done <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			if err := n.Close(); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case err := <-done:
+				if !errors.Is(err, ErrClosed) {
+					t.Errorf("Recv after network close: err = %v, want ErrClosed", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Recv did not unblock on network close")
+			}
+		})
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Send("a", "loop", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			msg, err := a.Recv(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg.From != "a" || string(msg.Payload) != "x" {
+				t.Errorf("self send: got %+v", msg)
+			}
+		})
+	}
+}
+
+func TestLargePayloadOverTCP(t *testing.T) {
+	// Paillier aggregation ships multi-megabyte ciphertext vectors; the gob
+	// framing must survive them intact.
+	n := NewTCP()
+	defer n.Close()
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4<<20) // 4 MiB
+	for i := range payload {
+		payload[i] = byte(i * 2654435761)
+	}
+	if err := a.Send("b", "big", payload); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	msg, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Payload) != len(payload) {
+		t.Fatalf("payload truncated: %d of %d bytes", len(msg.Payload), len(payload))
+	}
+	for i := range payload {
+		if msg.Payload[i] != payload[i] {
+			t.Fatalf("payload corrupted at byte %d", i)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package ppml
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/ppml-go/ppml/internal/consensus"
+	"github.com/ppml-go/ppml/internal/kernel"
+	"github.com/ppml-go/ppml/internal/linalg"
+	"github.com/ppml-go/ppml/internal/svm"
+)
+
+// ErrBadModel indicates an unrecognized or corrupt serialized model.
+var ErrBadModel = errors.New("ppml: bad model")
+
+// modelEnvelope is the on-disk framing: a type tag plus the type-specific
+// payload. The format is versioned so future layouts can coexist.
+type modelEnvelope struct {
+	Version int             `json:"version"`
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload"`
+	// Scaler is the feature standardization the model was trained under,
+	// when saved with SaveModelWithScaler.
+	Scaler *Scaler `json:"scaler,omitempty"`
+}
+
+const modelVersion = 1
+
+// Serialized payloads. Matrices serialize through linalg.Matrix's exported
+// row-major layout.
+type linearModelJSON struct {
+	W []float64 `json:"w"`
+	B float64   `json:"b"`
+}
+
+type kernelHorizontalModelJSON struct {
+	Kernel    string           `json:"kernel"`
+	Landmarks *linalg.Matrix   `json:"landmarks"`
+	SupportX  []*linalg.Matrix `json:"supportX"`
+	CoefX     [][]float64      `json:"coefX"`
+	CoefG     [][]float64      `json:"coefG"`
+	B         []float64        `json:"b"`
+}
+
+type kernelVerticalModelJSON struct {
+	Kernel   string           `json:"kernel"`
+	Cols     [][]int          `json:"cols"`
+	SupportX []*linalg.Matrix `json:"supportX"`
+	Alpha    [][]float64      `json:"alpha"`
+	B        float64          `json:"b"`
+}
+
+type logisticModelJSON struct {
+	W []float64 `json:"w"`
+	B float64   `json:"b"`
+}
+
+type naiveBayesModelJSON struct {
+	PriorPos float64   `json:"priorPos"`
+	MeanPos  []float64 `json:"meanPos"`
+	VarPos   []float64 `json:"varPos"`
+	MeanNeg  []float64 `json:"meanNeg"`
+	VarNeg   []float64 `json:"varNeg"`
+}
+
+type svmModelJSON struct {
+	Kernel   string         `json:"kernel"`
+	SupportX *linalg.Matrix `json:"supportX"`
+	Coef     []float64      `json:"coef"`
+	B        float64        `json:"b"`
+	W        []float64      `json:"w,omitempty"`
+}
+
+// SaveModel writes a trained model to w as versioned JSON. Every model
+// produced by Train and TrainCentralized is supported.
+func SaveModel(w io.Writer, m Model) error {
+	return SaveModelWithScaler(w, m, nil)
+}
+
+// SaveModelWithScaler writes the model together with the feature scaler it
+// was trained under (from Standardize), so loaded models can standardize new
+// inputs consistently. scaler may be nil.
+func SaveModelWithScaler(w io.Writer, m Model, scaler *Scaler) error {
+	env := modelEnvelope{Version: modelVersion, Scaler: scaler}
+	var payload any
+	switch mm := m.(type) {
+	case *consensus.LinearModel:
+		env.Type = "linear"
+		payload = linearModelJSON{W: mm.W, B: mm.B}
+	case *consensus.LogisticModel:
+		env.Type = "logistic"
+		payload = logisticModelJSON{W: mm.W, B: mm.B}
+	case *consensus.NaiveBayesModel:
+		env.Type = "naive-bayes"
+		payload = naiveBayesModelJSON{
+			PriorPos: mm.PriorPos,
+			MeanPos:  mm.MeanPos, VarPos: mm.VarPos,
+			MeanNeg: mm.MeanNeg, VarNeg: mm.VarNeg,
+		}
+	case *consensus.KernelHorizontalModel:
+		spec, err := kernel.Spec(mm.Kernel)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		env.Type = "kernel-horizontal"
+		payload = kernelHorizontalModelJSON{
+			Kernel: spec, Landmarks: mm.Landmarks,
+			SupportX: mm.SupportX, CoefX: mm.CoefX, CoefG: mm.CoefG, B: mm.B,
+		}
+	case *consensus.KernelVerticalModel:
+		spec, err := kernel.Spec(mm.Kernel)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		env.Type = "kernel-vertical"
+		payload = kernelVerticalModelJSON{
+			Kernel: spec, Cols: mm.Cols, SupportX: mm.SupportX,
+			Alpha: mm.Alpha, B: mm.B,
+		}
+	case *svm.Model:
+		spec, err := kernel.Spec(mm.Kernel)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		env.Type = "svm"
+		payload = svmModelJSON{
+			Kernel: spec, SupportX: mm.SupportX, Coef: mm.Coef, B: mm.B, W: mm.W,
+		}
+	default:
+		return fmt.Errorf("%w: cannot serialize %T", ErrBadModel, m)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("ppml: marshal model: %w", err)
+	}
+	env.Payload = raw
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		return fmt.Errorf("ppml: write model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model previously written by SaveModel, discarding any
+// embedded scaler. Use LoadModelWithScaler to recover it.
+func LoadModel(r io.Reader) (Model, error) {
+	m, _, err := LoadModelWithScaler(r)
+	return m, err
+}
+
+// LoadModelWithScaler reads a model and, when present, the feature scaler it
+// was saved with (nil otherwise).
+func LoadModelWithScaler(r io.Reader) (Model, *Scaler, error) {
+	var env modelEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+	}
+	if env.Version != modelVersion {
+		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrBadModel, env.Version)
+	}
+	m, err := decodeModel(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, env.Scaler, nil
+}
+
+// decodeModel reconstructs the concrete model from a decoded envelope.
+func decodeModel(env modelEnvelope) (Model, error) {
+	switch env.Type {
+	case "linear":
+		var p linearModelJSON
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		return &consensus.LinearModel{W: p.W, B: p.B}, nil
+	case "logistic":
+		var p logisticModelJSON
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		return &consensus.LogisticModel{W: p.W, B: p.B}, nil
+	case "naive-bayes":
+		var p naiveBayesModelJSON
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		k := len(p.MeanPos)
+		if len(p.VarPos) != k || len(p.MeanNeg) != k || len(p.VarNeg) != k ||
+			p.PriorPos <= 0 || p.PriorPos >= 1 {
+			return nil, fmt.Errorf("%w: inconsistent naive-bayes payload", ErrBadModel)
+		}
+		return &consensus.NaiveBayesModel{
+			PriorPos: p.PriorPos,
+			MeanPos:  p.MeanPos, VarPos: p.VarPos,
+			MeanNeg: p.MeanNeg, VarNeg: p.VarNeg,
+		}, nil
+	case "kernel-horizontal":
+		var p kernelHorizontalModelJSON
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		k, err := kernel.Parse(p.Kernel)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		if len(p.SupportX) != len(p.CoefX) || len(p.CoefX) != len(p.CoefG) || len(p.CoefG) != len(p.B) {
+			return nil, fmt.Errorf("%w: inconsistent learner counts", ErrBadModel)
+		}
+		return &consensus.KernelHorizontalModel{
+			Kernel: k, Landmarks: p.Landmarks,
+			SupportX: p.SupportX, CoefX: p.CoefX, CoefG: p.CoefG, B: p.B,
+		}, nil
+	case "kernel-vertical":
+		var p kernelVerticalModelJSON
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		k, err := kernel.Parse(p.Kernel)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		if len(p.SupportX) != len(p.Alpha) || len(p.Alpha) != len(p.Cols) {
+			return nil, fmt.Errorf("%w: inconsistent learner counts", ErrBadModel)
+		}
+		return &consensus.KernelVerticalModel{
+			Kernel: k, Cols: p.Cols, SupportX: p.SupportX, Alpha: p.Alpha, B: p.B,
+		}, nil
+	case "svm":
+		var p svmModelJSON
+		if err := json.Unmarshal(env.Payload, &p); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		k, err := kernel.Parse(p.Kernel)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		return &svm.Model{
+			Kernel: k, SupportX: p.SupportX, Coef: p.Coef, B: p.B, W: p.W,
+			SupportCount: len(p.Coef),
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown model type %q", ErrBadModel, env.Type)
+	}
+}

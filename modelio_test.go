@@ -1,0 +1,161 @@
+package ppml_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/ppml-go/ppml"
+)
+
+// trainEachScheme trains one small model per scheme plus the centralized
+// baseline, for persistence round-trip testing.
+func trainEachScheme(t *testing.T) map[string]*ppml.Result {
+	t.Helper()
+	train, _ := prepared(t, 160)
+	out := make(map[string]*ppml.Result)
+	for _, scheme := range []ppml.Scheme{
+		ppml.HorizontalLinear, ppml.HorizontalKernel,
+		ppml.VerticalLinear, ppml.VerticalKernel,
+		ppml.HorizontalLogistic, ppml.HorizontalNaiveBayes,
+	} {
+		opts := []ppml.Option{ppml.WithLearners(2), ppml.WithIterations(8)}
+		if scheme == ppml.HorizontalKernel || scheme == ppml.VerticalKernel {
+			opts = append(opts, ppml.WithKernel(ppml.RBFKernel(0.1)), ppml.WithLandmarks(8))
+		}
+		res, err := ppml.Train(train, scheme, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		out[scheme.String()] = res
+	}
+	central, err := ppml.TrainCentralized(train, ppml.WithC(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["centralized"] = central
+	kc, err := ppml.TrainCentralized(train, ppml.WithC(10), ppml.WithKernel(ppml.RBFKernel(0.1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["centralized-kernel"] = kc
+	return out
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	_, test := prepared(t, 160)
+	for name, res := range trainEachScheme(t) {
+		name, res := name, res
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := ppml.SaveModel(&buf, res.Model); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := ppml.LoadModel(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Decisions must match exactly on every test point.
+			for i := 0; i < test.Len(); i++ {
+				x := test.Row(i)
+				if got, want := loaded.Decision(x), res.Model.Decision(x); got != want {
+					t.Fatalf("decision differs at %d: %g vs %g", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	cases := []string{
+		"",  // empty
+		"{", // truncated JSON
+		`{"version":99,"type":"linear","payload":{}}`,                                                                           // bad version
+		`{"version":1,"type":"alien","payload":{}}`,                                                                             // unknown type
+		`{"version":1,"type":"svm","payload":{"kernel":"quantum:1"}}`,                                                           // bad kernel
+		`{"version":1,"type":"kernel-horizontal","payload":{"kernel":"linear","supportX":[null],"coefX":[],"coefG":[],"b":[]}}`, // inconsistent
+	}
+	for _, in := range cases {
+		if _, err := ppml.LoadModel(strings.NewReader(in)); !errors.Is(err, ppml.ErrBadModel) {
+			t.Errorf("LoadModel(%.40q): err = %v, want ErrBadModel", in, err)
+		}
+	}
+}
+
+func TestSavedModelIsVersionedJSON(t *testing.T) {
+	res := trainEachScheme(t)["horizontal-linear"]
+	var buf bytes.Buffer
+	if err := ppml.SaveModel(&buf, res.Model); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"version": 1`) || !strings.Contains(out, `"type": "linear"`) {
+		t.Errorf("serialized model missing framing:\n%.200s", out)
+	}
+}
+
+func TestSaveLoadModelWithScaler(t *testing.T) {
+	data := ppml.SyntheticCancer(200, 4)
+	train, test, err := data.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler, err := ppml.Standardize(train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ppml.Train(train, ppml.HorizontalLinear, ppml.WithLearners(2), ppml.WithIterations(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ppml.SaveModelWithScaler(&buf, res.Model, scaler); err != nil {
+		t.Fatal(err)
+	}
+	model, loadedScaler, err := ppml.LoadModelWithScaler(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedScaler == nil {
+		t.Fatal("scaler was not round-tripped")
+	}
+	if loadedScaler.Features() != train.Features() {
+		t.Errorf("scaler features = %d, want %d", loadedScaler.Features(), train.Features())
+	}
+	// Fresh raw data + loaded scaler must reproduce the trained pipeline:
+	// transform a raw sample and check the decision matches the test-set one.
+	raw := ppml.SyntheticCancer(200, 4) // same seed: same underlying samples
+	for i := 0; i < 10; i++ {
+		x, err := loadedScaler.Transform(raw.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The standardized vector classifies identically under both models.
+		if model.Predict(x) != res.Model.Predict(x) {
+			t.Fatalf("prediction differs on transformed sample %d", i)
+		}
+	}
+}
+
+func TestScalerTransformValidation(t *testing.T) {
+	data := ppml.SyntheticCancer(60, 4)
+	train, _, err := data.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler, err := ppml.Standardize(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scaler.Transform([]float64{1}); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("short vector: err = %v, want ErrBadRequest", err)
+	}
+	var nilScaler *ppml.Scaler
+	if _, err := nilScaler.Transform([]float64{1}); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("nil scaler: err = %v, want ErrBadRequest", err)
+	}
+	if nilScaler.Features() != 0 {
+		t.Error("nil scaler Features should be 0")
+	}
+}

@@ -1,0 +1,549 @@
+// Package ppml is a Go implementation of the privacy-preserving machine
+// learning framework of Xu, Yue, Guo, Guo and Fang, "Privacy-preserving
+// Machine Learning Algorithms for Big Data Systems" (IEEE ICDCS 2015).
+//
+// A group of organizations jointly train a support vector machine without
+// revealing their private training data to each other or to the coordinator.
+// Training runs as an iterative MapReduce job: each learner is a Mapper that
+// keeps its data local (data locality) and solves a small ADMM sub-problem
+// per iteration; the Reducer aggregates only the learners' masked local
+// iterates through a coalition-resistant secure summation protocol and feeds
+// the consensus back until convergence.
+//
+// The paper's four SVM schemes are provided — linear and kernel SVMs over
+// horizontally partitioned data (each learner holds a subset of the records)
+// and over vertically partitioned data (each learner holds a subset of the
+// feature columns; labels are shared) — plus two further algorithm families
+// on the same machinery: consensus logistic regression and single-round
+// secure Gaussian Naive Bayes. Multiclass tasks train one-vs-rest
+// (TrainMulticlass); trained models persist as versioned JSON (SaveModel);
+// out-of-sample accuracy estimates come from CrossValidate.
+//
+// # Quick start
+//
+//	data := ppml.SyntheticCancer(0, 1)
+//	train, test, _ := data.Split(0.5)
+//	ppml.Standardize(train, test)
+//	res, _ := ppml.Train(train, ppml.HorizontalLinear,
+//	    ppml.WithLearners(4), ppml.WithC(50), ppml.WithRho(100),
+//	    ppml.WithEvalSet(test))
+//	acc, _ := ppml.Evaluate(res.Model, test)
+//
+// By default training simulates the full distributed system in process. Use
+// WithDistributed to run every Mapper and the Reducer as separate nodes
+// exchanging messages (and executing the real secure-summation rounds) over
+// an in-process or TCP transport.
+package ppml
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/ppml-go/ppml/internal/consensus"
+	"github.com/ppml-go/ppml/internal/dp"
+	"github.com/ppml-go/ppml/internal/eval"
+	"github.com/ppml-go/ppml/internal/kernel"
+	"github.com/ppml-go/ppml/internal/mapreduce"
+	"github.com/ppml-go/ppml/internal/paillier"
+	"github.com/ppml-go/ppml/internal/partition"
+	"github.com/ppml-go/ppml/internal/svm"
+	"github.com/ppml-go/ppml/internal/transport"
+)
+
+// ErrBadRequest indicates invalid arguments to Train or Evaluate.
+var ErrBadRequest = errors.New("ppml: bad request")
+
+// Scheme selects the partitioning and SVM variant of Section IV.
+type Scheme int
+
+// The four training schemes of the paper.
+const (
+	// HorizontalLinear trains a linear SVM over row-partitioned data.
+	HorizontalLinear Scheme = iota + 1
+	// HorizontalKernel trains a kernel SVM over row-partitioned data using
+	// the landmark consensus of Section IV-B.
+	HorizontalKernel
+	// VerticalLinear trains a linear SVM over column-partitioned data.
+	VerticalLinear
+	// VerticalKernel trains an additive kernel SVM over column-partitioned
+	// data.
+	VerticalKernel
+	// HorizontalLogistic trains L2-regularized logistic regression over
+	// row-partitioned data with the same consensus + secure-summation
+	// machinery (the framework is not SVM-specific).
+	HorizontalLogistic
+	// HorizontalNaiveBayes fits Gaussian Naive Bayes over row-partitioned
+	// data in a single secure-summation round: the classifier's sufficient
+	// statistics are sums, the one operation the Section V protocol computes
+	// privately.
+	HorizontalNaiveBayes
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case HorizontalLinear:
+		return "horizontal-linear"
+	case HorizontalKernel:
+		return "horizontal-kernel"
+	case VerticalLinear:
+		return "vertical-linear"
+	case VerticalKernel:
+		return "vertical-kernel"
+	case HorizontalLogistic:
+		return "horizontal-logistic"
+	case HorizontalNaiveBayes:
+		return "horizontal-naivebayes"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Model is a trained classifier.
+type Model interface {
+	// Predict returns the class label of x: +1 or −1.
+	Predict(x []float64) float64
+	// Decision returns the real-valued discriminant f(x); its sign is the
+	// prediction and its magnitude a confidence.
+	Decision(x []float64) float64
+}
+
+// History records per-iteration training behaviour — the quantities the
+// paper plots in Fig. 4.
+type History struct {
+	// DeltaZSq[t] is ‖z_{t+1} − z_t‖², the consensus convergence measure.
+	DeltaZSq []float64
+	// Accuracy[t] is the evaluation-set accuracy after iteration t
+	// (present only when WithEvalSet was given).
+	Accuracy []float64
+	// Iterations actually executed.
+	Iterations int
+	// Converged reports whether the tolerance stopped training early.
+	Converged bool
+	// ElapsedSeconds is the wall-clock training time.
+	ElapsedSeconds float64
+	// MessagesSent and BytesSent count transport traffic (distributed mode).
+	MessagesSent int64
+	BytesSent    int64
+	// RemoteInputBytes is training data moved off its owner's node by the
+	// Map phase (distributed mode with WithLocalityTracking; zero means the
+	// scheduler achieved full data locality).
+	RemoteInputBytes int64
+}
+
+// Result bundles a trained model with its history.
+type Result struct {
+	Model   Model
+	History History
+	// Scheme that produced the model.
+	Scheme Scheme
+	// Learners the data was partitioned across.
+	Learners int
+	// Scaler is the securely fitted feature scaler when training used
+	// WithSecureStandardization; nil otherwise.
+	Scaler *Scaler
+}
+
+// Train partitions data across the configured learners and runs the selected
+// privacy-preserving consensus scheme.
+func Train(data *Dataset, scheme Scheme, opts ...Option) (*Result, error) {
+	if data == nil || data.inner == nil {
+		return nil, fmt.Errorf("%w: nil data set", ErrBadRequest)
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.learners < 1 {
+		return nil, fmt.Errorf("%w: %d learners", ErrBadRequest, o.learners)
+	}
+	cfg := o.cfg
+	if o.paillierBits > 0 {
+		key, err := paillier.GenerateKey(nil, o.paillierBits)
+		if err != nil {
+			return nil, fmt.Errorf("ppml: %w", err)
+		}
+		cfg.PaillierKey = key
+	}
+	rng := rand.New(rand.NewSource(o.partitionSeed))
+
+	switch scheme {
+	case HorizontalLogistic, HorizontalNaiveBayes:
+		parts, _, err := partition.Horizontal(data.inner, o.learners, rng)
+		if err != nil {
+			return nil, fmt.Errorf("ppml: %w", err)
+		}
+		var scaler *Scaler
+		if o.secureStandardize {
+			inner, err := consensus.SecureStandardize(parts, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ppml: %w", err)
+			}
+			scaler = &Scaler{inner: inner}
+			if cfg.EvalSet != nil {
+				scaled := cfg.EvalSet.Clone()
+				if err := inner.Apply(scaled); err != nil {
+					return nil, fmt.Errorf("ppml: %w", err)
+				}
+				cfg.EvalSet = scaled
+			}
+		}
+		if o.dpEpsilon > 0 && scheme == HorizontalNaiveBayes {
+			return nil, fmt.Errorf("%w: WithDPOutput supports only the linear schemes", ErrBadRequest)
+		}
+		if scheme == HorizontalLogistic {
+			model, h, err := consensus.TrainHorizontalLogistic(parts, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ppml: %w", err)
+			}
+			if o.dpEpsilon > 0 {
+				// The logistic minimizer has the same sensitivity form as
+				// the SVM's under the shared C-parameterization.
+				lin := &consensus.LinearModel{W: model.W, B: model.B}
+				if err := applyDP(lin, o); err != nil {
+					return nil, err
+				}
+				model.W, model.B = lin.W, lin.B
+			}
+			res := newResult(model, h, scheme, o.learners)
+			res.Scaler = scaler
+			return res, nil
+		}
+		model, h, err := consensus.TrainNaiveBayes(parts, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ppml: %w", err)
+		}
+		res := newResult(model, h, scheme, o.learners)
+		res.Scaler = scaler
+		return res, nil
+
+	case HorizontalLinear, HorizontalKernel:
+		parts, _, err := partition.Horizontal(data.inner, o.learners, rng)
+		if err != nil {
+			return nil, fmt.Errorf("ppml: %w", err)
+		}
+		var scaler *Scaler
+		if o.secureStandardize {
+			inner, err := consensus.SecureStandardize(parts, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ppml: %w", err)
+			}
+			scaler = &Scaler{inner: inner}
+			if cfg.EvalSet != nil {
+				scaled := cfg.EvalSet.Clone()
+				if err := inner.Apply(scaled); err != nil {
+					return nil, fmt.Errorf("ppml: %w", err)
+				}
+				cfg.EvalSet = scaled
+			}
+		}
+		if scheme == HorizontalLinear {
+			model, h, err := consensus.TrainHorizontalLinear(parts, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ppml: %w", err)
+			}
+			if err := applyDP(model, o); err != nil {
+				return nil, err
+			}
+			res := newResult(model, h, scheme, o.learners)
+			res.Scaler = scaler
+			return res, nil
+		}
+		if o.dpEpsilon > 0 {
+			return nil, fmt.Errorf("%w: WithDPOutput supports only the linear schemes", ErrBadRequest)
+		}
+		model, h, err := consensus.TrainHorizontalKernel(parts, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ppml: %w", err)
+		}
+		res := newResult(model, h, scheme, o.learners)
+		res.Scaler = scaler
+		return res, nil
+
+	case VerticalLinear, VerticalKernel:
+		if o.secureStandardize {
+			return nil, fmt.Errorf("%w: WithSecureStandardization applies to the horizontal schemes (vertical learners standardize their own columns locally)", ErrBadRequest)
+		}
+		parts, cols, err := partition.Vertical(data.inner, o.learners, rng)
+		if err != nil {
+			return nil, fmt.Errorf("ppml: %w", err)
+		}
+		if scheme == VerticalLinear {
+			model, h, err := consensus.TrainVerticalLinear(parts, cols, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ppml: %w", err)
+			}
+			if err := applyDP(model, o); err != nil {
+				return nil, err
+			}
+			return newResult(model, h, scheme, o.learners), nil
+		}
+		if o.dpEpsilon > 0 {
+			return nil, fmt.Errorf("%w: WithDPOutput supports only the linear schemes", ErrBadRequest)
+		}
+		model, h, err := consensus.TrainVerticalKernel(parts, cols, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ppml: %w", err)
+		}
+		return newResult(model, h, scheme, o.learners), nil
+	}
+	return nil, fmt.Errorf("%w: unknown scheme %d", ErrBadRequest, int(scheme))
+}
+
+// applyDP perturbs a trained linear model in place when WithDPOutput is set.
+func applyDP(model *consensus.LinearModel, o options) error {
+	if o.dpEpsilon <= 0 {
+		return nil
+	}
+	// Perturb (w, b) jointly: the bias is part of the released minimizer.
+	wb := make([]float64, len(model.W)+1)
+	copy(wb, model.W)
+	wb[len(model.W)] = model.B
+	if err := dp.PerturbVector(wb, o.dpEpsilon, dp.SVMSensitivity(o.cfg.C), nil); err != nil {
+		return fmt.Errorf("ppml: %w", err)
+	}
+	copy(model.W, wb[:len(model.W)])
+	model.B = wb[len(model.W)]
+	return nil
+}
+
+func newResult(model Model, h *consensus.History, scheme Scheme, learners int) *Result {
+	return &Result{
+		Model: model,
+		History: History{
+			DeltaZSq:         h.DeltaZSq,
+			Accuracy:         h.Accuracy,
+			Iterations:       h.Iterations,
+			Converged:        h.Converged,
+			ElapsedSeconds:   h.Elapsed.Seconds(),
+			MessagesSent:     h.Net.Messages,
+			BytesSent:        h.Net.Bytes,
+			RemoteInputBytes: h.RemoteInputBytes,
+		},
+		Scheme:   scheme,
+		Learners: learners,
+	}
+}
+
+// TrainCentralized trains the paper's benchmark: an ordinary SVM on the
+// pooled data with no privacy protection. Use it to quantify what the
+// consensus schemes give up (Section VI compares against exactly this).
+func TrainCentralized(data *Dataset, opts ...Option) (*Result, error) {
+	if data == nil || data.inner == nil {
+		return nil, fmt.Errorf("%w: nil data set", ErrBadRequest)
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	m, err := svm.Train(data.inner.X, data.inner.Y, svm.Params{
+		C:           o.cfg.C,
+		Kernel:      o.cfg.Kernel,
+		SecondOrder: o.secondOrderQP,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ppml: %w", err)
+	}
+	return &Result{Model: m, Learners: 1}, nil
+}
+
+// Evaluate returns the correct-classification ratio of m on d.
+func Evaluate(m Model, d *Dataset) (float64, error) {
+	if m == nil || d == nil || d.inner == nil {
+		return 0, fmt.Errorf("%w: nil model or data", ErrBadRequest)
+	}
+	acc, err := eval.ClassifierAccuracy(m, d.inner)
+	if err != nil {
+		return 0, fmt.Errorf("ppml: %w", err)
+	}
+	return acc, nil
+}
+
+// Option configures Train.
+type Option func(*options)
+
+type options struct {
+	cfg               consensus.Config
+	learners          int
+	partitionSeed     int64
+	dpEpsilon         float64
+	secureStandardize bool
+	paillierBits      int
+	secondOrderQP     bool
+}
+
+func defaultOptions() options {
+	return options{
+		cfg: consensus.Config{
+			C:             50,  // paper Section VI
+			Rho:           100, // paper Section VI
+			MaxIterations: 100,
+		},
+		learners:      4, // paper Section VI
+		partitionSeed: 1,
+	}
+}
+
+// WithC sets the slack penalty C (default 50, as in the paper).
+func WithC(c float64) Option { return func(o *options) { o.cfg.C = c } }
+
+// WithRho sets the ADMM penalty ρ (default 100, as in the paper). High ρ
+// emphasizes consensus speed over margin width (Section VI).
+func WithRho(rho float64) Option { return func(o *options) { o.cfg.Rho = rho } }
+
+// WithIterations caps the consensus rounds (default 100).
+func WithIterations(n int) Option { return func(o *options) { o.cfg.MaxIterations = n } }
+
+// WithTolerance stops early once ‖z_{t+1} − z_t‖² < tol (default: run the
+// full iteration budget, like the paper's experiments).
+func WithTolerance(tol float64) Option { return func(o *options) { o.cfg.Tol = tol } }
+
+// WithLearners sets the number of collaborating organizations M (default 4).
+func WithLearners(m int) Option { return func(o *options) { o.learners = m } }
+
+// WithKernel selects the kernel for the nonlinear schemes.
+func WithKernel(k Kernel) Option { return func(o *options) { o.cfg.Kernel = k.k } }
+
+// WithLandmarks sets the size l of the reduced consensus space used by
+// HorizontalKernel (default 20). More landmarks approximate the full RKHS
+// consensus better at higher cost (Lemma 4.4).
+func WithLandmarks(l int) Option { return func(o *options) { o.cfg.Landmarks = l } }
+
+// WithSeed fixes the partitioning and landmark randomness (default 1).
+func WithSeed(seed int64) Option {
+	return func(o *options) {
+		o.partitionSeed = seed
+		o.cfg.Seed = seed
+	}
+}
+
+// WithEvalSet records accuracy on d after every iteration into
+// Result.History.Accuracy (the data behind Fig. 4(e)–(h)).
+func WithEvalSet(d *Dataset) Option {
+	return func(o *options) {
+		if d != nil {
+			o.cfg.EvalSet = d.inner
+		}
+	}
+}
+
+// WithDistributed runs Mappers and Reducer as separate simulated nodes
+// exchanging real messages, with the Section V secure summation protocol at
+// the Reducer. Without it the trainers compute identical iterates in
+// process.
+func WithDistributed() Option { return func(o *options) { o.cfg.Distributed = true } }
+
+// WithPlainAggregation disables masking in distributed mode: the Reducer
+// sees raw local iterates. No privacy — provided for overhead comparisons.
+func WithPlainAggregation() Option {
+	return func(o *options) { o.cfg.Aggregation = mapreduce.AggregationPlain }
+}
+
+// WithPaillierAggregation replaces the masking protocol with additively
+// homomorphic aggregation in distributed mode: Mappers encrypt every element
+// of their contribution, the Reducer multiplies ciphertexts, and only the
+// aggregate is decrypted (by a simulated key authority). This is the
+// heavyweight alternative the paper's design argues against — expect
+// orders-of-magnitude slower rounds and ciphertext-sized traffic; it exists
+// so that trade-off can be measured end to end. keyBits ≥ 512 (use ≥ 2048
+// outside simulations); generation errors surface at Train.
+func WithPaillierAggregation(keyBits int) Option {
+	return func(o *options) {
+		o.cfg.Distributed = true
+		o.cfg.Aggregation = mapreduce.AggregationPaillier
+		o.paillierBits = keyBits
+	}
+}
+
+// WithTCP runs distributed training over loopback TCP sockets instead of
+// in-process channels.
+func WithTCP() Option {
+	return func(o *options) {
+		o.cfg.Distributed = true
+		o.cfg.Network = transport.NewTCP()
+	}
+}
+
+// WithSecondOrderQP selects LIBSVM-style second-order SMO working-set
+// selection for the equality-constrained dual solves (TrainCentralized and
+// the WithPaperSplit path). Fewer but costlier steps; useful on
+// ill-conditioned duals.
+func WithSecondOrderQP() Option {
+	return func(o *options) {
+		o.secondOrderQP = true
+		o.cfg.QPSecondOrder = true
+	}
+}
+
+// WithSecureStandardization standardizes features as part of training
+// WITHOUT pooling data or statistics: each learner contributes its local
+// (count, sum, sum-of-squares) through one secure-summation round, only the
+// global moments are reconstructed, and each learner scales its partition
+// locally. Supported by the horizontal schemes (vertical learners own whole
+// columns and can standardize them locally anyway). The evaluation set, when
+// given, is scaled with the same statistics. Result.Scaler carries the
+// fitted scaler.
+//
+// Use this instead of the centralized Standardize when even per-learner
+// feature distributions must stay private.
+func WithSecureStandardization() Option {
+	return func(o *options) { o.secureStandardize = true }
+}
+
+// WithDPOutput releases the trained model with ε-differential privacy by
+// output perturbation (Chaudhuri–Monteleoni, discussed in the paper's
+// related work): isotropic noise with Gamma-distributed norm calibrated to
+// the SVM minimizer's sensitivity 2C is added to the final linear model.
+// Smaller ε gives stronger privacy and lower accuracy. Only the linear
+// schemes support it; kernel schemes return an error.
+//
+// This composes with — not replaces — the secure summation protocol: the
+// masks hide learners' iterates during training, the DP noise bounds what
+// the released model itself leaks about any single record.
+func WithDPOutput(epsilon float64) Option {
+	return func(o *options) { o.dpEpsilon = epsilon }
+}
+
+// WithLocalityTracking (distributed mode) stores each learner's partition
+// in the simulated HDFS on that learner's own node, schedules the Map task
+// there, and reports how many bytes of training data crossed the network in
+// Result.History — zero under the paper's data-locality layout.
+func WithLocalityTracking() Option {
+	return func(o *options) {
+		o.cfg.Distributed = true
+		o.cfg.TrackLocality = true
+	}
+}
+
+// WithPaperSplit (HorizontalLinear only) reproduces the paper's printed
+// Gauss-Seidel (w, b) update with the lagged equality constraint of eq. (12)
+// instead of the provably convergent joint update. See DESIGN.md for why the
+// printed form freezes the bias.
+func WithPaperSplit() Option { return func(o *options) { o.cfg.PaperSplit = true } }
+
+// Kernel is a similarity function for the nonlinear schemes.
+type Kernel struct{ k kernel.Kernel }
+
+// LinearKernel returns K(x, y) = ⟨x, y⟩.
+func LinearKernel() Kernel { return Kernel{kernel.Linear{}} }
+
+// RBFKernel returns the Gaussian kernel K(x, y) = exp(−γ‖x−y‖²).
+func RBFKernel(gamma float64) Kernel { return Kernel{kernel.RBF{Gamma: gamma}} }
+
+// PolynomialKernel returns K(x, y) = (a⟨x, y⟩ + b)^degree.
+func PolynomialKernel(a, b float64, degree int) Kernel {
+	return Kernel{kernel.Polynomial{A: a, B: b, Degree: degree}}
+}
+
+// SigmoidKernel returns K(x, y) = tanh(a⟨x, y⟩ + c).
+func SigmoidKernel(a, c float64) Kernel { return Kernel{kernel.Sigmoid{A: a, C: c}} }
+
+// ensure the internal models satisfy the public Model interface.
+var (
+	_ Model           = (*consensus.LinearModel)(nil)
+	_ Model           = (*consensus.KernelHorizontalModel)(nil)
+	_ Model           = (*consensus.KernelVerticalModel)(nil)
+	_ Model           = (*svm.Model)(nil)
+	_ eval.Classifier = Model(nil)
+)

@@ -1,0 +1,460 @@
+package ppml_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/ppml-go/ppml"
+)
+
+func prepared(t *testing.T, n int) (train, test *ppml.Dataset) {
+	t.Helper()
+	data := ppml.SyntheticCancer(n, 1)
+	train, test, err := data.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ppml.Standardize(train, test); err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := ppml.NewDataset("x", nil, nil); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("empty: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := ppml.NewDataset("x", [][]float64{{1}}, []float64{1, 1}); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("length mismatch: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := ppml.NewDataset("x", [][]float64{{1}, {1, 2}}, []float64{1, -1}); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("ragged rows: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := ppml.NewDataset("x", [][]float64{{1}}, []float64{3}); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("bad label: err = %v, want ErrBadRequest", err)
+	}
+	d, err := ppml.NewDataset("x", [][]float64{{1, 2}, {3, 4}}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Label(1) != -1 {
+		t.Error("label 0 must map to -1")
+	}
+	if d.Len() != 2 || d.Features() != 2 || d.Name() != "x" {
+		t.Error("accessors wrong")
+	}
+	row := d.Row(0)
+	row[0] = 99
+	if d.Row(0)[0] == 99 {
+		t.Error("Row must return a copy")
+	}
+}
+
+func TestTrainAllSchemes(t *testing.T) {
+	train, test := prepared(t, 240)
+	for _, scheme := range []ppml.Scheme{
+		ppml.HorizontalLinear, ppml.HorizontalKernel,
+		ppml.VerticalLinear, ppml.VerticalKernel,
+	} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			opts := []ppml.Option{
+				ppml.WithLearners(3),
+				ppml.WithIterations(20),
+				ppml.WithEvalSet(test),
+			}
+			if scheme == ppml.HorizontalKernel || scheme == ppml.VerticalKernel {
+				opts = append(opts, ppml.WithKernel(ppml.RBFKernel(0.1)), ppml.WithLandmarks(15))
+			}
+			res, err := ppml.Train(train, scheme, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err := ppml.Evaluate(res.Model, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc < 0.8 {
+				t.Errorf("%s accuracy = %g, want ≥ 0.8", scheme, acc)
+			}
+			if res.History.Iterations != 20 {
+				t.Errorf("iterations = %d, want 20", res.History.Iterations)
+			}
+			if len(res.History.DeltaZSq) != 20 || len(res.History.Accuracy) != 20 {
+				t.Error("history incomplete")
+			}
+			if res.Learners != 3 || res.Scheme != scheme {
+				t.Error("result metadata wrong")
+			}
+		})
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	train, _ := prepared(t, 100)
+	if _, err := ppml.Train(nil, ppml.HorizontalLinear); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("nil data: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := ppml.Train(train, ppml.Scheme(99)); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("bad scheme: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := ppml.Train(train, ppml.HorizontalLinear, ppml.WithLearners(0)); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("0 learners: err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestTrainDistributedSecureBeatsPlainTraffic(t *testing.T) {
+	train, _ := prepared(t, 160)
+	common := []ppml.Option{
+		ppml.WithLearners(3), ppml.WithIterations(6), ppml.WithSeed(2),
+	}
+	secure, err := ppml.Train(train, ppml.HorizontalLinear,
+		append(common, ppml.WithDistributed())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ppml.Train(train, ppml.HorizontalLinear,
+		append(common, ppml.WithDistributed(), ppml.WithPlainAggregation())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secure.History.MessagesSent <= plain.History.MessagesSent {
+		t.Errorf("secure aggregation sent %d messages, plain %d; masks must cost extra messages",
+			secure.History.MessagesSent, plain.History.MessagesSent)
+	}
+	if secure.History.BytesSent == 0 || plain.History.BytesSent == 0 {
+		t.Error("distributed runs must record traffic")
+	}
+}
+
+func TestTrainOverTCP(t *testing.T) {
+	train, test := prepared(t, 140)
+	res, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(2), ppml.WithIterations(8), ppml.WithTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Errorf("TCP training accuracy = %g", acc)
+	}
+}
+
+func TestTrainCentralizedBenchmark(t *testing.T) {
+	train, test := prepared(t, 240)
+	res, err := ppml.TrainCentralized(train, ppml.WithC(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.88 {
+		t.Errorf("centralized benchmark accuracy = %g", acc)
+	}
+}
+
+func TestCSVRoundTripThroughFacade(t *testing.T) {
+	d := ppml.SyntheticHiggs(50, 3)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ppml.LoadCSV(&buf, "higgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Features() != d.Features() {
+		t.Error("CSV round trip changed the shape")
+	}
+}
+
+func TestLoadLIBSVMFacade(t *testing.T) {
+	in := "+1 1:0.5 2:1\n-1 1:-0.5 2:-1\n"
+	d, err := ppml.LoadLIBSVM(strings.NewReader(in), "ls", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Features() != 2 {
+		t.Errorf("LIBSVM shape %dx%d, want 2x2", d.Len(), d.Features())
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if ppml.HorizontalLinear.String() != "horizontal-linear" {
+		t.Error("Scheme.String wrong")
+	}
+	if !strings.Contains(ppml.Scheme(42).String(), "42") {
+		t.Error("unknown scheme String should include the value")
+	}
+}
+
+func TestPaperSplitOption(t *testing.T) {
+	train, test := prepared(t, 160)
+	res, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(2), ppml.WithIterations(15), ppml.WithPaperSplit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.75 {
+		t.Errorf("paper-split accuracy = %g", acc)
+	}
+}
+
+func TestWithToleranceStopsEarly(t *testing.T) {
+	train, _ := prepared(t, 160)
+	res, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(2), ppml.WithIterations(500), ppml.WithTolerance(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.History.Converged {
+		t.Error("expected convergence flag")
+	}
+	if res.History.Iterations >= 500 {
+		t.Error("tolerance did not stop training early")
+	}
+}
+
+func TestWithLocalityTracking(t *testing.T) {
+	train, _ := prepared(t, 160)
+	res, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(3), ppml.WithIterations(5), ppml.WithLocalityTracking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper layout: each partition lives on its learner's node; the Map
+	// phase moves zero training bytes.
+	if res.History.RemoteInputBytes != 0 {
+		t.Errorf("remote input bytes = %d, want 0 under full locality", res.History.RemoteInputBytes)
+	}
+	if res.History.BytesSent == 0 {
+		t.Error("distributed run should record consensus traffic")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	data := ppml.SyntheticCancer(300, 6)
+	res, err := ppml.CrossValidate(data, ppml.HorizontalLinear, 4,
+		ppml.WithLearners(2), ppml.WithIterations(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAccuracy) != 4 {
+		t.Fatalf("got %d folds, want 4", len(res.FoldAccuracy))
+	}
+	if res.Mean < 0.85 {
+		t.Errorf("CV mean accuracy = %g, want ≥ 0.85", res.Mean)
+	}
+	if res.Std < 0 || res.Std > 0.2 {
+		t.Errorf("CV std = %g implausible", res.Std)
+	}
+	if _, err := ppml.CrossValidate(nil, ppml.HorizontalLinear, 3); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("nil data: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := ppml.CrossValidate(data, ppml.HorizontalLinear, 1); err == nil {
+		t.Error("k=1 should fail")
+	}
+}
+
+func TestWithDPOutput(t *testing.T) {
+	train, test := prepared(t, 240)
+	clean, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(2), ppml.WithIterations(20), ppml.WithC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanAcc, err := ppml.Evaluate(clean.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous ε: the model barely moves, accuracy survives. (Sensitivity
+	// is 2C, so small C keeps calibrated noise proportionate.)
+	loose, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(2), ppml.WithIterations(20), ppml.WithC(1),
+		ppml.WithDPOutput(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	looseAcc, err := ppml.Evaluate(loose.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if looseAcc < cleanAcc-0.05 {
+		t.Errorf("huge-ε DP accuracy %g far below clean %g", looseAcc, cleanAcc)
+	}
+	// Brutal ε: expect noise to dominate on average. Run a few trials since
+	// the mechanism is randomized.
+	degraded := false
+	for trial := 0; trial < 5; trial++ {
+		tight, err := ppml.Train(train, ppml.HorizontalLinear,
+			ppml.WithLearners(2), ppml.WithIterations(20), ppml.WithC(1),
+			ppml.WithDPOutput(1e-3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tightAcc, err := ppml.Evaluate(tight.Model, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tightAcc < cleanAcc-0.1 {
+			degraded = true
+			break
+		}
+	}
+	if !degraded {
+		t.Error("ε=0.001 never degraded accuracy; noise not applied?")
+	}
+	// Kernel schemes refuse the option.
+	if _, err := ppml.Train(train, ppml.HorizontalKernel,
+		ppml.WithKernel(ppml.RBFKernel(0.1)), ppml.WithDPOutput(1),
+		ppml.WithLearners(2), ppml.WithIterations(3)); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("kernel + DP: err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestWithSecureStandardization(t *testing.T) {
+	// Raw (unstandardized) data in, secure in-training standardization.
+	data := ppml.SyntheticCancer(300, 8)
+	train, test, err := data.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(3), ppml.WithIterations(25),
+		ppml.WithSecureStandardization(), ppml.WithEvalSet(test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scaler == nil {
+		t.Fatal("secure standardization must return the fitted scaler")
+	}
+	// Evaluate on test data standardized with the securely fitted scaler.
+	if err := res.Scaler.Apply(test); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("secure-standardized training accuracy = %g, want ≥ 0.85", acc)
+	}
+	// The per-iteration accuracy history must agree with the final accuracy
+	// (the eval set was scaled internally).
+	if last := res.History.Accuracy[len(res.History.Accuracy)-1]; last < 0.85 {
+		t.Errorf("eval-history accuracy = %g; EvalSet not scaled internally?", last)
+	}
+	// Vertical schemes refuse the option.
+	if _, err := ppml.Train(train, ppml.VerticalLinear,
+		ppml.WithLearners(2), ppml.WithSecureStandardization()); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("vertical + secure standardization: err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestWithPaillierAggregation(t *testing.T) {
+	train, test := prepared(t, 120)
+	res, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(2), ppml.WithIterations(3),
+		ppml.WithPaillierAggregation(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Errorf("paillier-aggregated accuracy = %g", acc)
+	}
+	// Compare traffic against masked aggregation: ciphertexts are far bigger.
+	masked, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(2), ppml.WithIterations(3), ppml.WithDistributed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.BytesSent < 3*masked.History.BytesSent {
+		t.Errorf("paillier traffic %d bytes vs masked %d; expected ciphertext blow-up",
+			res.History.BytesSent, masked.History.BytesSent)
+	}
+	if _, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithPaillierAggregation(64)); err == nil {
+		t.Error("tiny key accepted")
+	}
+}
+
+func TestWithSecondOrderQP(t *testing.T) {
+	train, test := prepared(t, 200)
+	res, err := ppml.TrainCentralized(train, ppml.WithC(10), ppml.WithSecondOrderQP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.88 {
+		t.Errorf("WSS2 centralized accuracy = %g", acc)
+	}
+}
+
+func TestTrainLogisticAndNaiveBayesSchemes(t *testing.T) {
+	train, test := prepared(t, 300)
+	for _, scheme := range []ppml.Scheme{ppml.HorizontalLogistic, ppml.HorizontalNaiveBayes} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			res, err := ppml.Train(train, scheme,
+				ppml.WithLearners(3), ppml.WithC(1), ppml.WithRho(10),
+				ppml.WithIterations(25), ppml.WithEvalSet(test))
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err := ppml.Evaluate(res.Model, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc < 0.85 {
+				t.Errorf("%s accuracy = %g, want ≥ 0.85", scheme, acc)
+			}
+			if res.Scheme != scheme {
+				t.Error("wrong scheme recorded")
+			}
+		})
+	}
+	if ppml.HorizontalLogistic.String() != "horizontal-logistic" ||
+		ppml.HorizontalNaiveBayes.String() != "horizontal-naivebayes" {
+		t.Error("scheme names wrong")
+	}
+}
+
+func TestLogisticWithDPOutput(t *testing.T) {
+	train, test := prepared(t, 240)
+	res, err := ppml.Train(train, ppml.HorizontalLogistic,
+		ppml.WithLearners(2), ppml.WithC(1), ppml.WithRho(10),
+		ppml.WithIterations(20), ppml.WithDPOutput(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("DP logistic accuracy = %g", acc)
+	}
+	// Naive Bayes rejects DP output perturbation (not a linear minimizer).
+	if _, err := ppml.Train(train, ppml.HorizontalNaiveBayes,
+		ppml.WithDPOutput(1)); !errors.Is(err, ppml.ErrBadRequest) {
+		t.Errorf("NB + DP: err = %v, want ErrBadRequest", err)
+	}
+}
