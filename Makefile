@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-smoke check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep with allocation stats (slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One-iteration benchmark smoke: verifies bench code still compiles and runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Gram -benchtime 1x ./internal/kernel/
+
+# The pre-merge gate: scripts/check.sh = vet + build + race tests + bench smoke.
+check:
+	./scripts/check.sh

@@ -101,12 +101,19 @@ func (c Codec) Decode(u uint64) float64 {
 	return float64(int64(u)) / c.scale
 }
 
-// EncodeVec encodes every element of v into dst (allocated when nil).
+// EncodeVec encodes every element of v into dst, which is reused (resliced
+// to len(v)) whenever its capacity suffices and allocated otherwise — pass
+// the previous round's buffer back in to make steady-state encoding
+// allocation-free. A non-nil dst with insufficient capacity is an error, so
+// callers relying on writing through a fixed buffer fail loudly.
 func (c Codec) EncodeVec(v []float64, dst []uint64) ([]uint64, error) {
-	if dst == nil {
+	switch {
+	case cap(dst) >= len(v):
+		dst = dst[:len(v)]
+	case dst == nil:
 		dst = make([]uint64, len(v))
-	} else if len(dst) != len(v) {
-		return nil, fmt.Errorf("%w: dst length %d, want %d", ErrBadConfig, len(dst), len(v))
+	default:
+		return nil, fmt.Errorf("%w: dst capacity %d, want ≥ %d", ErrBadConfig, cap(dst), len(v))
 	}
 	for i, x := range v {
 		u, err := c.Encode(x)
@@ -118,12 +125,17 @@ func (c Codec) EncodeVec(v []float64, dst []uint64) ([]uint64, error) {
 	return dst, nil
 }
 
-// DecodeVec decodes every element of u into dst (allocated when nil).
+// DecodeVec decodes every element of u into dst, with the same buffer-reuse
+// contract as EncodeVec: reused when capacity suffices, allocated when nil,
+// error otherwise.
 func (c Codec) DecodeVec(u []uint64, dst []float64) ([]float64, error) {
-	if dst == nil {
+	switch {
+	case cap(dst) >= len(u):
+		dst = dst[:len(u)]
+	case dst == nil:
 		dst = make([]float64, len(u))
-	} else if len(dst) != len(u) {
-		return nil, fmt.Errorf("%w: dst length %d, want %d", ErrBadConfig, len(dst), len(u))
+	default:
+		return nil, fmt.Errorf("%w: dst capacity %d, want ≥ %d", ErrBadConfig, cap(dst), len(u))
 	}
 	for i, x := range u {
 		dst[i] = c.Decode(x)

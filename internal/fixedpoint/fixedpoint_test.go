@@ -159,11 +159,11 @@ func TestVecErrors(t *testing.T) {
 	if _, err := c.EncodeVec([]float64{math.NaN()}, nil); err == nil {
 		t.Error("EncodeVec(NaN) succeeded")
 	}
-	if _, err := c.EncodeVec([]float64{1}, make([]uint64, 2)); !errors.Is(err, ErrBadConfig) {
-		t.Errorf("EncodeVec bad dst: err = %v, want ErrBadConfig", err)
+	if _, err := c.EncodeVec([]float64{1, 2, 3}, make([]uint64, 2, 2)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("EncodeVec small dst: err = %v, want ErrBadConfig", err)
 	}
-	if _, err := c.DecodeVec([]uint64{1}, make([]float64, 2)); !errors.Is(err, ErrBadConfig) {
-		t.Errorf("DecodeVec bad dst: err = %v, want ErrBadConfig", err)
+	if _, err := c.DecodeVec([]uint64{1, 2, 3}, make([]float64, 2, 2)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("DecodeVec small dst: err = %v, want ErrBadConfig", err)
 	}
 	if err := AddVec([]uint64{1}, []uint64{1, 2}); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("AddVec mismatch: err = %v, want ErrBadConfig", err)
@@ -195,5 +195,45 @@ func TestMaxSummands(t *testing.T) {
 	}
 	if c.MaxSummands(0) != math.MaxInt32 {
 		t.Error("MaxSummands(0) should be unbounded")
+	}
+}
+
+// TestVecBufferReuse pins the capacity-reuse contract: when dst has enough
+// capacity the encode/decode results live in dst's backing array, so steady-
+// state iterative callers allocate nothing.
+func TestVecBufferReuse(t *testing.T) {
+	c := Default()
+	v := []float64{1.5, -2.25, 3}
+	enc := make([]uint64, 0, 8)
+	enc2, err := c.EncodeVec(v, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc2) != len(v) || &enc2[0] != &enc[:1][0] {
+		t.Fatalf("EncodeVec did not reuse dst backing array")
+	}
+	dec := make([]float64, 5) // longer than v: reslice, not reallocate
+	dec2, err := c.DecodeVec(enc2, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec2) != len(v) || &dec2[0] != &dec[0] {
+		t.Fatalf("DecodeVec did not reuse dst backing array")
+	}
+	for i := range v {
+		if dec2[i] != v[i] {
+			t.Errorf("roundtrip[%d] = %g, want %g", i, dec2[i], v[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if enc2, err = c.EncodeVec(v, enc2); err != nil {
+			t.Fatal(err)
+		}
+		if dec2, err = c.DecodeVec(enc2, dec2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state EncodeVec/DecodeVec allocate %g per run, want 0", allocs)
 	}
 }

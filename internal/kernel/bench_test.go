@@ -25,6 +25,15 @@ func BenchmarkGramRBF300x20(b *testing.B) {
 	}
 }
 
+func BenchmarkGramRBF2000x50(b *testing.B) {
+	x := benchSamples(2000, 50)
+	k := RBF{Gamma: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GramMatrix(k, x)
+	}
+}
+
 func BenchmarkGramLinear300x20(b *testing.B) {
 	x := benchSamples(300, 20)
 	b.ResetTimer()

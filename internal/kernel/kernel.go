@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"github.com/ppml-go/ppml/internal/linalg"
+	"github.com/ppml-go/ppml/internal/parallel"
 )
 
 // Kernel evaluates a positive-semidefinite similarity between two feature
@@ -91,14 +92,46 @@ func (s Sigmoid) Eval(x, y []float64) float64 {
 // Name implements Kernel.
 func (s Sigmoid) Name() string { return fmt.Sprintf("sigmoid(a=%g,c=%g)", s.A, s.C) }
 
+// parMinEvalWork is the minimum number of scalar multiply-adds (entries ×
+// features) a kernel-matrix computation must represent before the row loop is
+// handed to the worker pool; below it the scheduling overhead dominates.
+const parMinEvalWork = 1 << 15
+
 // Matrix computes the cross Gram matrix K(A, B) with K[i][j] = k(A_i, B_j),
-// where rows of a and b are samples.
+// where rows of a and b are samples. Rows of the output are computed
+// concurrently on the parallel worker pool for inputs large enough to
+// amortize the scheduling; the per-entry arithmetic is identical on the
+// sequential and parallel paths, so the result does not depend on the worker
+// count.
 func Matrix(k Kernel, a, b *linalg.Matrix) (*linalg.Matrix, error) {
 	if a.Cols != b.Cols {
 		return nil, fmt.Errorf("kernel matrix: %w: samples have %d and %d features",
 			linalg.ErrShape, a.Cols, b.Cols)
 	}
 	out := linalg.NewMatrix(a.Rows, b.Rows)
+	par := useParallel(a.Rows * b.Rows * a.Cols)
+	if r, ok := k.(RBF); ok {
+		// ‖x−y‖² = ‖x‖² + ‖y‖² − 2⟨x, y⟩: precompute the squared row norms
+		// once and each entry costs a single dot product.
+		sqA := rowNormsSq(a)
+		sqB := rowNormsSq(b)
+		if par {
+			matrixRBFPar(r, a, b, sqA, sqB, out)
+			return out, nil
+		}
+		for i := 0; i < a.Rows; i++ {
+			ai := a.Row(i)
+			row := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				row[j] = r.evalNormed(sqA[i]+sqB[j], ai, b.Row(j))
+			}
+		}
+		return out, nil
+	}
+	if par {
+		matrixEvalPar(k, a, b, out)
+		return out, nil
+	}
 	for i := 0; i < a.Rows; i++ {
 		ai := a.Row(i)
 		row := out.Row(i)
@@ -109,11 +142,63 @@ func Matrix(k Kernel, a, b *linalg.Matrix) (*linalg.Matrix, error) {
 	return out, nil
 }
 
+// matrixRBFPar and matrixEvalPar are Matrix's worker-pool row loops. They
+// live in separate functions so their closures cannot pessimize the
+// sequential path (captured variables force indirection on everything the
+// enclosing function touches).
+func matrixRBFPar(r RBF, a, b *linalg.Matrix, sqA, sqB []float64, out *linalg.Matrix) {
+	parallel.For(a.Rows, rowGrain(b.Rows*a.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			row := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				row[j] = r.evalNormed(sqA[i]+sqB[j], ai, b.Row(j))
+			}
+		}
+	})
+}
+
+func matrixEvalPar(k Kernel, a, b, out *linalg.Matrix) {
+	parallel.For(a.Rows, rowGrain(b.Rows*a.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			row := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				row[j] = k.Eval(ai, b.Row(j))
+			}
+		}
+	})
+}
+
 // GramMatrix computes the symmetric Gram matrix K(A, A), evaluating each pair
-// once and mirroring it.
+// once and mirroring it. Like Matrix it runs row blocks on the worker pool
+// (each block owns rows i of the upper triangle plus their mirrored cells, so
+// blocks never write the same element) and takes the squared-norm fast path
+// for RBF kernels.
 func GramMatrix(k Kernel, a *linalg.Matrix) *linalg.Matrix {
 	n := a.Rows
 	out := linalg.NewMatrix(n, n)
+	par := useParallel(n * n * a.Cols / 2)
+	if r, ok := k.(RBF); ok {
+		sq := rowNormsSq(a)
+		if par {
+			gramRBFPar(r, a, sq, out)
+			return out
+		}
+		for i := 0; i < n; i++ {
+			ai := a.Row(i)
+			for j := i; j < n; j++ {
+				v := r.evalNormed(sq[i]+sq[j], ai, a.Row(j))
+				out.Set(i, j, v)
+				out.Set(j, i, v)
+			}
+		}
+		return out
+	}
+	if par {
+		gramEvalPar(k, a, out)
+		return out
+	}
 	for i := 0; i < n; i++ {
 		ai := a.Row(i)
 		for j := i; j < n; j++ {
@@ -123,6 +208,37 @@ func GramMatrix(k Kernel, a *linalg.Matrix) *linalg.Matrix {
 		}
 	}
 	return out
+}
+
+// gramRBFPar and gramEvalPar are GramMatrix's worker-pool row loops,
+// isolated like matrixRBFPar. Triangular rows shrink as i grows; a grain of
+// one row plus dynamic block claiming keeps the load balanced.
+func gramRBFPar(r RBF, a *linalg.Matrix, sq []float64, out *linalg.Matrix) {
+	n := a.Rows
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			for j := i; j < n; j++ {
+				v := r.evalNormed(sq[i]+sq[j], ai, a.Row(j))
+				out.Set(i, j, v)
+				out.Set(j, i, v)
+			}
+		}
+	})
+}
+
+func gramEvalPar(k Kernel, a, out *linalg.Matrix) {
+	n := a.Rows
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			for j := i; j < n; j++ {
+				v := k.Eval(ai, a.Row(j))
+				out.Set(i, j, v)
+				out.Set(j, i, v)
+			}
+		}
+	})
 }
 
 // Vector computes dst[i] = k(x, rows[i]) for every row of a. dst is allocated
@@ -135,10 +251,72 @@ func Vector(k Kernel, x []float64, a *linalg.Matrix, dst []float64) ([]float64, 
 	if dst == nil {
 		dst = make([]float64, a.Rows)
 	}
+	if useParallel(a.Rows * a.Cols) {
+		vectorPar(k, x, a, dst)
+		return dst, nil
+	}
 	for i := 0; i < a.Rows; i++ {
 		dst[i] = k.Eval(x, a.Row(i))
 	}
 	return dst, nil
+}
+
+// vectorPar is Vector's worker-pool row loop, isolated like matrixRBFPar.
+func vectorPar(k Kernel, x []float64, a *linalg.Matrix, dst []float64) {
+	parallel.For(a.Rows, rowGrain(a.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = k.Eval(x, a.Row(i))
+		}
+	})
+}
+
+// useParallel reports whether a kernel loop of totalWork multiply-adds should
+// go to the worker pool. Sequential call sites keep their original direct
+// loops: routing them through the parallel closure costs measurably on every
+// single-core run (captured-variable indirection).
+func useParallel(totalWork int) bool {
+	return totalWork >= parMinEvalWork && parallel.Workers() > 1
+}
+
+// rowGrain sizes the parallel.For grain for a row loop of rowWork
+// multiply-adds per row: one row per block when rows are expensive (dynamic
+// claiming costs nothing and balances triangular loops), more when cheap.
+func rowGrain(rowWork int) int {
+	if rowWork >= 1024 {
+		return 1
+	}
+	return 1 + 1024/(rowWork+1)
+}
+
+// rowNormsSq returns ‖a_i‖² for every row, computed on the worker pool when
+// the pool is wide and the matrix large.
+func rowNormsSq(a *linalg.Matrix) []float64 {
+	sq := make([]float64, a.Rows)
+	if useParallel(a.Rows * a.Cols) {
+		parallel.For(a.Rows, rowGrain(a.Cols), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ri := a.Row(i)
+				sq[i] = linalg.Dot(ri, ri)
+			}
+		})
+		return sq
+	}
+	for i := 0; i < a.Rows; i++ {
+		ri := a.Row(i)
+		sq[i] = linalg.Dot(ri, ri)
+	}
+	return sq
+}
+
+// evalNormed is the norm-precomputed RBF evaluation: exp(−γ(s − 2⟨x, y⟩))
+// where s = ‖x‖² + ‖y‖². The distance is clamped at zero so near-duplicate
+// rows cannot produce values above 1 through cancellation.
+func (r RBF) evalNormed(s float64, x, y []float64) float64 {
+	d := s - 2*linalg.Dot(x, y)
+	if d < 0 {
+		d = 0
+	}
+	return math.Exp(-r.Gamma * d)
 }
 
 // Parse builds a Kernel from a CLI-style spec: "linear", "rbf:<gamma>",

@@ -1,0 +1,113 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/linalg"
+	"github.com/ppml-go/ppml/internal/parallel"
+)
+
+func randomSamples(t *testing.T, seed int64, n, k int) *linalg.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := linalg.NewMatrix(n, k)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestGramParallelMatchesSequential pins the acceptance requirement: the
+// parallel row partitioning must produce bit-identical matrices to the
+// single-worker (sequential) path, for sizes below and above the parallel
+// cutoff and for worker counts exceeding the row count.
+func TestGramParallelMatchesSequential(t *testing.T) {
+	kernels := []Kernel{Linear{}, RBF{Gamma: 0.3}, Polynomial{A: 1, B: 1, Degree: 3}, Sigmoid{A: 0.5, C: -0.2}}
+	for _, n := range []int{1, 5, 37, 120, 400} {
+		a := randomSamples(t, int64(n), n, 11)
+		for _, k := range kernels {
+			prev := parallel.SetWorkers(1)
+			seq := GramMatrix(k, a)
+			for _, w := range []int{2, 4, n + 13} {
+				parallel.SetWorkers(w)
+				got := GramMatrix(k, a)
+				for i := range seq.Data {
+					if got.Data[i] != seq.Data[i] {
+						parallel.SetWorkers(prev)
+						t.Fatalf("%s n=%d workers=%d: Gram differs at %d: %g vs %g",
+							k.Name(), n, w, i, got.Data[i], seq.Data[i])
+					}
+				}
+			}
+			parallel.SetWorkers(prev)
+		}
+	}
+}
+
+func TestMatrixAndVectorParallelMatchSequential(t *testing.T) {
+	a := randomSamples(t, 7, 150, 9)
+	b := randomSamples(t, 8, 211, 9)
+	x := make([]float64, 9)
+	for i := range x {
+		x[i] = float64(i) - 4
+	}
+	for _, k := range []Kernel{Linear{}, RBF{Gamma: 1.1}} {
+		prev := parallel.SetWorkers(1)
+		seqM, err := Matrix(k, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqV, err := Vector(k, x, b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel.SetWorkers(8)
+		gotM, err := Matrix(k, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotV, err := Vector(k, x, b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel.SetWorkers(prev)
+		for i := range seqM.Data {
+			if gotM.Data[i] != seqM.Data[i] {
+				t.Fatalf("%s: Matrix differs at %d", k.Name(), i)
+			}
+		}
+		for i := range seqV {
+			if gotV[i] != seqV[i] {
+				t.Fatalf("%s: Vector differs at %d", k.Name(), i)
+			}
+		}
+	}
+}
+
+// TestRBFFastPathMatchesEval checks the ‖x‖²+‖y‖²−2⟨x,y⟩ expansion against
+// the direct Eval within floating-point rearrangement tolerance, including
+// duplicate rows where cancellation is worst.
+func TestRBFFastPathMatchesEval(t *testing.T) {
+	a := randomSamples(t, 9, 60, 6)
+	copy(a.Row(10), a.Row(3)) // exact duplicates: distance must clamp to 0
+	k := RBF{Gamma: 0.8}
+	g := GramMatrix(k, a)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Rows; j++ {
+			want := k.Eval(a.Row(i), a.Row(j))
+			if d := math.Abs(g.At(i, j) - want); d > 1e-12 {
+				t.Fatalf("fast path (%d,%d): %g vs Eval %g (|Δ|=%g)", i, j, g.At(i, j), want, d)
+			}
+		}
+	}
+	if v := g.At(10, 3); v != 1 {
+		t.Errorf("duplicate rows: K = %g, want exactly 1", v)
+	}
+	for i := 0; i < a.Rows; i++ {
+		if g.At(i, i) != 1 {
+			t.Errorf("diagonal (%d): K = %g, want exactly 1", i, g.At(i, i))
+		}
+	}
+}

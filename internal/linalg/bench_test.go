@@ -24,6 +24,16 @@ func BenchmarkMatMul100(b *testing.B) {
 	}
 }
 
+func BenchmarkMatMul500(b *testing.B) {
+	x := benchMatrix(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(x, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMatMulT100(b *testing.B) {
 	x := benchMatrix(100)
 	b.ResetTimer()

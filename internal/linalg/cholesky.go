@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/ppml-go/ppml/internal/parallel"
 )
 
 // ErrNotSPD is returned when Cholesky factorization encounters a
@@ -18,6 +20,12 @@ type Cholesky struct {
 
 // FactorizeCholesky computes the Cholesky decomposition of the SPD matrix a.
 // a is read from its lower triangle only; it is not modified.
+//
+// After each pivot, the column update below the diagonal — one length-j dot
+// product per remaining row, all independent — runs on the parallel worker
+// pool when that column holds enough work; small systems keep the plain
+// sequential loop. The per-element arithmetic is identical on both paths, so
+// the factor does not depend on the worker count.
 func FactorizeCholesky(a *Matrix) (*Cholesky, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("cholesky: %w: matrix %dx%d not square", ErrShape, a.Rows, a.Cols)
@@ -33,12 +41,28 @@ func FactorizeCholesky(a *Matrix) (*Cholesky, error) {
 		diag := math.Sqrt(d)
 		lj[j] = diag
 		inv := 1 / diag
+		if useParallel((n - j - 1) * j) {
+			cholColumnPar(a, l, lj, j, n, inv)
+			continue
+		}
 		for i := j + 1; i < n; i++ {
 			li := l.Row(i)
 			li[j] = (a.At(i, j) - Dot(li[:j], lj[:j])) * inv
 		}
 	}
 	return &Cholesky{l: l}, nil
+}
+
+// cholColumnPar runs one pivot's sub-diagonal column update on the worker
+// pool. It is a separate function so its closure cannot pessimize the
+// sequential factorization loop.
+func cholColumnPar(a, l *Matrix, lj []float64, j, n int, inv float64) {
+	parallel.For(n-j-1, rowGrain(j), func(lo, hi int) {
+		for i := j + 1 + lo; i < j+1+hi; i++ {
+			li := l.Row(i)
+			li[j] = (a.At(i, j) - Dot(li[:j], lj[:j])) * inv
+		}
+	})
 }
 
 // Size returns the dimension of the factored matrix.

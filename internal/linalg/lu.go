@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/ppml-go/ppml/internal/parallel"
 )
 
 // ErrSingular is returned when LU factorization meets an (effectively) zero
@@ -51,19 +53,46 @@ func FactorizeLU(a *Matrix) (*LU, error) {
 			sign = -sign
 		}
 		pivot := lu.At(k, k)
+		// Right-looking trailing update: each remaining row is eliminated
+		// independently, so the rows go to the parallel worker pool once the
+		// trailing block is large enough to amortize the scheduling.
+		rk := lu.Row(k)
+		if useParallel((n - k - 1) * (n - k - 1)) {
+			luTrailingPar(lu, rk, pivot, k, n)
+			continue
+		}
 		for i := k + 1; i < n; i++ {
-			f := lu.At(i, k) / pivot
-			lu.Set(i, k, f)
+			ri := lu.Row(i)
+			f := ri[k] / pivot
+			ri[k] = f
 			if f == 0 {
 				continue
 			}
-			ri, rk := lu.Row(i), lu.Row(k)
 			for j := k + 1; j < n; j++ {
 				ri[j] -= f * rk[j]
 			}
 		}
 	}
 	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// luTrailingPar runs one pivot's right-looking trailing update on the worker
+// pool; separate from FactorizeLU so the closure cannot pessimize the
+// sequential elimination loop.
+func luTrailingPar(lu *Matrix, rk []float64, pivot float64, k, n int) {
+	parallel.For(n-k-1, rowGrain(n-k-1), func(lo, hi int) {
+		for i := k + 1 + lo; i < k+1+hi; i++ {
+			ri := lu.Row(i)
+			f := ri[k] / pivot
+			ri[k] = f
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	})
 }
 
 // SolveVec solves A x = b; the solution is returned in a new slice unless a

@@ -3,6 +3,8 @@ package mapreduce
 import (
 	"errors"
 	"fmt"
+
+	"github.com/ppml-go/ppml/internal/parallel"
 )
 
 // IterativeMapper is a long-lived Map() task of the Twister-style engine. It
@@ -20,7 +22,9 @@ type IterativeMapper interface {
 // of all Mapper contributions and produces the next broadcast state.
 type IterativeReducer interface {
 	// Combine folds the aggregate into the next state. done=true ends the
-	// job with next as the final state.
+	// job with next as the final state. The runtime may reuse sum's backing
+	// array after Combine returns; implementations that keep the aggregate
+	// must copy it.
 	Combine(iter int, sum []float64) (next []float64, done bool, err error)
 }
 
@@ -69,23 +73,36 @@ type IterativeResult struct {
 	Converged bool
 }
 
-// RunLocal executes the job sequentially in process, summing contributions
-// directly. It is bit-for-bit the same computation the distributed driver
-// performs (plain aggregation), without transport; the trainers' unit tests
-// and the pure-math benchmarks use it.
+// RunLocal executes the job in process, summing contributions directly. Each
+// iteration invokes every Mapper's Contribution concurrently on the parallel
+// worker pool — the same goroutine-per-mapper structure RunDistributed has —
+// then folds the results in mapper order, so the sum (and therefore the whole
+// run) is deterministic and identical to a sequential execution. The
+// trainers' unit tests and the pure-math benchmarks use it.
 func RunLocal(job IterativeJob) (*IterativeResult, error) {
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
 	state := append([]float64(nil), job.InitialState...)
 	res := &IterativeResult{}
+	m := len(job.Mappers)
+	contribs := make([][]float64, m)
+	errs := make([]error, m)
+	sum := make([]float64, job.ContributionDim)
 	for iter := 0; iter < job.MaxIterations; iter++ {
-		sum := make([]float64, job.ContributionDim)
-		for mi, m := range job.Mappers {
-			contrib, err := m.Contribution(iter, state)
-			if err != nil {
+		parallel.For(m, 1, func(lo, hi int) {
+			for mi := lo; mi < hi; mi++ {
+				contribs[mi], errs[mi] = job.Mappers[mi].Contribution(iter, state)
+			}
+		})
+		for j := range sum {
+			sum[j] = 0
+		}
+		for mi := 0; mi < m; mi++ {
+			if err := errs[mi]; err != nil {
 				return nil, fmt.Errorf("%w: mapper %d at iteration %d: %v", ErrAborted, mi, iter, err)
 			}
+			contrib := contribs[mi]
 			if len(contrib) != job.ContributionDim {
 				return nil, fmt.Errorf("%w: mapper %d contributed %d values, want %d",
 					ErrBadJob, mi, len(contrib), job.ContributionDim)

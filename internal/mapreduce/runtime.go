@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"sync"
 	"time"
 
 	"github.com/ppml-go/ppml/internal/dfs"
 	"github.com/ppml-go/ppml/internal/fixedpoint"
 	"github.com/ppml-go/ppml/internal/paillier"
+	"github.com/ppml-go/ppml/internal/parallel"
 	"github.com/ppml-go/ppml/internal/securesum"
 	"github.com/ppml-go/ppml/internal/transport"
 )
@@ -276,6 +278,7 @@ type mapperNodeConfig struct {
 // the local contribution (with retries), hand it to the aggregation
 // protocol; exit on stop.
 func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
+	var encScratch []uint64 // reusable fixed-point encode buffer (Paillier path)
 	for {
 		msg, err := recvBroadcast(ctx, cfg.ep)
 		if err != nil {
@@ -305,7 +308,8 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 				return fmt.Errorf("mapper %d: %w", cfg.id, err)
 			}
 		case AggregationPaillier:
-			payload, err := encryptContribution(contrib, cfg.codec, cfg.paillierPub)
+			payload, scratch, err := encryptContribution(contrib, cfg.codec, cfg.paillierPub, encScratch)
+			encScratch = scratch
 			if err != nil {
 				_ = cfg.ep.Send(reducerName, KindAbort, []byte(err.Error()))
 				return fmt.Errorf("mapper %d: %w", cfg.id, err)
@@ -345,23 +349,40 @@ func recvBroadcast(ctx context.Context, ep *stashEndpoint) (transport.Message, e
 }
 
 // encryptContribution fixed-point-encodes the vector and encrypts every
-// element under the Paillier public key.
-func encryptContribution(contrib []float64, codec fixedpoint.Codec, pub *paillier.PublicKey) ([]byte, error) {
-	enc, err := codec.EncodeVec(contrib, nil)
+// element under the Paillier public key. Element encryptions are independent
+// (each draws its own randomness from crypto/rand, which is safe for
+// concurrent use), so they run on the parallel worker pool — public-key
+// encryption is by far the most expensive per-element operation in the
+// system. scratch is an optional reusable encode buffer; the (possibly
+// grown) buffer is returned for the next call.
+func encryptContribution(contrib []float64, codec fixedpoint.Codec, pub *paillier.PublicKey, scratch []uint64) ([]byte, []uint64, error) {
+	enc, err := codec.EncodeVec(contrib, scratch)
 	if err != nil {
-		return nil, fmt.Errorf("paillier share encode: %w", err)
+		return nil, scratch, fmt.Errorf("paillier share encode: %w", err)
 	}
 	cs := make([]*big.Int, len(enc))
-	elem := new(big.Int)
-	for i, u := range enc {
-		elem.SetUint64(u)
-		c, err := pub.Encrypt(nil, elem)
-		if err != nil {
-			return nil, fmt.Errorf("paillier share encrypt: %w", err)
+	var mu sync.Mutex
+	var encErr error
+	parallel.For(len(enc), 1, func(lo, hi int) {
+		elem := new(big.Int)
+		for i := lo; i < hi; i++ {
+			elem.SetUint64(enc[i])
+			c, err := pub.Encrypt(nil, elem)
+			if err != nil {
+				mu.Lock()
+				if encErr == nil {
+					encErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			cs[i] = c
 		}
-		cs[i] = c
+	})
+	if encErr != nil {
+		return nil, enc, fmt.Errorf("paillier share encrypt: %w", encErr)
 	}
-	return paillier.MarshalCiphertexts(cs), nil
+	return paillier.MarshalCiphertexts(cs), enc, nil
 }
 
 // collectContributions gathers one aggregate on the Reducer.
@@ -387,25 +408,43 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, m, dim int
 					acc = cs
 					continue
 				}
-				for j := range acc {
-					acc[j] = key.Add(acc[j], cs[j])
-				}
+				// Element-wise homomorphic adds are independent modular
+				// multiplications; fold them on the worker pool.
+				parallel.For(len(acc), 16, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						acc[j] = key.Add(acc[j], cs[j])
+					}
+				})
 			case KindAbort:
 				return nil, fmt.Errorf("%w: %s", ErrAborted, msg.Payload)
 			default:
 				return nil, fmt.Errorf("%w: unexpected %q at reducer", ErrBadJob, msg.Kind)
 			}
 		}
-		// Key-authority step: decrypt only the aggregate.
+		// Key-authority step: decrypt only the aggregate. Per-element
+		// decryptions (one modular exponentiation each) are independent and
+		// run on the worker pool.
 		sum := make([]uint64, dim)
 		ring := new(big.Int).Lsh(big.NewInt(1), 64)
-		red := new(big.Int)
-		for j, c := range acc {
-			mval, err := key.Decrypt(c)
-			if err != nil {
-				return nil, fmt.Errorf("mapreduce paillier decrypt: %w", err)
+		var mu sync.Mutex
+		var decErr error
+		parallel.For(dim, 1, func(lo, hi int) {
+			red := new(big.Int)
+			for j := lo; j < hi; j++ {
+				mval, err := key.Decrypt(acc[j])
+				if err != nil {
+					mu.Lock()
+					if decErr == nil {
+						decErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				sum[j] = red.Mod(mval, ring).Uint64()
 			}
-			sum[j] = red.Mod(mval, ring).Uint64()
+		})
+		if decErr != nil {
+			return nil, fmt.Errorf("mapreduce paillier decrypt: %w", decErr)
 		}
 		return codec.DecodeVec(sum, nil)
 	case AggregationPlain:
@@ -465,18 +504,28 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, m, dim int
 
 // stashEndpoint lets the mapper loop defer messages that legitimately arrive
 // early (a fast peer's masks) without losing ordering for everything else.
+// An index cursor tracks the next stashed message: popping by re-slicing the
+// head would shift the remaining entries' backing array on every pop, turning
+// a burst of n early masks into O(n²) copying.
 type stashEndpoint struct {
 	transport.Endpoint
 	pending []transport.Message
+	next    int
 }
 
 func (s *stashEndpoint) stash(m transport.Message) { s.pending = append(s.pending, m) }
 
-// Recv pops stashed messages first, then reads from the live endpoint.
+// Recv pops stashed messages first (in arrival order), then reads from the
+// live endpoint.
 func (s *stashEndpoint) Recv(ctx context.Context) (transport.Message, error) {
-	if len(s.pending) > 0 {
-		msg := s.pending[0]
-		s.pending = s.pending[1:]
+	if s.next < len(s.pending) {
+		msg := s.pending[s.next]
+		s.pending[s.next] = transport.Message{} // drop the payload reference
+		s.next++
+		if s.next == len(s.pending) {
+			s.pending = s.pending[:0]
+			s.next = 0
+		}
 		return msg, nil
 	}
 	return s.Endpoint.Recv(ctx)

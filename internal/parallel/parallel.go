@@ -1,0 +1,102 @@
+// Package parallel provides the bounded worker pool behind every multi-core
+// hot path in this repository: kernel (Gram) matrices, dense linear algebra,
+// the local MapReduce runtime, and per-element Paillier operations.
+//
+// The design is a range-splitter over a caller-bounded set of goroutines
+// rather than a resident thread pool: For splits [0, n) into contiguous
+// blocks and lets up to Workers() goroutines (the caller included) claim
+// blocks off an atomic counter. Dynamic claiming keeps triangular workloads
+// (Gram rows, factorization trailing updates) balanced without any
+// work-estimation logic, and a call with one worker — or a range too small
+// to split — degenerates to a plain sequential loop on the calling
+// goroutine, so small per-iteration QPs never pay scheduling overhead.
+//
+// The worker budget defaults to runtime.GOMAXPROCS(0) and can be overridden
+// either by the PPML_WORKERS environment variable (read once at startup) or
+// programmatically with SetWorkers.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+var workers atomic.Int64
+
+func init() { workers.Store(int64(defaultWorkers())) }
+
+// defaultWorkers resolves the startup worker budget: PPML_WORKERS when set to
+// a positive integer, else GOMAXPROCS.
+func defaultWorkers() int {
+	if s := os.Getenv("PPML_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers returns the current worker budget (≥ 1).
+func Workers() int { return int(workers.Load()) }
+
+// SetWorkers overrides the worker budget and returns the previous value.
+// n < 1 restores the startup default (PPML_WORKERS or GOMAXPROCS). It is safe
+// for concurrent use; in-flight For calls keep the budget they started with.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = defaultWorkers()
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// For splits the index range [0, n) into contiguous blocks of at least grain
+// indices and calls fn(lo, hi) once per block, 0 ≤ lo < hi ≤ n, covering the
+// range exactly once. Blocks run on up to Workers() goroutines; fn must be
+// safe to call concurrently on disjoint ranges. When only one block fits (or
+// a single worker is configured) fn runs once, inline, on the calling
+// goroutine. For returns after every block has completed.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	blocks := (n + grain - 1) / grain
+	w := Workers()
+	if w > blocks {
+		w = blocks
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	var next atomic.Int64
+	claim := func() {
+		for {
+			b := int(next.Add(1)) - 1
+			if b >= blocks {
+				return
+			}
+			lo := b * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 1; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			claim()
+		}()
+	}
+	claim()
+	wg.Wait()
+}

@@ -1,0 +1,167 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/linalg"
+)
+
+// TestSolveBoxZeroDiagonalQ is the regression test for the flat-curvature
+// path: with a zero-diagonal (rank-deficient) Q every selected coordinate has
+// no curvature and must jump straight to a box face. The solver used to be
+// able to bail out of such solves early with inconsistent Result bookkeeping;
+// it must now drive every coordinate to its optimal face and report the same
+// KKT fields the converged path reports.
+func TestSolveBoxZeroDiagonalQ(t *testing.T) {
+	q := linalg.NewMatrix(3, 3) // all zeros: objective is pᵀλ
+	p := Problem{Q: q, P: []float64{-1, 0.5, -2}, C: 3}
+	res, err := SolveBox(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 0, 3} // λ_i = C where p_i < 0, else 0
+	for i, v := range res.Lambda {
+		if v != want[i] {
+			t.Errorf("Lambda[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+	if !res.Converged {
+		t.Errorf("Converged = false, want true (KKTViolation = %g)", res.KKTViolation)
+	}
+	if res.KKTViolation > 1e-6 {
+		t.Errorf("KKTViolation = %g, want ≤ tol", res.KKTViolation)
+	}
+}
+
+// TestSolveBoxZeroDiagonalOffDiagonalCoupling exercises the flat branch with
+// nonzero off-diagonal coupling, so gradients change as flat coordinates
+// move.
+func TestSolveBoxZeroDiagonalOffDiagonalCoupling(t *testing.T) {
+	q, err := linalg.NewMatrixFrom(2, 2, []float64{0, -1, -1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{Q: q, P: []float64{-1, -1}, C: 1}
+	res, err := SolveBox(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gradient is monotone decreasing in both coordinates: both end at C.
+	for i, v := range res.Lambda {
+		if v != 1 {
+			t.Errorf("Lambda[%d] = %g, want 1", i, v)
+		}
+	}
+	if !res.Converged {
+		t.Errorf("Converged = false, want true")
+	}
+}
+
+// reportedGapIsConsistent recomputes the projected-gradient gap at the
+// returned point and checks the Result's bookkeeping against it: whatever
+// path the solver exits through, KKTViolation must be the max projected
+// gradient at Lambda and Converged must mean exactly "gap ≤ tol". The old
+// flat-curvature early return reported Converged = false without this
+// recomputation; every exit shares it now.
+func reportedGapIsConsistent(t *testing.T, p Problem, res *Result, tol float64) {
+	t.Helper()
+	gap := 0.0
+	for i := range res.Lambda {
+		g := p.P[i]
+		for j, v := range res.Lambda {
+			g += p.Q.At(i, j) * v
+		}
+		switch {
+		case res.Lambda[i] <= 0:
+			g = math.Min(g, 0)
+		case res.Lambda[i] >= p.C:
+			g = math.Max(g, 0)
+		}
+		if a := math.Abs(g); a > gap {
+			gap = a
+		}
+	}
+	if math.Abs(res.KKTViolation-gap) > 1e-9*(1+gap) {
+		t.Errorf("KKTViolation = %g, recomputed max projected gradient = %g", res.KKTViolation, gap)
+	}
+	if res.Converged != (res.KKTViolation <= tol) {
+		t.Errorf("Converged = %v inconsistent with KKTViolation %g vs tol %g", res.Converged, res.KKTViolation, tol)
+	}
+}
+
+// TestSolveBoxSubTauCurvature drives the flat-curvature branch proper: the
+// diagonal is positive but below the tau floor, so every step is a jump to a
+// box face, including from warm starts already sitting on faces.
+func TestSolveBoxSubTauCurvature(t *testing.T) {
+	q, err := linalg.NewMatrixFrom(3, 3, []float64{
+		1e-13, 0, 0,
+		0, 1e-13, 0,
+		0, 0, 1e-13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{Q: q, P: []float64{-2, 1, -0.5}, C: 4}
+	for _, warm := range [][]float64{nil, {4, 4, 4}, {0, 0, 0}, {2, 2, 2}} {
+		var opts []Option
+		if warm != nil {
+			opts = append(opts, WithWarmStart(warm))
+		}
+		res, err := SolveBox(p, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Negative-gradient coordinates ride to C, positive ones to 0; the
+		// 1e-13 diagonal cannot hold an interior optimum at this scale.
+		want := []float64{4, 0, 4}
+		for i, v := range res.Lambda {
+			if math.Abs(v-want[i]) > 1e-9 {
+				t.Errorf("warm=%v: Lambda[%d] = %g, want %g", warm, i, v, want[i])
+			}
+		}
+		if !res.Converged {
+			t.Errorf("warm=%v: Converged = false (KKTViolation %g)", warm, res.KKTViolation)
+		}
+		reportedGapIsConsistent(t, p, res, 1e-6)
+	}
+}
+
+// TestSolveBoxBookkeepingConsistentOnRandomProblems fuzzes SolveBox over
+// random PSD and rank-deficient problems (several with zero or sub-tau
+// diagonal entries) and checks the exit bookkeeping invariant on every one.
+func TestSolveBoxBookkeepingConsistentOnRandomProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		// Q = B·Bᵀ with B n×r, r < n most of the time: PSD, often singular.
+		r := 1 + rng.Intn(n)
+		b := linalg.NewMatrix(n, r)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		q, err := linalg.MatMulT(b, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial%3 == 0 {
+			// Flatten a coordinate entirely: zero its row and column.
+			z := rng.Intn(n)
+			for j := 0; j < n; j++ {
+				q.Set(z, j, 0)
+				q.Set(j, z, 0)
+			}
+		}
+		pvec := make([]float64, n)
+		for i := range pvec {
+			pvec[i] = rng.NormFloat64()
+		}
+		p := Problem{Q: q, P: pvec, C: 1 + rng.Float64()*10}
+		res, err := SolveBox(p, WithMaxIter(200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportedGapIsConsistent(t, p, res, 1e-6)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/ppml-go/ppml/internal/linalg"
 )
@@ -137,21 +138,32 @@ func SolveBox(p Problem, opts ...Option) (*Result, error) {
 			lambda[i] = linalg.Clamp(v, 0, p.C)
 		}
 	}
-	grad := gradient(&p, lambda)
+	grad := gradient(&p, lambda, getGradBuf(n))
+	defer putGradBuf(grad)
 
+	// stuck marks coordinates whose exact line-search step rounds to zero
+	// (flat or near-flat curvature pinning them in place). They are skipped
+	// by the selection until any other coordinate moves — which changes
+	// their gradient and may free them — instead of aborting the whole
+	// solve the moment the top violator cannot move.
+	var stuck []bool
+	stuckCount := 0
 	res := &Result{Lambda: lambda}
 	for res.Iterations = 0; res.Iterations < cfg.maxIter; res.Iterations++ {
 		// Gauss–Southwell: the coordinate with the largest projected gradient.
 		best, bestViol := -1, cfg.tol
 		for i := 0; i < n; i++ {
+			if stuckCount > 0 && stuck[i] {
+				continue
+			}
 			if v := math.Abs(projectedGradient(grad[i], lambda[i], p.C)); v > bestViol {
 				best, bestViol = i, v
 			}
 		}
 		if best < 0 {
-			res.Converged = true
-			res.KKTViolation = maxProjectedGradient(grad, lambda, p.C)
-			return res, nil
+			// No movable violator above tolerance; final bookkeeping below
+			// decides Converged from the full (stuck included) KKT gap.
+			break
 		}
 		i := best
 		qii := p.Q.At(i, i)
@@ -165,14 +177,22 @@ func SolveBox(p Problem, opts ...Option) (*Result, error) {
 		}
 		delta := target - lambda[i]
 		if delta == 0 {
-			// Flat curvature with no movement possible; treat as converged
-			// for this coordinate by nudging tolerance bookkeeping.
-			res.KKTViolation = bestViol
-			res.Converged = false
-			return res, nil
+			if stuck == nil {
+				stuck = make([]bool, n)
+			}
+			stuck[i] = true
+			stuckCount++
+			continue
 		}
 		lambda[i] = target
 		linalg.Axpy(delta, p.Q.Row(i), grad)
+		if stuckCount > 0 {
+			// Gradients changed; pinned coordinates may be free again.
+			for j := range stuck {
+				stuck[j] = false
+			}
+			stuckCount = 0
+		}
 	}
 	res.KKTViolation = maxProjectedGradient(grad, lambda, p.C)
 	res.Converged = res.KKTViolation <= cfg.tol
@@ -208,7 +228,8 @@ func SolveEqualityBox(p Problem, y []float64, d float64, opts ...Option) (*Resul
 	if err := repairEquality(lambda, y, d, p.C); err != nil {
 		return nil, err
 	}
-	grad := gradient(&p, lambda)
+	grad := gradient(&p, lambda, getGradBuf(n))
+	defer putGradBuf(grad)
 
 	res := &Result{Lambda: lambda}
 	for res.Iterations = 0; res.Iterations < cfg.maxIter; res.Iterations++ {
@@ -375,10 +396,29 @@ func repairEquality(lambda, y []float64, d, c float64) error {
 	return nil
 }
 
-// gradient computes Qλ + p. For an all-zero λ it avoids the matrix-vector
-// product entirely, the common cold-start case.
-func gradient(p *Problem, lambda []float64) []float64 {
-	g := linalg.CopyVec(p.P)
+// gradPool recycles gradient buffers across solves. The consensus trainers
+// call SolveBox/SolveEqualityBox once per Mapper per ADMM iteration, so in
+// steady state the gradient is the solvers' only repeated allocation; a pool
+// makes it free and stays correct when mappers solve concurrently.
+var gradPool sync.Pool
+
+func getGradBuf(n int) []float64 {
+	if p, ok := gradPool.Get().(*[]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putGradBuf(g []float64) {
+	g = g[:0]
+	gradPool.Put(&g)
+}
+
+// gradient computes Qλ + p into the pooled buffer g (len(p.P) elements). For
+// an all-zero λ it avoids the matrix-vector product entirely, the common
+// cold-start case.
+func gradient(p *Problem, lambda, g []float64) []float64 {
+	copy(g, p.P)
 	for i, v := range lambda {
 		if v != 0 {
 			linalg.Axpy(v, p.Q.Row(i), g)

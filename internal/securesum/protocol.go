@@ -35,15 +35,15 @@ func RunParty(ctx context.Context, ep transport.Endpoint, names []string, self i
 	for id, name := range names {
 		idOf[name] = id
 	}
+	masks, err := party.MaskForAll()
+	if err != nil {
+		return err
+	}
 	for peer := 0; peer < m; peer++ {
 		if peer == self {
 			continue
 		}
-		mask, err := party.MaskFor(peer)
-		if err != nil {
-			return err
-		}
-		if err := ep.Send(names[peer], KindMask, EncodeShares(mask)); err != nil {
+		if err := ep.Send(names[peer], KindMask, EncodeShares(masks[peer])); err != nil {
 			return fmt.Errorf("securesum: send mask to %q: %w", names[peer], err)
 		}
 	}

@@ -89,6 +89,33 @@ func (p *Party) MaskFor(peer int) ([]uint64, error) {
 	return mask, nil
 }
 
+// MaskForAll draws the masks for every peer at once — a single batched read
+// from the randomness source instead of one read per peer — recording them
+// exactly like per-peer MaskFor calls. masks[peer] is the mask destined for
+// that peer; masks[p.id] is nil. It must be the round's first mask
+// generation.
+func (p *Party) MaskForAll() ([][]uint64, error) {
+	if len(p.sent) != 0 {
+		return nil, fmt.Errorf("%w: MaskForAll after %d masks were already generated", ErrProtocol, len(p.sent))
+	}
+	flat, err := randomVector(p.rng, p.dim*(p.m-1))
+	if err != nil {
+		return nil, err
+	}
+	masks := make([][]uint64, p.m)
+	next := 0
+	for peer := 0; peer < p.m; peer++ {
+		if peer == p.id {
+			continue
+		}
+		mask := flat[next : next+p.dim : next+p.dim]
+		next += p.dim
+		p.sent[peer] = mask
+		masks[peer] = mask
+	}
+	return masks, nil
+}
+
 // SetPeerMask records the mask received from peer. Each peer may deliver
 // once per round.
 func (p *Party) SetPeerMask(peer int, mask []uint64) error {
@@ -194,15 +221,15 @@ func MaskedSum(values [][]float64, codec fixedpoint.Codec, random io.Reader) ([]
 		parties[i] = p
 	}
 	for i := range parties {
+		masks, err := parties[i].MaskForAll()
+		if err != nil {
+			return nil, err
+		}
 		for j := range parties {
 			if i == j {
 				continue
 			}
-			mask, err := parties[i].MaskFor(j)
-			if err != nil {
-				return nil, err
-			}
-			if err := parties[j].SetPeerMask(i, mask); err != nil {
+			if err := parties[j].SetPeerMask(i, masks[j]); err != nil {
 				return nil, err
 			}
 		}

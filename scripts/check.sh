@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full pre-merge gate: vet, build, race-enabled tests, and a one-shot
+# benchmark smoke run so bench code can't rot unnoticed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> bench smoke (Gram, 1 iteration)"
+go test -run '^$' -bench Gram -benchtime 1x ./internal/kernel/
+
+echo "ok: all checks passed"
