@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke check
+.PHONY: build test race vet vet-custom fuzz-short bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,19 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Custom invariant analyzers (internal/analysis) run through `go vet`:
+# randsource, plaintextwire, droppederr, poolcapture. See DESIGN.md
+# ("Machine-checked invariants").
+vet-custom:
+	$(GO) build -o bin/ppml-vet ./cmd/ppml-vet
+	$(GO) vet -vettool="$(CURDIR)/bin/ppml-vet" ./...
+
+# Short fuzz pass over the wire codecs (~30s total), same as the check gate.
+fuzz-short:
+	$(GO) test -fuzz FuzzFixedpointRoundtrip -fuzztime 10s -run '^$$' ./internal/fixedpoint/
+	$(GO) test -fuzz FuzzWireDecode -fuzztime 10s -run '^$$' ./internal/mapreduce/
+	$(GO) test -fuzz FuzzWireDecode -fuzztime 10s -run '^$$' ./internal/paillier/
+
 # Full benchmark sweep with allocation stats (slow).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -22,6 +35,7 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench Gram -benchtime 1x ./internal/kernel/
 
-# The pre-merge gate: scripts/check.sh = vet + build + race tests + bench smoke.
+# The pre-merge gate: scripts/check.sh = vet (standard + custom analyzers) +
+# build + race tests + short fuzz + bench smoke.
 check:
 	./scripts/check.sh

@@ -37,7 +37,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("ppml-figures", flag.ContinueOnError)
 	panel := fs.String("panel", "all", "a..h, baseline, scalability, or all")
 	paperScale := fs.Bool("paper-scale", false, "use the full Section VI data sizes (slow)")
@@ -51,11 +51,18 @@ func run(args []string) error {
 		return err
 	}
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return err
+		f, createErr := os.Create(*cpuProfile)
+		if createErr != nil {
+			return createErr
 		}
-		defer f.Close()
+		// The profile is written at StopCPUProfile time (deferred below, so it
+		// runs before this close); a failed close means a truncated profile
+		// and must surface.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("cpuprofile: %w", cerr)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
@@ -122,12 +129,18 @@ func printPanel(id string, opts experiments.Options) error {
 
 // writePanelCSV stores the panel as fig4<id>.csv: iter, then per data set a
 // Δz² column and an accuracy column.
-func writePanelCSV(p *experiments.Panel) error {
+func writePanelCSV(p *experiments.Panel) (err error) {
 	f, err := os.Create(filepath.Join(outDir, "fig4"+p.ID+".csv"))
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// The file is written, so a failed close can mean lost data; report it
+	// unless an earlier error already explains the failure.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	w := csv.NewWriter(f)
 	header := []string{"iter"}
 	for _, s := range p.Series {

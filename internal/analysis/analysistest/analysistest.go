@@ -1,0 +1,251 @@
+// Package analysistest runs framework analyzers over golden packages under a
+// test's testdata/src directory, in the style of
+// golang.org/x/tools/go/analysis/analysistest: source lines carry
+// `// want "regexp"` comments naming the diagnostics the analyzer must
+// report on that line, and the harness fails the test on any missing or
+// unexpected diagnostic.
+//
+// Golden packages are type-checked from source. Imports resolve first
+// against testdata/src (so suites can stub the repository's own packages
+// under paths like ppml/internal/transport) and then against the standard
+// library via the source importer, which needs no prebuilt export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/analysis/framework"
+)
+
+// Run applies the analyzer to each named golden package under testdata/src
+// and compares the reported diagnostics against the // want expectations in
+// the package sources.
+func Run(t *testing.T, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	l := &loader{
+		fset: token.NewFileSet(),
+		root: root,
+		pkgs: make(map[string]*result),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	for _, path := range pkgPaths {
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			res, err := l.load(path)
+			if err != nil {
+				t.Fatalf("loading golden package %s: %v", path, err)
+			}
+			var diags []framework.Diagnostic
+			pass := &framework.Pass{
+				Analyzer:  a,
+				Fset:      l.fset,
+				Files:     res.files,
+				Pkg:       res.pkg,
+				TypesInfo: res.info,
+				Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("analyzer %s: %v", a.Name, err)
+			}
+			check(t, l.fset, res.files, diags)
+		})
+	}
+}
+
+// check compares diagnostics against the want expectations, both keyed by
+// (file, line).
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []framework.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*wantExpr)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				exprs, err := parseWants(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", fset.Position(c.Pos()), err)
+				}
+				if len(exprs) == 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				k := key{p.Filename, p.Line}
+				wants[k] = append(wants[k], exprs...)
+			}
+		}
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	var unmet []string
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				unmet = append(unmet, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, w.re))
+			}
+		}
+	}
+	sort.Strings(unmet)
+	for _, msg := range unmet {
+		t.Error(msg)
+	}
+}
+
+type wantExpr struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts the quoted regexps of a `// want "re" "re"` comment.
+func parseWants(text string) ([]*wantExpr, error) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*wantExpr
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, fmt.Errorf("want: expected quoted regexp, found %q", rest)
+		}
+		lit, remainder, err := cutStringLit(rest)
+		if err != nil {
+			return nil, fmt.Errorf("want: %v", err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want: bad regexp %q: %v", lit, err)
+		}
+		out = append(out, &wantExpr{re: re})
+		rest = remainder
+	}
+	return out, nil
+}
+
+// cutStringLit splits one leading Go string literal off s.
+func cutStringLit(s string) (value, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case quote == '"' && s[i] == '\\':
+			i++
+		case s[i] == quote:
+			v, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return v, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in %q", s)
+}
+
+type result struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+// loader type-checks golden packages, resolving imports against testdata/src
+// first and the standard library (from source) second.
+type loader struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*result
+	std  types.Importer
+}
+
+func (l *loader) load(path string) (*result, error) {
+	if res, ok := l.pkgs[path]; ok {
+		return res, res.err
+	}
+	res := &result{}
+	l.pkgs[path] = res // set before recursing; import cycles fail in Check
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		res.err = err
+		return res, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		res.err = fmt.Errorf("no Go files in %s", dir)
+		return res, res.err
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			res.err = err
+			return res, err
+		}
+		res.files = append(res.files, f)
+	}
+	res.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	res.pkg, res.err = conf.Check(path, l.fset, res.files, res.info)
+	return res, res.err
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if info, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil && info.IsDir() {
+		res, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return res.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

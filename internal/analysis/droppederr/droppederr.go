@@ -1,0 +1,187 @@
+// Package droppederr flags discarded error results from the protocol API
+// surface: securesum, paillier, transport, and mapreduce.
+//
+// In an ordinary program a swallowed error is a bug; in this system it is a
+// silent protocol degradation — a mask that was never delivered, a share
+// that was never added, a ciphertext that failed to decode — that the
+// aggregate may absorb without any numeric symptom. The analyzer therefore
+// treats every error produced by those four packages as load-bearing:
+// a call whose error lands nowhere (expression statement, go statement, or
+// an assignment that sends every error result to the blank identifier) is a
+// violation unless a //ppml:err-ok directive with a justification marks the
+// discard as deliberate. Deferred teardown calls (defer ep.Close()) and
+// _test.go files are exempt by convention.
+package droppederr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/ppml-go/ppml/internal/analysis/framework"
+)
+
+// Analyzer is the droppederr checker.
+var Analyzer = &framework.Analyzer{
+	Name: "droppederr",
+	Doc: "flag discarded errors from securesum, paillier, transport, and mapreduce APIs; " +
+		"deliberate discards require //ppml:err-ok",
+	Run: run,
+}
+
+// DirectiveName marks a deliberate, justified error discard.
+const DirectiveName = "err-ok"
+
+// apiPaths are the packages whose error returns the analyzer audits, in
+// every package of the repository that calls them.
+var apiPaths = []string{
+	"internal/securesum",
+	"internal/paillier",
+	"internal/transport",
+	"internal/mapreduce",
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				// The deferred call itself is conventional teardown; still
+				// descend so calls in its arguments or closure body are
+				// checked.
+				for _, arg := range n.Call.Args {
+					checkExprTree(pass, arg)
+				}
+				if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkExprTree(pass, fl)
+				}
+				return false
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call)
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkExprTree applies the expression-statement and assignment checks to a
+// subtree reached from a skipped defer statement.
+func checkExprTree(pass *framework.Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDiscardedCall(pass, call)
+			}
+		case *ast.AssignStmt:
+			checkBlankAssign(pass, n)
+		}
+		return true
+	})
+}
+
+// checkDiscardedCall flags an audited call used as a bare statement when its
+// results include an error.
+func checkDiscardedCall(pass *framework.Pass, call *ast.CallExpr) {
+	fn := auditedCallee(pass, call)
+	if fn == nil || !returnsError(fn) {
+		return
+	}
+	if pass.Allowed(call.Pos(), DirectiveName) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error returned by %s.%s is discarded: a swallowed %s error silently degrades the protocol (handle it or annotate //ppml:%s)",
+		fn.Pkg().Name(), fn.Name(), fn.Pkg().Name(), DirectiveName)
+}
+
+// checkBlankAssign flags assignments whose right side is one audited call
+// and whose error results all land in the blank identifier.
+func checkBlankAssign(pass *framework.Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := auditedCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	errSeen := false
+	for i := 0; i < res.Len(); i++ {
+		if !isErrorType(res.At(i).Type()) {
+			continue
+		}
+		errSeen = true
+		if i >= len(assign.Lhs) || !isBlank(assign.Lhs[i]) {
+			return // at least one error result is bound to a real variable
+		}
+	}
+	if !errSeen {
+		return
+	}
+	if pass.Allowed(assign.Pos(), DirectiveName) {
+		return
+	}
+	pass.Reportf(assign.Pos(),
+		"error returned by %s.%s is assigned to the blank identifier: a swallowed %s error silently degrades the protocol (handle it or annotate //ppml:%s)",
+		fn.Pkg().Name(), fn.Name(), fn.Pkg().Name(), DirectiveName)
+}
+
+// auditedCallee resolves the called function if it belongs to one of the
+// audited API packages.
+func auditedCallee(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || !framework.PathMatches(fn.Pkg().Path(), apiPaths...) {
+		return nil
+	}
+	return fn
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,12 @@
+package droppederr_test
+
+import (
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/analysis/analysistest"
+	"github.com/ppml-go/ppml/internal/analysis/droppederr"
+)
+
+func TestDroppedErr(t *testing.T) {
+	analysistest.Run(t, droppederr.Analyzer, "ppml/node")
+}

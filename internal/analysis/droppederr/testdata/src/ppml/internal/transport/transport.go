@@ -1,0 +1,18 @@
+// Package transport is a golden stub of the repository's message layer: the
+// audited, error-returning API surface the droppederr tests call into.
+package transport
+
+// Endpoint mirrors the real endpoint's error-returning methods.
+type Endpoint struct{ name string }
+
+// New registers an endpoint.
+func New(name string) (*Endpoint, error) { return &Endpoint{name: name}, nil }
+
+// Name returns the endpoint's name (no error result: never flagged).
+func (e *Endpoint) Name() string { return e.name }
+
+// Send delivers a message.
+func (e *Endpoint) Send(to, kind string, payload []byte) error { return nil }
+
+// Close releases the endpoint.
+func (e *Endpoint) Close() error { return nil }

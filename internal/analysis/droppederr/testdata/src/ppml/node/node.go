@@ -1,0 +1,43 @@
+// Package node consumes the audited transport API in every shape the
+// droppederr analyzer distinguishes.
+package node
+
+import "ppml/internal/transport"
+
+func localWork() error { return nil }
+
+// Run exercises the discard shapes.
+func Run(ep *transport.Endpoint) error {
+	ep.Send("reducer", "share", nil) // want `error returned by transport.Send is discarded`
+
+	_ = ep.Send("reducer", "share", nil) // want `assigned to the blank identifier`
+
+	go ep.Send("reducer", "share", nil) // want `error returned by transport.Send is discarded`
+
+	//ppml:err-ok best-effort teardown; the collected result below is authoritative
+	_ = ep.Send("reducer", "stop", nil)
+
+	//ppml:err-ok
+	_ = ep.Send("reducer", "stop", nil) // want `directive requires a justification string` `assigned to the blank identifier`
+
+	if err := ep.Send("reducer", "share", nil); err != nil { // handled: no diagnostic
+		return err
+	}
+
+	localWork() // same-package call, unaudited: no diagnostic
+
+	ep.Name() // no error in the results: no diagnostic
+
+	ep2, _ := transport.New("aux") // want `assigned to the blank identifier`
+	defer ep2.Close()              // deferred teardown is conventional: no diagnostic
+
+	defer func() {
+		ep2.Send("reducer", "bye", nil) // want `error returned by transport.Send is discarded`
+	}()
+
+	ep3, err := transport.New("aux2") // both results bound: no diagnostic
+	if err != nil {
+		return err
+	}
+	return ep3.Close()
+}

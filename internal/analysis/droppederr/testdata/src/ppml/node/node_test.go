@@ -1,0 +1,9 @@
+package node
+
+import "ppml/internal/transport"
+
+// Test files may discard errors freely: no diagnostic in this file.
+func testHelper(ep *transport.Endpoint) {
+	ep.Send("reducer", "share", nil)
+	_ = ep.Close()
+}

@@ -1,0 +1,83 @@
+package framework
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Directive is one //ppml:<name> <justification> comment. Directives are the
+// audited escape hatch of the analyzer suite: every allowlisted violation
+// must say, in the source, why it is safe. A directive with an empty
+// justification does not excuse anything — the analyzers report it instead.
+type Directive struct {
+	Name          string
+	Justification string
+	Pos           token.Pos
+}
+
+// DirectivePrefix starts every analyzer directive comment.
+const DirectivePrefix = "//ppml:"
+
+// Directive looks up a //ppml:<name> directive governing the source line of
+// pos. A directive applies to the line it is written on (trailing comment)
+// and to the line immediately below it (standalone comment above the
+// governed statement).
+func (p *Pass) Directive(pos token.Pos, name string) (Directive, bool) {
+	if p.directives == nil {
+		p.directives = make(map[string]map[int]Directive)
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					d.Pos = c.Pos()
+					cp := p.Fset.Position(c.Pos())
+					lines := p.directives[cp.Filename]
+					if lines == nil {
+						lines = make(map[int]Directive)
+						p.directives[cp.Filename] = lines
+					}
+					lines[cp.Line] = d
+					lines[cp.Line+1] = d
+				}
+			}
+		}
+	}
+	at := p.Fset.Position(pos)
+	d, ok := p.directives[at.Filename][at.Line]
+	if !ok || d.Name != name {
+		return Directive{}, false
+	}
+	return d, true
+}
+
+// Allowed reports whether pos is excused by a justified //ppml:<name>
+// directive. When the directive is present but carries no justification,
+// Allowed reports a diagnostic of its own (anchored at the violation, which
+// the directive fails to excuse) and returns false: an unexplained exemption
+// is itself a violation.
+func (p *Pass) Allowed(pos token.Pos, name string) bool {
+	d, ok := p.Directive(pos, name)
+	if !ok {
+		return false
+	}
+	if d.Justification == "" {
+		p.Reportf(pos, "%s%s directive requires a justification string", DirectivePrefix, name)
+		return false
+	}
+	return true
+}
+
+func parseDirective(text string) (Directive, bool) {
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return Directive{}, false
+	}
+	rest := text[len(DirectivePrefix):]
+	name, justification, _ := strings.Cut(rest, " ")
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Justification: strings.TrimSpace(justification)}, true
+}

@@ -1,0 +1,276 @@
+// Package plaintextwire machine-checks the paper's Section V boundary
+// invariant: local iterates and training-data-derived vectors may cross the
+// Reducer boundary only masked (securesum) or encrypted (paillier).
+//
+// The analyzer audits the packages that move consensus data — consensus and
+// mapreduce — and inspects every call to transport's Endpoint.Send. The
+// coordination plane (state broadcast, stop, abort) is protocol-public by
+// design and always allowed; for every data-plane send the payload
+// expression must provably route through securesum or paillier:
+//
+//   - directly (securesum.EncodeShares(...), paillier.MarshalCiphertexts(...)),
+//   - through a same-package wrapper whose body uses those packages
+//     (e.g. a helper that encodes and encrypts before returning bytes), or
+//   - through a local variable assigned from such a call, traced
+//     intra-procedurally.
+//
+// Anything else is raw data on the wire and is flagged. The deliberate
+// no-privacy ablation mode (AggregationPlain) must carry a
+// //ppml:plaintext-ok directive with a justification.
+package plaintextwire
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/ppml-go/ppml/internal/analysis/framework"
+)
+
+// Analyzer is the plaintextwire checker.
+var Analyzer = &framework.Analyzer{
+	Name: "plaintextwire",
+	Doc: "flag transport sends in consensus/mapreduce whose payload does not route through " +
+		"securesum or paillier; deliberate plaintext requires //ppml:plaintext-ok",
+	Run: run,
+}
+
+// DirectiveName marks a deliberate, justified plaintext send.
+const DirectiveName = "plaintext-ok"
+
+// auditPaths are the packages whose sends are checked.
+var auditPaths = []string{
+	"internal/consensus",
+	"internal/mapreduce",
+}
+
+// transportPaths locate the message-passing layer (the sink).
+var transportPaths = []string{"internal/transport"}
+
+// sanitizerPaths are the packages whose outputs are safe to put on the wire.
+var sanitizerPaths = []string{
+	"internal/securesum",
+	"internal/paillier",
+}
+
+// controlKinds are the coordination-plane message kinds: the broadcast state
+// is the public consensus iterate z (shared with every learner by the
+// protocol itself), stop carries the final public state, and abort carries
+// an error string. None of them carries a learner-local iterate.
+var controlKinds = map[string]bool{
+	"KindBroadcast": true,
+	"KindStop":      true,
+	"KindAbort":     true,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathMatches(pass.Pkg.Path(), auditPaths...) {
+		return nil
+	}
+	routing := cryptoRoutingFuncs(pass)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		// Map every node to its enclosing function body so payload variables
+		// can be traced to their assignments.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				// Nested function literals get their own, narrower trace scope
+				// when the outer traversal reaches them.
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := m.(*ast.CallExpr); ok {
+					checkSend(pass, routing, body, call)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSend validates one transport Send call.
+func checkSend(pass *framework.Pass, routing map[*types.Func]bool, body *ast.BlockStmt, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Name() != "Send" || fn.Pkg() == nil ||
+		!framework.PathMatches(fn.Pkg().Path(), transportPaths...) {
+		return
+	}
+	if len(call.Args) != 3 {
+		return
+	}
+	if isControlKind(pass, call.Args[1]) {
+		return
+	}
+	tr := &tracer{pass: pass, routing: routing, body: body}
+	if tr.sanctioned(call.Args[2], 0) {
+		return
+	}
+	if pass.Allowed(call.Pos(), DirectiveName) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"payload sent on the transport does not route through securesum or paillier: raw local results must not cross the reducer boundary (mask or encrypt it, or annotate //ppml:%s)",
+		DirectiveName)
+}
+
+// isControlKind reports whether the kind argument is one of the
+// coordination-plane constants of the mapreduce driver.
+func isControlKind(pass *framework.Pass, kind ast.Expr) bool {
+	var id *ast.Ident
+	switch k := ast.Unparen(kind).(type) {
+	case *ast.Ident:
+		id = k
+	case *ast.SelectorExpr:
+		id = k.Sel
+	default:
+		return false
+	}
+	obj, _ := pass.TypesInfo.Uses[id].(*types.Const)
+	return obj != nil && controlKinds[obj.Name()] && obj.Pkg() != nil &&
+		framework.PathMatches(obj.Pkg().Path(), auditPaths...)
+}
+
+// cryptoRoutingFuncs returns the package-level functions of this package
+// whose bodies use securesum or paillier — one level of wrapper indirection
+// for the taint check (e.g. a helper that encrypts a contribution and
+// returns the ciphertext bytes).
+func cryptoRoutingFuncs(pass *framework.Pass) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			uses := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || uses {
+					return !uses
+				}
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil &&
+					framework.PathMatches(obj.Pkg().Path(), sanitizerPaths...) {
+					uses = true
+				}
+				return true
+			})
+			if !uses {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = true
+			}
+		}
+	}
+	return out
+}
+
+// tracer decides whether a payload expression provably routes through the
+// sanitizer packages.
+type tracer struct {
+	pass    *framework.Pass
+	routing map[*types.Func]bool
+	body    *ast.BlockStmt
+}
+
+const maxTraceDepth = 4
+
+func (tr *tracer) sanctioned(expr ast.Expr, depth int) bool {
+	if depth > maxTraceDepth {
+		return false
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		return tr.sanctionedCall(e)
+	case *ast.Ident:
+		return tr.sanctionedVar(e, depth)
+	}
+	return false
+}
+
+// sanctionedCall accepts calls into the sanitizer packages and calls of
+// same-package wrappers that use them.
+func (tr *tracer) sanctionedCall(call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, _ := tr.pass.TypesInfo.Uses[id].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && framework.PathMatches(fn.Pkg().Path(), sanitizerPaths...) {
+		return true
+	}
+	return tr.routing[fn]
+}
+
+// sanctionedVar traces a payload variable to its assignments inside the
+// enclosing function body; every assignment must be sanctioned.
+func (tr *tracer) sanctionedVar(id *ast.Ident, depth int) bool {
+	obj, _ := tr.pass.TypesInfo.Uses[id].(*types.Var)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ok := true
+	ast.Inspect(tr.body, func(n ast.Node) bool {
+		assign, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || !ok {
+			return ok
+		}
+		for _, lhs := range assign.Lhs {
+			lid, isIdent := ast.Unparen(lhs).(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			var lobj types.Object = tr.pass.TypesInfo.Defs[lid]
+			if lobj == nil {
+				lobj = tr.pass.TypesInfo.Uses[lid]
+			}
+			if lobj != obj {
+				continue
+			}
+			found = true
+			// Multi-value assignments (payload, scratch, err := f(...))
+			// have a single call on the right; otherwise match positionally.
+			rhs := assign.Rhs[0]
+			if len(assign.Rhs) == len(assign.Lhs) {
+				for i := range assign.Lhs {
+					if assign.Lhs[i] == lhs {
+						rhs = assign.Rhs[i]
+					}
+				}
+			}
+			if !tr.sanctioned(rhs, depth+1) {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return found && ok
+}

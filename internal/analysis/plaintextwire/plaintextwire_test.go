@@ -1,0 +1,15 @@
+package plaintextwire_test
+
+import (
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/analysis/analysistest"
+	"github.com/ppml-go/ppml/internal/analysis/plaintextwire"
+)
+
+func TestPlaintextWire(t *testing.T) {
+	analysistest.Run(t, plaintextwire.Analyzer,
+		"ppml/internal/mapreduce", // audited: sends are checked
+		"ppml/tools",              // unaudited: must produce no diagnostics
+	)
+}

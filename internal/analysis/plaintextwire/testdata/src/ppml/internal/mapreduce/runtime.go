@@ -1,0 +1,63 @@
+// Package mapreduce is the audited golden package: every Send here is
+// checked against the wire-boundary invariant.
+package mapreduce
+
+import (
+	"ppml/internal/paillier"
+	"ppml/internal/securesum"
+	"ppml/internal/transport"
+)
+
+// Coordination-plane kinds, allowed to carry protocol-public payloads.
+const (
+	KindBroadcast = "mr.broadcast"
+	KindStop      = "mr.stop"
+	KindAbort     = "mr.abort"
+	KindShare     = "mr.share"
+)
+
+// encodeVector is a plain, non-cryptographic encoder.
+func encodeVector(v []float64) []byte { return make([]byte, 8*len(v)) }
+
+// encryptContribution routes through paillier, so its result is wire-safe
+// and the function counts as a sanctioned same-package wrapper.
+func encryptContribution(v []float64) []byte { return paillier.Encrypt(v) }
+
+// Good sends only control-plane or sanitized payloads. No diagnostics.
+func Good(ep transport.Endpoint, contrib []float64) error {
+	if err := ep.Send("learner-0", KindBroadcast, encodeVector(contrib)); err != nil {
+		return err
+	}
+	if err := ep.Send("learner-0", KindStop, nil); err != nil {
+		return err
+	}
+	if err := ep.Send("reducer", KindShare, securesum.EncodeShares(contrib)); err != nil {
+		return err
+	}
+	payload := paillier.Encrypt(contrib)
+	if err := ep.Send("reducer", KindShare, payload); err != nil {
+		return err
+	}
+	return ep.Send("reducer", KindShare, encryptContribution(contrib))
+}
+
+// Bad puts raw local results on the wire, directly and through a variable.
+func Bad(ep transport.Endpoint, contrib []float64) error {
+	raw := encodeVector(contrib)
+	if err := ep.Send("reducer", KindShare, raw); err != nil { // want `does not route through securesum or paillier`
+		return err
+	}
+	return ep.Send("reducer", KindShare, encodeVector(contrib)) // want `does not route through securesum or paillier`
+}
+
+// Ablation is the justified deliberate plaintext path. No diagnostics.
+func Ablation(ep transport.Endpoint, contrib []float64) error {
+	//ppml:plaintext-ok deliberate no-privacy baseline for the ablation benchmark
+	return ep.Send("reducer", KindShare, encodeVector(contrib))
+}
+
+// AblationUnjustified carries the directive with no reason.
+func AblationUnjustified(ep transport.Endpoint, contrib []float64) error {
+	//ppml:plaintext-ok
+	return ep.Send("reducer", KindShare, encodeVector(contrib)) // want `directive requires a justification string` `does not route through securesum or paillier`
+}

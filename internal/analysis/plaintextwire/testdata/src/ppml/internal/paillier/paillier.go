@@ -1,0 +1,5 @@
+// Package paillier is a golden stub of the homomorphic-encryption sanitizer.
+package paillier
+
+// Encrypt stands in for the ciphertext encoder.
+func Encrypt(v []float64) []byte { return make([]byte, 16*len(v)) }

@@ -1,0 +1,5 @@
+// Package securesum is a golden stub of the masked-summation sanitizer.
+package securesum
+
+// EncodeShares stands in for the masked-share encoder.
+func EncodeShares(v []float64) []byte { return make([]byte, 8*len(v)) }

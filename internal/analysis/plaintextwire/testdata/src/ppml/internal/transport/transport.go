@@ -1,0 +1,9 @@
+// Package transport is a golden stub of the message layer: its Send method
+// is the sink the plaintextwire analyzer watches.
+package transport
+
+// Endpoint mirrors the real endpoint's Send signature.
+type Endpoint struct{}
+
+// Send delivers a message.
+func (Endpoint) Send(to, kind string, payload []byte) error { return nil }

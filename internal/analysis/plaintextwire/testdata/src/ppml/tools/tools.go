@@ -1,0 +1,10 @@
+// Package tools is outside the audited paths: it may send whatever it likes
+// and the analyzer must stay silent.
+package tools
+
+import "ppml/internal/transport"
+
+// Debug dumps raw bytes to a peer.
+func Debug(ep transport.Endpoint, blob []byte) error {
+	return ep.Send("debugger", "dump", blob)
+}

@@ -1,0 +1,227 @@
+// Package poolcapture guards the determinism contract of the parallel
+// worker pool: the blocks of a parallel.For run concurrently, so a closure
+// passed to it may only write to shared state in index-disjoint ways.
+//
+// The analyzer inspects every function literal passed to parallel.For and
+// flags writes whose target is a variable captured from the enclosing
+// function (or a package-level variable), unless the write is
+//
+//   - an element write x[i] = v into a captured slice or array whose index
+//     is computed from closure-local variables (the lo/hi block bounds or
+//     loop variables derived from them), which is the pool's sanctioned
+//     disjoint-write pattern;
+//   - preceded, inside the closure, by a Lock/RLock call on a sync.Mutex or
+//     sync.RWMutex, the sanctioned pattern for error capture; or
+//   - annotated with a justified //ppml:shared-ok directive.
+//
+// Map writes through a captured map are always flagged: Go maps are unsafe
+// under concurrent writers regardless of key disjointness.
+package poolcapture
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/ppml-go/ppml/internal/analysis/framework"
+)
+
+// Analyzer is the poolcapture checker.
+var Analyzer = &framework.Analyzer{
+	Name: "poolcapture",
+	Doc: "flag non-index-disjoint writes to captured variables inside parallel.For closures; " +
+		"deliberate shared writes require //ppml:shared-ok",
+	Run: run,
+}
+
+// DirectiveName marks a deliberate, justified shared write.
+const DirectiveName = "shared-ok"
+
+// poolPaths locate the worker-pool package.
+var poolPaths = []string{"internal/parallel"}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPoolFor(pass, call) || len(call.Args) != 3 {
+				return true
+			}
+			if lit, ok := call.Args[2].(*ast.FuncLit); ok {
+				checkClosure(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPoolFor reports whether call invokes parallel.For.
+func isPoolFor(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return fn != nil && fn.Name() == "For" && fn.Pkg() != nil &&
+		framework.PathMatches(fn.Pkg().Path(), poolPaths...)
+}
+
+func checkClosure(pass *framework.Pass, lit *ast.FuncLit) {
+	c := &closure{pass: pass, lit: lit}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkWrite(n.Pos(), lhs)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(n.Pos(), n.X)
+		}
+		return true
+	})
+}
+
+type closure struct {
+	pass *framework.Pass
+	lit  *ast.FuncLit
+}
+
+// local reports whether obj is declared inside the closure (parameters
+// included).
+func (c *closure) local(obj types.Object) bool {
+	return obj != nil && obj.Pos() >= c.lit.Pos() && obj.Pos() <= c.lit.End()
+}
+
+// checkWrite validates one assignment target inside the closure.
+func (c *closure) checkWrite(at token.Pos, lhs ast.Expr) {
+	// Strip field selections and dereferences so chains like ms[i].field or
+	// (*rows)[i] reduce to the indexing (or the bare variable) that decides
+	// disjointness.
+	lhs = ast.Unparen(lhs)
+	wrapped := false
+	for {
+		switch t := lhs.(type) {
+		case *ast.SelectorExpr:
+			lhs, wrapped = ast.Unparen(t.X), true
+			continue
+		case *ast.StarExpr:
+			lhs, wrapped = ast.Unparen(t.X), true
+			continue
+		}
+		break
+	}
+
+	// Element writes: x[i] = v. Allowed into captured slices/arrays when the
+	// index derives from closure-local state; captured map writes are always
+	// racy.
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		base := c.rootObject(idx.X)
+		if base == nil || c.local(base) {
+			return
+		}
+		if _, isMap := c.pass.TypesInfo.TypeOf(idx.X).Underlying().(*types.Map); isMap {
+			c.report(at, base, "write into captured map %q (maps are unsafe under concurrent writers)")
+			return
+		}
+		if c.indexIsBlockLocal(idx.Index) {
+			return
+		}
+		c.report(at, base, "element write into captured %q with an index not derived from the closure's block range")
+		return
+	}
+
+	obj := c.rootObject(lhs)
+	if obj == nil || c.local(obj) {
+		return
+	}
+	if wrapped {
+		c.report(at, obj, "write through captured variable %q")
+	} else {
+		c.report(at, obj, "write to captured variable %q")
+	}
+}
+
+// indexIsBlockLocal reports whether the index expression references at least
+// one closure-local variable and no captured variable, the shape of an
+// index-disjoint block write.
+func (c *closure) indexIsBlockLocal(index ast.Expr) bool {
+	sawLocal := false
+	sawCaptured := false
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if c.local(obj) {
+			sawLocal = true
+		} else {
+			sawCaptured = true
+		}
+		return true
+	})
+	return sawLocal && !sawCaptured
+}
+
+// rootObject resolves the variable at the base of an assignment target:
+// the x of x, x.f, x[i], *x, and chains thereof.
+func (c *closure) rootObject(e ast.Expr) *types.Var {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := c.pass.TypesInfo.Uses[t].(*types.Var)
+			if v == nil {
+				v, _ = c.pass.TypesInfo.Defs[t].(*types.Var)
+			}
+			return v
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *closure) report(at token.Pos, obj types.Object, format string) {
+	if c.mutexHeldBefore(at) || c.pass.Allowed(at, DirectiveName) {
+		return
+	}
+	c.pass.Reportf(at,
+		format+" inside a parallel.For closure: blocks run concurrently, so writes must be index-disjoint, mutex-guarded, or annotated //ppml:"+DirectiveName,
+		obj.Name())
+}
+
+// mutexHeldBefore reports whether a Lock or RLock call on a sync mutex
+// appears inside the closure before the write — the sanctioned guarded-write
+// pattern. This is a heuristic: it does not prove the lock covers the write,
+// but it separates the deliberate guarded pattern from plain racy writes.
+func (c *closure) mutexHeldBefore(at token.Pos) bool {
+	held := false
+	ast.Inspect(c.lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= at || held {
+			return !held
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			held = true
+			return false
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,12 @@
+package poolcapture_test
+
+import (
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/analysis/analysistest"
+	"github.com/ppml-go/ppml/internal/analysis/poolcapture"
+)
+
+func TestPoolCapture(t *testing.T) {
+	analysistest.Run(t, poolcapture.Analyzer, "ppml/compute")
+}

@@ -1,0 +1,130 @@
+// Package compute exercises every write shape the poolcapture analyzer
+// distinguishes inside parallel.For closures.
+package compute
+
+import (
+	"sync"
+
+	"ppml/internal/parallel"
+)
+
+// Square is the sanctioned pattern: index-disjoint block writes into a
+// captured slice. No diagnostics.
+func Square(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	parallel.For(len(xs), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = xs[i] * xs[i]
+		}
+	})
+	return out
+}
+
+// Cells shows the same pattern through a field selection.
+type cell struct{ v float64 }
+
+func Cells(cs []cell, xs []float64) {
+	parallel.For(len(xs), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cs[i].v = xs[i]
+		}
+	})
+}
+
+// Sum races every block on one captured accumulator.
+func Sum(xs []float64) float64 {
+	var sum float64
+	parallel.For(len(xs), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want `write to captured variable "sum"`
+		}
+	})
+	return sum
+}
+
+// Histogram writes a captured map, racy regardless of key disjointness.
+func Histogram(xs []int) map[int]int {
+	m := make(map[int]int)
+	parallel.For(len(xs), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m[xs[i]]++ // want `write into captured map "m"`
+		}
+	})
+	return m
+}
+
+// Gather indexes a captured slice with a captured index: every block writes
+// the same element.
+func Gather(dst, src []float64, j int) {
+	parallel.For(len(src), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[j] += src[i] // want `element write into captured "dst" with an index not derived`
+		}
+	})
+}
+
+// Deref writes through a captured pointer.
+func Deref(p *float64, xs []float64) {
+	parallel.For(len(xs), 64, func(lo, hi int) {
+		*p = xs[lo] // want `write through captured variable "p"`
+	})
+}
+
+// Tally increments a captured counter.
+func Tally(xs []float64) int {
+	n := 0
+	parallel.For(len(xs), 64, func(lo, hi int) {
+		n++ // want `write to captured variable "n"`
+	})
+	return n
+}
+
+// FirstError is the sanctioned guarded pattern: a sync.Mutex lock precedes
+// the shared writes. No diagnostics.
+func FirstError(xs []float64, check func(float64) error) error {
+	var mu sync.Mutex
+	var firstErr error
+	parallel.For(len(xs), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if err := check(xs[i]); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}
+	})
+	return firstErr
+}
+
+// Probe is a justified deliberate race.
+func Probe(xs []float64) float64 {
+	var last float64
+	parallel.For(len(xs), 64, func(lo, hi int) {
+		//ppml:shared-ok benign last-writer-wins probe, read only by the benchmark harness
+		last = xs[hi-1]
+	})
+	return last
+}
+
+// ProbeUnjustified carries the directive with no reason: excused nothing.
+func ProbeUnjustified(xs []float64) float64 {
+	var last float64
+	parallel.For(len(xs), 64, func(lo, hi int) {
+		//ppml:shared-ok
+		last = xs[hi-1] // want `directive requires a justification string` `write to captured variable "last"`
+	})
+	return last
+}
+
+// LocalState writes only closure-local variables. No diagnostics.
+func LocalState(xs []float64, out []float64) {
+	parallel.For(len(xs), 64, func(lo, hi int) {
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			acc += xs[i]
+		}
+		out[lo] = acc
+	})
+}

@@ -1,0 +1,18 @@
+// Package parallel is a golden stub of the repository's worker pool. This
+// version runs the blocks sequentially; the real one runs them concurrently,
+// which is the behaviour the poolcapture analyzer guards against.
+package parallel
+
+// For partitions [0, n) into grain-sized blocks and invokes fn on each.
+func For(n, grain int, fn func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	}
+}

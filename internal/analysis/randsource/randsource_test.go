@@ -1,0 +1,16 @@
+package randsource_test
+
+import (
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/analysis/analysistest"
+	"github.com/ppml-go/ppml/internal/analysis/randsource"
+)
+
+func TestRandSource(t *testing.T) {
+	analysistest.Run(t, randsource.Analyzer,
+		"ppml/internal/securesum", // hard tier: import is the violation
+		"ppml/internal/consensus", // deterministic tier: directives govern use sites
+		"ppml/simulation",         // unaudited: must produce no diagnostics
+	)
+}

@@ -1,0 +1,51 @@
+// Package consensus is a golden stand-in for the deterministic-audited tier:
+// math/rand is allowed only for documented, protocol-public values.
+package consensus
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config mirrors the real package's seeded configuration.
+type Config struct{ Seed int64 }
+
+// landmarkRand is the sanctioned pattern: a justified directive over the
+// single construction site. No diagnostics.
+func (c Config) landmarkRand() *rand.Rand {
+	//ppml:deterministic-ok landmark points are protocol-public and must be identical across learners
+	return rand.New(rand.NewSource(c.Seed))
+}
+
+// sample consumes an already-built generator: method calls and the *rand.Rand
+// type name are not use sites, so no directive is needed here.
+func sample(rng *rand.Rand, out []float64) {
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+}
+
+// undocumented constructs a generator with no directive: both math/rand
+// identifiers on the line are flagged.
+func undocumented(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `requires a //ppml:deterministic-ok directive`
+}
+
+// tieBreak uses the package-global generator, which is just as undocumented.
+func tieBreak(n int) int {
+	return rand.Intn(n) // want `requires a //ppml:deterministic-ok directive`
+}
+
+// unjustified carries the directive but no reason, which excuses nothing and
+// is reported in its own right.
+func unjustified(seed int64) *rand.Rand {
+	//ppml:deterministic-ok
+	return rand.New(rand.NewSource(seed)) // want `directive requires a justification string` `requires a //ppml:deterministic-ok directive`
+}
+
+// clockSeeded shows that no directive excuses a time-derived seed: it is
+// predictable to an adversary and differs across learners.
+func clockSeeded() *rand.Rand {
+	//ppml:deterministic-ok the clock is convenient
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the clock`
+}

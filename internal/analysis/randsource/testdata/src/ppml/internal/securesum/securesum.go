@@ -1,0 +1,14 @@
+// Package securesum is a golden stand-in for the repository's masked
+// summation package: hard-audited, so crypto/rand is the only legal source.
+package securesum
+
+import (
+	"crypto/rand"
+	"io"
+)
+
+// Mask fills buf from the cryptographically strong source. Legal.
+func Mask(buf []byte) error {
+	_, err := io.ReadFull(rand.Reader, buf)
+	return err
+}

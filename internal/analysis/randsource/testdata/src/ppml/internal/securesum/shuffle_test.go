@@ -1,0 +1,6 @@
+package securesum
+
+import "math/rand"
+
+// Test files may use math/rand freely: no diagnostic anywhere in this file.
+func shuffledIndex(n int) int { return rand.Intn(n) }

@@ -1,0 +1,13 @@
+package securesum
+
+import (
+	weak "math/rand" // want `math/rand is forbidden in privacy-critical package`
+)
+
+// WeakMask draws masks from a predictable source: the import above is the
+// violation, regardless of how the package is later used.
+func WeakMask(buf []byte) {
+	for i := range buf {
+		buf[i] = byte(weak.Int())
+	}
+}

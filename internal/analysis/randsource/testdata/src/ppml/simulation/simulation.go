@@ -1,0 +1,11 @@
+// Package simulation is outside every audited path: math/rand is fine here,
+// and the analyzer must stay silent.
+package simulation
+
+import "math/rand"
+
+// NewJitter builds a seeded generator for benchmark noise.
+func NewJitter(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Jitter draws benchmark noise.
+func Jitter(r *rand.Rand) float64 { return r.Float64() }

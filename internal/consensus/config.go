@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"github.com/ppml-go/ppml/internal/dataset"
@@ -106,6 +107,20 @@ func (c Config) normalized() (Config, error) {
 		c.Seed = 1
 	}
 	return c, nil
+}
+
+// landmarkRand is the single sanctioned math/rand construction site in this
+// package: the deterministic, Seed-keyed source behind the shared landmark
+// points X_g and any tie-breaking. These values are NOT secret — X_g is
+// public by construction (every learner and the Reducer must agree on the
+// same landmarks, Lemma 4.2 discussion) — but they MUST be reproducible
+// across learners and runs, which crypto/rand cannot provide. All
+// security-relevant randomness (masks, Paillier nonces, DP noise) lives in
+// the hard-audited packages and comes from crypto/rand; the randsource
+// analyzer enforces both halves of this split.
+func (c Config) landmarkRand() *rand.Rand {
+	//ppml:deterministic-ok landmark points X_g are protocol-public and must be identical across learners; Config.Seed documents the determinism contract
+	return rand.New(rand.NewSource(c.Seed))
 }
 
 // History records the per-iteration behaviour the paper plots in Fig. 4.

@@ -2,7 +2,6 @@ package consensus
 
 import (
 	"fmt"
-	"math/rand"
 
 	"github.com/ppml-go/ppml/internal/dataset"
 	"github.com/ppml-go/ppml/internal/eval"
@@ -90,8 +89,9 @@ func TrainHorizontalKernel(parts []*dataset.Dataset, cfg Config) (*KernelHorizon
 
 	// Public landmark points X_g: standard Gaussian rows match standardized
 	// training data; any X_g with non-singular K(X_g, X_g) works (Lemma 4.2
-	// discussion). They contain no private information by construction.
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// discussion). They contain no private information by construction; see
+	// Config.landmarkRand for the determinism contract.
+	rng := cfg.landmarkRand()
 	xg := linalg.NewMatrix(l, k)
 	for i := range xg.Data {
 		xg.Data[i] = rng.NormFloat64()

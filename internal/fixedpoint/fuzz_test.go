@@ -1,0 +1,58 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFixedpointRoundtrip checks the codec's central numeric contract over
+// arbitrary inputs: any finite, in-range value survives Encode → Decode to
+// within half a resolution step (the scale is a power of two, so the only
+// error is the rounding to the nearest ring element), and the vector codec
+// agrees with the scalar one bit for bit.
+func FuzzFixedpointRoundtrip(f *testing.F) {
+	f.Add(0.0, uint(DefaultFracBits))
+	f.Add(1.5, uint(DefaultFracBits))
+	f.Add(-math.Pi, uint(1))
+	f.Add(1e9, uint(30))
+	f.Add(-1e-9, uint(62))
+	f.Add(math.Inf(1), uint(30))
+	f.Add(math.NaN(), uint(30))
+	f.Fuzz(func(t *testing.T, v float64, fracBits uint) {
+		c, err := New(fracBits)
+		if err != nil {
+			if fracBits >= 1 && fracBits <= 62 {
+				t.Fatalf("New(%d) = %v, want success", fracBits, err)
+			}
+			return
+		}
+		u, err := c.Encode(v)
+		if err != nil {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) <= c.MaxAbs()/2 {
+				// Comfortably in range: encoding must not fail. (Near MaxAbs
+				// the pre-scale comparison is allowed to reject first.)
+				t.Fatalf("Encode(%g) with %d frac bits: %v", v, fracBits, err)
+			}
+			return
+		}
+		got := c.Decode(u)
+		if diff := math.Abs(got - v); diff > c.Resolution()/2 {
+			t.Fatalf("roundtrip error %g exceeds half a resolution step %g (v=%g, fracBits=%d)",
+				diff, c.Resolution()/2, v, fracBits)
+		}
+		vec, err := c.EncodeVec([]float64{v, v}, nil)
+		if err != nil {
+			t.Fatalf("EncodeVec after scalar Encode succeeded: %v", err)
+		}
+		if vec[0] != u || vec[1] != u {
+			t.Fatalf("EncodeVec = %v, scalar Encode = %d", vec, u)
+		}
+		dec, err := c.DecodeVec(vec, nil)
+		if err != nil {
+			t.Fatalf("DecodeVec: %v", err)
+		}
+		if dec[0] != got || dec[1] != got {
+			t.Fatalf("DecodeVec = %v, scalar Decode = %g", dec, got)
+		}
+	})
+}

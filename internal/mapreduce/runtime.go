@@ -226,6 +226,7 @@ reduceLoop:
 	// Tear down: final state rides on the stop message.
 	stopPayload := encodeStatePayload(res.Iterations, state)
 	for _, name := range names {
+		//ppml:err-ok best-effort teardown: a mapper that already exited (or a dead link) must not mask the job result collected below
 		_ = redEP.Send(name, KindStop, stopPayload)
 	}
 	for i := 0; i < m; i++ {
@@ -298,12 +299,14 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 				break
 			}
 			if attempt >= cfg.retries {
+				//ppml:err-ok best-effort abort notification: the Contribution error below is the one worth reporting
 				_ = cfg.ep.Send(reducerName, KindAbort, []byte(err.Error()))
 				return fmt.Errorf("%w: mapper %d at iteration %d: %v", ErrAborted, cfg.id, iter, err)
 			}
 		}
 		switch cfg.agg {
 		case AggregationPlain:
+			//ppml:plaintext-ok AggregationPlain is the deliberate no-privacy ablation baseline (Fig. 5 comparisons); selecting it is an explicit opt-out
 			if err := cfg.ep.Send(reducerName, KindPlainShare, encodeVector(contrib)); err != nil {
 				return fmt.Errorf("mapper %d: %w", cfg.id, err)
 			}
@@ -311,6 +314,7 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 			payload, scratch, err := encryptContribution(contrib, cfg.codec, cfg.paillierPub, encScratch)
 			encScratch = scratch
 			if err != nil {
+				//ppml:err-ok best-effort abort notification: the encryption error below is the one worth reporting
 				_ = cfg.ep.Send(reducerName, KindAbort, []byte(err.Error()))
 				return fmt.Errorf("mapper %d: %w", cfg.id, err)
 			}

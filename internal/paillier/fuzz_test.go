@@ -1,0 +1,42 @@
+package paillier
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzWireDecode feeds arbitrary bytes to UnmarshalCiphertexts: corrupt
+// payloads must fail cleanly (no panic, no implausible allocation), and any
+// payload it accepts must survive Marshal → Unmarshal with the same integer
+// values. Byte-level identity is not required — uvarint prefixes and leading
+// zeros admit non-canonical spellings of the same ciphertexts — but the
+// re-marshalled form is canonical and must be a fixed point.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(MarshalCiphertexts(nil))
+	f.Add(MarshalCiphertexts([]*big.Int{big.NewInt(0), big.NewInt(1 << 40)}))
+	f.Add([]byte{2, 1, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		cs, err := UnmarshalCiphertexts(b)
+		if err != nil {
+			return
+		}
+		re := MarshalCiphertexts(cs)
+		cs2, err := UnmarshalCiphertexts(re)
+		if err != nil {
+			t.Fatalf("re-unmarshal of canonical form failed: %v", err)
+		}
+		if len(cs2) != len(cs) {
+			t.Fatalf("roundtrip length %d, want %d", len(cs2), len(cs))
+		}
+		for i := range cs {
+			if cs[i].Cmp(cs2[i]) != 0 {
+				t.Fatalf("ciphertext %d: %v != %v", i, cs[i], cs2[i])
+			}
+		}
+		if re2 := MarshalCiphertexts(cs2); string(re2) != string(re) {
+			t.Fatalf("canonical form is not a fixed point: %x vs %x", re, re2)
+		}
+	})
+}

@@ -1,19 +1,33 @@
 package transport
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 )
 
-// TCP is a Network whose endpoints talk over loopback TCP sockets with gob
-// framing. It runs the exact same protocols as InProc across real sockets,
-// demonstrating that nothing in the system depends on shared memory. Every
-// endpoint owns a listener on an ephemeral port; the network keeps the
-// name → address book.
+// ErrFrameTooLarge is returned by Send when a message exceeds maxFrameBytes.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+// maxFrameBytes bounds one framed message on the wire. Every frame carries a
+// 4-byte length prefix, and the receiver rejects any advertised length above
+// this bound before allocating, so a corrupt or malicious peer cannot make an
+// endpoint allocate gigabytes from a 4-byte header. The largest legitimate
+// message is a Paillier ciphertext batch, far below this.
+const maxFrameBytes = 64 << 20
+
+// TCP is a Network whose endpoints talk over loopback TCP sockets with
+// length-prefixed gob frames. It runs the exact same protocols as InProc
+// across real sockets, demonstrating that nothing in the system depends on
+// shared memory. Every endpoint owns a listener on an ephemeral port; the
+// network keeps the name → address book.
 type TCP struct {
 	mu        sync.Mutex
 	addrs     map[string]string
@@ -65,7 +79,8 @@ func (n *TCP) Stats() Stats {
 	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load()}
 }
 
-// Close implements Network.
+// Close implements Network. It closes every endpoint and reports the first
+// failure (closes continue past an error so no endpoint leaks its listener).
 func (n *TCP) Close() error {
 	n.mu.Lock()
 	eps := make([]*tcpEndpoint, 0, len(n.endpoints))
@@ -74,10 +89,13 @@ func (n *TCP) Close() error {
 	}
 	n.closed = true
 	n.mu.Unlock()
+	var firstErr error
 	for _, ep := range eps {
-		_ = ep.Close()
+		if err := ep.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return nil
+	return firstErr
 }
 
 func (n *TCP) addressOf(name string) (string, error) {
@@ -96,7 +114,6 @@ func (n *TCP) addressOf(name string) (string, error) {
 type tcpConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
 }
 
 type tcpEndpoint struct {
@@ -126,10 +143,23 @@ func (e *tcpEndpoint) acceptLoop() {
 
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	var hdr [4]byte
 	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // peer closed or died mid-header
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxFrameBytes {
+			// An advertised length above the bound means a corrupt or hostile
+			// stream; drop the connection before allocating anything.
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return // peer died mid-frame: discard the partial message
+		}
 		var msg Message
-		if err := dec.Decode(&msg); err != nil {
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&msg); err != nil {
 			return
 		}
 		select {
@@ -138,6 +168,24 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// encodeFrame gob-encodes msg behind a 4-byte big-endian length prefix.
+// Each frame is self-contained (fresh encoder), so a dropped connection can
+// never leave the peer's stream mid-type-dictionary.
+func encodeFrame(msg *Message) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 4))
+	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	n := len(b) - 4
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, n, maxFrameBytes)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	return b, nil
 }
 
 func (e *tcpEndpoint) Send(to, kind string, payload []byte) error {
@@ -151,8 +199,12 @@ func (e *tcpEndpoint) Send(to, kind string, payload []byte) error {
 		return err
 	}
 	msg := Message{From: e.name, To: to, Kind: kind, Payload: payload}
+	frame, err := encodeFrame(&msg)
+	if err != nil {
+		return fmt.Errorf("transport tcp send to %q: %w", to, err)
+	}
 	c.mu.Lock()
-	err = c.enc.Encode(&msg)
+	_, err = c.conn.Write(frame)
 	c.mu.Unlock()
 	if err != nil {
 		// Drop the cached connection so the next send re-dials.
@@ -183,7 +235,7 @@ func (e *tcpEndpoint) connTo(to string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport tcp dial %q: %w", to, err)
 	}
-	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	c := &tcpConn{conn: conn}
 	e.conns[to] = c
 	return c, nil
 }
@@ -205,9 +257,10 @@ func (e *tcpEndpoint) Recv(ctx context.Context) (Message, error) {
 }
 
 func (e *tcpEndpoint) Close() error {
+	var err error
 	e.closeOnce.Do(func() {
 		close(e.done)
-		e.ln.Close()
+		err = e.ln.Close()
 		e.connMu.Lock()
 		for _, c := range e.conns {
 			c.conn.Close()
@@ -218,5 +271,5 @@ func (e *tcpEndpoint) Close() error {
 		delete(e.net.addrs, e.name)
 		e.net.mu.Unlock()
 	})
-	return nil
+	return err
 }

@@ -1,6 +1,8 @@
 #!/bin/sh
-# Full pre-merge gate: vet, build, race-enabled tests, and a one-shot
-# benchmark smoke run so bench code can't rot unnoticed.
+# Full pre-merge gate: standard vet, the repository's own invariant analyzers
+# (cmd/ppml-vet), build, race-enabled tests, a short fuzz pass over the wire
+# codecs, and a one-shot benchmark smoke run so bench code can't rot
+# unnoticed.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -8,11 +10,20 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> go vet -vettool=ppml-vet ./... (privacy/concurrency invariants)"
+go build -o bin/ppml-vet ./cmd/ppml-vet
+go vet -vettool="$PWD/bin/ppml-vet" ./...
+
 echo "==> go build ./..."
 go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> fuzz smoke (3 x 10s over the wire codecs)"
+go test -fuzz FuzzFixedpointRoundtrip -fuzztime 10s -run '^$' ./internal/fixedpoint/
+go test -fuzz FuzzWireDecode -fuzztime 10s -run '^$' ./internal/mapreduce/
+go test -fuzz FuzzWireDecode -fuzztime 10s -run '^$' ./internal/paillier/
 
 echo "==> bench smoke (Gram, 1 iteration)"
 go test -run '^$' -bench Gram -benchtime 1x ./internal/kernel/
