@@ -21,9 +21,10 @@ vet-custom:
 	$(GO) build -o bin/ppml-vet ./cmd/ppml-vet
 	$(GO) vet -vettool="$(CURDIR)/bin/ppml-vet" ./...
 
-# Short fuzz pass over the wire codecs (~30s total), same as the check gate.
+# Short fuzz pass over the wire codecs (~40s total), same as the check gate.
 fuzz-short:
 	$(GO) test -fuzz FuzzFixedpointRoundtrip -fuzztime 10s -run '^$$' ./internal/fixedpoint/
+	$(GO) test -fuzz FuzzWireDecode -fuzztime 10s -run '^$$' ./internal/transport/
 	$(GO) test -fuzz FuzzWireDecode -fuzztime 10s -run '^$$' ./internal/mapreduce/
 	$(GO) test -fuzz FuzzWireDecode -fuzztime 10s -run '^$$' ./internal/paillier/
 

@@ -13,21 +13,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"github.com/ppml-go/ppml"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C cancels the context; every simulated node unwinds mid-round
+	// instead of training out the iteration budget.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ppml-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ppml-train", flag.ContinueOnError)
 	dataPath := fs.String("data", "", "path to the training file (required)")
 	format := fs.String("format", "csv", "input format: csv or libsvm")
@@ -155,7 +161,7 @@ func run(args []string) error {
 		opts = append(opts, ppml.WithPlainAggregation())
 	}
 
-	res, err := ppml.Train(train, scheme, opts...)
+	res, err := ppml.TrainContext(ctx, train, scheme, opts...)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,7 @@ func writeTestCSV(t *testing.T) string {
 func TestRunTrainsAndSavesModel(t *testing.T) {
 	data := writeTestCSV(t)
 	model := filepath.Join(t.TempDir(), "model.json")
-	if err := run([]string{
+	if err := run(context.Background(), []string{
 		"-data", data, "-iterations", "5", "-learners", "2",
 		"-model-out", model,
 	}); err != nil {
@@ -41,7 +42,7 @@ func TestRunTrainsAndSavesModel(t *testing.T) {
 		t.Error("saved model missing embedded scaler")
 	}
 	// Round trip: evaluate the saved model.
-	if err := run([]string{"-data", data, "-load-model", model}); err != nil {
+	if err := run(context.Background(), []string{"-data", data, "-load-model", model}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -57,7 +58,7 @@ func TestRunFlagValidation(t *testing.T) {
 	cases[2][1] = data
 	cases[3][1] = data
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
@@ -76,7 +77,7 @@ func TestParseKernelSpecs(t *testing.T) {
 
 func TestRunVerticalSchemeViaCLI(t *testing.T) {
 	data := writeTestCSV(t)
-	if err := run([]string{
+	if err := run(context.Background(), []string{
 		"-data", data, "-scheme", "vertical-linear",
 		"-iterations", "5", "-learners", "2",
 	}); err != nil {

@@ -1,6 +1,7 @@
 package ppml
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,8 +19,16 @@ type CVResult struct {
 // CrossValidate estimates the out-of-sample accuracy of a scheme by k-fold
 // cross-validation: each fold standardizes on its own training part (no
 // leakage), trains the privacy-preserving scheme, and evaluates on the
-// held-out part. The same options accepted by Train apply.
+// held-out part. The same options accepted by Train apply. It is
+// CrossValidateContext with a background context.
 func CrossValidate(data *Dataset, scheme Scheme, folds int, opts ...Option) (*CVResult, error) {
+	return CrossValidateContext(context.Background(), data, scheme, folds, opts...)
+}
+
+// CrossValidateContext is CrossValidate under a caller-controlled context:
+// cancellation stops between (and inside) folds, so a long sweep can be
+// interrupted without waiting for the remaining folds to train.
+func CrossValidateContext(ctx context.Context, data *Dataset, scheme Scheme, folds int, opts ...Option) (*CVResult, error) {
 	if data == nil || data.inner == nil {
 		return nil, fmt.Errorf("%w: nil data set", ErrBadRequest)
 	}
@@ -34,7 +43,7 @@ func CrossValidate(data *Dataset, scheme Scheme, folds int, opts ...Option) (*CV
 		if _, err := Standardize(train, test); err != nil {
 			return nil, fmt.Errorf("ppml: fold %d: %w", i, err)
 		}
-		r, err := Train(train, scheme, opts...)
+		r, err := TrainContext(ctx, train, scheme, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("ppml: fold %d: %w", i, err)
 		}

@@ -10,13 +10,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"github.com/ppml-go/ppml"
 )
 
 func main() {
+	// Ctrl-C cancels the root context and training unwinds mid-round.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// 28 customer attributes spread across banks; the HIGGS stand-in plays
 	// the role of a hard, noisy risk-scoring task (≈70% is the ceiling).
 	data := ppml.SyntheticHiggs(2000, 11)
@@ -32,7 +39,7 @@ func main() {
 	fmt.Printf("%d banks, %d shared customers, %d total attributes (each bank holds ~%d columns)\n",
 		banks, train.Len(), train.Features(), train.Features()/banks)
 
-	res, err := ppml.Train(train, ppml.VerticalLinear,
+	res, err := ppml.TrainContext(ctx, train, ppml.VerticalLinear,
 		ppml.WithLearners(banks),
 		ppml.WithC(50),
 		ppml.WithRho(100),

@@ -6,13 +6,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"github.com/ppml-go/ppml"
 )
 
 func main() {
+	// Ctrl-C cancels the root context and training unwinds mid-round.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	data := ppml.SyntheticOCRDigits(1500, 5)
 	train, test, err := data.Split(0.5)
 	if err != nil {
@@ -21,7 +28,7 @@ func main() {
 	fmt.Printf("%d digit scans (8x8 = %d pixels), %d classes, 3 private archives\n",
 		data.Len(), data.Features(), data.Classes())
 
-	model, err := ppml.TrainMulticlass(train, ppml.HorizontalLinear,
+	model, err := ppml.TrainMulticlassContext(ctx, train, ppml.HorizontalLinear,
 		ppml.WithLearners(3),
 		ppml.WithC(50),
 		ppml.WithRho(100),

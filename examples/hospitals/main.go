@@ -11,13 +11,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"github.com/ppml-go/ppml"
 )
 
 func main() {
+	// Ctrl-C cancels the root context and training unwinds mid-round.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Patient records with correlated diagnostic features; the OCR stand-in
 	// plays the role of a feature-rich clinical data set.
 	data := ppml.SyntheticOCR(1200, 7)
@@ -35,7 +42,7 @@ func main() {
 
 	// Nonlinear diagnosis boundary: RBF kernel with the landmark consensus,
 	// over real message-passing nodes with secure aggregation.
-	res, err := ppml.Train(train, ppml.HorizontalKernel,
+	res, err := ppml.TrainContext(ctx, train, ppml.HorizontalKernel,
 		ppml.WithLearners(hospitals),
 		ppml.WithC(50),
 		ppml.WithRho(10),

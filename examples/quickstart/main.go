@@ -4,13 +4,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"github.com/ppml-go/ppml"
 )
 
 func main() {
+	// Ctrl-C cancels the root context and training unwinds mid-round.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// The breast-cancer stand-in from the paper's evaluation: 569 samples,
 	// 9 features, mostly linearly separable.
 	data := ppml.SyntheticCancer(0, 1)
@@ -24,7 +31,7 @@ func main() {
 
 	// Privacy-preserving consensus training with the paper's parameters:
 	// M = 4 learners, C = 50, ρ = 100.
-	res, err := ppml.Train(train, ppml.HorizontalLinear,
+	res, err := ppml.TrainContext(ctx, train, ppml.HorizontalLinear,
 		ppml.WithLearners(4),
 		ppml.WithC(50),
 		ppml.WithRho(100),

@@ -15,13 +15,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"github.com/ppml-go/ppml"
 )
 
 func main() {
+	// Ctrl-C cancels the root context and training unwinds mid-round.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	data := ppml.SyntheticCancer(500, 3)
 	train, test, err := data.Split(0.5)
 	if err != nil {
@@ -48,7 +55,7 @@ func main() {
 			opts = append(opts, ppml.WithDPOutput(eps))
 			label = fmt.Sprintf("%g", eps)
 		}
-		res, err := ppml.Train(train, ppml.HorizontalLogistic, opts...)
+		res, err := ppml.TrainContext(ctx, train, ppml.HorizontalLogistic, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"github.com/ppml-go/ppml/internal/fixedpoint"
@@ -43,16 +45,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Ctrl-C cancels the root context and every party unwinds mid-protocol.
+	root, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx, cancel := context.WithTimeout(root, 30*time.Second)
 	defer cancel()
 
+	// One securesum round of session 1; round tags let out-of-order
+	// arrivals be demultiplexed instead of trusting socket timing.
+	hdr := transport.Header{Session: 1, Round: 0}
 	errs := make(chan error, m)
 	for i := 0; i < m; i++ {
 		go func(i int) {
-			errs <- securesum.RunParty(ctx, parties[i], names, i, "aggregator", values[i], codec, nil)
+			errs <- securesum.RunParty(ctx, parties[i], names, i, "aggregator", values[i], codec, nil, hdr)
 		}(i)
 	}
-	sum, err := securesum.RunCollector(ctx, agg, m, dim, codec)
+	sum, err := securesum.RunCollector(ctx, agg, m, dim, codec, hdr)
 	if err != nil {
 		log.Fatal(err)
 	}

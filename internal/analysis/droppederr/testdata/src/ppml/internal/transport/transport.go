@@ -2,6 +2,14 @@
 // audited, error-returning API surface the droppederr tests call into.
 package transport
 
+import "context"
+
+// Header is the sender-stamped envelope (session, round).
+type Header struct {
+	Session uint64
+	Round   int32
+}
+
 // Endpoint mirrors the real endpoint's error-returning methods.
 type Endpoint struct{ name string }
 
@@ -11,8 +19,10 @@ func New(name string) (*Endpoint, error) { return &Endpoint{name: name}, nil }
 // Name returns the endpoint's name (no error result: never flagged).
 func (e *Endpoint) Name() string { return e.name }
 
-// Send delivers a message.
-func (e *Endpoint) Send(to, kind string, payload []byte) error { return nil }
+// Send delivers a message carrying hdr.
+func (e *Endpoint) Send(ctx context.Context, to, kind string, hdr Header, payload []byte) error {
+	return nil
+}
 
 // Close releases the endpoint.
 func (e *Endpoint) Close() error { return nil }

@@ -2,25 +2,31 @@
 // droppederr analyzer distinguishes.
 package node
 
-import "ppml/internal/transport"
+import (
+	"context"
+
+	"ppml/internal/transport"
+)
 
 func localWork() error { return nil }
 
 // Run exercises the discard shapes.
-func Run(ep *transport.Endpoint) error {
-	ep.Send("reducer", "share", nil) // want `error returned by transport.Send is discarded`
+func Run(ctx context.Context, ep *transport.Endpoint) error {
+	hdr := transport.Header{Session: 1}
 
-	_ = ep.Send("reducer", "share", nil) // want `assigned to the blank identifier`
+	ep.Send(ctx, "reducer", "share", hdr, nil) // want `error returned by transport.Send is discarded`
 
-	go ep.Send("reducer", "share", nil) // want `error returned by transport.Send is discarded`
+	_ = ep.Send(ctx, "reducer", "share", hdr, nil) // want `assigned to the blank identifier`
+
+	go ep.Send(ctx, "reducer", "share", hdr, nil) // want `error returned by transport.Send is discarded`
 
 	//ppml:err-ok best-effort teardown; the collected result below is authoritative
-	_ = ep.Send("reducer", "stop", nil)
+	_ = ep.Send(ctx, "reducer", "stop", hdr, nil)
 
 	//ppml:err-ok
-	_ = ep.Send("reducer", "stop", nil) // want `directive requires a justification string` `assigned to the blank identifier`
+	_ = ep.Send(ctx, "reducer", "stop", hdr, nil) // want `directive requires a justification string` `assigned to the blank identifier`
 
-	if err := ep.Send("reducer", "share", nil); err != nil { // handled: no diagnostic
+	if err := ep.Send(ctx, "reducer", "share", hdr, nil); err != nil { // handled: no diagnostic
 		return err
 	}
 
@@ -32,7 +38,7 @@ func Run(ep *transport.Endpoint) error {
 	defer ep2.Close()              // deferred teardown is conventional: no diagnostic
 
 	defer func() {
-		ep2.Send("reducer", "bye", nil) // want `error returned by transport.Send is discarded`
+		ep2.Send(ctx, "reducer", "bye", hdr, nil) // want `error returned by transport.Send is discarded`
 	}()
 
 	ep3, err := transport.New("aux2") // both results bound: no diagnostic

@@ -1,9 +1,13 @@
 package node
 
-import "ppml/internal/transport"
+import (
+	"context"
+
+	"ppml/internal/transport"
+)
 
 // Test files may discard errors freely: no diagnostic in this file.
 func testHelper(ep *transport.Endpoint) {
-	ep.Send("reducer", "share", nil)
+	ep.Send(context.Background(), "reducer", "share", transport.Header{}, nil)
 	_ = ep.Close()
 }

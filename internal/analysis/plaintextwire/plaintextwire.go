@@ -114,14 +114,15 @@ func checkSend(pass *framework.Pass, routing map[*types.Func]bool, body *ast.Blo
 		!framework.PathMatches(fn.Pkg().Path(), transportPaths...) {
 		return
 	}
-	if len(call.Args) != 3 {
+	// Send(ctx, to, kind, hdr, payload)
+	if len(call.Args) != 5 {
 		return
 	}
-	if isControlKind(pass, call.Args[1]) {
+	if isControlKind(pass, call.Args[2]) {
 		return
 	}
 	tr := &tracer{pass: pass, routing: routing, body: body}
-	if tr.sanctioned(call.Args[2], 0) {
+	if tr.sanctioned(call.Args[4], 0) {
 		return
 	}
 	if pass.Allowed(call.Pos(), DirectiveName) {

@@ -3,6 +3,8 @@
 package mapreduce
 
 import (
+	"context"
+
 	"ppml/internal/paillier"
 	"ppml/internal/securesum"
 	"ppml/internal/transport"
@@ -24,40 +26,40 @@ func encodeVector(v []float64) []byte { return make([]byte, 8*len(v)) }
 func encryptContribution(v []float64) []byte { return paillier.Encrypt(v) }
 
 // Good sends only control-plane or sanitized payloads. No diagnostics.
-func Good(ep transport.Endpoint, contrib []float64) error {
-	if err := ep.Send("learner-0", KindBroadcast, encodeVector(contrib)); err != nil {
+func Good(ctx context.Context, ep transport.Endpoint, hdr transport.Header, contrib []float64) error {
+	if err := ep.Send(ctx, "learner-0", KindBroadcast, hdr, encodeVector(contrib)); err != nil {
 		return err
 	}
-	if err := ep.Send("learner-0", KindStop, nil); err != nil {
+	if err := ep.Send(ctx, "learner-0", KindStop, hdr, nil); err != nil {
 		return err
 	}
-	if err := ep.Send("reducer", KindShare, securesum.EncodeShares(contrib)); err != nil {
+	if err := ep.Send(ctx, "reducer", KindShare, hdr, securesum.EncodeShares(contrib)); err != nil {
 		return err
 	}
 	payload := paillier.Encrypt(contrib)
-	if err := ep.Send("reducer", KindShare, payload); err != nil {
+	if err := ep.Send(ctx, "reducer", KindShare, hdr, payload); err != nil {
 		return err
 	}
-	return ep.Send("reducer", KindShare, encryptContribution(contrib))
+	return ep.Send(ctx, "reducer", KindShare, hdr, encryptContribution(contrib))
 }
 
 // Bad puts raw local results on the wire, directly and through a variable.
-func Bad(ep transport.Endpoint, contrib []float64) error {
+func Bad(ctx context.Context, ep transport.Endpoint, hdr transport.Header, contrib []float64) error {
 	raw := encodeVector(contrib)
-	if err := ep.Send("reducer", KindShare, raw); err != nil { // want `does not route through securesum or paillier`
+	if err := ep.Send(ctx, "reducer", KindShare, hdr, raw); err != nil { // want `does not route through securesum or paillier`
 		return err
 	}
-	return ep.Send("reducer", KindShare, encodeVector(contrib)) // want `does not route through securesum or paillier`
+	return ep.Send(ctx, "reducer", KindShare, hdr, encodeVector(contrib)) // want `does not route through securesum or paillier`
 }
 
 // Ablation is the justified deliberate plaintext path. No diagnostics.
-func Ablation(ep transport.Endpoint, contrib []float64) error {
+func Ablation(ctx context.Context, ep transport.Endpoint, hdr transport.Header, contrib []float64) error {
 	//ppml:plaintext-ok deliberate no-privacy baseline for the ablation benchmark
-	return ep.Send("reducer", KindShare, encodeVector(contrib))
+	return ep.Send(ctx, "reducer", KindShare, hdr, encodeVector(contrib))
 }
 
 // AblationUnjustified carries the directive with no reason.
-func AblationUnjustified(ep transport.Endpoint, contrib []float64) error {
+func AblationUnjustified(ctx context.Context, ep transport.Endpoint, hdr transport.Header, contrib []float64) error {
 	//ppml:plaintext-ok
-	return ep.Send("reducer", KindShare, encodeVector(contrib)) // want `directive requires a justification string` `does not route through securesum or paillier`
+	return ep.Send(ctx, "reducer", KindShare, hdr, encodeVector(contrib)) // want `directive requires a justification string` `does not route through securesum or paillier`
 }

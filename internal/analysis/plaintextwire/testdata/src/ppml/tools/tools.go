@@ -2,9 +2,13 @@
 // and the analyzer must stay silent.
 package tools
 
-import "ppml/internal/transport"
+import (
+	"context"
+
+	"ppml/internal/transport"
+)
 
 // Debug dumps raw bytes to a peer.
 func Debug(ep transport.Endpoint, blob []byte) error {
-	return ep.Send("debugger", "dump", blob)
+	return ep.Send(context.Background(), "debugger", "dump", transport.Header{}, blob)
 }

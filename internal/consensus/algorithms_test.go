@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -23,7 +24,7 @@ func TestLogisticConsensusReachesSVMAccuracy(t *testing.T) {
 		t.Fatal(err)
 	}
 	parts := horizontalParts(t, train, 4, 5)
-	model, h, err := TrainHorizontalLogistic(parts, Config{
+	model, h, err := TrainHorizontalLogistic(context.Background(), parts, Config{
 		C: 1, Rho: 10, MaxIterations: 40, EvalSet: test,
 	})
 	if err != nil {
@@ -48,7 +49,7 @@ func TestLogisticProbabilityCalibratedDirectionally(t *testing.T) {
 	d := dataset.TwoGaussians("g", 300, 3, 4, 19)
 	train, test := splitAndScale(t, d)
 	parts := horizontalParts(t, train, 2, 3)
-	model, _, err := TrainHorizontalLogistic(parts, Config{C: 1, Rho: 10, MaxIterations: 30})
+	model, _, err := TrainHorizontalLogistic(context.Background(), parts, Config{C: 1, Rho: 10, MaxIterations: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,13 +77,13 @@ func TestLogisticDistributedMatchesLocal(t *testing.T) {
 	d := dataset.TwoGaussians("g", 150, 4, 3, 23)
 	train, _ := splitAndScale(t, d)
 	cfg := Config{C: 1, Rho: 10, MaxIterations: 15}
-	local, _, err := TrainHorizontalLogistic(horizontalParts(t, train, 3, 9), cfg)
+	local, _, err := TrainHorizontalLogistic(context.Background(), horizontalParts(t, train, 3, 9), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfgDist := cfg
 	cfgDist.Distributed = true
-	dist, _, err := TrainHorizontalLogistic(horizontalParts(t, train, 3, 9), cfgDist)
+	dist, _, err := TrainHorizontalLogistic(context.Background(), horizontalParts(t, train, 3, 9), cfgDist)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestNaiveBayesMatchesCentralizedFit(t *testing.T) {
 	d := dataset.SyntheticCancer(300, 29)
 	train, test := splitAndScale(t, d)
 	parts := horizontalParts(t, train, 4, 11)
-	model, h, err := TrainNaiveBayes(parts, Config{})
+	model, h, err := TrainNaiveBayes(context.Background(), parts, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,12 +157,12 @@ func TestNaiveBayesDistributedSecure(t *testing.T) {
 	d := dataset.SyntheticCancer(200, 31)
 	train, test := splitAndScale(t, d)
 	partsLocal := horizontalParts(t, train, 3, 13)
-	local, _, err := TrainNaiveBayes(partsLocal, Config{})
+	local, _, err := TrainNaiveBayes(context.Background(), partsLocal, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	partsDist := horizontalParts(t, train, 3, 13)
-	dist, _, err := TrainNaiveBayes(partsDist, Config{Distributed: true})
+	dist, _, err := TrainNaiveBayes(context.Background(), partsDist, Config{Distributed: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestNaiveBayesNeedsBothClasses(t *testing.T) {
 		d.Y[i] = 1 // single class
 	}
 	parts := horizontalParts(t, d, 2, 1)
-	if _, _, err := TrainNaiveBayes(parts, Config{}); !errors.Is(err, ErrBadPartition) {
+	if _, _, err := TrainNaiveBayes(context.Background(), parts, Config{}); !errors.Is(err, ErrBadPartition) {
 		t.Errorf("single class: err = %v, want ErrBadPartition", err)
 	}
 }

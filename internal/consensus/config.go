@@ -70,6 +70,9 @@ type Config struct {
 	Network transport.Network
 	// MapRetries forwards to the MapReduce driver.
 	MapRetries int
+	// RoundTimeout (distributed mode) bounds how long the Reducer waits for
+	// any one consensus round; zero waits indefinitely.
+	RoundTimeout time.Duration
 	// TrackLocality (distributed mode) stores every learner's partition in
 	// the simulated HDFS on that learner's own node and asks the driver to
 	// account for map-input movement; History.RemoteInputBytes then reports
@@ -143,14 +146,16 @@ type History struct {
 	RemoteInputBytes int64
 }
 
-// runJob dispatches to the local or distributed engine per the config.
-// parts are the learners' private partitions, used only to build the
-// HDFS-locality plan when TrackLocality is set.
-func runJob(cfg Config, job mapreduce.IterativeJob, parts []*dataset.Dataset) (*mapreduce.IterativeResult, *History, error) {
+// runJob dispatches to the local or distributed engine per the config,
+// threading the caller's context through either engine so a cancelled
+// training run unwinds mid-iteration. parts are the learners' private
+// partitions, used only to build the HDFS-locality plan when TrackLocality
+// is set.
+func runJob(ctx context.Context, cfg Config, job mapreduce.IterativeJob, parts []*dataset.Dataset) (*mapreduce.IterativeResult, *History, error) {
 	start := time.Now()
 	h := &History{}
 	if !cfg.Distributed {
-		res, err := mapreduce.RunLocal(job)
+		res, err := mapreduce.RunLocalContext(ctx, job)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -167,12 +172,13 @@ func runJob(cfg Config, job mapreduce.IterativeJob, parts []*dataset.Dataset) (*
 		}
 		locality = plan
 	}
-	res, err := mapreduce.RunDistributed(context.Background(), job, mapreduce.DriverOptions{
-		Network:     cfg.Network,
-		Aggregation: cfg.Aggregation,
-		MapRetries:  cfg.MapRetries,
-		Locality:    locality,
-		PaillierKey: cfg.PaillierKey,
+	res, err := mapreduce.RunDistributed(ctx, job, mapreduce.DriverOptions{
+		Network:      cfg.Network,
+		Aggregation:  cfg.Aggregation,
+		MapRetries:   cfg.MapRetries,
+		RoundTimeout: cfg.RoundTimeout,
+		Locality:     locality,
+		PaillierKey:  cfg.PaillierKey,
 	})
 	if err != nil {
 		return nil, nil, err

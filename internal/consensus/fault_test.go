@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync/atomic"
@@ -37,7 +38,7 @@ func TestHLDistributedSurvivesTransientMapperFaults(t *testing.T) {
 
 	// Reference: clean run.
 	cleanParts := horizontalParts(t, train, 3, 3)
-	clean, _, err := TrainHorizontalLinear(cleanParts, cfg)
+	clean, _, err := TrainHorizontalLinear(context.Background(), cleanParts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestHLDistributedSurvivesTransientMapperFaults(t *testing.T) {
 	cfgDist := cfg
 	cfgDist.Distributed = true
 	cfgDist.MapRetries = 3
-	res, _, err := runJob(cfgDist, job, parts)
+	res, _, err := runJob(context.Background(), cfgDist, job, parts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestHLDistributedPermanentFaultFailsCleanly(t *testing.T) {
 	cfgDist := cfg
 	cfgDist.Distributed = true
 	cfgDist.MapRetries = 2
-	if _, _, err := runJob(cfgDist, job, parts); !errors.Is(err, mapreduce.ErrAborted) {
+	if _, _, err := runJob(context.Background(), cfgDist, job, parts); !errors.Is(err, mapreduce.ErrAborted) {
 		t.Errorf("permanent fault: err = %v, want ErrAborted", err)
 	}
 }

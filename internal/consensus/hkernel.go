@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ppml-go/ppml/internal/dataset"
@@ -72,7 +73,7 @@ func (mod *KernelHorizontalModel) Predict(x []float64) float64 {
 // reduced landmark space z = G·w_m ∈ R^l, with all kernel algebra folded
 // through the Woodbury identity so nothing infinite-dimensional is ever
 // materialized.
-func TrainHorizontalKernel(parts []*dataset.Dataset, cfg Config) (*KernelHorizontalModel, *History, error) {
+func TrainHorizontalKernel(ctx context.Context, parts []*dataset.Dataset, cfg Config) (*KernelHorizontalModel, *History, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, nil, err
@@ -141,7 +142,7 @@ func TrainHorizontalKernel(parts []*dataset.Dataset, cfg Config) (*KernelHorizon
 		ContributionDim: l + 1,
 		MaxIterations:   cfg.MaxIterations,
 	}
-	res, h, err := runJob(cfg, job, parts)
+	res, h, err := runJob(ctx, cfg, job, parts)
 	if err != nil {
 		return nil, nil, err
 	}

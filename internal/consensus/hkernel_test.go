@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -15,7 +16,7 @@ import (
 func TestHKNeedsKernel(t *testing.T) {
 	d := dataset.TwoGaussians("g", 40, 3, 3, 1)
 	parts := horizontalParts(t, d, 2, 1)
-	if _, _, err := TrainHorizontalKernel(parts, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadConfig) {
+	if _, _, err := TrainHorizontalKernel(context.Background(), parts, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("missing kernel: err = %v, want ErrBadConfig", err)
 	}
 }
@@ -50,7 +51,7 @@ func TestHKSolvesNonlinearTask(t *testing.T) {
 		t.Fatal(err)
 	}
 	parts := horizontalParts(t, train, 3, 7)
-	model, h, err := TrainHorizontalKernel(parts, Config{
+	model, h, err := TrainHorizontalKernel(context.Background(), parts, Config{
 		C: 50, Rho: 10, MaxIterations: 30, Landmarks: 25,
 		Kernel: kernel.RBF{Gamma: 1},
 	})
@@ -66,7 +67,7 @@ func TestHKSolvesNonlinearTask(t *testing.T) {
 	}
 	// Linear consensus must fail on this task (sanity that the task is
 	// genuinely nonlinear).
-	linModel, _, err := TrainHorizontalLinear(parts, Config{C: 50, Rho: 10, MaxIterations: 30})
+	linModel, _, err := TrainHorizontalLinear(context.Background(), parts, Config{C: 50, Rho: 10, MaxIterations: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestHKApproachesCentralizedKernelSVM(t *testing.T) {
 		t.Fatal(err)
 	}
 	parts := horizontalParts(t, train, 4, 3)
-	model, _, err := TrainHorizontalKernel(parts, Config{
+	model, _, err := TrainHorizontalKernel(context.Background(), parts, Config{
 		C: 50, Rho: 10, MaxIterations: 40, Landmarks: 40,
 		Kernel: kernel.RBF{Gamma: 0.02},
 	})
@@ -122,13 +123,13 @@ func TestHKDistributedMatchesLocal(t *testing.T) {
 		C: 10, Rho: 5, MaxIterations: 12, Landmarks: 15,
 		Kernel: kernel.RBF{Gamma: 1},
 	}
-	local, _, err := TrainHorizontalKernel(horizontalParts(t, train, 3, 4), cfg)
+	local, _, err := TrainHorizontalKernel(context.Background(), horizontalParts(t, train, 3, 4), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfgDist := cfg
 	cfgDist.Distributed = true
-	dist, _, err := TrainHorizontalKernel(horizontalParts(t, train, 3, 4), cfgDist)
+	dist, _, err := TrainHorizontalKernel(context.Background(), horizontalParts(t, train, 3, 4), cfgDist)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestHKPerLearnerModelsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	parts := horizontalParts(t, train, 4, 8)
-	model, _, err := TrainHorizontalKernel(parts, Config{
+	model, _, err := TrainHorizontalKernel(context.Background(), parts, Config{
 		C: 50, Rho: 10, MaxIterations: 30, Landmarks: 25,
 		Kernel: kernel.RBF{Gamma: 1},
 	})
@@ -184,7 +185,7 @@ func TestHKAccuracyHistoryImproves(t *testing.T) {
 		t.Fatal(err)
 	}
 	parts := horizontalParts(t, train, 3, 5)
-	_, h, err := TrainHorizontalKernel(parts, Config{
+	_, h, err := TrainHorizontalKernel(context.Background(), parts, Config{
 		C: 50, Rho: 10, MaxIterations: 25, Landmarks: 20,
 		Kernel:  kernel.RBF{Gamma: 1},
 		EvalSet: test,
@@ -204,7 +205,7 @@ func TestHKLandmarksAreNotTrainingData(t *testing.T) {
 	// Privacy: landmark points are synthetic, not rows of any partition.
 	d := dataset.TwoGaussians("g", 80, 3, 3, 17)
 	parts := horizontalParts(t, d, 2, 2)
-	model, _, err := TrainHorizontalKernel(parts, Config{
+	model, _, err := TrainHorizontalKernel(context.Background(), parts, Config{
 		C: 10, Rho: 5, MaxIterations: 5, Landmarks: 10,
 		Kernel: kernel.RBF{Gamma: 0.5},
 	})
@@ -226,7 +227,7 @@ func TestHKLandmarksAreNotTrainingData(t *testing.T) {
 func TestHKRespectsLandmarkCount(t *testing.T) {
 	d := dataset.TwoGaussians("g", 60, 3, 3, 71)
 	parts := horizontalParts(t, d, 2, 2)
-	model, _, err := TrainHorizontalKernel(parts, Config{
+	model, _, err := TrainHorizontalKernel(context.Background(), parts, Config{
 		C: 10, Rho: 5, MaxIterations: 3, Landmarks: 7,
 		Kernel: kernel.RBF{Gamma: 0.5},
 	})

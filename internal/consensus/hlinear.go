@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ppml-go/ppml/internal/dataset"
@@ -32,7 +33,7 @@ func (m *LinearModel) Predict(x []float64) float64 {
 // horizontal share (rows) of the training set, solve a local regularized SVM
 // dual per iteration, and reach consensus on (w, b) through the secure
 // Reducer. It returns the consensus model and the per-iteration history.
-func TrainHorizontalLinear(parts []*dataset.Dataset, cfg Config) (*LinearModel, *History, error) {
+func TrainHorizontalLinear(ctx context.Context, parts []*dataset.Dataset, cfg Config) (*LinearModel, *History, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, nil, err
@@ -73,7 +74,7 @@ func TrainHorizontalLinear(parts []*dataset.Dataset, cfg Config) (*LinearModel, 
 		ContributionDim: k + 1,
 		MaxIterations:   cfg.MaxIterations,
 	}
-	res, h, err := runJob(cfg, job, parts)
+	res, h, err := runJob(ctx, cfg, job, parts)
 	if err != nil {
 		return nil, nil, err
 	}

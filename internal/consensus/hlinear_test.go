@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -43,17 +44,17 @@ func horizontalParts(t *testing.T, train *dataset.Dataset, m int, seed int64) []
 func TestHLConfigValidation(t *testing.T) {
 	d := dataset.TwoGaussians("g", 40, 3, 3, 1)
 	parts := horizontalParts(t, d, 2, 1)
-	if _, _, err := TrainHorizontalLinear(parts, Config{Rho: 1}); !errors.Is(err, ErrBadConfig) {
+	if _, _, err := TrainHorizontalLinear(context.Background(), parts, Config{Rho: 1}); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("C missing: err = %v, want ErrBadConfig", err)
 	}
-	if _, _, err := TrainHorizontalLinear(parts, Config{C: 1}); !errors.Is(err, ErrBadConfig) {
+	if _, _, err := TrainHorizontalLinear(context.Background(), parts, Config{C: 1}); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("Rho missing: err = %v, want ErrBadConfig", err)
 	}
-	if _, _, err := TrainHorizontalLinear(nil, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadPartition) {
+	if _, _, err := TrainHorizontalLinear(context.Background(), nil, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadPartition) {
 		t.Errorf("no parts: err = %v, want ErrBadPartition", err)
 	}
 	bad := []*dataset.Dataset{parts[0], dataset.TwoGaussians("g", 10, 5, 1, 2)}
-	if _, _, err := TrainHorizontalLinear(bad, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadPartition) {
+	if _, _, err := TrainHorizontalLinear(context.Background(), bad, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadPartition) {
 		t.Errorf("feature mismatch: err = %v, want ErrBadPartition", err)
 	}
 }
@@ -66,7 +67,7 @@ func TestHLSingleLearnerMatchesCentralized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, h, err := TrainHorizontalLinear([]*dataset.Dataset{train}, Config{
+	model, h, err := TrainHorizontalLinear(context.Background(), []*dataset.Dataset{train}, Config{
 		C: 10, Rho: 1, MaxIterations: 200, Tol: 1e-12,
 	})
 	if err != nil {
@@ -109,7 +110,7 @@ func TestHLFourLearnersReachesCentralizedAccuracy(t *testing.T) {
 		t.Fatal(err)
 	}
 	parts := horizontalParts(t, train, 4, 5)
-	model, h, err := TrainHorizontalLinear(parts, Config{
+	model, h, err := TrainHorizontalLinear(context.Background(), parts, Config{
 		C: 50, Rho: 100, MaxIterations: 60, EvalSet: test,
 	})
 	if err != nil {
@@ -142,14 +143,14 @@ func TestHLDistributedMatchesLocal(t *testing.T) {
 	parts := horizontalParts(t, train, 3, 9)
 	cfg := Config{C: 10, Rho: 50, MaxIterations: 25}
 
-	local, _, err := TrainHorizontalLinear(parts, cfg)
+	local, _, err := TrainHorizontalLinear(context.Background(), parts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfgDist := cfg
 	cfgDist.Distributed = true
 	distParts := horizontalParts(t, train, 3, 9) // fresh mapper state
-	dist, _, err := TrainHorizontalLinear(distParts, cfgDist)
+	dist, _, err := TrainHorizontalLinear(context.Background(), distParts, cfgDist)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestHLPaperSplitRuns(t *testing.T) {
 	d := dataset.TwoGaussians("g", 160, 4, 4, 13)
 	train, test := splitAndScale(t, d)
 	parts := horizontalParts(t, train, 4, 13)
-	model, h, err := TrainHorizontalLinear(parts, Config{
+	model, h, err := TrainHorizontalLinear(context.Background(), parts, Config{
 		C: 50, Rho: 100, MaxIterations: 40, PaperSplit: true,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -48,7 +49,7 @@ func (m *LogisticModel) Predict(x []float64) float64 {
 // regression) that the ε-differential-privacy line of work the paper's
 // Section II discusses was designed for, solved with the paper's
 // cryptographic approach instead.
-func TrainHorizontalLogistic(parts []*dataset.Dataset, cfg Config) (*LogisticModel, *History, error) {
+func TrainHorizontalLogistic(ctx context.Context, parts []*dataset.Dataset, cfg Config) (*LogisticModel, *History, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, nil, err
@@ -82,7 +83,7 @@ func TrainHorizontalLogistic(parts []*dataset.Dataset, cfg Config) (*LogisticMod
 		ContributionDim: k + 1,
 		MaxIterations:   cfg.MaxIterations,
 	}
-	res, h, err := runJob(cfg, job, parts)
+	res, h, err := runJob(ctx, cfg, job, parts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -53,7 +54,7 @@ func gaussianLogPDF(x, mean, variance float64) float64 {
 // reference [1]) recovers from sanitized data — but exactly, because the
 // sufficient statistics of Naive Bayes are sums, the one operation the
 // Section V protocol computes privately.
-func TrainNaiveBayes(parts []*dataset.Dataset, cfg Config) (*NaiveBayesModel, *History, error) {
+func TrainNaiveBayes(ctx context.Context, parts []*dataset.Dataset, cfg Config) (*NaiveBayesModel, *History, error) {
 	cfg, err := standardizeConfig(cfg) // one round; C/ρ unused
 	if err != nil {
 		return nil, nil, err
@@ -78,7 +79,7 @@ func TrainNaiveBayes(parts []*dataset.Dataset, cfg Config) (*NaiveBayesModel, *H
 		ContributionDim: 2 * per,
 		MaxIterations:   1,
 	}
-	_, h, err := runJob(cfg, job, parts)
+	_, h, err := runJob(ctx, cfg, job, parts)
 	if err != nil {
 		return nil, nil, err
 	}

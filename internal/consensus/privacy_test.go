@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"math"
 	"sync"
@@ -60,9 +61,9 @@ type wiretapEndpoint struct {
 	net *wiretapNetwork
 }
 
-func (e *wiretapEndpoint) Send(to, kind string, payload []byte) error {
+func (e *wiretapEndpoint) Send(ctx context.Context, to, kind string, hdr transport.Header, payload []byte) error {
 	e.net.record(kind, payload)
-	return e.Endpoint.Send(to, kind, payload)
+	return e.Endpoint.Send(ctx, to, kind, hdr, payload)
 }
 
 // TestMaskedTrainingHidesPlaintextShares runs the same training job twice —
@@ -81,7 +82,7 @@ func TestMaskedTrainingHidesPlaintextShares(t *testing.T) {
 		c.Network = net
 		c.Aggregation = agg
 		parts := horizontalParts(t, d, 3, 7)
-		if _, _, err := TrainHorizontalLinear(parts, c); err != nil {
+		if _, _, err := TrainHorizontalLinear(context.Background(), parts, c); err != nil {
 			t.Fatal(err)
 		}
 		return net
@@ -123,7 +124,7 @@ func TestMaskedSharesLookUniform(t *testing.T) {
 	net := newWiretapNetwork()
 	cfg := Config{C: 10, Rho: 50, MaxIterations: 8, Distributed: true, Network: net}
 	parts := horizontalParts(t, d, 4, 7)
-	if _, _, err := TrainHorizontalLinear(parts, cfg); err != nil {
+	if _, _, err := TrainHorizontalLinear(context.Background(), parts, cfg); err != nil {
 		t.Fatal(err)
 	}
 	var counts [256]int
@@ -164,7 +165,7 @@ func TestReverseEngineeringAttackBlockedByMasking(t *testing.T) {
 		cfg := Config{C: 10, Rho: 50, MaxIterations: 10, Distributed: true,
 			Network: net, Aggregation: agg}
 		parts := horizontalParts(t, d, 3, 7)
-		if _, _, err := TrainHorizontalLinear(parts, cfg); err != nil {
+		if _, _, err := TrainHorizontalLinear(context.Background(), parts, cfg); err != nil {
 			t.Fatal(err)
 		}
 		// The true private signal of SOME learner: its local class-mean

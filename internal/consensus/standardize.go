@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,7 +20,7 @@ import (
 // learner's feature distribution. One extra MapReduce round with the Section
 // V protocol fixes that. The returned scaler can also be applied to held-out
 // test data.
-func SecureStandardize(parts []*dataset.Dataset, cfg Config) (*dataset.Scaler, error) {
+func SecureStandardize(ctx context.Context, parts []*dataset.Dataset, cfg Config) (*dataset.Scaler, error) {
 	cfg, err := standardizeConfig(cfg)
 	if err != nil {
 		return nil, err
@@ -43,7 +44,7 @@ func SecureStandardize(parts []*dataset.Dataset, cfg Config) (*dataset.Scaler, e
 		ContributionDim: dim,
 		MaxIterations:   1,
 	}
-	if _, _, err := runJob(cfg, job, parts); err != nil {
+	if _, _, err := runJob(ctx, cfg, job, parts); err != nil {
 		return nil, err
 	}
 

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -14,7 +15,7 @@ func TestSecureStandardizeMatchesCentralized(t *testing.T) {
 	ref := dataset.FitScaler(d)
 
 	parts := horizontalParts(t, d, 4, 9)
-	scaler, err := SecureStandardize(parts, Config{})
+	scaler, err := SecureStandardize(context.Background(), parts, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestSecureStandardizeDistributed(t *testing.T) {
 	d := dataset.SyntheticHiggs(200, 5)
 	ref := dataset.FitScaler(d)
 	parts := horizontalParts(t, d, 3, 11)
-	scaler, err := SecureStandardize(parts, Config{Distributed: true})
+	scaler, err := SecureStandardize(context.Background(), parts, Config{Distributed: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestSecureStandardizeScalerAppliesToTestData(t *testing.T) {
 		t.Fatal(err)
 	}
 	parts := horizontalParts(t, train, 2, 3)
-	scaler, err := SecureStandardize(parts, Config{})
+	scaler, err := SecureStandardize(context.Background(), parts, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestSecureStandardizeScalerAppliesToTestData(t *testing.T) {
 }
 
 func TestSecureStandardizeValidation(t *testing.T) {
-	if _, err := SecureStandardize(nil, Config{}); !errors.Is(err, ErrBadPartition) {
+	if _, err := SecureStandardize(context.Background(), nil, Config{}); !errors.Is(err, ErrBadPartition) {
 		t.Errorf("no parts: err = %v, want ErrBadPartition", err)
 	}
 }
@@ -104,7 +105,7 @@ func TestSecureStandardizeConstantFeature(t *testing.T) {
 		x.X.Set(i, 1, 7) // feature 1 constant
 	}
 	parts := horizontalParts(t, x, 2, 1)
-	scaler, err := SecureStandardize(parts, Config{})
+	scaler, err := SecureStandardize(context.Background(), parts, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

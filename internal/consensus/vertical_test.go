@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -25,16 +26,16 @@ func verticalParts(t *testing.T, train *dataset.Dataset, m int, seed int64) ([]*
 func TestVLValidation(t *testing.T) {
 	d := dataset.TwoGaussians("g", 60, 6, 3, 1)
 	parts, cols := verticalParts(t, d, 2, 1)
-	if _, _, err := TrainVerticalLinear(parts, cols[:1], Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadPartition) {
+	if _, _, err := TrainVerticalLinear(context.Background(), parts, cols[:1], Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadPartition) {
 		t.Errorf("cols mismatch: err = %v, want ErrBadPartition", err)
 	}
-	if _, _, err := TrainVerticalLinear(nil, nil, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadPartition) {
+	if _, _, err := TrainVerticalLinear(context.Background(), nil, nil, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadPartition) {
 		t.Errorf("no parts: err = %v, want ErrBadPartition", err)
 	}
 	// Labels must be shared identically.
 	bad := []*dataset.Dataset{parts[0].Clone(), parts[1].Clone()}
 	bad[1].Y[0] = -bad[1].Y[0]
-	if _, _, err := TrainVerticalLinear(bad, cols, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadPartition) {
+	if _, _, err := TrainVerticalLinear(context.Background(), bad, cols, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadPartition) {
 		t.Errorf("divergent labels: err = %v, want ErrBadPartition", err)
 	}
 }
@@ -51,7 +52,7 @@ func TestVLReachesCentralizedAccuracy(t *testing.T) {
 		t.Fatal(err)
 	}
 	parts, cols := verticalParts(t, train, 4, 3)
-	model, h, err := TrainVerticalLinear(parts, cols, Config{
+	model, h, err := TrainVerticalLinear(context.Background(), parts, cols, Config{
 		C: 50, Rho: 100, MaxIterations: 100, EvalSet: test,
 	})
 	if err != nil {
@@ -77,7 +78,7 @@ func TestVLSingleLearnerMatchesCentralizedDirection(t *testing.T) {
 	d := dataset.TwoGaussians("g", 200, 5, 3, 23)
 	train, test := splitAndScale(t, d)
 	parts, cols := verticalParts(t, train, 1, 1)
-	model, _, err := TrainVerticalLinear(parts, cols, Config{C: 10, Rho: 50, MaxIterations: 150})
+	model, _, err := TrainVerticalLinear(context.Background(), parts, cols, Config{C: 10, Rho: 50, MaxIterations: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,14 +105,14 @@ func TestVLDistributedMatchesLocal(t *testing.T) {
 	cfg := Config{C: 10, Rho: 50, MaxIterations: 20}
 
 	parts, cols := verticalParts(t, train, 3, 7)
-	local, _, err := TrainVerticalLinear(parts, cols, cfg)
+	local, _, err := TrainVerticalLinear(context.Background(), parts, cols, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfgDist := cfg
 	cfgDist.Distributed = true
 	partsD, colsD := verticalParts(t, train, 3, 7)
-	dist, _, err := TrainVerticalLinear(partsD, colsD, cfgDist)
+	dist, _, err := TrainVerticalLinear(context.Background(), partsD, colsD, cfgDist)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestVKSolvesNonlinearTask(t *testing.T) {
 		t.Fatal(err)
 	}
 	parts, cols := verticalParts(t, train, 2, 5)
-	model, h, err := TrainVerticalKernel(parts, cols, Config{
+	model, h, err := TrainVerticalKernel(context.Background(), parts, cols, Config{
 		C: 50, Rho: 20, MaxIterations: 60,
 		Kernel: kernel.RBF{Gamma: 1},
 	})
@@ -156,7 +157,7 @@ func TestVKSolvesNonlinearTask(t *testing.T) {
 func TestVKNeedsKernel(t *testing.T) {
 	d := dataset.TwoGaussians("g", 40, 4, 3, 1)
 	parts, cols := verticalParts(t, d, 2, 1)
-	if _, _, err := TrainVerticalKernel(parts, cols, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadConfig) {
+	if _, _, err := TrainVerticalKernel(context.Background(), parts, cols, Config{C: 1, Rho: 1}); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("missing kernel: err = %v, want ErrBadConfig", err)
 	}
 }
@@ -167,14 +168,14 @@ func TestVKDistributedMatchesLocal(t *testing.T) {
 	cfg := Config{C: 10, Rho: 20, MaxIterations: 15, Kernel: kernel.RBF{Gamma: 0.5}}
 
 	parts, cols := verticalParts(t, train, 2, 9)
-	local, _, err := TrainVerticalKernel(parts, cols, cfg)
+	local, _, err := TrainVerticalKernel(context.Background(), parts, cols, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfgDist := cfg
 	cfgDist.Distributed = true
 	partsD, colsD := verticalParts(t, train, 2, 9)
-	dist, _, err := TrainVerticalKernel(partsD, colsD, cfgDist)
+	dist, _, err := TrainVerticalKernel(context.Background(), partsD, colsD, cfgDist)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestVerticalAccuracyHistoryRecorded(t *testing.T) {
 	d := dataset.TwoGaussians("g", 150, 6, 3, 41)
 	train, test := splitAndScale(t, d)
 	parts, cols := verticalParts(t, train, 3, 11)
-	_, h, err := TrainVerticalLinear(parts, cols, Config{
+	_, h, err := TrainVerticalLinear(context.Background(), parts, cols, Config{
 		C: 50, Rho: 100, MaxIterations: 30, EvalSet: test,
 	})
 	if err != nil {
@@ -211,7 +212,7 @@ func TestVLTolStopsEarly(t *testing.T) {
 	parts, cols := verticalParts(t, train, 2, 13)
 	// Vertical consensus converges slowly (the paper's Fig. 4(c) shows the
 	// same), so pick a tolerance reachable well before the cap.
-	_, h, err := TrainVerticalLinear(parts, cols, Config{
+	_, h, err := TrainVerticalLinear(context.Background(), parts, cols, Config{
 		C: 10, Rho: 100, MaxIterations: 500, Tol: 1e-3,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ppml-go/ppml/internal/dataset"
@@ -58,7 +59,7 @@ func (mod *KernelVerticalModel) Predict(x []float64) float64 {
 // evaluations over the learner's own columns are needed. The Reducer is
 // identical to the linear case because z has a fixed size N regardless of
 // the kernels.
-func TrainVerticalKernel(parts []*dataset.Dataset, cols [][]int, cfg Config) (*KernelVerticalModel, *History, error) {
+func TrainVerticalKernel(ctx context.Context, parts []*dataset.Dataset, cols [][]int, cfg Config) (*KernelVerticalModel, *History, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, nil, err
@@ -114,7 +115,7 @@ func TrainVerticalKernel(parts []*dataset.Dataset, cols [][]int, cfg Config) (*K
 		ContributionDim: rows,
 		MaxIterations:   cfg.MaxIterations,
 	}
-	_, h, err := runJob(cfg, job, parts)
+	_, h, err := runJob(ctx, cfg, job, parts)
 	if err != nil {
 		return nil, nil, err
 	}

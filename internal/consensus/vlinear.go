@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,7 +19,7 @@ import (
 // lists the global column indices learner m holds (as returned by
 // partition.Vertical); the returned model reassembles the full-width weight
 // vector from the per-learner blocks.
-func TrainVerticalLinear(parts []*dataset.Dataset, cols [][]int, cfg Config) (*LinearModel, *History, error) {
+func TrainVerticalLinear(ctx context.Context, parts []*dataset.Dataset, cols [][]int, cfg Config) (*LinearModel, *History, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, nil, err
@@ -66,7 +67,7 @@ func TrainVerticalLinear(parts []*dataset.Dataset, cols [][]int, cfg Config) (*L
 		ContributionDim: rows,
 		MaxIterations:   cfg.MaxIterations,
 	}
-	_, h, err := runJob(cfg, job, parts)
+	_, h, err := runJob(ctx, cfg, job, parts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -73,13 +74,17 @@ type IterativeResult struct {
 	Converged bool
 }
 
-// RunLocal executes the job in process, summing contributions directly. Each
+// RunLocalContext executes the job in process, summing contributions
+// directly. Each
 // iteration invokes every Mapper's Contribution concurrently on the parallel
 // worker pool — the same goroutine-per-mapper structure RunDistributed has —
 // then folds the results in mapper order, so the sum (and therefore the whole
 // run) is deterministic and identical to a sequential execution. The
-// trainers' unit tests and the pure-math benchmarks use it.
-func RunLocal(job IterativeJob) (*IterativeResult, error) {
+// trainers' unit tests and the pure-math benchmarks use it. The context is
+// checked at every iteration boundary, so a cancelled training run stops
+// after at most one more round of Contributions instead of running out its
+// budget.
+func RunLocalContext(ctx context.Context, job IterativeJob) (*IterativeResult, error) {
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
@@ -90,6 +95,9 @@ func RunLocal(job IterativeJob) (*IterativeResult, error) {
 	errs := make([]error, m)
 	sum := make([]float64, job.ContributionDim)
 	for iter := 0; iter < job.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		parallel.For(m, 1, func(lo, hi int) {
 			for mi := lo; mi < hi; mi++ {
 				contribs[mi], errs[mi] = job.Mappers[mi].Contribution(iter, state)

@@ -86,10 +86,16 @@ func newAveragingJob(values [][]float64, maxIter int) (IterativeJob, *averagingR
 	}, red
 }
 
+// runLocal runs the local engine under a background context; the engine's
+// own tests don't exercise cancellation here (see TestRunLocalContextCancel).
+func runLocal(job IterativeJob) (*IterativeResult, error) {
+	return RunLocalContext(context.Background(), job)
+}
+
 func TestRunLocalConvergesToAverage(t *testing.T) {
 	values := [][]float64{{1, 10}, {3, 20}, {5, 30}}
 	job, _ := newAveragingJob(values, 100)
-	res, err := RunLocal(job)
+	res, err := runLocal(job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,26 +111,26 @@ func TestRunLocalConvergesToAverage(t *testing.T) {
 }
 
 func TestRunLocalValidation(t *testing.T) {
-	if _, err := RunLocal(IterativeJob{}); !errors.Is(err, ErrBadJob) {
+	if _, err := runLocal(IterativeJob{}); !errors.Is(err, ErrBadJob) {
 		t.Errorf("empty job: err = %v, want ErrBadJob", err)
 	}
 	job, _ := newAveragingJob([][]float64{{1}}, 10)
 	job.Reducer = nil
-	if _, err := RunLocal(job); !errors.Is(err, ErrBadJob) {
+	if _, err := runLocal(job); !errors.Is(err, ErrBadJob) {
 		t.Errorf("nil reducer: err = %v, want ErrBadJob", err)
 	}
 	job, _ = newAveragingJob([][]float64{{1}}, 10)
 	job.ContributionDim = 2 // mapper returns 1 value
-	if _, err := RunLocal(job); !errors.Is(err, ErrBadJob) {
+	if _, err := runLocal(job); !errors.Is(err, ErrBadJob) {
 		t.Errorf("dim mismatch: err = %v, want ErrBadJob", err)
 	}
 	job, _ = newAveragingJob([][]float64{{1}}, 0)
-	if _, err := RunLocal(job); !errors.Is(err, ErrBadJob) {
+	if _, err := runLocal(job); !errors.Is(err, ErrBadJob) {
 		t.Errorf("zero iterations: err = %v, want ErrBadJob", err)
 	}
 	job, _ = newAveragingJob([][]float64{{1}}, 10)
 	job.Mappers[0] = nil
-	if _, err := RunLocal(job); !errors.Is(err, ErrBadJob) {
+	if _, err := runLocal(job); !errors.Is(err, ErrBadJob) {
 		t.Errorf("nil mapper: err = %v, want ErrBadJob", err)
 	}
 }
@@ -133,7 +139,7 @@ func TestRunLocalIterationCapWithoutConvergence(t *testing.T) {
 	values := [][]float64{{1e6}, {-1e6}}
 	job, red := newAveragingJob(values, 3)
 	red.tol = 0 // never converge
-	res, err := RunLocal(job)
+	res, err := runLocal(job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,14 +151,14 @@ func TestRunLocalIterationCapWithoutConvergence(t *testing.T) {
 func TestRunLocalMapperErrorAborts(t *testing.T) {
 	job, _ := newAveragingJob([][]float64{{1}, {2}}, 10)
 	job.Mappers[1] = &averagingMapper{value: []float64{2}, failUntil: 100}
-	if _, err := RunLocal(job); !errors.Is(err, ErrAborted) {
+	if _, err := runLocal(job); !errors.Is(err, ErrAborted) {
 		t.Errorf("mapper error: err = %v, want ErrAborted", err)
 	}
 }
 
 func TestDistributedMatchesLocal(t *testing.T) {
 	values := [][]float64{{1.5, -3, 8}, {2.5, 7, -2}, {0, 0, 1}, {4, -4, 4}}
-	local, err := RunLocal(mustJob(t, values, 40))
+	local, err := runLocal(mustJob(t, values, 40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +360,7 @@ func TestDistributedPaillierAggregation(t *testing.T) {
 		t.Fatal(err)
 	}
 	values := [][]float64{{1.5, -3}, {2.5, 7}, {-1, 0.5}}
-	local, err := RunLocal(mustJob(t, values, 15))
+	local, err := runLocal(mustJob(t, values, 15))
 	if err != nil {
 		t.Fatal(err)
 	}

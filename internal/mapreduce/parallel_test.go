@@ -61,13 +61,13 @@ func newStatefulJob(seed int64, mappers int) IterativeJob {
 func TestRunLocalConcurrentMatchesSequential(t *testing.T) {
 	for _, mappers := range []int{1, 3, 8, 17} {
 		prev := parallel.SetWorkers(1)
-		seq, err := RunLocal(newStatefulJob(int64(mappers), mappers))
+		seq, err := runLocal(newStatefulJob(int64(mappers), mappers))
 		if err != nil {
 			parallel.SetWorkers(prev)
 			t.Fatal(err)
 		}
 		parallel.SetWorkers(8)
-		par, err := RunLocal(newStatefulJob(int64(mappers), mappers))
+		par, err := runLocal(newStatefulJob(int64(mappers), mappers))
 		parallel.SetWorkers(prev)
 		if err != nil {
 			t.Fatal(err)
@@ -92,7 +92,7 @@ func TestRunLocalStatefulMappersUnderRace(t *testing.T) {
 	prev := parallel.SetWorkers(16)
 	defer parallel.SetWorkers(prev)
 	job := newStatefulJob(99, 32)
-	res, err := RunLocal(job)
+	res, err := runLocal(job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,13 +137,13 @@ func TestRunLocalErrorReportsLowestMapper(t *testing.T) {
 	}
 	// Iteration 0: only mapper 3 fails → it is reported. A fresh job where
 	// mappers 1, 2 and 3 all fail at iteration 1 must report mapper 1.
-	_, err := RunLocal(job)
+	_, err := runLocal(job)
 	if !errors.Is(err, ErrAborted) || !strings.Contains(err.Error(), "mapper 3") {
 		t.Fatalf("err = %v, want ErrAborted from mapper 3", err)
 	}
 
 	job.Mappers[3] = &failingMapper{failAt: 1}
-	_, err = RunLocal(job)
+	_, err = runLocal(job)
 	if !errors.Is(err, ErrAborted) || !strings.Contains(err.Error(), "mapper 1") {
 		t.Fatalf("err = %v, want ErrAborted from mapper 1 (lowest failing index)", err)
 	}
@@ -162,7 +162,7 @@ func TestRunLocalDimensionMismatchReported(t *testing.T) {
 		ContributionDim: 2, // failingMapper always contributes 1 value
 		MaxIterations:   2,
 	}
-	_, err := RunLocal(job)
+	_, err := runLocal(job)
 	if !errors.Is(err, ErrBadJob) {
 		t.Fatalf("err = %v, want ErrBadJob", err)
 	}

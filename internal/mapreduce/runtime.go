@@ -2,9 +2,11 @@ package mapreduce
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ppml-go/ppml/internal/dfs"
@@ -45,6 +47,11 @@ type DriverOptions struct {
 	// MapRetries re-invokes a failing Contribution this many times per
 	// iteration before the Mapper aborts the job.
 	MapRetries int
+	// RoundTimeout bounds how long the Reducer waits for one round's
+	// contributions. Zero (the default) waits indefinitely; a positive value
+	// fails the job with a round-stamped error when a straggler or lost
+	// message stalls a round past the bound.
+	RoundTimeout time.Duration
 	// PaillierKey supplies the key pair for AggregationPaillier: the public
 	// half goes to every Mapper, the private half stays with the simulated
 	// key authority that decrypts only aggregates.
@@ -95,6 +102,10 @@ type DriverResult struct {
 
 const reducerName = "reducer"
 
+// sessionCounter allocates process-unique job session ids. Session 0 is
+// reserved for traffic outside any job, so the first allocation is 1.
+var sessionCounter atomic.Uint64
+
 // RunDistributed executes the iterative job over a simulated cluster: one
 // transport endpoint per Mapper plus the Reducer, per-iteration broadcast and
 // (by default) secure aggregation, exactly the system structure of Fig. 1.
@@ -129,6 +140,7 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 		res.RemoteInputBytes = remote
 	}
 
+	session := sessionCounter.Add(1)
 	m := len(job.Mappers)
 	names := make([]string, m)
 	for i := range names {
@@ -138,6 +150,11 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: reducer endpoint: %w", err)
 	}
+	// The job's endpoints are released on every exit path: a caller-provided
+	// network must not accumulate listeners and reader goroutines across
+	// jobs, and closing the endpoints unblocks any mapper still parked in
+	// Recv when the driver unwinds early.
+	defer redEP.Close()
 	mapEPs := make([]transport.Endpoint, m)
 	for i := range mapEPs {
 		ep, err := net.Endpoint(names[i])
@@ -145,6 +162,7 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 			return nil, fmt.Errorf("mapreduce: mapper endpoint: %w", err)
 		}
 		mapEPs[i] = ep
+		defer ep.Close()
 	}
 
 	mapperErrs := make(chan error, m)
@@ -152,8 +170,9 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 		go func(i int) {
 			cfg := mapperNodeConfig{
 				id:      i,
+				session: session,
 				names:   names,
-				ep:      &stashEndpoint{Endpoint: mapEPs[i]},
+				ep:      mapEPs[i],
 				mapper:  job.Mappers[i],
 				agg:     agg,
 				codec:   codec,
@@ -185,15 +204,28 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	var jobErr error
 reduceLoop:
 	for iter := startIter; iter < job.MaxIterations; iter++ {
+		hdr := transport.Header{Session: session, Round: int32(iter)}
 		payload := encodeStatePayload(iter, state)
 		for _, name := range names {
-			if err := redEP.Send(name, KindBroadcast, payload); err != nil {
+			if err := redEP.Send(ctx, name, KindBroadcast, hdr, payload); err != nil {
 				jobErr = fmt.Errorf("mapreduce: broadcast: %w", err)
 				break reduceLoop
 			}
 		}
-		sum, err := collectContributions(ctx, redEP, m, job.ContributionDim, agg, codec, opts.PaillierKey)
+		roundCtx := ctx
+		var cancelRound context.CancelFunc
+		if opts.RoundTimeout > 0 {
+			roundCtx, cancelRound = context.WithTimeout(ctx, opts.RoundTimeout)
+		}
+		sum, err := collectContributions(roundCtx, redEP, session, int32(iter), m, job.ContributionDim, agg, codec, opts.PaillierKey)
+		if cancelRound != nil {
+			cancelRound()
+		}
 		if err != nil {
+			if opts.RoundTimeout > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				err = fmt.Errorf("mapreduce: round %d exceeded RoundTimeout %v: %w",
+					iter, opts.RoundTimeout, context.DeadlineExceeded)
+			}
 			jobErr = err
 			break
 		}
@@ -223,11 +255,13 @@ reduceLoop:
 		}
 	}
 
-	// Tear down: final state rides on the stop message.
+	// Tear down: final state rides on the stop message, stamped with the
+	// round the job finished on so transcripts show where it stopped.
+	stopHdr := transport.Header{Session: session, Round: int32(res.Iterations)}
 	stopPayload := encodeStatePayload(res.Iterations, state)
 	for _, name := range names {
 		//ppml:err-ok best-effort teardown: a mapper that already exited (or a dead link) must not mask the job result collected below
-		_ = redEP.Send(name, KindStop, stopPayload)
+		_ = redEP.Send(ctx, name, KindStop, stopHdr, stopPayload)
 	}
 	for i := 0; i < m; i++ {
 		if err := <-mapperErrs; err != nil && jobErr == nil {
@@ -266,8 +300,9 @@ func (p *LocalityPlan) remoteBytes(mappers int) (int64, error) {
 
 type mapperNodeConfig struct {
 	id          int
+	session     uint64
 	names       []string
-	ep          *stashEndpoint
+	ep          transport.Endpoint
 	mapper      IterativeMapper
 	agg         Aggregation
 	codec       fixedpoint.Codec
@@ -275,23 +310,46 @@ type mapperNodeConfig struct {
 	paillierPub *paillier.PublicKey
 }
 
+// idleFilter demultiplexes a Mapper between rounds: a fast peer's secure-
+// summation masks for the upcoming round wait in the reorder buffer until
+// this node's broadcast arrives and RunParty claims them; other sessions'
+// traffic is held untouched; everything else of this session (broadcast,
+// stop, or a genuinely unexpected kind) is delivered to the loop below.
+func idleFilter(session uint64) transport.Filter {
+	return func(m transport.Message) transport.Verdict {
+		if m.Session != session {
+			return transport.Defer
+		}
+		if m.Kind == securesum.KindMask {
+			return transport.Defer
+		}
+		return transport.Accept
+	}
+}
+
 // runMapperNode is the long-lived Mapper loop: wait for a broadcast, compute
 // the local contribution (with retries), hand it to the aggregation
 // protocol; exit on stop.
 func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 	var encScratch []uint64 // reusable fixed-point encode buffer (Paillier path)
+	idle := idleFilter(cfg.session)
 	for {
-		msg, err := recvBroadcast(ctx, cfg.ep)
+		msg, err := cfg.ep.RecvMatch(ctx, idle)
 		if err != nil {
 			return fmt.Errorf("mapper %d: %w", cfg.id, err)
 		}
-		if msg.Kind == KindStop {
+		switch msg.Kind {
+		case KindStop:
 			return nil
+		case KindBroadcast:
+		default:
+			return fmt.Errorf("%w: unexpected %q while idle", ErrBadJob, msg.Kind)
 		}
 		iter, state, err := decodeStatePayload(msg.Payload)
 		if err != nil {
 			return fmt.Errorf("mapper %d: %w", cfg.id, err)
 		}
+		hdr := transport.Header{Session: cfg.session, Round: int32(iter)}
 		var contrib []float64
 		for attempt := 0; ; attempt++ {
 			contrib, err = cfg.mapper.Contribution(iter, state)
@@ -300,14 +358,14 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 			}
 			if attempt >= cfg.retries {
 				//ppml:err-ok best-effort abort notification: the Contribution error below is the one worth reporting
-				_ = cfg.ep.Send(reducerName, KindAbort, []byte(err.Error()))
+				_ = cfg.ep.Send(ctx, reducerName, KindAbort, hdr, []byte(err.Error()))
 				return fmt.Errorf("%w: mapper %d at iteration %d: %v", ErrAborted, cfg.id, iter, err)
 			}
 		}
 		switch cfg.agg {
 		case AggregationPlain:
 			//ppml:plaintext-ok AggregationPlain is the deliberate no-privacy ablation baseline (Fig. 5 comparisons); selecting it is an explicit opt-out
-			if err := cfg.ep.Send(reducerName, KindPlainShare, encodeVector(contrib)); err != nil {
+			if err := cfg.ep.Send(ctx, reducerName, KindPlainShare, hdr, encodeVector(contrib)); err != nil {
 				return fmt.Errorf("mapper %d: %w", cfg.id, err)
 			}
 		case AggregationPaillier:
@@ -315,39 +373,19 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 			encScratch = scratch
 			if err != nil {
 				//ppml:err-ok best-effort abort notification: the encryption error below is the one worth reporting
-				_ = cfg.ep.Send(reducerName, KindAbort, []byte(err.Error()))
+				_ = cfg.ep.Send(ctx, reducerName, KindAbort, hdr, []byte(err.Error()))
 				return fmt.Errorf("mapper %d: %w", cfg.id, err)
 			}
-			if err := cfg.ep.Send(reducerName, KindCipherShare, payload); err != nil {
+			if err := cfg.ep.Send(ctx, reducerName, KindCipherShare, hdr, payload); err != nil {
 				return fmt.Errorf("mapper %d: %w", cfg.id, err)
 			}
 		default:
-			err := securesum.RunParty(ctx, cfg.ep, cfg.names, cfg.id, reducerName, contrib, cfg.codec, nil)
+			err := securesum.RunParty(ctx, cfg.ep, cfg.names, cfg.id, reducerName, contrib, cfg.codec, nil, hdr)
 			if err != nil {
 				// A stop or abort that lands mid-protocol unwinds here; it is
 				// not this mapper's fault, so report it plainly.
 				return fmt.Errorf("mapper %d aggregation: %w", cfg.id, err)
 			}
-		}
-	}
-}
-
-// recvBroadcast waits for the next broadcast or stop, stashing any secure-
-// summation masks that outran the reducer's broadcast to this node.
-func recvBroadcast(ctx context.Context, ep *stashEndpoint) (transport.Message, error) {
-	for {
-		msg, err := ep.Recv(ctx)
-		if err != nil {
-			return transport.Message{}, err
-		}
-		switch msg.Kind {
-		case KindBroadcast, KindStop:
-			return msg, nil
-		case securesum.KindMask:
-			// A peer already started the upcoming aggregation round.
-			ep.stash(msg)
-		default:
-			return transport.Message{}, fmt.Errorf("%w: unexpected %q while idle", ErrBadJob, msg.Kind)
 		}
 	}
 }
@@ -389,13 +427,38 @@ func encryptContribution(contrib []float64, codec fixedpoint.Codec, pub *paillie
 	return paillier.MarshalCiphertexts(cs), enc, nil
 }
 
-// collectContributions gathers one aggregate on the Reducer.
-func collectContributions(ctx context.Context, ep transport.Endpoint, m, dim int, agg Aggregation, codec fixedpoint.Codec, key *paillier.PrivateKey) ([]float64, error) {
+// reducerFilter scopes one collection round on the Reducer: aborts of this
+// session are delivered no matter which round raised them, this round's
+// shares are delivered, a fast Mapper's next-round shares wait in the reorder
+// buffer, and leftovers from failed earlier rounds are dropped and counted
+// rather than poisoning the current aggregate.
+func reducerFilter(session uint64, round int32) transport.Filter {
+	return func(m transport.Message) transport.Verdict {
+		if m.Session != session {
+			return transport.Defer
+		}
+		if m.Kind == KindAbort {
+			return transport.Accept
+		}
+		switch {
+		case m.Round < round:
+			return transport.Drop
+		case m.Round > round:
+			return transport.Defer
+		}
+		return transport.Accept
+	}
+}
+
+// collectContributions gathers one (session, round)-scoped aggregate on the
+// Reducer.
+func collectContributions(ctx context.Context, ep transport.Endpoint, session uint64, round int32, m, dim int, agg Aggregation, codec fixedpoint.Codec, key *paillier.PrivateKey) ([]float64, error) {
+	filter := reducerFilter(session, round)
 	switch agg {
 	case AggregationPaillier:
 		var acc []*big.Int
 		for got := 0; got < m; got++ {
-			msg, err := ep.Recv(ctx)
+			msg, err := ep.RecvMatch(ctx, filter)
 			if err != nil {
 				return nil, fmt.Errorf("mapreduce reduce: %w", err)
 			}
@@ -454,7 +517,7 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, m, dim int
 	case AggregationPlain:
 		sum := make([]float64, dim)
 		for got := 0; got < m; got++ {
-			msg, err := ep.Recv(ctx)
+			msg, err := ep.RecvMatch(ctx, filter)
 			if err != nil {
 				return nil, fmt.Errorf("mapreduce reduce: %w", err)
 			}
@@ -483,7 +546,7 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, m, dim int
 			return nil, err
 		}
 		for got := 0; got < m; got++ {
-			msg, err := ep.Recv(ctx)
+			msg, err := ep.RecvMatch(ctx, filter)
 			if err != nil {
 				return nil, fmt.Errorf("mapreduce reduce: %w", err)
 			}
@@ -504,33 +567,4 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, m, dim int
 		}
 		return col.Sum()
 	}
-}
-
-// stashEndpoint lets the mapper loop defer messages that legitimately arrive
-// early (a fast peer's masks) without losing ordering for everything else.
-// An index cursor tracks the next stashed message: popping by re-slicing the
-// head would shift the remaining entries' backing array on every pop, turning
-// a burst of n early masks into O(n²) copying.
-type stashEndpoint struct {
-	transport.Endpoint
-	pending []transport.Message
-	next    int
-}
-
-func (s *stashEndpoint) stash(m transport.Message) { s.pending = append(s.pending, m) }
-
-// Recv pops stashed messages first (in arrival order), then reads from the
-// live endpoint.
-func (s *stashEndpoint) Recv(ctx context.Context) (transport.Message, error) {
-	if s.next < len(s.pending) {
-		msg := s.pending[s.next]
-		s.pending[s.next] = transport.Message{} // drop the payload reference
-		s.next++
-		if s.next == len(s.pending) {
-			s.pending = s.pending[:0]
-			s.next = 0
-		}
-		return msg, nil
-	}
-	return s.Endpoint.Recv(ctx)
 }

@@ -17,15 +17,60 @@ const (
 	KindShare = "securesum.share"
 )
 
+// maskFilter demultiplexes one party's round: this round's masks (matching
+// session and round) are delivered; a fast peer's future-round masks wait in
+// the reorder buffer; stale masks from finished rounds are dropped and
+// counted. Everything that is not a securesum mask — another session's
+// traffic aside — is delivered so the caller can unwind on control messages
+// (a stop or abort landing mid-protocol) exactly as it would on any other
+// protocol violation.
+func maskFilter(hdr transport.Header) transport.Filter {
+	return func(m transport.Message) transport.Verdict {
+		if m.Session != hdr.Session {
+			return transport.Defer // another job's traffic on a shared transport
+		}
+		if m.Kind == KindMask {
+			switch {
+			case m.Round < hdr.Round:
+				return transport.Drop
+			case m.Round > hdr.Round:
+				return transport.Defer
+			}
+		}
+		return transport.Accept
+	}
+}
+
+// shareFilter is the Reducer-side analogue of maskFilter for masked shares.
+func shareFilter(hdr transport.Header) transport.Filter {
+	return func(m transport.Message) transport.Verdict {
+		if m.Session != hdr.Session {
+			return transport.Defer
+		}
+		if m.Kind == KindShare {
+			switch {
+			case m.Round < hdr.Round:
+				return transport.Drop
+			case m.Round > hdr.Round:
+				return transport.Defer
+			}
+		}
+		return transport.Accept
+	}
+}
+
 // RunParty executes one full protocol round for one Mapper over its
 // transport endpoint: it sends a fresh mask to every peer, absorbs the peers'
 // masks, and submits the masked share of value to the reducer endpoint.
 //
 // names lists every party's endpoint name indexed by party id; self is this
-// party's id. The caller must guarantee no other message kinds are in flight
-// on ep during the round (the consensus driver barriers rounds, so this
-// holds by construction).
-func RunParty(ctx context.Context, ep transport.Endpoint, names []string, self int, reducer string, value []float64, codec fixedpoint.Codec, random io.Reader) error {
+// party's id. hdr stamps every message of the round with the job session and
+// the consensus round, and the receive side demultiplexes on it: a fast
+// peer's next-round masks are buffered for that round instead of corrupting
+// this one, and leftovers from earlier rounds are dropped. Non-mask messages
+// of the same session (e.g. a job abort) still surface as protocol errors so
+// the caller unwinds promptly.
+func RunParty(ctx context.Context, ep transport.Endpoint, names []string, self int, reducer string, value []float64, codec fixedpoint.Codec, random io.Reader, hdr transport.Header) error {
 	m := len(names)
 	party, err := NewParty(self, m, len(value), codec, random)
 	if err != nil {
@@ -43,12 +88,13 @@ func RunParty(ctx context.Context, ep transport.Endpoint, names []string, self i
 		if peer == self {
 			continue
 		}
-		if err := ep.Send(names[peer], KindMask, EncodeShares(masks[peer])); err != nil {
+		if err := ep.Send(ctx, names[peer], KindMask, hdr, EncodeShares(masks[peer])); err != nil {
 			return fmt.Errorf("securesum: send mask to %q: %w", names[peer], err)
 		}
 	}
+	filter := maskFilter(hdr)
 	for received := 0; received < m-1; received++ {
-		msg, err := ep.Recv(ctx)
+		msg, err := ep.RecvMatch(ctx, filter)
 		if err != nil {
 			return fmt.Errorf("securesum: receive mask: %w", err)
 		}
@@ -71,21 +117,23 @@ func RunParty(ctx context.Context, ep transport.Endpoint, names []string, self i
 	if err != nil {
 		return err
 	}
-	if err := ep.Send(reducer, KindShare, EncodeShares(share)); err != nil {
+	if err := ep.Send(ctx, reducer, KindShare, hdr, EncodeShares(share)); err != nil {
 		return fmt.Errorf("securesum: send share: %w", err)
 	}
 	return nil
 }
 
 // RunCollector executes the Reducer's side of one round: it waits for the m
-// masked shares on ep and returns their decoded sum.
-func RunCollector(ctx context.Context, ep transport.Endpoint, m, dim int, codec fixedpoint.Codec) ([]float64, error) {
+// masked shares of hdr's (session, round) on ep and returns their decoded
+// sum. Out-of-round shares are buffered or dropped per shareFilter.
+func RunCollector(ctx context.Context, ep transport.Endpoint, m, dim int, codec fixedpoint.Codec, hdr transport.Header) ([]float64, error) {
 	col, err := NewCollector(m, dim, codec)
 	if err != nil {
 		return nil, err
 	}
+	filter := shareFilter(hdr)
 	for received := 0; received < m; received++ {
-		msg, err := ep.Recv(ctx)
+		msg, err := ep.RecvMatch(ctx, filter)
 		if err != nil {
 			return nil, fmt.Errorf("securesum: receive share: %w", err)
 		}

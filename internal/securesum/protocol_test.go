@@ -16,6 +16,7 @@ import (
 // and executes one protocol round, returning the reducer's decoded sum.
 func runDistributedRound(t *testing.T, net transport.Network, values [][]float64) []float64 {
 	t.Helper()
+	hdr := transport.Header{Session: 1}
 	codec := fixedpoint.Default()
 	m := len(values)
 	dim := len(values[0])
@@ -44,10 +45,10 @@ func runDistributedRound(t *testing.T, net transport.Network, values [][]float64
 	errs := make(chan error, m)
 	for i := 0; i < m; i++ {
 		go func(i int) {
-			errs <- RunParty(ctx, eps[i], names, i, reducer, values[i], codec, nil)
+			errs <- RunParty(ctx, eps[i], names, i, reducer, values[i], codec, nil, hdr)
 		}(i)
 	}
-	sum, err := RunCollector(ctx, red, m, dim, codec)
+	sum, err := RunCollector(ctx, red, m, dim, codec, hdr)
 	if err != nil {
 		t.Fatalf("collector: %v", err)
 	}
@@ -115,7 +116,92 @@ func TestRunCollectorTimeout(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if _, err := RunCollector(ctx, red, 2, 3, fixedpoint.Default()); err == nil {
+	if _, err := RunCollector(ctx, red, 2, 3, fixedpoint.Default(), transport.Header{Session: 1}); err == nil {
 		t.Error("collector with no shares should time out")
+	}
+}
+
+func TestRoundDemuxBuffersEarlyAndDropsStale(t *testing.T) {
+	// A fast peer's next-round mask must wait in the reorder buffer without
+	// corrupting the current round, and a leftover mask from a finished
+	// round must be dropped (and counted), not delivered.
+	net := transport.NewInProc()
+	defer net.Close()
+	codec := fixedpoint.Default()
+	const m, dim = 3, 4
+	rng := rand.New(rand.NewSource(6))
+	values := randomValues(rng, m, dim, 25)
+
+	names := make([]string, m)
+	eps := make([]transport.Endpoint, m)
+	for i := range names {
+		names[i] = fmt.Sprintf("mapper-%d", i)
+		ep, err := net.Endpoint(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	red, err := net.Endpoint("reducer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	intruder, err := net.Endpoint(names[0][:len(names[0])-1] + "9") // "mapper-9", not a party
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Pollute party 0's inbox before the round starts: one future-round mask
+	// (buffered for round 1) and one stale round mask (dropped).
+	future := transport.Header{Session: 7, Round: 1}
+	stale := transport.Header{Session: 7, Round: -5}
+	junk := EncodeShares(make([]uint64, dim))
+	if err := intruder.Send(ctx, names[0], KindMask, future, junk); err != nil {
+		t.Fatal(err)
+	}
+	if err := intruder.Send(ctx, names[0], KindMask, stale, junk); err != nil {
+		t.Fatal(err)
+	}
+
+	hdr := transport.Header{Session: 7, Round: 0}
+	errs := make(chan error, m)
+	for i := 0; i < m; i++ {
+		go func(i int) {
+			errs <- RunParty(ctx, eps[i], names, i, "reducer", values[i], codec, nil, hdr)
+		}(i)
+	}
+	sum, err := RunCollector(ctx, red, m, dim, codec, hdr)
+	if err != nil {
+		t.Fatalf("collector: %v", err)
+	}
+	for i := 0; i < m; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("party: %v", err)
+		}
+	}
+	want := plainSum(values)
+	for j := range want {
+		if math.Abs(sum[j]-want[j]) > 1e-6 {
+			t.Fatalf("element %d: %g, want %g", j, sum[j], want[j])
+		}
+	}
+	if got := net.Stats().StaleDropped; got != 1 {
+		t.Errorf("StaleDropped = %d, want 1 (the stale mask)", got)
+	}
+	// The future-round mask is still waiting: a round-1 receive finds it.
+	buffered, err := eps[0].RecvMatch(ctx, func(msg transport.Message) transport.Verdict {
+		if msg.Kind == KindMask && msg.Round == 1 {
+			return transport.Accept
+		}
+		return transport.Defer
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buffered.Round != 1 || buffered.Session != 7 {
+		t.Fatalf("buffered mask envelope = %+v", buffered.Header())
 	}
 }

@@ -1,20 +1,25 @@
 package transport
 
 import (
-	"bytes"
 	"context"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// ErrFrameTooLarge is returned by Send when a message exceeds maxFrameBytes.
-var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+// Errors specific to the TCP wire format.
+var (
+	// ErrFrameTooLarge is returned by Send when a message exceeds maxFrameBytes.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	// ErrBadFrame indicates a frame that does not parse under the current
+	// wire version.
+	ErrBadFrame = errors.New("transport: malformed frame")
+)
 
 // maxFrameBytes bounds one framed message on the wire. Every frame carries a
 // 4-byte length prefix, and the receiver rejects any advertised length above
@@ -23,11 +28,33 @@ var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
 // message is a Paillier ciphertext batch, far below this.
 const maxFrameBytes = 64 << 20
 
+// frameVersion is the wire-format version stamped into every frame. A
+// receiver rejects frames from any other version instead of misparsing them,
+// so the header can grow fields in later versions without silent corruption.
+const frameVersion = 1
+
+// Fixed envelope layout after the 4-byte length prefix:
+//
+//	offset  size  field
+//	0       1     version byte (frameVersion)
+//	1       8     session (big endian)
+//	9       4     round   (big endian, two's complement int32)
+//	13      8     seq     (big endian)
+//	21      2     len(from), then from bytes
+//	..      2     len(to), then to bytes
+//	..      2     len(kind), then kind bytes
+//	..      —     payload (everything remaining)
+const frameFixedHeader = 1 + 8 + 4 + 8
+
+// maxNameBytes bounds the from/to/kind strings in a frame; endpoint names and
+// message kinds are short protocol identifiers.
+const maxNameBytes = 1 << 10
+
 // TCP is a Network whose endpoints talk over loopback TCP sockets with
-// length-prefixed gob frames. It runs the exact same protocols as InProc
-// across real sockets, demonstrating that nothing in the system depends on
-// shared memory. Every endpoint owns a listener on an ephemeral port; the
-// network keeps the name → address book.
+// length-prefixed, versioned binary frames. It runs the exact same protocols
+// as InProc across real sockets, demonstrating that nothing in the system
+// depends on shared memory. Every endpoint owns a listener on an ephemeral
+// port; the network keeps the name → address book.
 type TCP struct {
 	mu        sync.Mutex
 	addrs     map[string]string
@@ -36,6 +63,7 @@ type TCP struct {
 
 	messages atomic.Int64
 	bytes    atomic.Int64
+	dropped  atomic.Int64
 }
 
 var _ Network = (*TCP)(nil)
@@ -76,7 +104,7 @@ func (n *TCP) Endpoint(name string) (Endpoint, error) {
 
 // Stats implements Network.
 func (n *TCP) Stats() Stats {
-	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load()}
+	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load(), StaleDropped: n.dropped.Load()}
 }
 
 // Close implements Network. It closes every endpoint and reports the first
@@ -121,6 +149,8 @@ type tcpEndpoint struct {
 	net   *TCP
 	ln    net.Listener
 	inbox chan Message
+	seq   atomic.Uint64
+	dmx   demux
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -158,9 +188,9 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return // peer died mid-frame: discard the partial message
 		}
-		var msg Message
-		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&msg); err != nil {
-			return
+		msg, err := decodeFrame(body)
+		if err != nil {
+			return // wrong version or malformed header: hostile or corrupt stream
 		}
 		select {
 		case e.inbox <- msg:
@@ -170,41 +200,101 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	}
 }
 
-// encodeFrame gob-encodes msg behind a 4-byte big-endian length prefix.
-// Each frame is self-contained (fresh encoder), so a dropped connection can
-// never leave the peer's stream mid-type-dictionary.
+// encodeFrame serializes msg behind a 4-byte big-endian length prefix as a
+// version-1 binary frame: fixed envelope (version, session, round, seq), the
+// three length-prefixed strings, then the payload. Each frame is
+// self-contained, so a dropped connection can never leave the peer's stream
+// in an undecodable state.
 func encodeFrame(msg *Message) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Write(make([]byte, 4))
-	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
-		return nil, err
+	for _, s := range []string{msg.From, msg.To, msg.Kind} {
+		if len(s) > maxNameBytes {
+			return nil, fmt.Errorf("%w: name of %d bytes", ErrBadFrame, len(s))
+		}
 	}
-	b := buf.Bytes()
-	n := len(b) - 4
+	n := frameFixedHeader + 3*2 + len(msg.From) + len(msg.To) + len(msg.Kind) + len(msg.Payload)
 	if n > maxFrameBytes {
 		return nil, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, n, maxFrameBytes)
 	}
-	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	b := make([]byte, 4, 4+n)
+	binary.BigEndian.PutUint32(b, uint32(n))
+	b = append(b, frameVersion)
+	b = binary.BigEndian.AppendUint64(b, msg.Session)
+	b = binary.BigEndian.AppendUint32(b, uint32(msg.Round))
+	b = binary.BigEndian.AppendUint64(b, msg.Seq)
+	for _, s := range []string{msg.From, msg.To, msg.Kind} {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+		b = append(b, s...)
+	}
+	b = append(b, msg.Payload...)
 	return b, nil
 }
 
-func (e *tcpEndpoint) Send(to, kind string, payload []byte) error {
+// decodeFrame parses one frame body (the bytes after the length prefix).
+func decodeFrame(body []byte) (Message, error) {
+	if len(body) < frameFixedHeader {
+		return Message{}, fmt.Errorf("%w: %d-byte frame", ErrBadFrame, len(body))
+	}
+	if body[0] != frameVersion {
+		return Message{}, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, body[0], frameVersion)
+	}
+	var msg Message
+	msg.Session = binary.BigEndian.Uint64(body[1:])
+	msg.Round = int32(binary.BigEndian.Uint32(body[9:]))
+	msg.Seq = binary.BigEndian.Uint64(body[13:])
+	rest := body[frameFixedHeader:]
+	for _, dst := range []*string{&msg.From, &msg.To, &msg.Kind} {
+		if len(rest) < 2 {
+			return Message{}, fmt.Errorf("%w: truncated name length", ErrBadFrame)
+		}
+		l := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if l > maxNameBytes {
+			return Message{}, fmt.Errorf("%w: name of %d bytes", ErrBadFrame, l)
+		}
+		if len(rest) < l {
+			return Message{}, fmt.Errorf("%w: truncated name", ErrBadFrame)
+		}
+		*dst = string(rest[:l])
+		rest = rest[l:]
+	}
+	if len(rest) > 0 {
+		msg.Payload = rest
+	}
+	return msg, nil
+}
+
+func (e *tcpEndpoint) Send(ctx context.Context, to, kind string, hdr Header, payload []byte) error {
 	select {
 	case <-e.done:
 		return ErrClosed
 	default:
 	}
-	c, err := e.connTo(to)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c, err := e.connTo(ctx, to)
 	if err != nil {
 		return err
 	}
-	msg := Message{From: e.name, To: to, Kind: kind, Payload: payload}
+	msg := Message{
+		From: e.name, To: to, Kind: kind,
+		Session: hdr.Session, Round: hdr.Round, Seq: e.seq.Add(1),
+		Payload: payload,
+	}
 	frame, err := encodeFrame(&msg)
 	if err != nil {
 		return fmt.Errorf("transport tcp send to %q: %w", to, err)
 	}
 	c.mu.Lock()
+	if dl, ok := ctx.Deadline(); ok {
+		//ppml:err-ok a connection that rejects deadlines fails the Write below with the real error
+		_ = c.conn.SetWriteDeadline(dl)
+	}
 	_, err = c.conn.Write(frame)
+	if _, ok := ctx.Deadline(); ok {
+		//ppml:err-ok clearing a deadline on a dying connection is best-effort
+		_ = c.conn.SetWriteDeadline(time.Time{})
+	}
 	c.mu.Unlock()
 	if err != nil {
 		// Drop the cached connection so the next send re-dials.
@@ -221,7 +311,7 @@ func (e *tcpEndpoint) Send(to, kind string, payload []byte) error {
 	return nil
 }
 
-func (e *tcpEndpoint) connTo(to string) (*tcpConn, error) {
+func (e *tcpEndpoint) connTo(ctx context.Context, to string) (*tcpConn, error) {
 	e.connMu.Lock()
 	defer e.connMu.Unlock()
 	if c, ok := e.conns[to]; ok {
@@ -231,7 +321,8 @@ func (e *tcpEndpoint) connTo(to string) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.Dial("tcp", addr)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport tcp dial %q: %w", to, err)
 	}
@@ -241,19 +332,11 @@ func (e *tcpEndpoint) connTo(to string) (*tcpConn, error) {
 }
 
 func (e *tcpEndpoint) Recv(ctx context.Context) (Message, error) {
-	select {
-	case msg := <-e.inbox:
-		return msg, nil
-	default:
-	}
-	select {
-	case msg := <-e.inbox:
-		return msg, nil
-	case <-ctx.Done():
-		return Message{}, ctx.Err()
-	case <-e.done:
-		return Message{}, ErrClosed
-	}
+	return e.RecvMatch(ctx, nil)
+}
+
+func (e *tcpEndpoint) RecvMatch(ctx context.Context, filter Filter) (Message, error) {
+	return e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped)
 }
 
 func (e *tcpEndpoint) Close() error {

@@ -41,7 +41,7 @@ func TestTCPDialFailure(t *testing.T) {
 	n.addrs["ghost"] = dead
 	n.mu.Unlock()
 
-	err = a.Send("ghost", "k", []byte("x"))
+	err = a.Send(context.Background(), "ghost", "k", Header{}, []byte("x"))
 	if err == nil {
 		t.Fatal("Send to a dead address succeeded")
 	}
@@ -53,7 +53,7 @@ func TestTCPDialFailure(t *testing.T) {
 	if _, err := n.Endpoint("b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("b", "k", []byte("x")); err != nil {
+	if err := a.Send(context.Background(), "b", "k", Header{}, []byte("x")); err != nil {
 		t.Fatalf("Send after dial failure: %v", err)
 	}
 }
@@ -66,7 +66,7 @@ func TestTCPUnknownEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("nobody", "k", nil); !errors.Is(err, ErrUnknownEndpoint) {
+	if err := a.Send(context.Background(), "nobody", "k", Header{}, nil); !errors.Is(err, ErrUnknownEndpoint) {
 		t.Fatalf("Send to unregistered name = %v, want ErrUnknownEndpoint", err)
 	}
 }
@@ -104,7 +104,7 @@ func TestTCPPeerCloseMidMessage(t *testing.T) {
 	}
 
 	// b must still receive a well-formed message from a.
-	if err := a.Send("b", "alive", []byte("payload")); err != nil {
+	if err := a.Send(context.Background(), "b", "alive", Header{}, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
 	msg, err := b.Recv(deadline(t))
@@ -154,7 +154,7 @@ func TestTCPOversizedFrameRejectedByReceiver(t *testing.T) {
 	}
 
 	// The endpoint itself survives.
-	if err := a.Send("b", "alive", []byte("still here")); err != nil {
+	if err := a.Send(context.Background(), "b", "alive", Header{}, []byte("still here")); err != nil {
 		t.Fatal(err)
 	}
 	if msg, err := b.Recv(deadline(t)); err != nil || msg.Kind != "alive" {
@@ -177,7 +177,7 @@ func TestTCPOversizedFrameRejectedBySender(t *testing.T) {
 	if _, err := n.Endpoint("b"); err != nil {
 		t.Fatal(err)
 	}
-	err = a.Send("b", "huge", make([]byte, maxFrameBytes+1))
+	err = a.Send(context.Background(), "b", "huge", Header{}, make([]byte, maxFrameBytes+1))
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("Send(oversized) = %v, want ErrFrameTooLarge", err)
 	}

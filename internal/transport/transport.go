@@ -2,7 +2,16 @@
 // cluster nodes: Mappers, the Reducer, and the coordinator. Two
 // implementations are provided behind one interface — an in-process network
 // (channels) used by the default simulation and tests, and a TCP network
-// (net + encoding/gob) that runs the same protocols across real sockets.
+// (net + a versioned binary frame) that runs the same protocols across real
+// sockets.
+//
+// Every message travels in a session-scoped, round-tagged envelope: the
+// sender stamps a Header (job session id, protocol round) and the transport
+// adds a per-endpoint sequence number. Receivers demultiplex with RecvMatch,
+// whose filter decides per message whether to deliver it, hold it for a later
+// call (a fast peer's next-round traffic), or drop it as stale. This is what
+// lets a long-lived multi-round protocol interleave phases safely instead of
+// relying on arrival order.
 //
 // Every network keeps byte and message counters, which the benchmarks use to
 // quantify the data-locality argument of Section I: the bytes a consensus
@@ -27,24 +36,72 @@ var (
 	ErrDuplicateEndpoint = errors.New("transport: endpoint already exists")
 )
 
+// Header is the sender-stamped part of the message envelope: which job the
+// message belongs to and which protocol round produced it. The zero value
+// (session 0, round 0) is valid for traffic outside any session.
+type Header struct {
+	// Session identifies the job; RunDistributed allocates a fresh id per
+	// job so concurrent jobs on one transport never cross-talk.
+	Session uint64
+	// Round is the protocol round (consensus iteration) of the message.
+	Round int32
+}
+
 // Message is one datagram between named endpoints. Kind routes it within the
-// receiving protocol (e.g. "mask", "share", "broadcast").
+// receiving protocol (e.g. "mask", "share", "broadcast"); Session, Round and
+// Seq are the envelope receivers demultiplex on.
 type Message struct {
-	From    string
-	To      string
-	Kind    string
+	From string
+	To   string
+	Kind string
+	// Session and Round are copied from the sender's Header.
+	Session uint64
+	Round   int32
+	// Seq is a per-sender monotonic sequence number stamped by the
+	// transport on Send; it breaks ties between same-round messages and
+	// gives transcripts a total per-sender order.
+	Seq     uint64
 	Payload []byte
 }
+
+// Header reconstructs the sender-stamped envelope of the message.
+func (m Message) Header() Header { return Header{Session: m.Session, Round: m.Round} }
+
+// Verdict is a Filter's decision for one inbound message.
+type Verdict int
+
+const (
+	// Accept delivers the message to the caller.
+	Accept Verdict = iota
+	// Defer holds the message in the endpoint's reorder buffer: it is not
+	// what this call waits for, but a later RecvMatch will want it (e.g. a
+	// fast peer's next-round mask arriving before our broadcast).
+	Defer
+	// Drop discards the message and increments the network's StaleDropped
+	// counter — for out-of-round leftovers no receiver will ever want.
+	Drop
+)
+
+// Filter examines a message's envelope — (session, round, kind) — and decides
+// its fate for one RecvMatch call. A nil Filter accepts every message.
+type Filter func(Message) Verdict
 
 // Endpoint is one party's connection to the network.
 type Endpoint interface {
 	// Name returns the endpoint's registered name.
 	Name() string
-	// Send delivers a message to the named peer. It must be safe for
-	// concurrent use.
-	Send(to, kind string, payload []byte) error
-	// Recv blocks for the next inbound message or context cancellation.
+	// Send delivers a message carrying hdr to the named peer, honouring
+	// context cancellation. It must be safe for concurrent use.
+	Send(ctx context.Context, to, kind string, hdr Header, payload []byte) error
+	// Recv blocks for the next inbound message or context cancellation. It
+	// drains the reorder buffer (in arrival order) before the live inbox.
 	Recv(ctx context.Context) (Message, error)
+	// RecvMatch blocks until a message the filter Accepts arrives (or the
+	// context is cancelled). Messages the filter Defers are held, in
+	// arrival order, in a per-endpoint reorder buffer that later calls
+	// scan first; Dropped messages are discarded and counted in
+	// Stats.StaleDropped.
+	RecvMatch(ctx context.Context, filter Filter) (Message, error)
 	// Close releases the endpoint; subsequent operations return ErrClosed.
 	Close() error
 }
@@ -54,6 +111,9 @@ type Stats struct {
 	Messages int64
 	// Bytes counts payload bytes only, the protocol-relevant volume.
 	Bytes int64
+	// StaleDropped counts messages discarded by RecvMatch filters —
+	// out-of-round arrivals no receiver wanted.
+	StaleDropped int64
 }
 
 // Network creates endpoints and reports traffic statistics.
@@ -71,6 +131,67 @@ type Network interface {
 // larger than the simulations use without ever blocking a sender.
 const inboxSize = 4096
 
+// demux is the per-endpoint reorder buffer behind RecvMatch, shared by the
+// in-process and TCP endpoints. Deferred messages are re-offered in arrival
+// order to every subsequent receive before the live inbox is consulted.
+type demux struct {
+	mu      sync.Mutex
+	pending []Message
+}
+
+// recvMatch implements the RecvMatch contract over an inbox channel and a
+// close signal. dropped counts filter-discarded messages network-wide.
+func (d *demux) recvMatch(ctx context.Context, f Filter, inbox <-chan Message, done <-chan struct{}, dropped *atomic.Int64) (Message, error) {
+	// Pass 1: the reorder buffer, in arrival order.
+	d.mu.Lock()
+	for i := 0; i < len(d.pending); i++ {
+		switch verdict(f, d.pending[i]) {
+		case Accept:
+			msg := d.pending[i]
+			d.pending = append(d.pending[:i], d.pending[i+1:]...)
+			d.mu.Unlock()
+			return msg, nil
+		case Drop:
+			d.pending = append(d.pending[:i], d.pending[i+1:]...)
+			dropped.Add(1)
+			i--
+		}
+	}
+	d.mu.Unlock()
+	// Pass 2: the live inbox.
+	for {
+		var msg Message
+		select {
+		case msg = <-inbox:
+		default:
+			select {
+			case msg = <-inbox:
+			case <-ctx.Done():
+				return Message{}, ctx.Err()
+			case <-done:
+				return Message{}, ErrClosed
+			}
+		}
+		switch verdict(f, msg) {
+		case Accept:
+			return msg, nil
+		case Defer:
+			d.mu.Lock()
+			d.pending = append(d.pending, msg)
+			d.mu.Unlock()
+		case Drop:
+			dropped.Add(1)
+		}
+	}
+}
+
+func verdict(f Filter, m Message) Verdict {
+	if f == nil {
+		return Accept
+	}
+	return f(m)
+}
+
 // InProc is the in-process Network backed by Go channels.
 type InProc struct {
 	mu        sync.Mutex
@@ -79,6 +200,7 @@ type InProc struct {
 
 	messages atomic.Int64
 	bytes    atomic.Int64
+	dropped  atomic.Int64
 }
 
 var _ Network = (*InProc)(nil)
@@ -110,7 +232,7 @@ func (n *InProc) Endpoint(name string) (Endpoint, error) {
 
 // Stats implements Network.
 func (n *InProc) Stats() Stats {
-	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load()}
+	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load(), StaleDropped: n.dropped.Load()}
 }
 
 // Close implements Network.
@@ -144,6 +266,8 @@ type inprocEndpoint struct {
 	name  string
 	net   *InProc
 	inbox chan Message
+	seq   atomic.Uint64
+	dmx   demux
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -151,41 +275,42 @@ type inprocEndpoint struct {
 
 func (e *inprocEndpoint) Name() string { return e.name }
 
-func (e *inprocEndpoint) Send(to, kind string, payload []byte) error {
+func (e *inprocEndpoint) Send(ctx context.Context, to, kind string, hdr Header, payload []byte) error {
 	select {
 	case <-e.done:
 		return ErrClosed
 	default:
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	dst, err := e.net.lookup(to)
 	if err != nil {
 		return err
 	}
-	msg := Message{From: e.name, To: to, Kind: kind, Payload: payload}
+	msg := Message{
+		From: e.name, To: to, Kind: kind,
+		Session: hdr.Session, Round: hdr.Round, Seq: e.seq.Add(1),
+		Payload: payload,
+	}
 	select {
 	case dst.inbox <- msg:
 		e.net.messages.Add(1)
 		e.net.bytes.Add(int64(len(payload)))
 		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	case <-dst.done:
 		return fmt.Errorf("send to %q: %w", to, ErrClosed)
 	}
 }
 
 func (e *inprocEndpoint) Recv(ctx context.Context) (Message, error) {
-	select {
-	case msg := <-e.inbox:
-		return msg, nil
-	default:
-	}
-	select {
-	case msg := <-e.inbox:
-		return msg, nil
-	case <-ctx.Done():
-		return Message{}, ctx.Err()
-	case <-e.done:
-		return Message{}, ErrClosed
-	}
+	return e.RecvMatch(ctx, nil)
+}
+
+func (e *inprocEndpoint) RecvMatch(ctx context.Context, filter Filter) (Message, error) {
+	return e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped)
 }
 
 func (e *inprocEndpoint) Close() error {

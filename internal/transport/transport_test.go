@@ -32,7 +32,7 @@ func TestSendRecv(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := a.Send("b", "greet", []byte("hello")); err != nil {
+			if err := a.Send(context.Background(), "b", "greet", Header{}, []byte("hello")); err != nil {
 				t.Fatal(err)
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -48,6 +48,151 @@ func TestSendRecv(t *testing.T) {
 	}
 }
 
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := n.Endpoint("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			hdr := Header{Session: 42, Round: 7}
+			for i := 0; i < 2; i++ {
+				if err := a.Send(context.Background(), "b", "env", hdr, []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for i := 0; i < 2; i++ {
+				msg, err := b.Recv(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if msg.Session != 42 || msg.Round != 7 {
+					t.Fatalf("envelope = session %d round %d, want 42/7", msg.Session, msg.Round)
+				}
+				if msg.Header() != hdr {
+					t.Fatalf("Header() = %+v, want %+v", msg.Header(), hdr)
+				}
+				if want := uint64(i + 1); msg.Seq != want {
+					t.Fatalf("seq = %d, want %d (per-sender monotonic)", msg.Seq, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRecvMatchDemux(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := n.Endpoint("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			// Round 1 stale, round 3 future, round 2 wanted — sent in that order.
+			for _, r := range []int32{1, 3, 2} {
+				if err := a.Send(ctx, "b", "m", Header{Session: 9, Round: r}, []byte{byte(r)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := func(round int32) Filter {
+				return func(m Message) Verdict {
+					switch {
+					case m.Round < round:
+						return Drop
+					case m.Round > round:
+						return Defer
+					}
+					return Accept
+				}
+			}
+			msg, err := b.RecvMatch(ctx, want(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg.Round != 2 {
+				t.Fatalf("RecvMatch delivered round %d, want 2", msg.Round)
+			}
+			// The deferred round-3 message must surface from the reorder
+			// buffer without any further send.
+			msg, err = b.RecvMatch(ctx, want(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg.Round != 3 {
+				t.Fatalf("reorder buffer delivered round %d, want 3", msg.Round)
+			}
+			if got := n.Stats().StaleDropped; got != 1 {
+				t.Errorf("StaleDropped = %d, want 1 (the round-1 message)", got)
+			}
+		})
+	}
+}
+
+func TestRecvMatchBufferPreservesOrder(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := n.Endpoint("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for i := 0; i < 5; i++ {
+				if err := a.Send(ctx, "b", "later", Header{Round: 1}, []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := a.Send(ctx, "b", "now", Header{Round: 0}, nil); err != nil {
+				t.Fatal(err)
+			}
+			only := func(kind string) Filter {
+				return func(m Message) Verdict {
+					if m.Kind != kind {
+						return Defer
+					}
+					return Accept
+				}
+			}
+			if msg, err := b.RecvMatch(ctx, only("now")); err != nil || msg.Kind != "now" {
+				t.Fatalf("RecvMatch(now) = %+v, %v", msg, err)
+			}
+			for i := 0; i < 5; i++ {
+				msg, err := b.RecvMatch(ctx, only("later"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if msg.Payload[0] != byte(i) {
+					t.Fatalf("deferred messages reordered: got %d at position %d", msg.Payload[0], i)
+				}
+			}
+		})
+	}
+}
+
 func TestUnknownEndpoint(t *testing.T) {
 	for _, impl := range implementations {
 		impl := impl
@@ -58,7 +203,7 @@ func TestUnknownEndpoint(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := a.Send("ghost", "k", nil); !errors.Is(err, ErrUnknownEndpoint) {
+			if err := a.Send(context.Background(), "ghost", "k", Header{}, nil); !errors.Is(err, ErrUnknownEndpoint) {
 				t.Errorf("send to ghost: err = %v, want ErrUnknownEndpoint", err)
 			}
 		})
@@ -100,6 +245,28 @@ func TestRecvContextCancel(t *testing.T) {
 	}
 }
 
+func TestSendContextCanceled(t *testing.T) {
+	for _, impl := range implementations {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			n := impl.mk()
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := n.Endpoint("b"); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := a.Send(ctx, "b", "k", Header{}, nil); !errors.Is(err, context.Canceled) {
+				t.Errorf("Send with canceled ctx: err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
 func TestClosedEndpoint(t *testing.T) {
 	for _, impl := range implementations {
 		impl := impl
@@ -113,7 +280,7 @@ func TestClosedEndpoint(t *testing.T) {
 			if err := a.Close(); err != nil {
 				t.Fatal(err)
 			}
-			if err := a.Send("a", "k", nil); !errors.Is(err, ErrClosed) {
+			if err := a.Send(context.Background(), "a", "k", Header{}, nil); !errors.Is(err, ErrClosed) {
 				t.Errorf("send after close: err = %v, want ErrClosed", err)
 			}
 			// The name becomes free again.
@@ -140,7 +307,7 @@ func TestStatsCountPayloadBytes(t *testing.T) {
 			}
 			payload := make([]byte, 1000)
 			for i := 0; i < 5; i++ {
-				if err := a.Send("b", "blob", payload); err != nil {
+				if err := a.Send(context.Background(), "b", "blob", Header{}, payload); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -181,7 +348,7 @@ func TestManyToOneConcurrent(t *testing.T) {
 				go func(ep Endpoint) {
 					defer wg.Done()
 					for i := 0; i < msgs; i++ {
-						if err := ep.Send("sink", "n", []byte{byte(i)}); err != nil {
+						if err := ep.Send(context.Background(), "sink", "n", Header{}, []byte{byte(i)}); err != nil {
 							t.Errorf("send: %v", err)
 							return
 						}
@@ -223,12 +390,13 @@ func TestPerSenderOrdering(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := 0; i < 50; i++ {
-				if err := a.Send("b", "seq", []byte{byte(i)}); err != nil {
+				if err := a.Send(context.Background(), "b", "seq", Header{}, []byte{byte(i)}); err != nil {
 					t.Fatal(err)
 				}
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
+			var lastSeq uint64
 			for i := 0; i < 50; i++ {
 				msg, err := b.Recv(ctx)
 				if err != nil {
@@ -237,6 +405,10 @@ func TestPerSenderOrdering(t *testing.T) {
 				if msg.Payload[0] != byte(i) {
 					t.Fatalf("out of order: got %d at position %d", msg.Payload[0], i)
 				}
+				if msg.Seq <= lastSeq {
+					t.Fatalf("seq not monotonic: %d after %d", msg.Seq, lastSeq)
+				}
+				lastSeq = msg.Seq
 			}
 		})
 	}
@@ -282,7 +454,7 @@ func TestSelfSend(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := a.Send("a", "loop", []byte("x")); err != nil {
+			if err := a.Send(context.Background(), "a", "loop", Header{}, []byte("x")); err != nil {
 				t.Fatal(err)
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -299,7 +471,7 @@ func TestSelfSend(t *testing.T) {
 }
 
 func TestLargePayloadOverTCP(t *testing.T) {
-	// Paillier aggregation ships multi-megabyte ciphertext vectors; the gob
+	// Paillier aggregation ships multi-megabyte ciphertext vectors; the
 	// framing must survive them intact.
 	n := NewTCP()
 	defer n.Close()
@@ -315,7 +487,7 @@ func TestLargePayloadOverTCP(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 2654435761)
 	}
-	if err := a.Send("b", "big", payload); err != nil {
+	if err := a.Send(context.Background(), "b", "big", Header{Session: 1, Round: 3}, payload); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -331,5 +503,24 @@ func TestLargePayloadOverTCP(t *testing.T) {
 		if msg.Payload[i] != payload[i] {
 			t.Fatalf("payload corrupted at byte %d", i)
 		}
+	}
+	if msg.Session != 1 || msg.Round != 3 {
+		t.Fatalf("envelope lost on large frame: %+v", msg.Header())
+	}
+}
+
+func TestFrameRejectsWrongVersion(t *testing.T) {
+	frame, err := encodeFrame(&Message{From: "a", To: "b", Kind: "k", Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := frame[4:]
+	if _, err := decodeFrame(body); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	bad := append([]byte(nil), body...)
+	bad[0] = frameVersion + 1
+	if _, err := decodeFrame(bad); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("future-version frame: err = %v, want ErrBadFrame", err)
 	}
 }

@@ -1,6 +1,7 @@
 package ppml
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ppml-go/ppml/internal/dataset"
@@ -106,7 +107,15 @@ func (m *MulticlassModel) ModelFor(class int) (Model, error) {
 // TrainMulticlass trains one privacy-preserving one-vs-rest binary model per
 // class with the given scheme. Features are standardized once on the
 // training data; the returned model standardizes its inputs automatically.
+// It is TrainMulticlassContext with a background context.
 func TrainMulticlass(data *MulticlassDataset, scheme Scheme, opts ...Option) (*MulticlassModel, error) {
+	return TrainMulticlassContext(context.Background(), data, scheme, opts...)
+}
+
+// TrainMulticlassContext is TrainMulticlass under a caller-controlled
+// context: cancellation stops between (and inside) the per-class binary
+// training runs.
+func TrainMulticlassContext(ctx context.Context, data *MulticlassDataset, scheme Scheme, opts ...Option) (*MulticlassModel, error) {
 	if data == nil || data.inner == nil {
 		return nil, fmt.Errorf("%w: nil data set", ErrBadRequest)
 	}
@@ -131,7 +140,7 @@ func TrainMulticlass(data *MulticlassDataset, scheme Scheme, opts ...Option) (*M
 		}
 		// Use the pre-standardized features with the per-class labels.
 		train := &Dataset{inner: &dataset.Dataset{Name: bin.Name, X: shared.inner.X, Y: bin.Y}}
-		res, err := Train(train, scheme, opts...)
+		res, err := TrainContext(ctx, train, scheme, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("ppml: class %d: %w", c, err)
 		}

@@ -36,6 +36,7 @@
 package ppml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -146,8 +147,17 @@ type Result struct {
 }
 
 // Train partitions data across the configured learners and runs the selected
-// privacy-preserving consensus scheme.
+// privacy-preserving consensus scheme. It is TrainContext with a background
+// context; use TrainContext to cancel training or bound it with a deadline.
 func Train(data *Dataset, scheme Scheme, opts ...Option) (*Result, error) {
+	return TrainContext(context.Background(), data, scheme, opts...)
+}
+
+// TrainContext is Train under a caller-controlled context: cancellation or an
+// expired deadline unwinds every simulated node mid-round — all goroutines
+// exit and the context's error is returned — instead of running out the
+// iteration budget.
+func TrainContext(ctx context.Context, data *Dataset, scheme Scheme, opts ...Option) (*Result, error) {
 	if data == nil || data.inner == nil {
 		return nil, fmt.Errorf("%w: nil data set", ErrBadRequest)
 	}
@@ -176,7 +186,7 @@ func Train(data *Dataset, scheme Scheme, opts ...Option) (*Result, error) {
 		}
 		var scaler *Scaler
 		if o.secureStandardize {
-			inner, err := consensus.SecureStandardize(parts, cfg)
+			inner, err := consensus.SecureStandardize(ctx, parts, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("ppml: %w", err)
 			}
@@ -193,7 +203,7 @@ func Train(data *Dataset, scheme Scheme, opts ...Option) (*Result, error) {
 			return nil, fmt.Errorf("%w: WithDPOutput supports only the linear schemes", ErrBadRequest)
 		}
 		if scheme == HorizontalLogistic {
-			model, h, err := consensus.TrainHorizontalLogistic(parts, cfg)
+			model, h, err := consensus.TrainHorizontalLogistic(ctx, parts, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("ppml: %w", err)
 			}
@@ -210,7 +220,7 @@ func Train(data *Dataset, scheme Scheme, opts ...Option) (*Result, error) {
 			res.Scaler = scaler
 			return res, nil
 		}
-		model, h, err := consensus.TrainNaiveBayes(parts, cfg)
+		model, h, err := consensus.TrainNaiveBayes(ctx, parts, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("ppml: %w", err)
 		}
@@ -225,7 +235,7 @@ func Train(data *Dataset, scheme Scheme, opts ...Option) (*Result, error) {
 		}
 		var scaler *Scaler
 		if o.secureStandardize {
-			inner, err := consensus.SecureStandardize(parts, cfg)
+			inner, err := consensus.SecureStandardize(ctx, parts, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("ppml: %w", err)
 			}
@@ -239,7 +249,7 @@ func Train(data *Dataset, scheme Scheme, opts ...Option) (*Result, error) {
 			}
 		}
 		if scheme == HorizontalLinear {
-			model, h, err := consensus.TrainHorizontalLinear(parts, cfg)
+			model, h, err := consensus.TrainHorizontalLinear(ctx, parts, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("ppml: %w", err)
 			}
@@ -253,7 +263,7 @@ func Train(data *Dataset, scheme Scheme, opts ...Option) (*Result, error) {
 		if o.dpEpsilon > 0 {
 			return nil, fmt.Errorf("%w: WithDPOutput supports only the linear schemes", ErrBadRequest)
 		}
-		model, h, err := consensus.TrainHorizontalKernel(parts, cfg)
+		model, h, err := consensus.TrainHorizontalKernel(ctx, parts, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("ppml: %w", err)
 		}
@@ -270,7 +280,7 @@ func Train(data *Dataset, scheme Scheme, opts ...Option) (*Result, error) {
 			return nil, fmt.Errorf("ppml: %w", err)
 		}
 		if scheme == VerticalLinear {
-			model, h, err := consensus.TrainVerticalLinear(parts, cols, cfg)
+			model, h, err := consensus.TrainVerticalLinear(ctx, parts, cols, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("ppml: %w", err)
 			}
@@ -282,7 +292,7 @@ func Train(data *Dataset, scheme Scheme, opts ...Option) (*Result, error) {
 		if o.dpEpsilon > 0 {
 			return nil, fmt.Errorf("%w: WithDPOutput supports only the linear schemes", ErrBadRequest)
 		}
-		model, h, err := consensus.TrainVerticalKernel(parts, cols, cfg)
+		model, h, err := consensus.TrainVerticalKernel(ctx, parts, cols, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("ppml: %w", err)
 		}

@@ -7,6 +7,17 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> context hygiene (no context.Background() mid-stack in internal/)"
+# The session refactor threads the caller's context from the public facade
+# down to the transport; constructing a fresh root context inside internal/
+# (outside tests and analyzer testdata) would silently detach a subtree from
+# cancellation again.
+if grep -rn "context.Background()" internal/ --include="*.go" \
+	| grep -v "_test.go" | grep -v "/testdata/"; then
+	echo "error: context.Background() constructed mid-stack in internal/ (thread the caller's ctx instead)" >&2
+	exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
 
@@ -20,8 +31,9 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> fuzz smoke (3 x 10s over the wire codecs)"
+echo "==> fuzz smoke (4 x 10s over the wire codecs)"
 go test -fuzz FuzzFixedpointRoundtrip -fuzztime 10s -run '^$' ./internal/fixedpoint/
+go test -fuzz FuzzWireDecode -fuzztime 10s -run '^$' ./internal/transport/
 go test -fuzz FuzzWireDecode -fuzztime 10s -run '^$' ./internal/mapreduce/
 go test -fuzz FuzzWireDecode -fuzztime 10s -run '^$' ./internal/paillier/
 
