@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-custom fuzz-short bench bench-smoke check
+.PHONY: build test race vet vet-custom fuzz-short bench bench-smoke bench-comm check
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,11 @@ bench:
 # One-iteration benchmark smoke: verifies bench code still compiles and runs.
 bench-smoke:
 	$(GO) test -run '^$$' -bench Gram -benchtime 1x ./internal/kernel/
+
+# Communication measurement: scalability sweep under both mask modes plus
+# the seeded-vs-per-round comparison written to BENCH_comm.json.
+bench-comm:
+	./scripts/bench.sh
 
 # The pre-merge gate: scripts/check.sh = vet (standard + custom analyzers) +
 # build + race tests + short fuzz + bench smoke.

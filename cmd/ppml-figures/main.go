@@ -16,6 +16,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,13 +40,16 @@ func main() {
 
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("ppml-figures", flag.ContinueOnError)
-	panel := fs.String("panel", "all", "a..h, baseline, scalability, or all")
+	panel := fs.String("panel", "all", "a..h, baseline, scalability, comm, or all")
 	paperScale := fs.Bool("paper-scale", false, "use the full Section VI data sizes (slow)")
 	distributed := fs.Bool("distributed", false, "run on the simulated cluster with secure aggregation")
 	iterations := fs.Int("iterations", 0, "override the iteration budget")
 	learners := fs.Int("learners", 0, "override the learner count M")
 	seed := fs.Int64("seed", 0, "override the random seed")
 	csvDir := fs.String("csv", "", "also write each experiment as CSV into this directory")
+	maskMode := fs.String("mask-mode", "seeded",
+		"masked-aggregation variant for distributed runs: seeded or per-round")
+	commJSON := fs.String("comm-json", "", "with -panel comm, also write the comparison as JSON to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +84,13 @@ func run(args []string) (err error) {
 		opts = experiments.PaperScale()
 	}
 	opts.Distributed = *distributed
+	switch *maskMode {
+	case "seeded": // default
+	case "per-round":
+		opts.PerRoundMasks = true
+	default:
+		return fmt.Errorf("unknown -mask-mode %q (want seeded or per-round)", *maskMode)
+	}
 	if *iterations > 0 {
 		opts.Iterations = *iterations
 	}
@@ -102,11 +113,13 @@ func run(args []string) (err error) {
 		return printBaseline(opts)
 	case "scalability":
 		return printScalability(opts)
+	case "comm":
+		return printComm(opts, *commJSON)
 	default:
 		if len(*panel) == 1 && strings.Contains("abcdefgh", *panel) {
 			return printPanel(*panel, opts)
 		}
-		return fmt.Errorf("unknown panel %q (want a..h, baseline, scalability, all)", *panel)
+		return fmt.Errorf("unknown panel %q (want a..h, baseline, scalability, comm, all)", *panel)
 	}
 }
 
@@ -187,6 +200,43 @@ func printBaseline(opts experiments.Options) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// printComm compares the two masking modes on the identical training job
+// (horizontal linear, cancer, M = opts.Learners or 16) and optionally writes
+// the comparison to jsonPath — the data behind BENCH_comm.json.
+func printComm(opts experiments.Options, jsonPath string) (err error) {
+	m := opts.Learners
+	if m < 2 {
+		m = 16
+	}
+	report, err := experiments.RunComm(opts, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Communication: seeded vs per-round masks, horizontal linear on cancer, M=%d\n", m)
+	fmt.Println("mode\tlearners\titerations\tmessages\tbytes\tseconds\taccuracy")
+	for _, r := range report.Rows {
+		fmt.Printf("%s\t%d\t%d\t%d\t%d\t%.2f\t%.3f\n",
+			r.Mode, r.Learners, r.Iterations, r.Messages, r.Bytes, r.Seconds, r.Accuracy)
+	}
+	fmt.Printf("max |decision diff| between modes: %g\n", report.MaxDecisionDiff)
+	fmt.Println()
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }
 
 func printScalability(opts experiments.Options) error {

@@ -52,6 +52,8 @@ func run(ctx context.Context, args []string) error {
 	distributed := fs.Bool("distributed", false, "run Mappers/Reducer as message-passing nodes")
 	tcp := fs.Bool("tcp", false, "distributed mode over loopback TCP")
 	plain := fs.Bool("plain-aggregation", false, "disable secure summation (no privacy)")
+	maskMode := fs.String("mask-mode", "seeded",
+		"masked-aggregation variant: seeded (one seed exchange per session, O(M) msgs/round) or per-round (paper-literal, O(M^2) msgs/round)")
 	trace := fs.Bool("trace", false, "print per-iteration |dz|^2 and accuracy")
 	modelOut := fs.String("model-out", "", "write the trained model to this JSON file")
 	loadModel := fs.String("load-model", "", "skip training: load this model and evaluate it on -data")
@@ -159,6 +161,13 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *plain {
 		opts = append(opts, ppml.WithPlainAggregation())
+	}
+	switch *maskMode {
+	case "seeded": // default
+	case "per-round":
+		opts = append(opts, ppml.WithPerRoundMasks())
+	default:
+		return fmt.Errorf("unknown -mask-mode %q (want seeded or per-round)", *maskMode)
 	}
 
 	res, err := ppml.TrainContext(ctx, train, scheme, opts...)

@@ -18,6 +18,14 @@
 //     violation that no directive excuses: time seeds are both predictable
 //     to an adversary and non-reproducible across learners, so they are
 //     wrong under either reading.
+//   - The seeded masking mode stretches one crypto/rand seed into per-round
+//     masks with an AES-CTR PRG (securesum's pairPRG). That construction is
+//     approved in the hard packages — an AES-based PRF keyed from
+//     crypto/rand is exactly the computational-security assumption DESIGN.md
+//     §10 documents — but building the cipher from clock-derived key
+//     material (aes.NewCipher / cipher.NewCTR over a time.Now expression)
+//     downgrades the PRG to a guessable stream and is flagged like any
+//     other clock seed.
 package randsource
 
 import (
@@ -84,6 +92,9 @@ func run(pass *framework.Pass) error {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				checkTimeSeed(pass, n)
+				if hard {
+					checkCipherKey(pass, n)
+				}
 			case *ast.Ident:
 				if det {
 					checkDeterministicUse(pass, n)
@@ -140,6 +151,30 @@ func checkTimeSeed(pass *framework.Pass, call *ast.CallExpr) {
 		if tc := findTimeCall(pass, arg); tc != nil {
 			pass.Reportf(call.Pos(),
 				"math/rand source seeded from the clock: time seeds are predictable to an adversary and non-reproducible across learners")
+			return
+		}
+	}
+}
+
+// checkCipherKey guards the approved PRG construction in the hard packages:
+// aes.NewCipher / cipher.NewCTR keyed from crypto/rand material is the
+// sanctioned seeded-mask expander, but the same calls over clock-derived key
+// bytes turn every "random" mask into a guessable stream.
+func checkCipherKey(pass *framework.Pass, call *ast.CallExpr) {
+	callee := calleeFunc(pass, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	path, name := callee.Pkg().Path(), callee.Name()
+	if !(path == "crypto/aes" && name == "NewCipher") &&
+		!(path == "crypto/cipher" && (name == "NewCTR" || name == "NewGCM")) {
+		return
+	}
+	for _, arg := range call.Args {
+		if tc := findTimeCall(pass, arg); tc != nil {
+			pass.Reportf(call.Pos(),
+				"PRG key material derived from the clock: %s.%s must be keyed from crypto/rand (time is predictable to an adversary)",
+				path, name)
 			return
 		}
 	}

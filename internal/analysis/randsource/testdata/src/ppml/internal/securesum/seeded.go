@@ -1,0 +1,46 @@
+package securesum
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"time"
+)
+
+// SeededExpander is the approved seeded-mask construction: an AES-CTR PRG
+// whose key comes from crypto/rand. The analyzer must stay silent on every
+// line of it.
+func SeededExpander() (cipher.Stream, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	iv := make([]byte, aes.BlockSize)
+	return cipher.NewCTR(block, iv), nil
+}
+
+// ClockKeyedExpander keys the same PRG from the clock: the "randomness" of
+// every derived mask collapses to a timestamp an adversary can guess.
+func ClockKeyedExpander() (cipher.Block, error) {
+	return aes.NewCipher(clockKey(uint64(time.Now().UnixNano()))) // want `PRG key material derived from the clock`
+}
+
+// ClockKeyedCTR feeds clock-derived material into the stream construction:
+// still flagged, one call layer deep.
+func ClockKeyedCTR(block cipher.Block) cipher.Stream {
+	return cipher.NewCTR(block, clockKey(uint64(time.Now().Unix()))) // want `PRG key material derived from the clock`
+}
+
+// clockKey stretches a timestamp into key-sized material; the call sites
+// above that build it from time.Now inline are the violations.
+func clockKey(t uint64) []byte {
+	b := make([]byte, 32)
+	for i := range b {
+		b[i] = byte(t >> (8 * (uint(i) % 8)))
+	}
+	return b
+}

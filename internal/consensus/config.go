@@ -62,6 +62,11 @@ type Config struct {
 	// Aggregation selects the Reducer protocol in distributed mode
 	// (default: masked secure summation).
 	Aggregation mapreduce.Aggregation
+	// MaskMode selects the masked-aggregation variant: seed-derived round
+	// masks (default — one pairwise seed exchange per session, O(M) messages
+	// per round) or the paper's literal per-round masks (O(M²) messages per
+	// round, information-theoretic). See DESIGN.md §10.
+	MaskMode mapreduce.MaskMode
 	// PaillierKey supplies the homomorphic key pair when Aggregation is
 	// mapreduce.AggregationPaillier.
 	PaillierKey *paillier.PrivateKey
@@ -175,6 +180,7 @@ func runJob(ctx context.Context, cfg Config, job mapreduce.IterativeJob, parts [
 	res, err := mapreduce.RunDistributed(ctx, job, mapreduce.DriverOptions{
 		Network:      cfg.Network,
 		Aggregation:  cfg.Aggregation,
+		MaskMode:     cfg.MaskMode,
 		MapRetries:   cfg.MapRetries,
 		RoundTimeout: cfg.RoundTimeout,
 		Locality:     locality,

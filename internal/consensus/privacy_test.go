@@ -116,6 +116,84 @@ func TestMaskedTrainingHidesPlaintextShares(t *testing.T) {
 	// which the TestHLDistributedMatchesLocal suite already pins down.
 }
 
+// TestSeededTranscriptShape pins down the traffic shape of both masking
+// modes on a full training run. Seeded mode (the default) must put ZERO
+// per-round mask messages on the wire — its only masking traffic is the
+// m(m−1)-message seed exchange at session setup — while per-round mode pays
+// m(m−1) mask messages every round. Both transcripts must still hide every
+// plaintext share, and both must train the identical model.
+func TestSeededTranscriptShape(t *testing.T) {
+	d := dataset.TwoGaussians("g", 120, 4, 3, 61)
+	const m = 3
+	cfg := Config{C: 10, Rho: 50, MaxIterations: 6, Distributed: true,
+		Aggregation: mapreduce.AggregationMasked}
+
+	runWith := func(mode mapreduce.MaskMode) (*wiretapNetwork, *LinearModel, int) {
+		t.Helper()
+		net := newWiretapNetwork()
+		c := cfg
+		c.Network = net
+		c.MaskMode = mode
+		parts := horizontalParts(t, d, m, 7)
+		model, h, err := TrainHorizontalLinear(context.Background(), parts, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net, model, h.Iterations
+	}
+
+	seededNet, seededModel, seededIters := runWith(mapreduce.MaskSeeded)
+	perRoundNet, perRoundModel, perRoundIters := runWith(mapreduce.MaskPerRound)
+	if seededIters != perRoundIters {
+		t.Fatalf("iteration counts diverged: seeded %d, per-round %d", seededIters, perRoundIters)
+	}
+
+	// Seeded transcript: no per-round masks at all, exactly one seed exchange.
+	if got := len(seededNet.recorded(securesum.KindMask)); got != 0 {
+		t.Errorf("seeded run put %d per-round mask messages on the wire, want 0", got)
+	}
+	if got, want := len(seededNet.recorded(securesum.KindSeed)), m*(m-1); got != want {
+		t.Errorf("seeded run exchanged %d seeds, want %d (once per ordered pair)", got, want)
+	}
+	// Per-round transcript: no seeds, m(m−1) masks every aggregation round.
+	if got := len(perRoundNet.recorded(securesum.KindSeed)); got != 0 {
+		t.Errorf("per-round run sent %d seed messages, want 0", got)
+	}
+	if got, want := len(perRoundNet.recorded(securesum.KindMask)), perRoundIters*m*(m-1); got != want {
+		t.Errorf("per-round run sent %d mask messages, want %d", got, want)
+	}
+
+	// The masks differ between modes but telescope to zero either way: the
+	// two transcripts must decode to bit-identical models.
+	if len(seededModel.W) != len(perRoundModel.W) {
+		t.Fatalf("model dims diverged: %d vs %d", len(seededModel.W), len(perRoundModel.W))
+	}
+	for j := range seededModel.W {
+		if seededModel.W[j] != perRoundModel.W[j] {
+			t.Errorf("W[%d]: seeded %g, per-round %g — modes must train identical models",
+				j, seededModel.W[j], perRoundModel.W[j])
+		}
+	}
+	if seededModel.B != perRoundModel.B {
+		t.Errorf("B: seeded %g, per-round %g", seededModel.B, perRoundModel.B)
+	}
+
+	// The semi-honest Reducer's seeded transcript still hides the plaintext:
+	// no seeded share payload may equal a per-round run's raw share, and the
+	// seeded shares must differ between the two runs (independent masks).
+	seededShares := seededNet.recorded(securesum.KindShare)
+	if len(seededShares) == 0 {
+		t.Fatal("wiretap captured no seeded shares; test harness broken")
+	}
+	for i, a := range seededShares {
+		for j, b := range perRoundNet.recorded(securesum.KindShare) {
+			if bytes.Equal(a, b) {
+				t.Fatalf("seeded share %d equals per-round share %d — masks are not independent", i, j)
+			}
+		}
+	}
+}
+
 // TestMaskedSharesLookUniform checks a coarse statistical property of the
 // wire: masked share bytes should be near-uniform (masks dominate), unlike
 // plaintext float64 payloads whose exponent bytes repeat heavily.

@@ -192,29 +192,44 @@ func mustJob(t *testing.T, values [][]float64, maxIter int) IterativeJob {
 
 func TestDistributedMaskedTrafficExceedsPlain(t *testing.T) {
 	values := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	m := int64(len(values))
 
-	netPlain := transport.NewInProc()
-	defer netPlain.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-	defer cancel()
-	if _, err := RunDistributed(ctx, mustJob(t, values, 5), DriverOptions{
-		Network: netPlain, Aggregation: AggregationPlain,
-	}); err != nil {
-		t.Fatal(err)
+	run := func(agg Aggregation, mode MaskMode) (transport.Stats, int64) {
+		net := transport.NewInProc()
+		defer net.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		res, err := RunDistributed(ctx, mustJob(t, values, 5), DriverOptions{
+			Network: net, Aggregation: agg, MaskMode: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net.Stats(), int64(res.Iterations)
 	}
 
-	netMasked := transport.NewInProc()
-	defer netMasked.Close()
-	if _, err := RunDistributed(ctx, mustJob(t, values, 5), DriverOptions{
-		Network: netMasked, Aggregation: AggregationMasked,
-	}); err != nil {
-		t.Fatal(err)
+	plainStats, plainIters := run(AggregationPlain, MaskSeeded)
+	seededStats, seededIters := run(AggregationMasked, MaskSeeded)
+	perRoundStats, perRoundIters := run(AggregationMasked, MaskPerRound)
+	if seededIters != plainIters || perRoundIters != plainIters {
+		t.Fatalf("iteration counts diverged: plain %d, seeded %d, per-round %d",
+			plainIters, seededIters, perRoundIters)
 	}
 
-	plainStats, maskedStats := netPlain.Stats(), netMasked.Stats()
-	if maskedStats.Messages <= plainStats.Messages {
-		t.Errorf("masked sent %d messages, plain %d; masks must add m(m−1) per round",
-			maskedStats.Messages, plainStats.Messages)
+	// Seeded masking (the default) pays for privacy with exactly one
+	// m(m−1)-message seed exchange per session, independent of round count.
+	if got, want := seededStats.Messages-plainStats.Messages, m*(m-1); got != want {
+		t.Errorf("seeded masked-vs-plain message delta = %d, want %d (one seed exchange per session)",
+			got, want)
+	}
+	// Per-round masking pays m(m−1) mask messages every aggregation round.
+	if got, want := perRoundStats.Messages-plainStats.Messages, plainIters*m*(m-1); got != want {
+		t.Errorf("per-round masked-vs-plain message delta = %d, want %d (m(m−1) masks per round)",
+			got, want)
+	}
+	if seededStats.Messages >= perRoundStats.Messages {
+		t.Errorf("seeded mode sent %d messages, per-round %d; seeding must strictly reduce traffic",
+			seededStats.Messages, perRoundStats.Messages)
 	}
 }
 

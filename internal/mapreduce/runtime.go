@@ -36,12 +36,29 @@ const (
 	AggregationPaillier
 )
 
+// MaskMode selects the masked-aggregation variant, re-exported from
+// securesum so driver callers configure it without importing the protocol
+// package. The zero value (MaskSeeded) exchanges one pairwise seed per
+// session and derives every round's masks locally; MaskPerRound is the
+// paper's literal protocol with fresh masks every round.
+type MaskMode = securesum.MaskMode
+
+// The two masking variants.
+const (
+	MaskSeeded   = securesum.MaskSeeded
+	MaskPerRound = securesum.MaskPerRound
+)
+
 // DriverOptions configures RunDistributed.
 type DriverOptions struct {
 	// Network defaults to a fresh in-process network.
 	Network transport.Network
 	// Aggregation defaults to AggregationMasked.
 	Aggregation Aggregation
+	// MaskMode selects how AggregationMasked produces its pairwise masks:
+	// MaskSeeded (default) or MaskPerRound. Ignored by the other
+	// aggregation modes.
+	MaskMode MaskMode
 	// Codec for masked aggregation; defaults to fixedpoint.Default().
 	Codec fixedpoint.Codec
 	// MapRetries re-invokes a failing Contribution this many times per
@@ -169,20 +186,34 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	for i := 0; i < m; i++ {
 		go func(i int) {
 			cfg := mapperNodeConfig{
-				id:      i,
-				session: session,
-				names:   names,
-				ep:      mapEPs[i],
-				mapper:  job.Mappers[i],
-				agg:     agg,
-				codec:   codec,
-				retries: opts.MapRetries,
+				id:       i,
+				session:  session,
+				names:    names,
+				ep:       mapEPs[i],
+				mapper:   job.Mappers[i],
+				agg:      agg,
+				maskMode: opts.MaskMode,
+				codec:    codec,
+				dim:      job.ContributionDim,
+				retries:  opts.MapRetries,
 			}
 			if opts.PaillierKey != nil {
 				cfg.paillierPub = &opts.PaillierKey.PublicKey
 			}
 			mapperErrs <- runMapperNode(ctx, cfg)
 		}(i)
+	}
+
+	// Per-session Reducer scratch: the collector, the share decode buffer and
+	// the broadcast encoding are reused every round, so the reduce hot loop
+	// does not allocate.
+	var scratch reduceScratch
+	if agg == AggregationMasked {
+		col, err := securesum.NewCollector(m, job.ContributionDim, codec)
+		if err != nil {
+			return nil, err
+		}
+		scratch.col = col
 	}
 
 	state := append([]float64(nil), job.InitialState...)
@@ -205,7 +236,8 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 reduceLoop:
 	for iter := startIter; iter < job.MaxIterations; iter++ {
 		hdr := transport.Header{Session: session, Round: int32(iter)}
-		payload := encodeStatePayload(iter, state)
+		payload := appendStatePayload(scratch.bcast[:0], iter, state)
+		scratch.bcast = payload
 		for _, name := range names {
 			if err := redEP.Send(ctx, name, KindBroadcast, hdr, payload); err != nil {
 				jobErr = fmt.Errorf("mapreduce: broadcast: %w", err)
@@ -217,7 +249,7 @@ reduceLoop:
 		if opts.RoundTimeout > 0 {
 			roundCtx, cancelRound = context.WithTimeout(ctx, opts.RoundTimeout)
 		}
-		sum, err := collectContributions(roundCtx, redEP, session, int32(iter), m, job.ContributionDim, agg, codec, opts.PaillierKey)
+		sum, err := collectContributions(roundCtx, redEP, session, int32(iter), m, job.ContributionDim, agg, codec, opts.PaillierKey, &scratch)
 		if cancelRound != nil {
 			cancelRound()
 		}
@@ -305,16 +337,31 @@ type mapperNodeConfig struct {
 	ep          transport.Endpoint
 	mapper      IterativeMapper
 	agg         Aggregation
+	maskMode    MaskMode
 	codec       fixedpoint.Codec
+	dim         int
 	retries     int
 	paillierPub *paillier.PublicKey
 }
 
+// reduceScratch is the Reducer's per-session reuse state: one collector
+// (Reset per round), one share decode buffer, one consensus-sum buffer and
+// one broadcast encoding. Reuse is safe under the driver's lockstep — every
+// consumer of round r's bytes is done with them before round r+1 overwrites.
+type reduceScratch struct {
+	col      *securesum.Collector
+	shareBuf []uint64
+	sum      []float64
+	bcast    []byte
+}
+
 // idleFilter demultiplexes a Mapper between rounds: a fast peer's secure-
-// summation masks for the upcoming round wait in the reorder buffer until
-// this node's broadcast arrives and RunParty claims them; other sessions'
-// traffic is held untouched; everything else of this session (broadcast,
-// stop, or a genuinely unexpected kind) is delivered to the loop below.
+// summation masks for the upcoming round (per-round mode only; seeded mode
+// has no mid-session mask traffic) wait in the reorder buffer until this
+// node's broadcast arrives and the protocol round claims them; other
+// sessions' traffic is held untouched; everything else of this session
+// (broadcast, stop, or a genuinely unexpected kind) is delivered to the
+// loop below.
 func idleFilter(session uint64) transport.Filter {
 	return func(m transport.Message) transport.Verdict {
 		if m.Session != session {
@@ -332,6 +379,25 @@ func idleFilter(session uint64) transport.Filter {
 // protocol; exit on stop.
 func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 	var encScratch []uint64 // reusable fixed-point encode buffer (Paillier path)
+	// Masked aggregation keeps per-session protocol state so every round
+	// reuses the same scratch. Seeded mode additionally runs the one-time
+	// seed handshake here, before the round loop: each Mapper's first action
+	// is sending its seeds, so the exchange completes without any round
+	// message interleaving (the reducer's early broadcasts wait in the
+	// reorder buffer).
+	var seeded *securesum.SeededSession
+	var perRound *securesum.PerRoundParty
+	if cfg.agg == AggregationMasked {
+		var err error
+		if cfg.maskMode == MaskPerRound {
+			perRound, err = securesum.NewPerRoundParty(cfg.ep, cfg.names, cfg.id, reducerName, cfg.dim, cfg.codec, nil)
+		} else {
+			seeded, err = securesum.SetupSeeded(ctx, cfg.ep, cfg.names, cfg.id, cfg.dim, cfg.codec, nil, cfg.session)
+		}
+		if err != nil {
+			return fmt.Errorf("mapper %d aggregation setup: %w", cfg.id, err)
+		}
+	}
 	idle := idleFilter(cfg.session)
 	for {
 		msg, err := cfg.ep.RecvMatch(ctx, idle)
@@ -380,7 +446,18 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 				return fmt.Errorf("mapper %d: %w", cfg.id, err)
 			}
 		default:
-			err := securesum.RunParty(ctx, cfg.ep, cfg.names, cfg.id, reducerName, contrib, cfg.codec, nil, hdr)
+			var err error
+			if seeded != nil {
+				// Seeded mode: derive this round's masks locally and send
+				// only the masked share — no per-round mask messages.
+				var payload []byte
+				payload, err = seeded.RoundShareBytes(int32(iter), contrib)
+				if err == nil {
+					err = cfg.ep.Send(ctx, reducerName, securesum.KindShare, hdr, payload)
+				}
+			} else {
+				err = perRound.Round(ctx, hdr, contrib)
+			}
 			if err != nil {
 				// A stop or abort that lands mid-protocol unwinds here; it is
 				// not this mapper's fault, so report it plainly.
@@ -452,7 +529,7 @@ func reducerFilter(session uint64, round int32) transport.Filter {
 
 // collectContributions gathers one (session, round)-scoped aggregate on the
 // Reducer.
-func collectContributions(ctx context.Context, ep transport.Endpoint, session uint64, round int32, m, dim int, agg Aggregation, codec fixedpoint.Codec, key *paillier.PrivateKey) ([]float64, error) {
+func collectContributions(ctx context.Context, ep transport.Endpoint, session uint64, round int32, m, dim int, agg Aggregation, codec fixedpoint.Codec, key *paillier.PrivateKey, scratch *reduceScratch) ([]float64, error) {
 	filter := reducerFilter(session, round)
 	switch agg {
 	case AggregationPaillier:
@@ -541,10 +618,11 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, session ui
 		}
 		return sum, nil
 	default:
-		col, err := securesum.NewCollector(m, dim, codec)
-		if err != nil {
-			return nil, err
-		}
+		// Both mask modes deliver the same m masked shares; the collector and
+		// the decode buffer live in the session scratch and are reused every
+		// round (Add copies into the accumulator immediately).
+		col := scratch.col
+		col.Reset()
 		for got := 0; got < m; got++ {
 			msg, err := ep.RecvMatch(ctx, filter)
 			if err != nil {
@@ -552,10 +630,11 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, session ui
 			}
 			switch msg.Kind {
 			case securesum.KindShare:
-				share, err := securesum.DecodeShares(msg.Payload)
+				share, err := securesum.DecodeSharesInto(scratch.shareBuf, msg.Payload)
 				if err != nil {
 					return nil, err
 				}
+				scratch.shareBuf = share
 				if err := col.Add(share); err != nil {
 					return nil, fmt.Errorf("share from %q: %w", msg.From, err)
 				}
@@ -565,6 +644,11 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, session ui
 				return nil, fmt.Errorf("%w: unexpected %q at reducer", ErrBadJob, msg.Kind)
 			}
 		}
-		return col.Sum()
+		sum, err := col.SumInto(scratch.sum)
+		if err != nil {
+			return nil, err
+		}
+		scratch.sum = sum
+		return sum, nil
 	}
 }

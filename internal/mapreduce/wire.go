@@ -22,12 +22,19 @@ const (
 
 // encodeStatePayload frames (iteration, vector) for broadcast messages.
 func encodeStatePayload(iter int, state []float64) []byte {
-	buf := make([]byte, 8+8*len(state))
-	binary.LittleEndian.PutUint64(buf, uint64(iter))
-	for i, v := range state {
-		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(v))
+	return appendStatePayload(nil, iter, state)
+}
+
+// appendStatePayload is encodeStatePayload into a reused buffer: the Reducer
+// broadcasts every round and the driver's lockstep (every Mapper decodes
+// round r before the Reducer can assemble round r+1) makes reusing one
+// buffer safe.
+func appendStatePayload(dst []byte, iter int, state []float64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(iter))
+	for _, v := range state {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
-	return buf
+	return dst
 }
 
 // decodeStatePayload parses a broadcast frame.

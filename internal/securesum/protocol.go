@@ -59,79 +59,131 @@ func shareFilter(hdr transport.Header) transport.Filter {
 	}
 }
 
-// RunParty executes one full protocol round for one Mapper over its
-// transport endpoint: it sends a fresh mask to every peer, absorbs the peers'
-// masks, and submits the masked share of value to the reducer endpoint.
-//
-// names lists every party's endpoint name indexed by party id; self is this
-// party's id. hdr stamps every message of the round with the job session and
-// the consensus round, and the receive side demultiplexes on it: a fast
-// peer's next-round masks are buffered for that round instead of corrupting
-// this one, and leftovers from earlier rounds are dropped. Non-mask messages
-// of the same session (e.g. a job abort) still surface as protocol errors so
-// the caller unwinds promptly.
-func RunParty(ctx context.Context, ep transport.Endpoint, names []string, self int, reducer string, value []float64, codec fixedpoint.Codec, random io.Reader, hdr transport.Header) error {
-	m := len(names)
-	party, err := NewParty(self, m, len(value), codec, random)
+// PerRoundParty drives one Mapper's side of the per-round-mask protocol for
+// a whole session, reusing one Party's state machine and all wire scratch
+// across rounds so the hot loop allocates nothing. It is not safe for
+// concurrent use; each Mapper goroutine owns one.
+type PerRoundParty struct {
+	ep      transport.Endpoint
+	names   []string
+	reducer string
+	self    int
+	party   *Party
+	idOf    map[string]int
+
+	maskBuf  []uint64 // decode scratch for incoming masks (copied by SetPeerMask)
+	maskWire [][]byte // per-peer outgoing mask encodings, reused across rounds
+	wire     []byte   // share encoding, reused across rounds
+}
+
+// NewPerRoundParty builds the session runner for party self of names over
+// vectors of length dim. random defaults to crypto/rand.
+func NewPerRoundParty(ep transport.Endpoint, names []string, self int, reducer string, dim int, codec fixedpoint.Codec, random io.Reader) (*PerRoundParty, error) {
+	party, err := NewParty(self, len(names), dim, codec, random)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	idOf := make(map[string]int, m)
+	idOf := make(map[string]int, len(names))
 	for id, name := range names {
 		idOf[name] = id
 	}
-	masks, err := party.MaskForAll()
+	return &PerRoundParty{
+		ep: ep, names: names, reducer: reducer, self: self,
+		party: party, idOf: idOf,
+		maskWire: make([][]byte, len(names)),
+	}, nil
+}
+
+// Round executes one full protocol round: send a fresh mask to every peer,
+// absorb the peers' masks, submit the masked share of value to the reducer.
+//
+// hdr stamps every message of the round with the job session and the
+// consensus round, and the receive side demultiplexes on it: a fast peer's
+// next-round masks are buffered for that round instead of corrupting this
+// one, and leftovers from earlier rounds are dropped. Non-mask messages of
+// the same session (e.g. a job abort) still surface as protocol errors so
+// the caller unwinds promptly.
+//
+// Reusing the per-peer wire buffers across rounds is safe under the driver's
+// lockstep: peer p absorbs our round-r mask before sending its round-r
+// share, the Reducer needs every round-r share before broadcasting round
+// r+1, and we only overwrite the buffer after receiving that broadcast.
+func (r *PerRoundParty) Round(ctx context.Context, hdr transport.Header, value []float64) error {
+	r.party.Reset()
+	masks, err := r.party.MaskForAll()
 	if err != nil {
 		return err
 	}
+	m := len(r.names)
 	for peer := 0; peer < m; peer++ {
-		if peer == self {
+		if peer == r.self {
 			continue
 		}
-		if err := ep.Send(ctx, names[peer], KindMask, hdr, EncodeShares(masks[peer])); err != nil {
-			return fmt.Errorf("securesum: send mask to %q: %w", names[peer], err)
+		if r.maskWire[peer] == nil {
+			r.maskWire[peer] = make([]byte, 0, 8*len(masks[peer]))
+		}
+		r.maskWire[peer] = AppendShares(r.maskWire[peer][:0], masks[peer])
+		if err := r.ep.Send(ctx, r.names[peer], KindMask, hdr, r.maskWire[peer]); err != nil {
+			return fmt.Errorf("securesum: send mask to %q: %w", r.names[peer], err)
 		}
 	}
 	filter := maskFilter(hdr)
 	for received := 0; received < m-1; received++ {
-		msg, err := ep.RecvMatch(ctx, filter)
+		msg, err := r.ep.RecvMatch(ctx, filter)
 		if err != nil {
 			return fmt.Errorf("securesum: receive mask: %w", err)
 		}
 		if msg.Kind != KindMask {
-			return fmt.Errorf("%w: party %d got %q mid-round", ErrProtocol, self, msg.Kind)
+			return fmt.Errorf("%w: party %d got %q mid-round", ErrProtocol, r.self, msg.Kind)
 		}
-		peer, ok := idOf[msg.From]
+		peer, ok := r.idOf[msg.From]
 		if !ok {
 			return fmt.Errorf("%w: mask from unknown party %q", ErrProtocol, msg.From)
 		}
-		mask, err := DecodeShares(msg.Payload)
+		mask, err := DecodeSharesInto(r.maskBuf, msg.Payload)
 		if err != nil {
 			return err
 		}
-		if err := party.SetPeerMask(peer, mask); err != nil {
+		r.maskBuf = mask
+		if err := r.party.SetPeerMask(peer, mask); err != nil {
 			return err
 		}
 	}
-	share, err := party.Share(value)
+	share, err := r.party.Share(value)
 	if err != nil {
 		return err
 	}
-	if err := ep.Send(ctx, reducer, KindShare, hdr, EncodeShares(share)); err != nil {
+	r.wire = AppendShares(r.wire[:0], share)
+	if err := r.ep.Send(ctx, r.reducer, KindShare, hdr, r.wire); err != nil {
 		return fmt.Errorf("securesum: send share: %w", err)
 	}
 	return nil
 }
 
+// RunParty executes one full protocol round for one Mapper over its
+// transport endpoint. It is a one-shot convenience around PerRoundParty;
+// callers running many rounds should hold a PerRoundParty so the scratch
+// buffers survive between rounds.
+func RunParty(ctx context.Context, ep transport.Endpoint, names []string, self int, reducer string, value []float64, codec fixedpoint.Codec, random io.Reader, hdr transport.Header) error {
+	r, err := NewPerRoundParty(ep, names, self, reducer, len(value), codec, random)
+	if err != nil {
+		return err
+	}
+	return r.Round(ctx, hdr, value)
+}
+
 // RunCollector executes the Reducer's side of one round: it waits for the m
 // masked shares of hdr's (session, round) on ep and returns their decoded
-// sum. Out-of-round shares are buffered or dropped per shareFilter.
+// sum. Out-of-round shares are buffered or dropped per shareFilter. Shares
+// are decoded into one reused buffer — the collector copies into its
+// accumulator immediately.
 func RunCollector(ctx context.Context, ep transport.Endpoint, m, dim int, codec fixedpoint.Codec, hdr transport.Header) ([]float64, error) {
 	col, err := NewCollector(m, dim, codec)
 	if err != nil {
 		return nil, err
 	}
 	filter := shareFilter(hdr)
+	var shareBuf []uint64
 	for received := 0; received < m; received++ {
 		msg, err := ep.RecvMatch(ctx, filter)
 		if err != nil {
@@ -140,10 +192,11 @@ func RunCollector(ctx context.Context, ep transport.Endpoint, m, dim int, codec 
 		if msg.Kind != KindShare {
 			return nil, fmt.Errorf("%w: reducer got %q mid-round", ErrProtocol, msg.Kind)
 		}
-		share, err := DecodeShares(msg.Payload)
+		share, err := DecodeSharesInto(shareBuf, msg.Payload)
 		if err != nil {
 			return nil, err
 		}
+		shareBuf = share
 		if err := col.Add(share); err != nil {
 			return nil, fmt.Errorf("share from %q: %w", msg.From, err)
 		}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/ppml-go/ppml/internal/fixedpoint"
 )
@@ -44,7 +45,8 @@ var (
 )
 
 // Party is one Mapper's state for a single protocol round over vectors of a
-// fixed dimension.
+// fixed dimension. Reset recycles it — including every scratch buffer — for
+// the next round of the same session.
 type Party struct {
 	id    int
 	m     int
@@ -54,6 +56,13 @@ type Party struct {
 
 	sent map[int][]uint64
 	recv map[int][]uint64
+
+	// Backing stores reused across rounds: the maps above hold dim-sized
+	// windows into these flats, and Share encodes into shareBuf, so a reused
+	// Party allocates nothing per round.
+	sentFlat []uint64
+	recvFlat []uint64
+	shareBuf []uint64
 }
 
 // NewParty creates the round state for party id of m (ids are 0-based).
@@ -72,6 +81,23 @@ func NewParty(id, m, dim int, codec fixedpoint.Codec, random io.Reader) (*Party,
 	}, nil
 }
 
+// Reset clears the round state (masks generated and received) while keeping
+// the party's identity and scratch buffers, so one Party serves every round
+// of a session without per-round allocation.
+func (p *Party) Reset() {
+	clear(p.sent)
+	clear(p.recv)
+}
+
+// sentSlot carves the next dim-sized window from the sent backing store.
+func (p *Party) sentSlot() []uint64 {
+	if p.sentFlat == nil {
+		p.sentFlat = make([]uint64, p.dim*(p.m-1))
+	}
+	i := len(p.sent) * p.dim
+	return p.sentFlat[i : i+p.dim : i+p.dim]
+}
+
 // MaskFor draws the uniform mask this party sends to peer, recording it for
 // the share computation. Each peer may be asked once per round.
 func (p *Party) MaskFor(peer int) ([]uint64, error) {
@@ -81,7 +107,7 @@ func (p *Party) MaskFor(peer int) ([]uint64, error) {
 	if _, dup := p.sent[peer]; dup {
 		return nil, fmt.Errorf("%w: mask for peer %d generated twice", ErrProtocol, peer)
 	}
-	mask, err := randomVector(p.rng, p.dim)
+	mask, err := randomVector(p.rng, p.dim, p.sentSlot())
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +124,10 @@ func (p *Party) MaskForAll() ([][]uint64, error) {
 	if len(p.sent) != 0 {
 		return nil, fmt.Errorf("%w: MaskForAll after %d masks were already generated", ErrProtocol, len(p.sent))
 	}
-	flat, err := randomVector(p.rng, p.dim*(p.m-1))
+	if p.sentFlat == nil {
+		p.sentFlat = make([]uint64, p.dim*(p.m-1))
+	}
+	flat, err := randomVector(p.rng, p.dim*(p.m-1), p.sentFlat)
 	if err != nil {
 		return nil, err
 	}
@@ -116,8 +145,9 @@ func (p *Party) MaskForAll() ([][]uint64, error) {
 	return masks, nil
 }
 
-// SetPeerMask records the mask received from peer. Each peer may deliver
-// once per round.
+// SetPeerMask records the mask received from peer, copying it into the
+// party's own backing store (the caller may reuse or mutate mask after the
+// call). Each peer may deliver once per round.
 func (p *Party) SetPeerMask(peer int, mask []uint64) error {
 	if peer < 0 || peer >= p.m || peer == p.id {
 		return fmt.Errorf("%w: mask from peer %d of %d", ErrBadParty, peer, p.m)
@@ -128,12 +158,20 @@ func (p *Party) SetPeerMask(peer int, mask []uint64) error {
 	if _, dup := p.recv[peer]; dup {
 		return fmt.Errorf("%w: duplicate mask from peer %d", ErrProtocol, peer)
 	}
-	p.recv[peer] = append([]uint64(nil), mask...)
+	if p.recvFlat == nil {
+		p.recvFlat = make([]uint64, p.dim*(p.m-1))
+	}
+	i := len(p.recv) * p.dim
+	slot := p.recvFlat[i : i+p.dim : i+p.dim]
+	copy(slot, mask)
+	p.recv[peer] = slot
 	return nil
 }
 
 // Share computes the masked contribution wᵢ + Sedᵢ − Revᵢ. Every pairwise
-// mask must have been generated and received first.
+// mask must have been generated and received first. The returned slice is
+// the party's encode scratch: it stays valid until the party is Reset and
+// Share is called again.
 func (p *Party) Share(value []float64) ([]uint64, error) {
 	if len(value) != p.dim {
 		return nil, fmt.Errorf("%w: value has %d elements, want %d", ErrBadParty, len(value), p.dim)
@@ -142,10 +180,11 @@ func (p *Party) Share(value []float64) ([]uint64, error) {
 		return nil, fmt.Errorf("%w: have %d/%d sent and %d/%d received masks",
 			ErrIncomplete, len(p.sent), p.m-1, len(p.recv), p.m-1)
 	}
-	share, err := p.codec.EncodeVec(value, nil)
+	share, err := p.codec.EncodeVec(value, p.shareBuf)
 	if err != nil {
 		return nil, fmt.Errorf("securesum encode: %w", err)
 	}
+	p.shareBuf = share
 	for _, mask := range p.sent {
 		if err := fixedpoint.AddVec(share, mask); err != nil {
 			return nil, err
@@ -177,6 +216,15 @@ func NewCollector(m, dim int, codec fixedpoint.Codec) (*Collector, error) {
 	return &Collector{m: m, dim: dim, codec: codec, acc: make([]uint64, dim)}, nil
 }
 
+// Reset clears the collector for the next round, zeroing the accumulator in
+// place so the Reducer reuses one collector per session.
+func (c *Collector) Reset() {
+	c.seen = 0
+	for i := range c.acc {
+		c.acc[i] = 0
+	}
+}
+
 // Add folds one masked share into the aggregate.
 func (c *Collector) Add(share []uint64) error {
 	if len(share) != c.dim {
@@ -194,10 +242,16 @@ func (c *Collector) Add(share []uint64) error {
 
 // Sum returns Σᵢ wᵢ once all m shares arrived.
 func (c *Collector) Sum() ([]float64, error) {
+	return c.SumInto(nil)
+}
+
+// SumInto is Sum decoded into dst under the fixedpoint reuse contract, for
+// reducers that drain one aggregate per round into the same buffer.
+func (c *Collector) SumInto(dst []float64) ([]float64, error) {
 	if c.seen != c.m {
 		return nil, fmt.Errorf("%w: %d of %d shares", ErrIncomplete, c.seen, c.m)
 	}
-	return c.codec.DecodeVec(c.acc, nil)
+	return c.codec.DecodeVec(c.acc, dst)
 }
 
 // MaskedSum runs the whole protocol in memory over the given private
@@ -250,36 +304,84 @@ func MaskedSum(values [][]float64, codec fixedpoint.Codec, random io.Reader) ([]
 	return col.Sum()
 }
 
-// randomVector draws dim uniform ring elements from random.
-func randomVector(random io.Reader, dim int) ([]uint64, error) {
-	buf := make([]byte, 8*dim)
+// stagingPool recycles the byte buffers randomVector stages its reads in, so
+// drawing masks every round does not allocate a transient byte slice per
+// call. Only the staging buffer is pooled — the resulting ring elements have
+// caller-controlled lifetime via dst.
+var stagingPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// randomVector draws dim uniform ring elements from random into dst,
+// following the fixedpoint buffer-reuse contract: a dst with capacity ≥ dim
+// is resliced and filled, a nil dst allocates, a too-small non-nil dst is an
+// error (silent fallback would hide a broken reuse path).
+func randomVector(random io.Reader, dim int, dst []uint64) ([]uint64, error) {
+	switch {
+	case dst == nil:
+		dst = make([]uint64, dim)
+	case cap(dst) >= dim:
+		dst = dst[:dim]
+	default:
+		return nil, fmt.Errorf("%w: destination capacity %d for %d elements", ErrBadParty, cap(dst), dim)
+	}
+	bp := stagingPool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < 8*dim {
+		buf = make([]byte, 8*dim)
+	}
+	buf = buf[:8*dim]
 	if _, err := io.ReadFull(random, buf); err != nil {
+		*bp = buf[:0]
+		stagingPool.Put(bp)
 		return nil, fmt.Errorf("securesum randomness: %w", err)
 	}
-	out := make([]uint64, dim)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(buf[8*i:])
 	}
-	return out, nil
+	*bp = buf[:0]
+	stagingPool.Put(bp)
+	return dst, nil
 }
 
-// EncodeShares serializes a ring vector for the wire.
+// EncodeShares serializes a ring vector for the wire into a fresh buffer.
+// Hot paths that send every round should use AppendShares with a reused
+// destination instead.
 func EncodeShares(v []uint64) []byte {
-	buf := make([]byte, 8*len(v))
-	for i, x := range v {
-		binary.LittleEndian.PutUint64(buf[8*i:], x)
-	}
-	return buf
+	return AppendShares(nil, v)
 }
 
-// DecodeShares parses a wire payload back into a ring vector.
+// AppendShares appends the wire encoding of a ring vector to dst and returns
+// the extended slice, allocating only when dst lacks capacity.
+func AppendShares(dst []byte, v []uint64) []byte {
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, x)
+	}
+	return dst
+}
+
+// DecodeShares parses a wire payload back into a fresh ring vector.
 func DecodeShares(b []byte) ([]uint64, error) {
+	return DecodeSharesInto(nil, b)
+}
+
+// DecodeSharesInto parses a wire payload into dst under the same reuse
+// contract as randomVector: sufficient capacity reuses, nil allocates, a
+// too-small non-nil dst errors. Receivers that decode one share per party
+// per round reuse a single buffer this way.
+func DecodeSharesInto(dst []uint64, b []byte) ([]uint64, error) {
 	if len(b)%8 != 0 {
 		return nil, fmt.Errorf("%w: payload of %d bytes is not a uint64 vector", ErrProtocol, len(b))
 	}
-	out := make([]uint64, len(b)/8)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	n := len(b) / 8
+	switch {
+	case dst == nil:
+		dst = make([]uint64, n)
+	case cap(dst) >= n:
+		dst = dst[:n]
+	default:
+		return nil, fmt.Errorf("%w: destination capacity %d for %d elements", ErrProtocol, cap(dst), n)
 	}
-	return out, nil
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return dst, nil
 }

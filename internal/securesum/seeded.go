@@ -1,0 +1,298 @@
+package securesum
+
+// Seed-derived round masks: the scalable variant of the Section V protocol.
+//
+// The literal protocol exchanges fresh pairwise masks every round, which is
+// information-theoretically secure but costs m(m−1) mask messages per round.
+// In seeded mode each ordered pair of Mappers instead agrees on ONE random
+// seed per session: party i draws a uniform seed s_{i→j} for every peer j at
+// session setup and sends it over the pairwise channel (KindSeed, tagged with
+// the session header). From then on both ends expand the seed locally into
+// per-round masks with an AES-CTR PRG nonced by (session, round) — the mask
+// structure, sign convention and cancellation at the Reducer are exactly the
+// per-round protocol's, but no mask ever crosses the wire again. Per-round
+// traffic drops from O(m²) mask messages + m shares to just the m masked
+// shares.
+//
+// The price is the security model: a mask derived from a PRG hides a share
+// computationally (under the AES-as-PRF assumption) rather than
+// information-theoretically. MaskMode selects between the two; see
+// DESIGN.md §10 for the full argument and when to prefer each.
+
+import (
+	"context"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/ppml-go/ppml/internal/fixedpoint"
+	"github.com/ppml-go/ppml/internal/transport"
+)
+
+// KindSeed carries one pairwise mask seed between Mappers at session setup.
+const KindSeed = "securesum.seed"
+
+// MaskMode selects how the pairwise masks of the Section V protocol are
+// produced.
+type MaskMode int
+
+const (
+	// MaskSeeded is the default: one pairwise seed exchange per session,
+	// per-round masks derived locally with an AES-CTR PRG nonced by
+	// (session, round). O(m) messages per round; computational security.
+	MaskSeeded MaskMode = iota
+	// MaskPerRound exchanges fresh uniform masks every round — the paper's
+	// literal Section V protocol. O(m²) messages per round;
+	// information-theoretic security.
+	MaskPerRound
+)
+
+// String implements fmt.Stringer for flags and logs.
+func (m MaskMode) String() string {
+	switch m {
+	case MaskSeeded:
+		return "seeded"
+	case MaskPerRound:
+		return "per-round"
+	default:
+		return fmt.Sprintf("maskmode(%d)", int(m))
+	}
+}
+
+// SeedSize is the byte length of one pairwise mask seed (an AES-256 key).
+const SeedSize = 32
+
+// SetupRound tags seed-exchange messages: the handshake happens once per
+// session, before consensus round 0.
+const SetupRound = -1
+
+// pairPRG expands one pairwise seed into per-round masks: mask element k of
+// round r is bytes of AES_seed(session ‖ r ‖ blockctr), interpreted as
+// little-endian ring elements. Distinct (session, round) pairs never reuse a
+// counter block, so every round's mask is an independent PRF output.
+type pairPRG struct {
+	block cipher.Block
+}
+
+// newPairPRG builds the expander for one pairwise seed.
+func newPairPRG(seed []byte) (*pairPRG, error) {
+	if len(seed) != SeedSize {
+		return nil, fmt.Errorf("%w: seed of %d bytes, want %d", ErrProtocol, len(seed), SeedSize)
+	}
+	block, err := aes.NewCipher(seed)
+	if err != nil {
+		return nil, fmt.Errorf("securesum seeded: %w", err)
+	}
+	return &pairPRG{block: block}, nil
+}
+
+// mask fills dst with the (session, round) mask. It is allocation-free: the
+// counter and keystream blocks live on the stack and each 16-byte AES block
+// yields two ring elements.
+func (g *pairPRG) mask(session uint64, round int32, dst []uint64) {
+	var ctr, ks [aes.BlockSize]byte
+	binary.BigEndian.PutUint64(ctr[0:], session)
+	binary.BigEndian.PutUint32(ctr[8:], uint32(round))
+	for i := 0; i < len(dst); i += 2 {
+		binary.BigEndian.PutUint32(ctr[12:], uint32(i/2))
+		g.block.Encrypt(ks[:], ctr[:])
+		dst[i] = binary.LittleEndian.Uint64(ks[0:8])
+		if i+1 < len(dst) {
+			dst[i+1] = binary.LittleEndian.Uint64(ks[8:16])
+		}
+	}
+}
+
+// SeededSession is one Mapper's masking state for a whole session: the PRGs
+// for the seeds it generated and the seeds it received, plus the reusable
+// scratch that keeps the round hot loop allocation-free. It is not safe for
+// concurrent use; each Mapper goroutine owns one.
+type SeededSession struct {
+	id      int
+	m       int
+	dim     int
+	session uint64
+	codec   fixedpoint.Codec
+
+	seeds []byte     // flat seed material generated for peers (SeedSize each)
+	gen   []*pairPRG // gen[peer] expands the seed this party sent to peer
+	rcv   []*pairPRG // rcv[peer] expands the seed received from peer
+	rcvN  int
+
+	mask  []uint64 // per-peer mask scratch, one round at a time
+	share []uint64 // fixed-point share scratch, returned by RoundShare
+	wire  []byte   // wire-encoding scratch, returned by RoundShareBytes
+}
+
+// NewSeededSession creates the session state for party id of m and draws the
+// m−1 seeds this party will send in a single batched read from random
+// (crypto/rand when nil).
+func NewSeededSession(id, m, dim int, session uint64, codec fixedpoint.Codec, random io.Reader) (*SeededSession, error) {
+	if m < 1 || id < 0 || id >= m || dim <= 0 {
+		return nil, fmt.Errorf("%w: id=%d m=%d dim=%d", ErrBadParty, id, m, dim)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	s := &SeededSession{
+		id: id, m: m, dim: dim, session: session, codec: codec,
+		seeds: make([]byte, SeedSize*(m-1)),
+		gen:   make([]*pairPRG, m),
+		rcv:   make([]*pairPRG, m),
+		mask:  make([]uint64, dim),
+	}
+	if _, err := io.ReadFull(random, s.seeds); err != nil {
+		return nil, fmt.Errorf("securesum randomness: %w", err)
+	}
+	next := 0
+	for peer := 0; peer < m; peer++ {
+		if peer == id {
+			continue
+		}
+		prg, err := newPairPRG(s.seeds[next : next+SeedSize])
+		if err != nil {
+			return nil, err
+		}
+		s.gen[peer] = prg
+		next += SeedSize
+	}
+	return s, nil
+}
+
+// SeedFor returns the seed this party sends to peer. The returned slice
+// aliases session state and must not be modified.
+func (s *SeededSession) SeedFor(peer int) ([]byte, error) {
+	if peer < 0 || peer >= s.m || peer == s.id {
+		return nil, fmt.Errorf("%w: seed for peer %d of %d", ErrBadParty, peer, s.m)
+	}
+	slot := peer
+	if peer > s.id {
+		slot--
+	}
+	return s.seeds[slot*SeedSize : (slot+1)*SeedSize], nil
+}
+
+// SetPeerSeed installs the seed received from peer. Each peer may deliver
+// exactly once per session.
+func (s *SeededSession) SetPeerSeed(peer int, seed []byte) error {
+	if peer < 0 || peer >= s.m || peer == s.id {
+		return fmt.Errorf("%w: seed from peer %d of %d", ErrBadParty, peer, s.m)
+	}
+	if s.rcv[peer] != nil {
+		return fmt.Errorf("%w: duplicate seed from peer %d", ErrProtocol, peer)
+	}
+	prg, err := newPairPRG(seed)
+	if err != nil {
+		return fmt.Errorf("seed from peer %d: %w", peer, err)
+	}
+	s.rcv[peer] = prg
+	s.rcvN++
+	return nil
+}
+
+// RoundShare computes this round's masked share wᵢ + Σⱼ PRG(s_{i→j}, round)
+// − Σⱼ PRG(s_{j→i}, round). Every pairwise seed must have been exchanged.
+// The returned slice is internal scratch, valid until the next call — the
+// driver's lockstep (the Reducer consumes round r before broadcasting round
+// r+1) makes that reuse safe on the wire.
+func (s *SeededSession) RoundShare(round int32, value []float64) ([]uint64, error) {
+	if len(value) != s.dim {
+		return nil, fmt.Errorf("%w: value has %d elements, want %d", ErrBadParty, len(value), s.dim)
+	}
+	if s.rcvN != s.m-1 {
+		return nil, fmt.Errorf("%w: have %d/%d peer seeds", ErrIncomplete, s.rcvN, s.m-1)
+	}
+	share, err := s.codec.EncodeVec(value, s.share)
+	if err != nil {
+		return nil, fmt.Errorf("securesum encode: %w", err)
+	}
+	s.share = share
+	for peer := 0; peer < s.m; peer++ {
+		if peer == s.id {
+			continue
+		}
+		s.gen[peer].mask(s.session, round, s.mask)
+		if err := fixedpoint.AddVec(share, s.mask); err != nil {
+			return nil, err
+		}
+		s.rcv[peer].mask(s.session, round, s.mask)
+		if err := fixedpoint.SubVec(share, s.mask); err != nil {
+			return nil, err
+		}
+	}
+	return share, nil
+}
+
+// RoundShareBytes is RoundShare pre-encoded for the wire, reusing the
+// session's byte scratch. The same validity rule applies: the payload is
+// stable until the next round's call.
+func (s *SeededSession) RoundShareBytes(round int32, value []float64) ([]byte, error) {
+	share, err := s.RoundShare(round, value)
+	if err != nil {
+		return nil, err
+	}
+	s.wire = AppendShares(s.wire[:0], share)
+	return s.wire, nil
+}
+
+// seedFilter scopes the setup handshake: this session's seeds are delivered,
+// everything else — including the Reducer's round-0 broadcast, which
+// routinely arrives before slow peers' seeds — waits in the reorder buffer.
+// Deferring is deadlock-free because sending seeds is unconditionally every
+// Mapper's first action: the m−1 seeds are already in flight by the time
+// anyone blocks here.
+func seedFilter(session uint64) transport.Filter {
+	return func(m transport.Message) transport.Verdict {
+		if m.Session != session || m.Kind != KindSeed {
+			return transport.Defer
+		}
+		return transport.Accept
+	}
+}
+
+// SetupSeeded runs the one-time seed exchange of a session for one Mapper:
+// it sends a fresh seed to every peer, absorbs the m−1 peer seeds, and
+// returns the session state whose RoundShare replaces the per-round protocol
+// in every subsequent round. names and self are as in RunParty.
+func SetupSeeded(ctx context.Context, ep transport.Endpoint, names []string, self, dim int, codec fixedpoint.Codec, random io.Reader, session uint64) (*SeededSession, error) {
+	m := len(names)
+	s, err := NewSeededSession(self, m, dim, session, codec, random)
+	if err != nil {
+		return nil, err
+	}
+	idOf := make(map[string]int, m)
+	for id, name := range names {
+		idOf[name] = id
+	}
+	hdr := transport.Header{Session: session, Round: SetupRound}
+	for peer := 0; peer < m; peer++ {
+		if peer == self {
+			continue
+		}
+		seed, err := s.SeedFor(peer)
+		if err != nil {
+			return nil, err
+		}
+		if err := ep.Send(ctx, names[peer], KindSeed, hdr, seed); err != nil {
+			return nil, fmt.Errorf("securesum: send seed to %q: %w", names[peer], err)
+		}
+	}
+	filter := seedFilter(session)
+	for received := 0; received < m-1; received++ {
+		msg, err := ep.RecvMatch(ctx, filter)
+		if err != nil {
+			return nil, fmt.Errorf("securesum: receive seed: %w", err)
+		}
+		peer, ok := idOf[msg.From]
+		if !ok {
+			return nil, fmt.Errorf("%w: seed from unknown party %q", ErrProtocol, msg.From)
+		}
+		if err := s.SetPeerSeed(peer, msg.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

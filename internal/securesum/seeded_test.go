@@ -1,0 +1,305 @@
+package securesum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/ppml-go/ppml/internal/fixedpoint"
+	"github.com/ppml-go/ppml/internal/transport"
+)
+
+// wireSeededSessions builds m seeded sessions and exchanges every pairwise
+// seed in memory, exactly as SetupSeeded would over a transport.
+func wireSeededSessions(t *testing.T, m, dim int, session uint64) []*SeededSession {
+	t.Helper()
+	codec := fixedpoint.Default()
+	ss := make([]*SeededSession, m)
+	for i := range ss {
+		s, err := NewSeededSession(i, m, dim, session, codec, detRand(int64(100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss[i] = s
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			seed, err := ss[i].SeedFor(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ss[j].SetPeerSeed(i, seed); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ss
+}
+
+func TestSeededSumMatchesPlain(t *testing.T) {
+	// The seeded masks must telescope at the Reducer exactly like per-round
+	// masks: summing every party's RoundShare recovers the plain sum, round
+	// after round from the same one-time seed exchange.
+	const m, dim = 4, 6
+	codec := fixedpoint.Default()
+	rng := rand.New(rand.NewSource(21))
+	ss := wireSeededSessions(t, m, dim, 9)
+	for round := int32(0); round < 3; round++ {
+		values := randomValues(rng, m, dim, 50)
+		col, err := NewCollector(m, dim, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < m; i++ {
+			share, err := ss[i].RoundShare(round, values[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := col.Add(share); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := col.Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := plainSum(values)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-6 {
+				t.Fatalf("round %d element %d: %g, want %g", round, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestSeededMasksDistinctAcrossRounds(t *testing.T) {
+	// Satellite privacy check: the derived mask for the same ordered pair
+	// must differ between any two rounds — a repeated mask would let the
+	// Reducer difference two rounds' shares and learn w_i(t+1) − w_i(t).
+	seed := make([]byte, SeedSize)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	prg, err := newPairPRG(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dim = 5
+	const rounds = 64
+	seen := make(map[string]int32, rounds)
+	mask := make([]uint64, dim)
+	for round := int32(0); round < rounds; round++ {
+		prg.mask(3, round, mask)
+		key := fmt.Sprint(mask)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("rounds %d and %d derived the identical mask %v", prev, round, mask)
+		}
+		seen[key] = round
+	}
+	// Distinct sessions must also diverge, even at the same round.
+	var a, b [dim]uint64
+	prg.mask(3, 0, a[:])
+	prg.mask(4, 0, b[:])
+	if a == b {
+		t.Fatal("sessions 3 and 4 derived the identical round-0 mask")
+	}
+}
+
+func TestSeededBothEndsAgree(t *testing.T) {
+	// The sender's gen-PRG and the receiver's rcv-PRG expand the same seed,
+	// so for every round party i's added mask equals party j's subtracted
+	// one — the cancellation invariant RoundShare relies on.
+	ss := wireSeededSessions(t, 2, 4, 5)
+	gen := make([]uint64, 4)
+	rcv := make([]uint64, 4)
+	for round := int32(0); round < 4; round++ {
+		ss[0].gen[1].mask(5, round, gen)
+		ss[1].rcv[0].mask(5, round, rcv)
+		for k := range gen {
+			if gen[k] != rcv[k] {
+				t.Fatalf("round %d element %d: sender %d, receiver %d", round, k, gen[k], rcv[k])
+			}
+		}
+	}
+}
+
+func TestSeededSessionErrors(t *testing.T) {
+	codec := fixedpoint.Default()
+	if _, err := NewSeededSession(2, 2, 3, 1, codec, detRand(1)); !errors.Is(err, ErrBadParty) {
+		t.Errorf("id out of range: %v", err)
+	}
+	if _, err := NewSeededSession(0, 2, 0, 1, codec, detRand(1)); !errors.Is(err, ErrBadParty) {
+		t.Errorf("zero dim: %v", err)
+	}
+	s, err := NewSeededSession(0, 3, 3, 1, codec, detRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SeedFor(0); !errors.Is(err, ErrBadParty) {
+		t.Errorf("seed for self: %v", err)
+	}
+	if err := s.SetPeerSeed(1, make([]byte, SeedSize-1)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("short seed: %v", err)
+	}
+	if err := s.SetPeerSeed(1, make([]byte, SeedSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPeerSeed(1, make([]byte, SeedSize)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("duplicate seed: %v", err)
+	}
+	// One peer seed still missing: the round must refuse to run.
+	if _, err := s.RoundShare(0, []float64{1, 2, 3}); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("round with missing seeds: %v", err)
+	}
+	if err := s.SetPeerSeed(2, make([]byte, SeedSize)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RoundShare(0, []float64{1, 2}); !errors.Is(err, ErrBadParty) {
+		t.Errorf("wrong dim value: %v", err)
+	}
+}
+
+func TestSeededShareHidesValue(t *testing.T) {
+	// With all pairwise seeds unknown to the Reducer, the emitted share must
+	// not equal the raw fixed-point encoding of the value.
+	codec := fixedpoint.Default()
+	ss := wireSeededSessions(t, 3, 3, 11)
+	value := []float64{42.5, -1.25, 0}
+	share, err := ss[0].RoundShare(0, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := codec.EncodeVec(value, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for k := range raw {
+		if share[k] != raw[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeded share equals the raw encoding — value not masked")
+	}
+}
+
+// runSeededRounds executes a seeded session over a transport: one seed
+// handshake, then `rounds` aggregation rounds. Returns the last round's sum.
+func runSeededRounds(t *testing.T, net transport.Network, values [][]float64, rounds int) []float64 {
+	t.Helper()
+	codec := fixedpoint.Default()
+	m := len(values)
+	dim := len(values[0])
+	const session = 12
+	names := make([]string, m)
+	for i := range names {
+		names[i] = fmt.Sprintf("mapper-%d", i)
+	}
+	const reducer = "reducer"
+	red, err := net.Endpoint(reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]transport.Endpoint, m)
+	for i := range eps {
+		ep, err := net.Endpoint(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// RoundShareBytes reuses its wire buffer across rounds, which is safe
+	// only under the driver's lockstep (round r is consumed before round r+1
+	// is produced). Emulate that here: each mapper waits for a token the
+	// collector hands out after finishing the previous round.
+	tokens := make(chan struct{}, m*rounds)
+	errs := make(chan error, m)
+	for i := 0; i < m; i++ {
+		go func(i int) {
+			s, err := SetupSeeded(ctx, eps[i], names, i, dim, codec, nil, session)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for round := 0; round < rounds; round++ {
+				if round > 0 {
+					<-tokens
+				}
+				hdr := transport.Header{Session: session, Round: int32(round)}
+				payload, err := s.RoundShareBytes(int32(round), values[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := eps[i].Send(ctx, reducer, KindShare, hdr, payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	var sum []float64
+	for round := 0; round < rounds; round++ {
+		hdr := transport.Header{Session: session, Round: int32(round)}
+		sum, err = RunCollector(ctx, red, m, dim, codec, hdr)
+		if err != nil {
+			t.Fatalf("collector round %d: %v", round, err)
+		}
+		for i := 0; i < m; i++ {
+			tokens <- struct{}{}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("party: %v", err)
+		}
+	}
+	return sum
+}
+
+func TestSeededDistributedInProc(t *testing.T) {
+	net := transport.NewInProc()
+	defer net.Close()
+	rng := rand.New(rand.NewSource(31))
+	values := randomValues(rng, 4, 6, 50)
+	got := runSeededRounds(t, net, values, 3)
+	want := plainSum(values)
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-6 {
+			t.Fatalf("element %d: %g, want %g", j, got[j], want[j])
+		}
+	}
+}
+
+func TestSeededTrafficShape(t *testing.T) {
+	// The whole point of seeded mode: m(m−1) seed messages once per session,
+	// then exactly m share messages per round — no per-round mask traffic.
+	net := transport.NewInProc()
+	defer net.Close()
+	const m, dim, rounds = 4, 6, 5
+	rng := rand.New(rand.NewSource(32))
+	values := randomValues(rng, m, dim, 10)
+	runSeededRounds(t, net, values, rounds)
+	st := net.Stats()
+	wantMsgs := int64(m*(m-1) + rounds*m)
+	if st.Messages != wantMsgs {
+		t.Errorf("messages = %d, want %d (m(m-1) seeds + rounds*m shares)", st.Messages, wantMsgs)
+	}
+	wantBytes := int64(m*(m-1)*SeedSize + rounds*m*8*dim)
+	if st.Bytes != wantBytes {
+		t.Errorf("bytes = %d, want %d", st.Bytes, wantBytes)
+	}
+}

@@ -171,6 +171,25 @@ func (e *tcpEndpoint) acceptLoop() {
 	}
 }
 
+// framePool recycles frame encode/decode buffers across sends and read
+// loops: with one frame per protocol message every round, per-frame
+// allocations dominated the wire path's garbage. Buffers above
+// maxPooledFrame (a Paillier ciphertext batch can approach the 64 MiB frame
+// bound) are not returned, so the pool never pins pathological allocations.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+const maxPooledFrame = 1 << 20
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(bp *[]byte, b []byte) {
+	if cap(b) > maxPooledFrame {
+		return
+	}
+	*bp = b[:0]
+	framePool.Put(bp)
+}
+
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	defer conn.Close()
 	var hdr [4]byte
@@ -184,14 +203,28 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 			// stream; drop the connection before allocating anything.
 			return
 		}
-		body := make([]byte, n)
+		bp := getFrameBuf()
+		body := *bp
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
 		if _, err := io.ReadFull(conn, body); err != nil {
+			putFrameBuf(bp, body)
 			return // peer died mid-frame: discard the partial message
 		}
+		// decodeFrame aliases the payload into body; copy it out so the
+		// pooled buffer can be reused while the message sits in the inbox or
+		// the reorder buffer. The strings are copied by construction.
 		msg, err := decodeFrame(body)
 		if err != nil {
+			putFrameBuf(bp, body)
 			return // wrong version or malformed header: hostile or corrupt stream
 		}
+		if len(msg.Payload) > 0 {
+			msg.Payload = append([]byte(nil), msg.Payload...)
+		}
+		putFrameBuf(bp, body)
 		select {
 		case e.inbox <- msg:
 		case <-e.done:
@@ -206,6 +239,13 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 // self-contained, so a dropped connection can never leave the peer's stream
 // in an undecodable state.
 func encodeFrame(msg *Message) ([]byte, error) {
+	return appendFrame(nil, msg)
+}
+
+// appendFrame is encodeFrame into a reused buffer: Send borrows one from
+// framePool, writes the frame, and returns it — the frame bytes are fully
+// consumed by conn.Write before the buffer is recycled.
+func appendFrame(dst []byte, msg *Message) ([]byte, error) {
 	for _, s := range []string{msg.From, msg.To, msg.Kind} {
 		if len(s) > maxNameBytes {
 			return nil, fmt.Errorf("%w: name of %d bytes", ErrBadFrame, len(s))
@@ -215,8 +255,7 @@ func encodeFrame(msg *Message) ([]byte, error) {
 	if n > maxFrameBytes {
 		return nil, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, n, maxFrameBytes)
 	}
-	b := make([]byte, 4, 4+n)
-	binary.BigEndian.PutUint32(b, uint32(n))
+	b := binary.BigEndian.AppendUint32(dst, uint32(n))
 	b = append(b, frameVersion)
 	b = binary.BigEndian.AppendUint64(b, msg.Session)
 	b = binary.BigEndian.AppendUint32(b, uint32(msg.Round))
@@ -281,8 +320,10 @@ func (e *tcpEndpoint) Send(ctx context.Context, to, kind string, hdr Header, pay
 		Session: hdr.Session, Round: hdr.Round, Seq: e.seq.Add(1),
 		Payload: payload,
 	}
-	frame, err := encodeFrame(&msg)
+	bp := getFrameBuf()
+	frame, err := appendFrame((*bp)[:0], &msg)
 	if err != nil {
+		putFrameBuf(bp, *bp)
 		return fmt.Errorf("transport tcp send to %q: %w", to, err)
 	}
 	c.mu.Lock()
@@ -296,6 +337,7 @@ func (e *tcpEndpoint) Send(ctx context.Context, to, kind string, hdr Header, pay
 		_ = c.conn.SetWriteDeadline(time.Time{})
 	}
 	c.mu.Unlock()
+	putFrameBuf(bp, frame)
 	if err != nil {
 		// Drop the cached connection so the next send re-dials.
 		e.connMu.Lock()

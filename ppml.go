@@ -450,6 +450,18 @@ func WithPlainAggregation() Option {
 	return func(o *options) { o.cfg.Aggregation = mapreduce.AggregationPlain }
 }
 
+// WithPerRoundMasks selects the paper's literal Section V masking in
+// distributed mode: fresh pairwise masks are exchanged every round, hiding
+// each share information-theoretically at O(M²) messages per round. The
+// default is seed-derived masking — one pairwise seed exchange per session,
+// per-round masks expanded locally by an AES-CTR PRG — which computes
+// identical iterates with O(M) messages per round under a computational
+// (PRF) hiding argument. See DESIGN.md §10 for when each mode is the right
+// choice.
+func WithPerRoundMasks() Option {
+	return func(o *options) { o.cfg.MaskMode = mapreduce.MaskPerRound }
+}
+
 // WithPaillierAggregation replaces the masking protocol with additively
 // homomorphic aggregation in distributed mode: Mappers encrypt every element
 // of their contribution, the Reducer multiplies ciphertexts, and only the

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Communication benchmark: runs the scalability sweep under both masking
+# modes (one iteration each — these are measurements of traffic, not of
+# wall-clock noise) and regenerates BENCH_comm.json, the measured
+# seeded-vs-per-round comparison behind the EXPERIMENTS.md table.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_comm.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_comm.json}"
+
+echo "==> scalability bench, both mask modes (1x)"
+go test -run '^$' -bench Scalability -benchtime 1x .
+
+echo "==> measuring seeded vs per-round communication -> $out"
+go run ./cmd/ppml-figures -panel comm -learners 16 -comm-json "$out"
+
+echo "ok: wrote $out"
