@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-custom fuzz-short bench bench-smoke bench-comm check
+.PHONY: build test race vet vet-custom fuzz-short bench bench-smoke bench-comm metrics-smoke check
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,16 @@ vet:
 	$(GO) vet ./...
 
 # Custom invariant analyzers (internal/analysis) run through `go vet`:
-# randsource, plaintextwire, droppederr, poolcapture. See DESIGN.md
-# ("Machine-checked invariants").
+# randsource, plaintextwire, droppederr, poolcapture, telemetrysafe. See
+# DESIGN.md ("Machine-checked invariants").
 vet-custom:
 	$(GO) build -o bin/ppml-vet ./cmd/ppml-vet
 	$(GO) vet -vettool="$(CURDIR)/bin/ppml-vet" ./...
+
+# Live telemetry endpoint smoke: train a tiny job with -metrics-addr and
+# scrape the running process (same script as the CI metrics-smoke shard).
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 # Short fuzz pass over the wire codecs (~40s total), same as the check gate.
 fuzz-short:

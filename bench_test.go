@@ -97,7 +97,9 @@ func BenchmarkCentralizedBaseline(b *testing.B) {
 // BenchmarkScalabilityLearners sweeps M for the distributed horizontal
 // linear scheme under both masking modes, reporting wall time and per-run
 // traffic (messages/op, bytes/op) per cluster size — the measurement behind
-// the seeded-mask communication claim in EXPERIMENTS.md.
+// the seeded-mask communication claim in EXPERIMENTS.md. The traffic
+// numbers come from the transport telemetry counters (via RunScalability),
+// the same counters a live -metrics-addr endpoint serves.
 func BenchmarkScalabilityLearners(b *testing.B) {
 	for _, mode := range []struct {
 		name     string

@@ -19,12 +19,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 
+	"github.com/ppml-go/ppml"
 	"github.com/ppml-go/ppml/internal/experiments"
 )
 
@@ -51,6 +54,8 @@ func run(args []string) (err error) {
 		"masked-aggregation variant for distributed runs: seeded or per-round")
 	commJSON := fs.String("comm-json", "", "with -panel comm, also write the comparison as JSON to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	metricsAddr := fs.String("metrics-addr", "",
+		"serve live /metrics (Prometheus), /debug/vars and /debug/pprof on this address while the experiments run (e.g. 127.0.0.1:9090; :0 picks a free port)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +104,18 @@ func run(args []string) (err error) {
 	}
 	if *seed != 0 {
 		opts.Seed = *seed
+	}
+	if *metricsAddr != "" {
+		tel := ppml.NewTelemetry()
+		ln, lnErr := net.Listen("tcp", *metricsAddr)
+		if lnErr != nil {
+			return fmt.Errorf("metrics listener: %w", lnErr)
+		}
+		srv := &http.Server{Handler: tel.Handler()}
+		go func() { _ = srv.Serve(ln) }() //ppml:err-ok server lifetime is the process; Serve returns on Close
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", ln.Addr())
+		opts.Telemetry = tel
 	}
 
 	switch *panel {

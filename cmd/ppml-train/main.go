@@ -16,8 +16,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	"github.com/ppml-go/ppml"
 )
@@ -55,6 +58,10 @@ func run(ctx context.Context, args []string) error {
 	maskMode := fs.String("mask-mode", "seeded",
 		"masked-aggregation variant: seeded (one seed exchange per session, O(M) msgs/round) or per-round (paper-literal, O(M^2) msgs/round)")
 	trace := fs.Bool("trace", false, "print per-iteration |dz|^2 and accuracy")
+	metricsAddr := fs.String("metrics-addr", "",
+		"serve live /metrics (Prometheus), /debug/vars and /debug/pprof on this address while training (e.g. 127.0.0.1:9090; :0 picks a free port)")
+	metricsLinger := fs.Duration("metrics-linger", 0,
+		"keep the metrics endpoint up this long after training finishes, so a scraper can catch a short run")
 	modelOut := fs.String("model-out", "", "write the trained model to this JSON file")
 	loadModel := fs.String("load-model", "", "skip training: load this model and evaluate it on -data")
 	if err := fs.Parse(args); err != nil {
@@ -170,6 +177,20 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("unknown -mask-mode %q (want seeded or per-round)", *maskMode)
 	}
 
+	var tel *ppml.Telemetry
+	if *metricsAddr != "" {
+		tel = ppml.NewTelemetry()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		srv := &http.Server{Handler: tel.Handler()}
+		go func() { _ = srv.Serve(ln) }() //ppml:err-ok server lifetime is the process; Serve returns on Close
+		defer srv.Close()
+		fmt.Printf("metrics      http://%s/metrics\n", ln.Addr())
+		opts = append(opts, ppml.WithTelemetry(tel))
+	}
+
 	res, err := ppml.TrainContext(ctx, train, scheme, opts...)
 	if err != nil {
 		return err
@@ -207,6 +228,14 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Printf("model saved  %s\n", *modelOut)
+	}
+	if tel != nil && *metricsLinger > 0 {
+		// Short runs finish before a scraper's first pass; hold the
+		// endpoint open so the final counters remain observable.
+		select {
+		case <-time.After(*metricsLinger):
+		case <-ctx.Done():
+		}
 	}
 	return nil
 }

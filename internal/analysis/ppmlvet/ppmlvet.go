@@ -11,6 +11,7 @@ import (
 	"github.com/ppml-go/ppml/internal/analysis/plaintextwire"
 	"github.com/ppml-go/ppml/internal/analysis/poolcapture"
 	"github.com/ppml-go/ppml/internal/analysis/randsource"
+	"github.com/ppml-go/ppml/internal/analysis/telemetrysafe"
 )
 
 // Suite returns the full analyzer suite in a stable order.
@@ -20,5 +21,6 @@ func Suite() []*framework.Analyzer {
 		plaintextwire.Analyzer,
 		droppederr.Analyzer,
 		poolcapture.Analyzer,
+		telemetrysafe.Analyzer,
 	}
 }

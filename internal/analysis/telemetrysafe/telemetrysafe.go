@@ -1,0 +1,160 @@
+// Package telemetrysafe keeps payload vectors out of telemetry and logs in
+// the protocol packages.
+//
+// The telemetry package is scalar-only by construction — its Field
+// constructors and metric handles accept strings, numbers, and durations,
+// never slices — but nothing in the type system stops a future change from
+// stringifying a weight vector into a log message or smuggling a share
+// buffer through a variadic any parameter. A model iterate in a log line is
+// exactly the leak the Section V masking protocol exists to prevent: the
+// Reducer (or anyone reading the Reducer's logs) would see an individual
+// learner's w_i instead of only the masked aggregate.
+//
+// In the hard-audited protocol packages (securesum, paillier, consensus,
+// mapreduce, transport) this analyzer therefore flags any call into a
+// telemetry or logging sink — the telemetry package itself, log, or log/slog
+// — that passes a numeric slice, array, or linalg.Matrix argument, directly
+// or as a format operand. Scalars, strings, and label values pass freely,
+// and the bucket-bounds parameter of Histogram is exempt (a bucket layout is
+// static configuration, not payload). A site that records a genuinely public
+// vector (none exist today) must carry a //ppml:telemetry-ok directive with
+// a justification.
+package telemetrysafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/ppml-go/ppml/internal/analysis/framework"
+)
+
+// Analyzer is the telemetrysafe checker.
+var Analyzer = &framework.Analyzer{
+	Name: "telemetrysafe",
+	Doc: "forbid slice/matrix-typed arguments to telemetry and log sinks in protocol packages; " +
+		"documented public vectors require //ppml:telemetry-ok",
+	Run: run,
+}
+
+// DirectiveName is the escape hatch for documented public-vector recordings.
+const DirectiveName = "telemetry-ok"
+
+// hardPaths are the protocol packages whose telemetry must stay scalar-only.
+var hardPaths = []string{
+	"internal/securesum",
+	"internal/paillier",
+	"internal/consensus",
+	"internal/mapreduce",
+	"internal/transport",
+}
+
+// sinkPkgs are whole packages every call into which is a sink.
+var sinkPkgs = map[string]bool{
+	"log":      true,
+	"log/slog": true,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathMatches(pass.Pkg.Path(), hardPaths...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok {
+				checkCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags vector-typed arguments flowing into a telemetry/log sink.
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	callee := calleeFunc(pass, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	path := callee.Pkg().Path()
+	if !sinkPkgs[path] && !framework.PathMatches(path, "internal/telemetry") {
+		return
+	}
+	for i, arg := range call.Args {
+		// Histogram's bucket-bounds parameter is static layout
+		// configuration chosen by the programmer, not payload.
+		if i == 1 && callee.Name() == "Histogram" && !sinkPkgs[path] {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || !isVectorType(tv.Type) {
+			continue
+		}
+		if pass.Allowed(call.Pos(), DirectiveName) {
+			return
+		}
+		pass.Reportf(arg.Pos(),
+			"%s value passed to telemetry/log sink %s.%s in %s: protocol telemetry records scalars only — "+
+				"a payload vector here leaks a learner's private iterate (//ppml:%s to document a public vector)",
+			tv.Type, path, callee.Name(), pass.Pkg.Path(), DirectiveName)
+	}
+}
+
+// isVectorType reports whether t can carry a payload vector: a slice or
+// array of numeric elements (including nested, e.g. [][]float64 — and
+// []byte, the wire encoding of every share), or a linalg.Matrix by value or
+// pointer. Strings, label slices, and scalars are not vectors; maps and
+// structs other than Matrix are left to review.
+func isVectorType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isVectorElem(u.Elem())
+	case *types.Array:
+		return isVectorElem(u.Elem())
+	case *types.Pointer:
+		return isMatrix(u.Elem())
+	default:
+		return isMatrix(t)
+	}
+}
+
+// isVectorElem reports whether a slice/array element type makes its
+// container a payload vector.
+func isVectorElem(e types.Type) bool {
+	if b, ok := e.Underlying().(*types.Basic); ok {
+		return b.Info()&types.IsNumeric != 0
+	}
+	return isVectorType(e)
+}
+
+// isMatrix reports whether t is linalg.Matrix (possibly named differently
+// via aliasing), resolved by its defining package path and name.
+func isMatrix(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		framework.PathMatches(obj.Pkg().Path(), "internal/linalg") &&
+		obj.Name() == "Matrix"
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for builtins,
+// conversions, and indirect calls through function values.
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,16 @@
+package telemetrysafe_test
+
+import (
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/analysis/analysistest"
+	"github.com/ppml-go/ppml/internal/analysis/telemetrysafe"
+)
+
+func TestTelemetrySafe(t *testing.T) {
+	analysistest.Run(t, telemetrysafe.Analyzer,
+		"ppml/internal/securesum", // hard tier: payload vectors into sinks are violations
+		"ppml/internal/consensus", // hard tier: iterates, matrices, nested slices
+		"ppml/simulation",         // unaudited: must produce no diagnostics
+	)
+}

@@ -1,0 +1,27 @@
+// Package consensus is a golden stand-in for the trainer tier: iterates and
+// Gram matrices are private; convergence scalars are not.
+package consensus
+
+import (
+	"log/slog"
+
+	"ppml/internal/linalg"
+	"ppml/internal/telemetry"
+)
+
+// iterate logs a weight vector and a Gram matrix through log/slog.
+func iterate(w []float64, q *linalg.Matrix) {
+	slog.Info("step", "w", w)    // want `\[\]float64 value passed to telemetry/log sink`
+	slog.Info("hessian", "q", q) // want `\*ppml/internal/linalg\.Matrix value passed to telemetry/log sink`
+	slog.Info("converged", "iters", 12)
+}
+
+// nested flags slice-of-slice payloads (per-learner contributions).
+func nested(l *telemetry.Logger, contribs [][]float64) {
+	l.Info("contribs", contribs) // want `\[\]\[\]float64 value passed to telemetry/log sink`
+}
+
+// scalars records the public convergence diagnostics: never flagged.
+func scalars(r *telemetry.Registry, deltaZSq float64) {
+	r.Set("admm_delta_z_sq", deltaZSq, telemetry.L("scheme", "hl"))
+}

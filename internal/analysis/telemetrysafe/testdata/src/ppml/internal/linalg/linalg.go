@@ -1,0 +1,8 @@
+// Package linalg is a golden stand-in for the repository's matrix type.
+package linalg
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}

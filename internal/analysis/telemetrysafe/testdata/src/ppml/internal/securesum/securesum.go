@@ -1,0 +1,36 @@
+// Package securesum is a golden stand-in for the hard-audited protocol tier:
+// no payload vector may reach a telemetry or log sink.
+package securesum
+
+import (
+	"log"
+
+	"ppml/internal/telemetry"
+)
+
+// roundShares logs a share buffer: the canonical leak. Both the raw ring
+// elements and their wire encoding are flagged.
+func roundShares(share []uint64, wire []byte) {
+	log.Printf("share %v", share)          // want `\[\]uint64 value passed to telemetry/log sink`
+	log.Printf("payload %x", wire)         // want `\[\]byte value passed to telemetry/log sink`
+	log.Printf("round %d done", len(wire)) // scalars are fine
+}
+
+// record smuggles a vector through the registry's any-typed sink.
+func record(r *telemetry.Registry, masked []float64) {
+	r.Record("masked", masked) // want `\[\]float64 value passed to telemetry/log sink`
+	r.Record("dim", len(masked))
+	r.Set("handshake_seconds", 0.25, telemetry.L("mode", "seeded"))
+}
+
+// buckets passes a []float64 to Histogram's bounds parameter: static layout
+// configuration, exempt by design.
+func buckets(r *telemetry.Registry) {
+	r.Histogram("round_seconds", []float64{0.01, 0.1, 1})
+}
+
+// documented carries the escape hatch: the vector is protocol-public.
+func documented(r *telemetry.Registry, landmarks []float64) {
+	//ppml:telemetry-ok landmark points are protocol-public by construction (every learner already holds them)
+	r.Record("landmarks", landmarks)
+}

@@ -1,0 +1,10 @@
+// Package simulation is outside the audited tier: vector logging is allowed
+// (nothing here ever holds another party's private data).
+package simulation
+
+import "log"
+
+// dump prints a vector from an unaudited package: no diagnostics.
+func dump(history []float64) {
+	log.Printf("history %v", history)
+}

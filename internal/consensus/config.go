@@ -13,6 +13,7 @@ import (
 	"github.com/ppml-go/ppml/internal/kernel"
 	"github.com/ppml-go/ppml/internal/mapreduce"
 	"github.com/ppml-go/ppml/internal/paillier"
+	"github.com/ppml-go/ppml/internal/telemetry"
 	"github.com/ppml-go/ppml/internal/transport"
 )
 
@@ -87,6 +88,12 @@ type Config struct {
 	// EvalSet, when non-nil, is classified after every iteration and the
 	// accuracy recorded in History — the data behind Fig. 4(e)–(h).
 	EvalSet *dataset.Dataset
+
+	// Telemetry, when non-nil, receives training metrics and spans: round
+	// counters and durations from the engine, securesum traffic, QP solver
+	// iterations, and the ADMM residual gauges. Only public scalars are
+	// recorded — see DESIGN.md §11. Nil disables all recording at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) normalized() (Config, error) {
@@ -160,13 +167,15 @@ func runJob(ctx context.Context, cfg Config, job mapreduce.IterativeJob, parts [
 	start := time.Now()
 	h := &History{}
 	if !cfg.Distributed {
-		res, err := mapreduce.RunLocalContext(ctx, job)
+		// The local engine picks telemetry up from the context.
+		res, err := mapreduce.RunLocalContext(telemetry.NewContext(ctx, cfg.Telemetry), job)
 		if err != nil {
 			return nil, nil, err
 		}
 		h.Iterations = res.Iterations
 		h.Converged = res.Converged
 		h.Elapsed = time.Since(start)
+		recordRun(cfg.Telemetry, h)
 		return res, h, nil
 	}
 	var locality *mapreduce.LocalityPlan
@@ -185,6 +194,7 @@ func runJob(ctx context.Context, cfg Config, job mapreduce.IterativeJob, parts [
 		RoundTimeout: cfg.RoundTimeout,
 		Locality:     locality,
 		PaillierKey:  cfg.PaillierKey,
+		Telemetry:    cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -194,6 +204,7 @@ func runJob(ctx context.Context, cfg Config, job mapreduce.IterativeJob, parts [
 	h.Elapsed = time.Since(start)
 	h.Net = res.Net
 	h.RemoteInputBytes = res.RemoteInputBytes
+	recordRun(cfg.Telemetry, h)
 	return &res.IterativeResult, h, nil
 }
 

@@ -123,7 +123,7 @@ func TrainHorizontalKernel(ctx context.Context, parts []*dataset.Dataset, cfg Co
 		mappers[i] = mp
 		hkMappers[i] = mp
 	}
-	red := &meanConsensusReducer{m: m, tol: cfg.Tol}
+	red := &meanConsensusReducer{m: m, tol: cfg.Tol, tel: newReducerGauges(cfg.Telemetry, "hk")}
 	if cfg.EvalSet != nil {
 		red.eval = func(state []float64) float64 {
 			model := assembleHKModel(cfg, xg, hkMappers, state)
@@ -297,7 +297,7 @@ func (mp *hkMapper) Contribution(iter int, state []float64) ([]float64, error) {
 	for i := 0; i < n; i++ {
 		p[i] = mp.cfg.Rho*mp.y[i]*pg[i] + t*mp.y[i] - 1
 	}
-	opts := []qp.Option{qp.WithTolerance(mp.cfg.QPTol)}
+	opts := []qp.Option{qp.WithTolerance(mp.cfg.QPTol), qp.WithTelemetry(mp.cfg.Telemetry)}
 	if mp.lambda != nil {
 		opts = append(opts, qp.WithWarmStart(mp.lambda))
 	}

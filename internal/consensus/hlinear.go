@@ -55,6 +55,7 @@ func TrainHorizontalLinear(ctx context.Context, parts []*dataset.Dataset, cfg Co
 	red := &meanConsensusReducer{
 		m:   m,
 		tol: cfg.Tol,
+		tel: newReducerGauges(cfg.Telemetry, "hl"),
 	}
 	if cfg.EvalSet != nil {
 		red.eval = func(state []float64) float64 {
@@ -163,7 +164,7 @@ func (mp *hlMapper) Contribution(iter int, state []float64) ([]float64, error) {
 		}
 	}
 	prob := qp.Problem{Q: mp.q, P: p, C: mp.cfg.C}
-	opts := []qp.Option{qp.WithTolerance(mp.cfg.QPTol)}
+	opts := []qp.Option{qp.WithTolerance(mp.cfg.QPTol), qp.WithTelemetry(mp.cfg.Telemetry)}
 	if mp.lambda != nil {
 		opts = append(opts, qp.WithWarmStart(mp.lambda))
 	}
@@ -217,6 +218,7 @@ type meanConsensusReducer struct {
 	m    int
 	tol  float64
 	eval func(state []float64) float64
+	tel  reducerGauges
 
 	prev     []float64
 	deltaZSq []float64
@@ -237,8 +239,11 @@ func (r *meanConsensusReducer) Combine(iter int, sum []float64) ([]float64, bool
 	}
 	r.prev = next
 	r.deltaZSq = append(r.deltaZSq, delta)
+	r.tel.deltaZSq.Set(delta)
 	if r.eval != nil {
-		r.accuracy = append(r.accuracy, r.eval(next))
+		acc := r.eval(next)
+		r.accuracy = append(r.accuracy, acc)
+		r.tel.accuracy.Set(acc)
 	}
 	done := r.tol > 0 && delta < r.tol
 	return next, done, nil

@@ -64,7 +64,7 @@ func TrainHorizontalLogistic(ctx context.Context, parts []*dataset.Dataset, cfg 
 	for i, p := range parts {
 		mappers[i] = newLogisticMapper(p, m, cfg)
 	}
-	red := &meanConsensusReducer{m: m, tol: cfg.Tol}
+	red := &meanConsensusReducer{m: m, tol: cfg.Tol, tel: newReducerGauges(cfg.Telemetry, "logistic")}
 	if cfg.EvalSet != nil {
 		red.eval = func(state []float64) float64 {
 			model := LogisticModel{W: state[:k], B: state[k]}

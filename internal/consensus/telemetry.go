@@ -1,0 +1,38 @@
+package consensus
+
+import "github.com/ppml-go/ppml/internal/telemetry"
+
+// Metric names exported by the trainers. The gauges expose only scalars the
+// Reducer legitimately computes from the public aggregate — the consensus
+// dual residual proxy ‖Δz‖² and the evaluation accuracy. Per-learner primal
+// residuals ‖w_i − z‖ are deliberately NOT recorded: they exist only on the
+// learners, and exporting them would widen the Reducer's view beyond the
+// protocol transcript the semi-honest analysis assumes (DESIGN.md §11).
+const (
+	metricADMMRounds   = "ppml_admm_rounds"
+	metricDeltaZSq     = "ppml_admm_delta_z_sq"
+	metricEvalAccuracy = "ppml_admm_eval_accuracy"
+)
+
+// reducerGauges are the per-round residual gauges shared by every scheme's
+// Reducer. The zero value (nil registry) records nothing.
+type reducerGauges struct {
+	deltaZSq *telemetry.Gauge
+	accuracy *telemetry.Gauge
+}
+
+// newReducerGauges builds the gauges labeled with the training scheme
+// (hl, hk, vl-vk, logistic). A nil registry yields no-op gauges.
+func newReducerGauges(r *telemetry.Registry, scheme string) reducerGauges {
+	lbl := telemetry.L("scheme", scheme)
+	return reducerGauges{
+		deltaZSq: r.Gauge(metricDeltaZSq, lbl),
+		accuracy: r.Gauge(metricEvalAccuracy, lbl),
+	}
+}
+
+// recordRun observes end-of-training aggregates: the rounds-to-converge
+// histogram. Nil-safe via the registry's no-op handles.
+func recordRun(r *telemetry.Registry, h *History) {
+	r.Histogram(metricADMMRounds, telemetry.IterationBuckets).Observe(float64(h.Iterations))
+}

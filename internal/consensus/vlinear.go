@@ -153,6 +153,7 @@ type verticalReducer struct {
 	m    int
 	cfg  Config
 	eval func(b float64) float64
+	tel  reducerGauges
 
 	u        []float64
 	zbar     []float64
@@ -168,6 +169,7 @@ func newVerticalReducer(y []float64, m int, cfg Config) *verticalReducer {
 		y:    linalg.CopyVec(y),
 		m:    m,
 		cfg:  cfg,
+		tel:  newReducerGauges(cfg.Telemetry, "vl-vk"),
 		u:    make([]float64, len(y)),
 		zbar: make([]float64, len(y)),
 	}
@@ -192,7 +194,7 @@ func (r *verticalReducer) Combine(iter int, sum []float64) ([]float64, bool, err
 	for i := range p {
 		p[i] = mf*r.y[i]*d[i] - 1
 	}
-	res, err := qp.SolveUniformDiagEqualityBox(mf/r.cfg.Rho, p, r.cfg.C, r.y, 0)
+	res, err := qp.SolveUniformDiagEqualityBox(mf/r.cfg.Rho, p, r.cfg.C, r.y, 0, qp.WithTelemetry(r.cfg.Telemetry))
 	if err != nil {
 		return nil, false, fmt.Errorf("consensus vertical reducer solve: %w", err)
 	}
@@ -214,8 +216,11 @@ func (r *verticalReducer) Combine(iter int, sum []float64) ([]float64, bool, err
 	}
 	r.prevZeta = zeta
 	r.deltaZSq = append(r.deltaZSq, delta)
+	r.tel.deltaZSq.Set(delta)
 	if r.eval != nil {
-		r.accuracy = append(r.accuracy, r.eval(r.b))
+		acc := r.eval(r.b)
+		r.accuracy = append(r.accuracy, acc)
+		r.tel.accuracy.Set(acc)
 	}
 
 	next := make([]float64, n)

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"github.com/ppml-go/ppml"
+	"github.com/ppml-go/ppml/internal/telemetry"
+	"github.com/ppml-go/ppml/internal/transport"
 )
 
 // ErrUnknownExperiment is returned for an unrecognized panel id.
@@ -39,6 +41,11 @@ type Options struct {
 	// distributed experiments instead of the default seed-derived masks
 	// (DESIGN.md §10). Only meaningful with Distributed.
 	PerRoundMasks bool
+	// Telemetry, when non-nil, is the shared registry every experiment
+	// records into — point a live /metrics endpoint at it to watch a sweep.
+	// When nil each run uses a private registry; either way the traffic
+	// columns below are sourced from the transport telemetry counters.
+	Telemetry *ppml.Telemetry
 }
 
 // Defaults returns the paper's parameters at reduced data scale, sized so
@@ -79,6 +86,26 @@ type Panel struct {
 	Title string
 	// Series are ordered ocr, cancer, higgs like the paper's legends.
 	Series []Series
+}
+
+// runTelemetry returns the registry a training run records into: the shared
+// one when the caller provided it, else a fresh private registry.
+func (o Options) runTelemetry() *ppml.Telemetry {
+	if o.Telemetry != nil {
+		return o.Telemetry
+	}
+	return ppml.NewTelemetry()
+}
+
+// sentTotals reads the cumulative sent-side transport counters. Message and
+// byte totals use the same definition as transport.Stats (payload bytes, one
+// count per Send), so a before/after delta reproduces the History numbers
+// exactly — but from the same counters the live /metrics endpoint serves.
+func sentTotals(t *ppml.Telemetry) (msgs, bytes int64) {
+	snap := t.Snapshot()
+	sent := telemetry.L("dir", "sent")
+	return snap.CounterTotal(transport.MetricMsgs, sent),
+		snap.CounterTotal(transport.MetricBytes, sent)
 }
 
 // workload bundles a prepared train/test pair with its per-data-set kernel.
@@ -263,6 +290,9 @@ func RunScalability(o Options, learnerCounts []int) ([]ScalabilityRow, error) {
 		if o.PerRoundMasks {
 			opts = append(opts, ppml.WithPerRoundMasks())
 		}
+		tel := o.runTelemetry()
+		msgs0, bytes0 := sentTotals(tel)
+		opts = append(opts, ppml.WithTelemetry(tel))
 		start := time.Now()
 		res, err := ppml.Train(cancer.train, ppml.HorizontalLinear, opts...)
 		if err != nil {
@@ -272,12 +302,13 @@ func RunScalability(o Options, learnerCounts []int) ([]ScalabilityRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		msgs1, bytes1 := sentTotals(tel)
 		rows = append(rows, ScalabilityRow{
 			Learners:   m,
 			Iterations: res.History.Iterations,
 			Seconds:    time.Since(start).Seconds(),
-			Messages:   res.History.MessagesSent,
-			Bytes:      res.History.BytesSent,
+			Messages:   msgs1 - msgs0,
+			Bytes:      bytes1 - bytes0,
 			Accuracy:   acc,
 		})
 	}
@@ -338,6 +369,9 @@ func RunComm(o Options, m int) (*CommReport, error) {
 		if mode.perRound {
 			opts = append(opts, ppml.WithPerRoundMasks())
 		}
+		tel := o.runTelemetry()
+		msgs0, bytes0 := sentTotals(tel)
+		opts = append(opts, ppml.WithTelemetry(tel))
 		start := time.Now()
 		res, err := ppml.Train(cancer.train, ppml.HorizontalLinear, opts...)
 		if err != nil {
@@ -347,12 +381,13 @@ func RunComm(o Options, m int) (*CommReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		msgs1, bytes1 := sentTotals(tel)
 		report.Rows = append(report.Rows, CommRow{
 			Mode:       mode.name,
 			Learners:   m,
 			Iterations: res.History.Iterations,
-			Messages:   res.History.MessagesSent,
-			Bytes:      res.History.BytesSent,
+			Messages:   msgs1 - msgs0,
+			Bytes:      bytes1 - bytes0,
 			Seconds:    time.Since(start).Seconds(),
 			Accuracy:   acc,
 		})

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"github.com/ppml-go/ppml"
 )
 
 // tinyOptions keeps unit tests fast; the benchmarks use Defaults().
@@ -168,5 +170,46 @@ func TestPaperScaleSizes(t *testing.T) {
 	d := Defaults()
 	if d.C != 50 || d.Rho != 100 || d.Learners != 4 || d.Iterations != 100 {
 		t.Errorf("defaults do not match the paper: %+v", d)
+	}
+}
+
+// TestTelemetryMatchesHistory pins the counter-parity contract behind the
+// telemetry-sourced traffic columns: the transport telemetry counters a live
+// /metrics scrape serves must equal the transport.Stats totals History
+// reports, and both must match the closed-form traffic shape of seeded
+// masking — m(m−1) seed messages once, then (m shares + m broadcasts) per
+// round, plus m stop messages.
+func TestTelemetryMatchesHistory(t *testing.T) {
+	const m, iters = 3, 4
+	data := ppml.SyntheticCancer(200, 1)
+	train, test, err := data.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ppml.Standardize(train, test); err != nil {
+		t.Fatal(err)
+	}
+	tel := ppml.NewTelemetry()
+	res, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(m), ppml.WithC(50), ppml.WithRho(100),
+		ppml.WithIterations(iters), ppml.WithDistributed(),
+		ppml.WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, bytes := sentTotals(tel)
+	if msgs != res.History.MessagesSent {
+		t.Errorf("telemetry messages = %d, History = %d", msgs, res.History.MessagesSent)
+	}
+	if bytes != res.History.BytesSent {
+		t.Errorf("telemetry bytes = %d, History = %d", bytes, res.History.BytesSent)
+	}
+	wantMsgs := int64(m*(m-1) + iters*2*m + m)
+	if msgs != wantMsgs {
+		t.Errorf("messages = %d, want %d (m(m-1) seeds + 2m per round + m stops)", msgs, wantMsgs)
+	}
+	snap := tel.Snapshot()
+	if rounds := snap.CounterTotal("ppml_rounds_total"); rounds != int64(res.History.Iterations) {
+		t.Errorf("ppml_rounds_total = %d, want %d", rounds, res.History.Iterations)
 	}
 }

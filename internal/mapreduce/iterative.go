@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/ppml-go/ppml/internal/parallel"
+	"github.com/ppml-go/ppml/internal/telemetry"
 )
 
 // IterativeMapper is a long-lived Map() task of the Twister-style engine. It
@@ -88,6 +90,12 @@ func RunLocalContext(ctx context.Context, job IterativeJob) (*IterativeResult, e
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
+	// Telemetry rides in on the context (telemetry.NewContext); with none
+	// attached the handles are nil and every operation is a free no-op.
+	reg := telemetry.FromContext(ctx)
+	reg.Gauge(metricFanout).Set(float64(len(job.Mappers)))
+	rounds := reg.Counter(metricRounds)
+	roundDur := reg.Histogram(metricRoundSeconds, telemetry.DurationBuckets)
 	state := append([]float64(nil), job.InitialState...)
 	res := &IterativeResult{}
 	m := len(job.Mappers)
@@ -98,6 +106,8 @@ func RunLocalContext(ctx context.Context, job IterativeJob) (*IterativeResult, e
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		roundStart := time.Now()
+		_, roundSpan := telemetry.StartSpan(ctx, "round")
 		parallel.For(m, 1, func(lo, hi int) {
 			for mi := lo; mi < hi; mi++ {
 				contribs[mi], errs[mi] = job.Mappers[mi].Contribution(iter, state)
@@ -119,6 +129,11 @@ func RunLocalContext(ctx context.Context, job IterativeJob) (*IterativeResult, e
 				sum[j] += v
 			}
 		}
+		// A round counts once its aggregate exists, same definition as the
+		// distributed driver's.
+		roundSpan.End()
+		roundDur.Observe(time.Since(roundStart).Seconds())
+		rounds.Inc()
 		next, done, err := job.Reducer.Combine(iter, sum)
 		if err != nil {
 			return nil, fmt.Errorf("%w: reducer at iteration %d: %v", ErrAborted, iter, err)

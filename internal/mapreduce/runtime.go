@@ -14,6 +14,7 @@ import (
 	"github.com/ppml-go/ppml/internal/paillier"
 	"github.com/ppml-go/ppml/internal/parallel"
 	"github.com/ppml-go/ppml/internal/securesum"
+	"github.com/ppml-go/ppml/internal/telemetry"
 	"github.com/ppml-go/ppml/internal/transport"
 )
 
@@ -82,6 +83,13 @@ type DriverOptions struct {
 	// Locality optionally describes where each Mapper's input lives in a
 	// DFS, for data-movement accounting.
 	Locality *LocalityPlan
+	// Telemetry optionally attaches a metrics registry: per-round spans and
+	// durations, retry/timeout counters, the mapper fan-out gauge, the
+	// securesum per-kind traffic counters, and — when the Network supports
+	// it — the transport counters. Nil records nothing at zero cost. When
+	// nil, a registry already carried by the context (telemetry.NewContext)
+	// is used instead.
+	Telemetry *telemetry.Registry
 }
 
 // CheckpointPlan configures consensus-state checkpointing.
@@ -119,6 +127,16 @@ type DriverResult struct {
 
 const reducerName = "reducer"
 
+// Telemetry metric families exported by the runtime. All are scalars of the
+// driver's own control flow — never contribution or state values.
+const (
+	metricRounds       = "ppml_rounds_total"
+	metricRoundSeconds = "ppml_round_seconds"
+	metricRetries      = "ppml_map_retries_total"
+	metricTimeouts     = "ppml_round_timeouts_total"
+	metricFanout       = "ppml_mapper_fanout"
+)
+
 // sessionCounter allocates process-unique job session ids. Session 0 is
 // reserved for traffic outside any job, so the first allocation is 1.
 var sessionCounter atomic.Uint64
@@ -130,10 +148,26 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.FromContext(ctx)
+	} else {
+		ctx = telemetry.NewContext(ctx, reg)
+	}
 	net := opts.Network
 	if net == nil {
 		net = transport.NewInProc()
 		defer net.Close()
+	}
+	if reg != nil {
+		// Attach the transport counters when the network supports them. A
+		// caller-provided network keeps the attachment after the job — its
+		// counters are cumulative across jobs, like Stats.
+		if tn, ok := net.(interface {
+			SetTelemetry(*telemetry.Registry)
+		}); ok {
+			tn.SetTelemetry(reg)
+		}
 	}
 	agg := opts.Aggregation
 	if agg == 0 {
@@ -159,6 +193,19 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 
 	session := sessionCounter.Add(1)
 	m := len(job.Mappers)
+	// Prepared metric handles; with no registry each is nil and every
+	// operation below is a free no-op.
+	reg.Gauge(metricFanout).Set(float64(m))
+	rounds := reg.Counter(metricRounds)
+	roundDur := reg.Histogram(metricRoundSeconds, telemetry.DurationBuckets)
+	timeouts := reg.Counter(metricTimeouts)
+	retries := reg.Counter(metricRetries)
+	var sstel *securesum.Telemetry
+	if agg == AggregationMasked {
+		sstel = securesum.NewTelemetry(reg, opts.MaskMode)
+	}
+	ctx, jobSpan := telemetry.StartSpan(ctx, "mapreduce.job")
+	defer jobSpan.End()
 	names := make([]string, m)
 	for i := range names {
 		names[i] = fmt.Sprintf("mapper-%d", i)
@@ -196,6 +243,8 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 				codec:    codec,
 				dim:      job.ContributionDim,
 				retries:  opts.MapRetries,
+				sstel:    sstel,
+				retryCtr: retries,
 			}
 			if opts.PaillierKey != nil {
 				cfg.paillierPub = &opts.PaillierKey.PublicKey
@@ -235,32 +284,43 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	var jobErr error
 reduceLoop:
 	for iter := startIter; iter < job.MaxIterations; iter++ {
+		roundStart := time.Now()
+		spanCtx, roundSpan := telemetry.StartSpan(ctx, "round")
 		hdr := transport.Header{Session: session, Round: int32(iter)}
 		payload := appendStatePayload(scratch.bcast[:0], iter, state)
 		scratch.bcast = payload
 		for _, name := range names {
 			if err := redEP.Send(ctx, name, KindBroadcast, hdr, payload); err != nil {
+				roundSpan.End()
 				jobErr = fmt.Errorf("mapreduce: broadcast: %w", err)
 				break reduceLoop
 			}
 		}
-		roundCtx := ctx
+		roundCtx := spanCtx
 		var cancelRound context.CancelFunc
 		if opts.RoundTimeout > 0 {
-			roundCtx, cancelRound = context.WithTimeout(ctx, opts.RoundTimeout)
+			roundCtx, cancelRound = context.WithTimeout(spanCtx, opts.RoundTimeout)
 		}
 		sum, err := collectContributions(roundCtx, redEP, session, int32(iter), m, job.ContributionDim, agg, codec, opts.PaillierKey, &scratch)
 		if cancelRound != nil {
 			cancelRound()
 		}
 		if err != nil {
+			roundSpan.End()
 			if opts.RoundTimeout > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				timeouts.Inc()
 				err = fmt.Errorf("mapreduce: round %d exceeded RoundTimeout %v: %w",
 					iter, opts.RoundTimeout, context.DeadlineExceeded)
 			}
 			jobErr = err
 			break
 		}
+		// The communication round — broadcast through collected aggregate —
+		// is what the span and the histogram measure; a round that errors
+		// out ends its span but is not observed as a completed round.
+		roundSpan.End()
+		roundDur.Observe(time.Since(roundStart).Seconds())
+		rounds.Inc()
 		next, done, err := job.Reducer.Combine(iter, sum)
 		if err != nil {
 			jobErr = fmt.Errorf("%w: reducer at iteration %d: %v", ErrAborted, iter, err)
@@ -342,6 +402,8 @@ type mapperNodeConfig struct {
 	dim         int
 	retries     int
 	paillierPub *paillier.PublicKey
+	sstel       *securesum.Telemetry
+	retryCtr    *telemetry.Counter
 }
 
 // reduceScratch is the Reducer's per-session reuse state: one collector
@@ -391,8 +453,11 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 		var err error
 		if cfg.maskMode == MaskPerRound {
 			perRound, err = securesum.NewPerRoundParty(cfg.ep, cfg.names, cfg.id, reducerName, cfg.dim, cfg.codec, nil)
+			if perRound != nil {
+				perRound.SetTelemetry(cfg.sstel)
+			}
 		} else {
-			seeded, err = securesum.SetupSeeded(ctx, cfg.ep, cfg.names, cfg.id, cfg.dim, cfg.codec, nil, cfg.session)
+			seeded, err = securesum.SetupSeeded(ctx, cfg.ep, cfg.names, cfg.id, cfg.dim, cfg.codec, nil, cfg.session, cfg.sstel)
 		}
 		if err != nil {
 			return fmt.Errorf("mapper %d aggregation setup: %w", cfg.id, err)
@@ -427,6 +492,7 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 				_ = cfg.ep.Send(ctx, reducerName, KindAbort, hdr, []byte(err.Error()))
 				return fmt.Errorf("%w: mapper %d at iteration %d: %v", ErrAborted, cfg.id, iter, err)
 			}
+			cfg.retryCtr.Inc()
 		}
 		switch cfg.agg {
 		case AggregationPlain:
@@ -454,6 +520,9 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 				payload, err = seeded.RoundShareBytes(int32(iter), contrib)
 				if err == nil {
 					err = cfg.ep.Send(ctx, reducerName, securesum.KindShare, hdr, payload)
+				}
+				if err == nil {
+					cfg.sstel.RecordShare(len(payload))
 				}
 			} else {
 				err = perRound.Round(ctx, hdr, contrib)

@@ -101,10 +101,12 @@ func SolveUniformDiagEqualityBox(q0 float64, p []float64, c float64, y []float64
 			return nil, err
 		}
 	}
-	return &Result{
+	res := &Result{
 		Lambda:       lambda,
 		Iterations:   iterations,
 		KKTViolation: viol,
 		Converged:    true,
-	}, nil
+	}
+	cfg.record("diag", res)
+	return res, nil
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"github.com/ppml-go/ppml/internal/linalg"
+	"github.com/ppml-go/ppml/internal/telemetry"
 )
 
 // Errors returned by the solvers.
@@ -85,6 +86,7 @@ type config struct {
 	maxIter     int
 	warmStart   []float64
 	secondOrder bool
+	tel         *telemetry.Registry
 }
 
 func newConfig(n int, opts []Option) config {
@@ -196,6 +198,7 @@ func SolveBox(p Problem, opts ...Option) (*Result, error) {
 	}
 	res.KKTViolation = maxProjectedGradient(grad, lambda, p.C)
 	res.Converged = res.KKTViolation <= cfg.tol
+	cfg.record("box", res)
 	return res, nil
 }
 
@@ -243,6 +246,7 @@ func SolveEqualityBox(p Problem, y []float64, d float64, opts ...Option) (*Resul
 		res.KKTViolation = viol
 		if viol <= cfg.tol {
 			res.Converged = true
+			cfg.record("smo", res)
 			return res, nil
 		}
 		// Move along λ += t(y_i e_i − y_j e_j), which preserves yᵀλ.
@@ -257,6 +261,7 @@ func SolveEqualityBox(p Problem, y []float64, d float64, opts ...Option) (*Resul
 		if t <= 0 {
 			// Numerically stuck pair; KKT gap already below meaningful change.
 			res.Converged = viol <= cfg.tol
+			cfg.record("smo", res)
 			return res, nil
 		}
 		lambda[i] += y[i] * t
@@ -268,6 +273,7 @@ func SolveEqualityBox(p Problem, y []float64, d float64, opts ...Option) (*Resul
 	}
 	_, _, res.KKTViolation = selectViolatingPair(grad, lambda, y, p.C)
 	res.Converged = res.KKTViolation <= cfg.tol
+	cfg.record("smo", res)
 	return res, nil
 }
 

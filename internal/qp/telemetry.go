@@ -1,0 +1,28 @@
+package qp
+
+import "github.com/ppml-go/ppml/internal/telemetry"
+
+// Metric names exported by the solvers. Only scalar diagnostics are recorded
+// (iteration counts, solve totals) — never λ, gradients, or problem data,
+// which carry the learners' private training sets.
+const (
+	metricSolves     = "ppml_qp_solves_total"
+	metricIterations = "ppml_qp_iterations"
+)
+
+// WithTelemetry records solver diagnostics into r on every successful solve:
+// ppml_qp_solves_total and a ppml_qp_iterations histogram, both labeled
+// solver=box|smo|diag. A nil registry records nothing at zero cost.
+func WithTelemetry(r *telemetry.Registry) Option {
+	return func(c *config) { c.tel = r }
+}
+
+// record emits the per-solve metrics; solver names the algorithm family.
+func (c *config) record(solver string, res *Result) {
+	if c.tel == nil {
+		return
+	}
+	lbl := telemetry.L("solver", solver)
+	c.tel.Counter(metricSolves, lbl).Inc()
+	c.tel.Histogram(metricIterations, telemetry.IterationBuckets, lbl).Observe(float64(res.Iterations))
+}

@@ -74,7 +74,12 @@ type PerRoundParty struct {
 	maskBuf  []uint64 // decode scratch for incoming masks (copied by SetPeerMask)
 	maskWire [][]byte // per-peer outgoing mask encodings, reused across rounds
 	wire     []byte   // share encoding, reused across rounds
+
+	tel *Telemetry
 }
+
+// SetTelemetry attaches a metric sink; nil (the default) records nothing.
+func (r *PerRoundParty) SetTelemetry(t *Telemetry) { r.tel = t }
 
 // NewPerRoundParty builds the session runner for party self of names over
 // vectors of length dim. random defaults to crypto/rand.
@@ -126,6 +131,7 @@ func (r *PerRoundParty) Round(ctx context.Context, hdr transport.Header, value [
 		if err := r.ep.Send(ctx, r.names[peer], KindMask, hdr, r.maskWire[peer]); err != nil {
 			return fmt.Errorf("securesum: send mask to %q: %w", r.names[peer], err)
 		}
+		r.tel.RecordMask(len(r.maskWire[peer]))
 	}
 	filter := maskFilter(hdr)
 	for received := 0; received < m-1; received++ {
@@ -157,6 +163,7 @@ func (r *PerRoundParty) Round(ctx context.Context, hdr transport.Header, value [
 	if err := r.ep.Send(ctx, r.reducer, KindShare, hdr, r.wire); err != nil {
 		return fmt.Errorf("securesum: send share: %w", err)
 	}
+	r.tel.RecordShare(len(r.wire))
 	return nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/ppml-go/ppml/internal/fixedpoint"
 	"github.com/ppml-go/ppml/internal/transport"
@@ -256,8 +257,10 @@ func seedFilter(session uint64) transport.Filter {
 // SetupSeeded runs the one-time seed exchange of a session for one Mapper:
 // it sends a fresh seed to every peer, absorbs the m−1 peer seeds, and
 // returns the session state whose RoundShare replaces the per-round protocol
-// in every subsequent round. names and self are as in RunParty.
-func SetupSeeded(ctx context.Context, ep transport.Endpoint, names []string, self, dim int, codec fixedpoint.Codec, random io.Reader, session uint64) (*SeededSession, error) {
+// in every subsequent round. names and self are as in RunParty. tel (which
+// may be nil) counts the seed messages and times the handshake.
+func SetupSeeded(ctx context.Context, ep transport.Endpoint, names []string, self, dim int, codec fixedpoint.Codec, random io.Reader, session uint64, tel *Telemetry) (*SeededSession, error) {
+	start := time.Now()
 	m := len(names)
 	s, err := NewSeededSession(self, m, dim, session, codec, random)
 	if err != nil {
@@ -279,6 +282,7 @@ func SetupSeeded(ctx context.Context, ep transport.Endpoint, names []string, sel
 		if err := ep.Send(ctx, names[peer], KindSeed, hdr, seed); err != nil {
 			return nil, fmt.Errorf("securesum: send seed to %q: %w", names[peer], err)
 		}
+		tel.RecordSeed(len(seed))
 	}
 	filter := seedFilter(session)
 	for received := 0; received < m-1; received++ {
@@ -294,5 +298,6 @@ func SetupSeeded(ctx context.Context, ep transport.Endpoint, names []string, sel
 			return nil, err
 		}
 	}
+	tel.ObserveHandshake(time.Since(start))
 	return s, nil
 }

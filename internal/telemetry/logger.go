@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// The severities, lowest first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Field is one structured key/value pair. The constructors below are the
+// only way to build one, and none of them accepts a slice, a vector, or an
+// arbitrary interface — a caller holding a share, a mask, or a model vector
+// has no way to hand it to the logger. That is the point: payload safety is
+// a property of the API shape, not of reviewer discipline. (Err is the one
+// indirection: error strings are expected to be payload-free, and the
+// telemetrysafe analyzer flags slice-typed arguments at the call sites that
+// build them.)
+type Field struct {
+	Key string
+
+	kind fieldKind
+	str  string
+	num  int64
+	f    float64
+}
+
+type fieldKind int
+
+const (
+	stringField fieldKind = iota
+	intField
+	floatField
+	boolField
+	durationField
+)
+
+// String is a string-valued field.
+func String(key, value string) Field { return Field{Key: key, kind: stringField, str: value} }
+
+// Int is an int-valued field.
+func Int(key string, value int) Field { return Int64(key, int64(value)) }
+
+// Int64 is an int64-valued field.
+func Int64(key string, value int64) Field { return Field{Key: key, kind: intField, num: value} }
+
+// Float64 is a float64-valued field. One scalar — a residual, an accuracy —
+// never a vector.
+func Float64(key string, value float64) Field { return Field{Key: key, kind: floatField, f: value} }
+
+// Bool is a bool-valued field.
+func Bool(key string, value bool) Field {
+	var n int64
+	if value {
+		n = 1
+	}
+	return Field{Key: key, kind: boolField, num: n}
+}
+
+// Duration is a time.Duration-valued field.
+func Duration(key string, value time.Duration) Field {
+	return Field{Key: key, kind: durationField, num: int64(value)}
+}
+
+// Err is an error-valued field under the conventional "err" key. A nil
+// error renders as err=nil.
+func Err(err error) Field {
+	if err == nil {
+		return String("err", "nil")
+	}
+	return String("err", err.Error())
+}
+
+// Logger is a leveled logfmt writer. A nil *Logger no-ops, so components
+// hold one unconditionally. Safe for concurrent use.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+	now   func() time.Time // test hook; nil means time.Now
+}
+
+// NewLogger writes logfmt lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	l := &Logger{w: w}
+	l.level.Store(int32(min))
+	return l
+}
+
+// SetLevel changes the minimum emitted level.
+func (l *Logger) SetLevel(min Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(min))
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+func (l *Logger) log(lv Level, msg string, fields []Field) {
+	if l == nil || lv < Level(l.level.Load()) {
+		return
+	}
+	now := time.Now
+	if l.now != nil {
+		now = l.now
+	}
+	buf := make([]byte, 0, 128)
+	buf = append(buf, "ts="...)
+	buf = now().UTC().AppendFormat(buf, time.RFC3339)
+	buf = append(buf, " level="...)
+	buf = append(buf, lv.String()...)
+	buf = append(buf, " msg="...)
+	buf = appendValue(buf, msg)
+	for _, f := range fields {
+		buf = append(buf, ' ')
+		buf = append(buf, f.Key...)
+		buf = append(buf, '=')
+		switch f.kind {
+		case stringField:
+			buf = appendValue(buf, f.str)
+		case intField:
+			buf = strconv.AppendInt(buf, f.num, 10)
+		case floatField:
+			buf = strconv.AppendFloat(buf, f.f, 'g', -1, 64)
+		case boolField:
+			buf = strconv.AppendBool(buf, f.num != 0)
+		case durationField:
+			buf = append(buf, time.Duration(f.num).String()...)
+		}
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	//ppml:err-ok a failed diagnostic write must never fail the protocol path that logged it
+	_, _ = l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// appendValue writes s, quoting when it contains logfmt-breaking bytes.
+func appendValue(buf []byte, s string) []byte {
+	plain := s != ""
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '=' || c == '"' {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		return append(buf, s...)
+	}
+	return strconv.AppendQuote(buf, s)
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerFormatsScalars(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelDebug)
+	l.now = func() time.Time { return time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC) }
+	l.Info("round done",
+		Int("round", 7),
+		Int64("bytes", 1<<30),
+		Float64("residual", 0.25),
+		Bool("converged", true),
+		Duration("took", 1500*time.Millisecond),
+		String("mode", "seeded"),
+		String("spaced", "a b"),
+		Err(errors.New("boom")),
+	)
+	got := sb.String()
+	want := `ts=2026-01-02T03:04:05Z level=info msg="round done" round=7 bytes=1073741824 residual=0.25 converged=true took=1.5s mode=seeded spaced="a b" err=boom` + "\n"
+	if got != want {
+		t.Fatalf("logged\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestLoggerLevelGate(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelWarn)
+	l.Debug("hidden")
+	l.Info("hidden")
+	l.Warn("shown")
+	l.Error("shown")
+	if got := strings.Count(sb.String(), "\n"); got != 2 {
+		t.Fatalf("emitted %d lines, want 2:\n%s", got, sb.String())
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("now shown")
+	if !strings.Contains(sb.String(), "now shown") {
+		t.Fatal("SetLevel did not lower the gate")
+	}
+}
+
+func TestNilLoggerNoops(t *testing.T) {
+	var l *Logger
+	l.SetLevel(LevelDebug)
+	l.Debug("x")
+	l.Info("x", Int("i", 1))
+	l.Warn("x")
+	l.Error("x", Err(errors.New("e")))
+}
+
+func TestErrNil(t *testing.T) {
+	f := Err(nil)
+	if f.Key != "err" || f.str != "nil" {
+		t.Fatalf("Err(nil) = %+v", f)
+	}
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type ctxKey int
+
+const (
+	regKey ctxKey = iota
+	spanKey
+)
+
+// NewContext returns ctx carrying reg, so StartSpan and FromContext see it
+// down the call tree. A nil reg returns ctx unchanged.
+func NewContext(ctx context.Context, reg *Registry) context.Context {
+	if reg == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, regKey, reg)
+}
+
+// FromContext returns the registry carried by ctx, or nil (the no-op
+// registry) when none is attached.
+func FromContext(ctx context.Context) *Registry {
+	reg, _ := ctx.Value(regKey).(*Registry)
+	return reg
+}
+
+// Span is one timed region. A nil *Span (returned when no registry is in
+// ctx) no-ops on End, so call sites never branch.
+type Span struct {
+	reg    *Registry
+	name   string
+	parent string
+	depth  int
+	start  time.Time
+}
+
+// SpanRecord is a finished span as kept in the registry's ring buffer.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Parent   string        `json:"parent,omitempty"`
+	Depth    int           `json:"depth"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// StartSpan opens a span named name, nesting under the span already in ctx
+// if any. It returns a derived context carrying the new span and the span
+// itself; call End to record it. When ctx carries no registry the original
+// context and a nil span are returned — the disabled path allocates
+// nothing.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	reg := FromContext(ctx)
+	if reg == nil {
+		return ctx, nil
+	}
+	s := &Span{reg: reg, name: name, start: time.Now()}
+	if parent, _ := ctx.Value(spanKey).(*Span); parent != nil {
+		s.parent = parent.name
+		s.depth = parent.depth + 1
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// End records the span into the registry's recent-span ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.reg.spans.record(SpanRecord{
+		Name:     s.name,
+		Parent:   s.parent,
+		Depth:    s.depth,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+	})
+}
+
+// spanRingSize bounds the recent-span buffer: large enough to hold the tail
+// of a long training run, small enough to be snapshot-cheap.
+const spanRingSize = 256
+
+// spanRing keeps the most recent finished spans.
+type spanRing struct {
+	mu    sync.Mutex
+	buf   [spanRingSize]SpanRecord
+	next  int
+	total uint64
+}
+
+func (r *spanRing) record(rec SpanRecord) {
+	r.mu.Lock()
+	r.buf[r.next%spanRingSize] = rec
+	r.next = (r.next + 1) % spanRingSize
+	r.total++
+	r.mu.Unlock()
+}
+
+// snapshot returns the buffered spans, most recent first, and the lifetime
+// total of recorded spans.
+func (r *spanRing) snapshot() ([]SpanRecord, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int(r.total)
+	if n > spanRingSize {
+		n = spanRingSize
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[((r.next-i)%spanRingSize+spanRingSize)%spanRingSize])
+	}
+	return out, r.total
+}
+
+// RecentSpans returns the buffered finished spans, most recent first.
+// Nil-safe.
+func (r *Registry) RecentSpans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	spans, _ := r.spans.snapshot()
+	return spans
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRegistry()
+	ctx := NewContext(context.Background(), r)
+
+	jobCtx, job := StartSpan(ctx, "job")
+	rCtx, round := StartSpan(jobCtx, "round")
+	_, inner := StartSpan(rCtx, "reduce")
+	inner.End()
+	round.End()
+	job.End()
+
+	spans := r.RecentSpans() // most recent first
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "job" || spans[0].Depth != 0 || spans[0].Parent != "" {
+		t.Fatalf("job span = %+v", spans[0])
+	}
+	if spans[1].Name != "round" || spans[1].Parent != "job" || spans[1].Depth != 1 {
+		t.Fatalf("round span = %+v", spans[1])
+	}
+	if spans[2].Name != "reduce" || spans[2].Parent != "round" || spans[2].Depth != 2 {
+		t.Fatalf("reduce span = %+v", spans[2])
+	}
+	for _, s := range spans {
+		if s.Duration < 0 {
+			t.Fatalf("span %q has negative duration %v", s.Name, s.Duration)
+		}
+	}
+}
+
+// TestSpanNestingAcrossGoroutines checks that nesting follows the context,
+// not the goroutine: children started on other goroutines from the same
+// derived context still parent correctly, and siblings never see each
+// other.
+func TestSpanNestingAcrossGoroutines(t *testing.T) {
+	r := NewRegistry()
+	ctx := NewContext(context.Background(), r)
+	rootCtx, root := StartSpan(ctx, "root")
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			childCtx, child := StartSpan(rootCtx, "child")
+			_, grand := StartSpan(childCtx, "grandchild")
+			grand.End()
+			child.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	var children, grands int
+	for _, s := range r.RecentSpans() {
+		switch s.Name {
+		case "child":
+			children++
+			if s.Parent != "root" || s.Depth != 1 {
+				t.Fatalf("child span = %+v", s)
+			}
+		case "grandchild":
+			grands++
+			if s.Parent != "child" || s.Depth != 2 {
+				t.Fatalf("grandchild span = %+v", s)
+			}
+		case "root":
+			if s.Depth != 0 || s.Parent != "" {
+				t.Fatalf("root span = %+v", s)
+			}
+		}
+	}
+	if children != workers || grands != workers {
+		t.Fatalf("got %d children / %d grandchildren, want %d each", children, grands, workers)
+	}
+}
+
+func TestSpanRingWraps(t *testing.T) {
+	r := NewRegistry()
+	ctx := NewContext(context.Background(), r)
+	for i := 0; i < spanRingSize+10; i++ {
+		_, s := StartSpan(ctx, "s")
+		s.End()
+	}
+	spans, total := r.spans.snapshot()
+	if len(spans) != spanRingSize {
+		t.Fatalf("ring holds %d, want %d", len(spans), spanRingSize)
+	}
+	if total != spanRingSize+10 {
+		t.Fatalf("total = %d, want %d", total, spanRingSize+10)
+	}
+}
+
+func TestStartSpanWithoutRegistry(t *testing.T) {
+	ctx := context.Background()
+	got, s := StartSpan(ctx, "x")
+	if got != ctx {
+		t.Fatal("no-registry StartSpan must return the context unchanged")
+	}
+	if s != nil {
+		t.Fatal("no-registry StartSpan must return a nil span")
+	}
+	s.End() // must not panic
+}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/ppml-go/ppml/internal/telemetry"
 )
 
 // Errors specific to the TCP wire format.
@@ -64,6 +66,7 @@ type TCP struct {
 	messages atomic.Int64
 	bytes    atomic.Int64
 	dropped  atomic.Int64
+	tel      atomic.Pointer[netCounters]
 }
 
 var _ Network = (*TCP)(nil)
@@ -105,6 +108,14 @@ func (n *TCP) Endpoint(name string) (Endpoint, error) {
 // Stats implements Network.
 func (n *TCP) Stats() Stats {
 	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load(), StaleDropped: n.dropped.Load()}
+}
+
+// SetTelemetry attaches a metrics registry: sends, received frames, frame-
+// pool hit rate, dial/send/close errors and stale drops are mirrored into
+// labeled counters (net="tcp"). Safe to call concurrently with live
+// traffic; a nil registry detaches.
+func (n *TCP) SetTelemetry(r *telemetry.Registry) {
+	n.tel.Store(newNetCounters(r, "tcp"))
 }
 
 // Close implements Network. It closes every endpoint and reports the first
@@ -176,11 +187,21 @@ func (e *tcpEndpoint) acceptLoop() {
 // allocations dominated the wire path's garbage. Buffers above
 // maxPooledFrame (a Paillier ciphertext batch can approach the 64 MiB frame
 // bound) are not returned, so the pool never pins pathological allocations.
-var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+// The pool has no New function on purpose: a nil Get is how getFrameBuf
+// distinguishes a pool hit from a miss for the telemetry hit-rate counters.
+var framePool sync.Pool
 
 const maxPooledFrame = 1 << 20
 
-func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+func getFrameBuf(t *netCounters) *[]byte {
+	if bp, ok := framePool.Get().(*[]byte); ok {
+		t.poolGet(true)
+		return bp
+	}
+	t.poolGet(false)
+	b := make([]byte, 0, 4096)
+	return &b
+}
 
 func putFrameBuf(bp *[]byte, b []byte) {
 	if cap(b) > maxPooledFrame {
@@ -203,7 +224,8 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 			// stream; drop the connection before allocating anything.
 			return
 		}
-		bp := getFrameBuf()
+		tel := e.net.tel.Load()
+		bp := getFrameBuf(tel)
 		body := *bp
 		if cap(body) < int(n) {
 			body = make([]byte, n)
@@ -225,6 +247,8 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 			msg.Payload = append([]byte(nil), msg.Payload...)
 		}
 		putFrameBuf(bp, body)
+		tel.frameRecv(len(hdr) + int(n))
+		tel.recved(len(msg.Payload))
 		select {
 		case e.inbox <- msg:
 		case <-e.done:
@@ -311,6 +335,7 @@ func (e *tcpEndpoint) Send(ctx context.Context, to, kind string, hdr Header, pay
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	tel := e.net.tel.Load()
 	c, err := e.connTo(ctx, to)
 	if err != nil {
 		return err
@@ -320,7 +345,7 @@ func (e *tcpEndpoint) Send(ctx context.Context, to, kind string, hdr Header, pay
 		Session: hdr.Session, Round: hdr.Round, Seq: e.seq.Add(1),
 		Payload: payload,
 	}
-	bp := getFrameBuf()
+	bp := getFrameBuf(tel)
 	frame, err := appendFrame((*bp)[:0], &msg)
 	if err != nil {
 		putFrameBuf(bp, *bp)
@@ -339,6 +364,7 @@ func (e *tcpEndpoint) Send(ctx context.Context, to, kind string, hdr Header, pay
 	c.mu.Unlock()
 	putFrameBuf(bp, frame)
 	if err != nil {
+		tel.sendError()
 		// Drop the cached connection so the next send re-dials.
 		e.connMu.Lock()
 		if e.conns[to] == c {
@@ -350,6 +376,8 @@ func (e *tcpEndpoint) Send(ctx context.Context, to, kind string, hdr Header, pay
 	}
 	e.net.messages.Add(1)
 	e.net.bytes.Add(int64(len(payload)))
+	tel.sent(len(payload))
+	tel.frameSent(len(frame))
 	return nil
 }
 
@@ -366,6 +394,7 @@ func (e *tcpEndpoint) connTo(ctx context.Context, to string) (*tcpConn, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
+		e.net.tel.Load().dialError()
 		return nil, fmt.Errorf("transport tcp dial %q: %w", to, err)
 	}
 	c := &tcpConn{conn: conn}
@@ -378,7 +407,7 @@ func (e *tcpEndpoint) Recv(ctx context.Context) (Message, error) {
 }
 
 func (e *tcpEndpoint) RecvMatch(ctx context.Context, filter Filter) (Message, error) {
-	return e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped)
+	return e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped, e.net.tel.Load().staleCounter())
 }
 
 func (e *tcpEndpoint) Close() error {
@@ -386,6 +415,9 @@ func (e *tcpEndpoint) Close() error {
 	e.closeOnce.Do(func() {
 		close(e.done)
 		err = e.ln.Close()
+		if err != nil {
+			e.net.tel.Load().closeError()
+		}
 		e.connMu.Lock()
 		for _, c := range e.conns {
 			c.conn.Close()

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/ppml-go/ppml/internal/telemetry"
 )
 
 // Errors returned by networks and endpoints.
@@ -140,8 +142,10 @@ type demux struct {
 }
 
 // recvMatch implements the RecvMatch contract over an inbox channel and a
-// close signal. dropped counts filter-discarded messages network-wide.
-func (d *demux) recvMatch(ctx context.Context, f Filter, inbox <-chan Message, done <-chan struct{}, dropped *atomic.Int64) (Message, error) {
+// close signal. dropped counts filter-discarded messages network-wide;
+// stale mirrors the same count into the telemetry registry (nil when none
+// is attached).
+func (d *demux) recvMatch(ctx context.Context, f Filter, inbox <-chan Message, done <-chan struct{}, dropped *atomic.Int64, stale *telemetry.Counter) (Message, error) {
 	// Pass 1: the reorder buffer, in arrival order.
 	d.mu.Lock()
 	for i := 0; i < len(d.pending); i++ {
@@ -154,6 +158,7 @@ func (d *demux) recvMatch(ctx context.Context, f Filter, inbox <-chan Message, d
 		case Drop:
 			d.pending = append(d.pending[:i], d.pending[i+1:]...)
 			dropped.Add(1)
+			stale.Inc()
 			i--
 		}
 	}
@@ -181,6 +186,7 @@ func (d *demux) recvMatch(ctx context.Context, f Filter, inbox <-chan Message, d
 			d.mu.Unlock()
 		case Drop:
 			dropped.Add(1)
+			stale.Inc()
 		}
 	}
 }
@@ -201,6 +207,7 @@ type InProc struct {
 	messages atomic.Int64
 	bytes    atomic.Int64
 	dropped  atomic.Int64
+	tel      atomic.Pointer[netCounters]
 }
 
 var _ Network = (*InProc)(nil)
@@ -233,6 +240,13 @@ func (n *InProc) Endpoint(name string) (Endpoint, error) {
 // Stats implements Network.
 func (n *InProc) Stats() Stats {
 	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load(), StaleDropped: n.dropped.Load()}
+}
+
+// SetTelemetry attaches a metrics registry: from this point every send and
+// stale drop is mirrored into labeled counters (net="inproc"). Safe to call
+// concurrently with live traffic; a nil registry detaches.
+func (n *InProc) SetTelemetry(r *telemetry.Registry) {
+	n.tel.Store(newNetCounters(r, "inproc"))
 }
 
 // Close implements Network.
@@ -297,6 +311,7 @@ func (e *inprocEndpoint) Send(ctx context.Context, to, kind string, hdr Header, 
 	case dst.inbox <- msg:
 		e.net.messages.Add(1)
 		e.net.bytes.Add(int64(len(payload)))
+		e.net.tel.Load().sent(len(payload))
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -310,7 +325,7 @@ func (e *inprocEndpoint) Recv(ctx context.Context) (Message, error) {
 }
 
 func (e *inprocEndpoint) RecvMatch(ctx context.Context, filter Filter) (Message, error) {
-	return e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped)
+	return e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped, e.net.tel.Load().staleCounter())
 }
 
 func (e *inprocEndpoint) Close() error {

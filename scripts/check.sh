@@ -18,6 +18,21 @@ if grep -rn "context.Background()" internal/ --include="*.go" \
 	exit 1
 fi
 
+echo "==> log hygiene (no fmt.Print*/log.* in protocol packages)"
+# The telemetrysafe analyzer catches typed payload vectors reaching sinks;
+# this cruder gate bans stdout printing and the stdlib logger outright in
+# the protocol packages, where any ad-hoc diagnostic is one refactor away
+# from leaking a share. Diagnostics there go through internal/telemetry
+# (scalar-only by construction). fmt.Fprintf to an explicit non-stdout
+# writer (e.g. hashing into a bytes.Buffer) stays legal.
+if grep -rnE '\b(fmt\.Print|log\.)' \
+	internal/securesum internal/paillier internal/mapreduce \
+	internal/transport internal/consensus \
+	--include="*.go" | grep -v "_test.go" | grep -v "/testdata/"; then
+	echo "error: fmt.Print*/log.* in a protocol package (route diagnostics through internal/telemetry)" >&2
+	exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
 
@@ -39,5 +54,8 @@ go test -fuzz FuzzWireDecode -fuzztime 10s -run '^$' ./internal/paillier/
 
 echo "==> bench smoke (Gram, 1 iteration)"
 go test -run '^$' -bench Gram -benchtime 1x ./internal/kernel/
+
+echo "==> metrics smoke (live -metrics-addr endpoint on a real training run)"
+sh scripts/metrics_smoke.sh
 
 echo "ok: all checks passed"

@@ -1,0 +1,72 @@
+#!/bin/sh
+# End-to-end smoke test of the live telemetry endpoint: build ppml-train,
+# generate a tiny dataset, train distributed with -metrics-addr :0, scrape
+# the running process once, and assert the protocol counters moved. This is
+# the "does -metrics-addr actually serve during a real training run" gate —
+# unit tests cover the registry and the HTTP mux separately, but only a real
+# child process exercises flag plumbing, listener startup, and the
+# linger-until-scraped path together.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"; [ -n "${train_pid:-}" ] && kill "$train_pid" 2>/dev/null || true' EXIT
+
+echo "==> build ppml-train + ppml-datagen"
+go build -o "$workdir/ppml-train" ./cmd/ppml-train
+go build -o "$workdir/ppml-datagen" ./cmd/ppml-datagen
+
+echo "==> generate tiny dataset"
+"$workdir/ppml-datagen" -dataset cancer -n 120 -out "$workdir" >/dev/null
+
+echo "==> train distributed with -metrics-addr 127.0.0.1:0"
+"$workdir/ppml-train" \
+	-data "$workdir/cancer.csv" -scheme horizontal-linear \
+	-learners 3 -iterations 10 -distributed \
+	-metrics-addr 127.0.0.1:0 -metrics-linger 30s \
+	>"$workdir/train.out" 2>&1 &
+train_pid=$!
+
+# The first output line reports the bound address (":0" picks a free port).
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's|^metrics      http://\([^/]*\)/metrics$|\1|p' "$workdir/train.out")
+	[ -n "$addr" ] && break
+	kill -0 "$train_pid" 2>/dev/null || { cat "$workdir/train.out"; echo "error: ppml-train exited before serving metrics" >&2; exit 1; }
+	sleep 0.1
+done
+[ -n "$addr" ] || { cat "$workdir/train.out"; echo "error: no metrics address announced" >&2; exit 1; }
+echo "    serving on $addr"
+
+# Wait for training to finish (the results block ends with "elapsed"), so the
+# scrape sees final counters; -metrics-linger keeps the endpoint up.
+for _ in $(seq 1 300); do
+	grep -q "^elapsed" "$workdir/train.out" && break
+	sleep 0.1
+done
+
+echo "==> scrape /metrics"
+curl -sf "http://$addr/metrics" >"$workdir/metrics.txt"
+
+fail=0
+for metric in ppml_rounds_total ppml_transport_bytes_total; do
+	value=$(awk -v m="$metric" '$1 ~ "^"m"($|{)" { sum += $2 } END { printf "%d", sum }' "$workdir/metrics.txt")
+	if [ "${value:-0}" -gt 0 ]; then
+		echo "    $metric = $value"
+	else
+		echo "error: $metric missing or zero in scrape" >&2
+		fail=1
+	fi
+done
+
+echo "==> pprof endpoint"
+curl -sf "http://$addr/debug/pprof/cmdline" >/dev/null || { echo "error: /debug/pprof/cmdline not serving" >&2; fail=1; }
+curl -sf "http://$addr/debug/vars" | grep -q '"cmdline"' || { echo "error: /debug/vars not expvar-compatible" >&2; fail=1; }
+
+kill "$train_pid" 2>/dev/null || true
+wait "$train_pid" 2>/dev/null || true
+train_pid=""
+
+[ "$fail" -eq 0 ] || exit 1
+echo "ok: live metrics endpoint serves real training counters"
