@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-custom fuzz-short bench bench-smoke bench-comm metrics-smoke check
+.PHONY: build test race vet vet-custom fuzz-short bench bench-smoke bench-comm bench-hot metrics-smoke check
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ fuzz-short:
 	$(GO) test -fuzz FuzzWireDecode -fuzztime 10s -run '^$$' ./internal/transport/
 	$(GO) test -fuzz FuzzWireDecode -fuzztime 10s -run '^$$' ./internal/mapreduce/
 	$(GO) test -fuzz FuzzWireDecode -fuzztime 10s -run '^$$' ./internal/paillier/
+	$(GO) test -fuzz FuzzPackedRoundtrip -fuzztime 10s -run '^$$' ./internal/paillier/
 
 # Full benchmark sweep with allocation stats (slow).
 bench:
@@ -44,7 +45,12 @@ bench-smoke:
 # Communication measurement: scalability sweep under both mask modes plus
 # the seeded-vs-per-round comparison written to BENCH_comm.json.
 bench-comm:
-	./scripts/bench.sh
+	./scripts/bench.sh comm
+
+# Hot-kernel measurement: tiled vs reference compute kernels (MatMul, Gram)
+# and packed vs unpacked Paillier aggregation, written to BENCH_hot.json.
+bench-hot:
+	./scripts/bench.sh hot
 
 # The pre-merge gate: scripts/check.sh = vet (standard + custom analyzers) +
 # build + race tests + short fuzz + bench smoke.

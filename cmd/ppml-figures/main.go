@@ -43,7 +43,7 @@ func main() {
 
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("ppml-figures", flag.ContinueOnError)
-	panel := fs.String("panel", "all", "a..h, baseline, scalability, comm, or all")
+	panel := fs.String("panel", "all", "a..h, baseline, scalability, comm, hot, or all")
 	paperScale := fs.Bool("paper-scale", false, "use the full Section VI data sizes (slow)")
 	distributed := fs.Bool("distributed", false, "run on the simulated cluster with secure aggregation")
 	iterations := fs.Int("iterations", 0, "override the iteration budget")
@@ -53,6 +53,7 @@ func run(args []string) (err error) {
 	maskMode := fs.String("mask-mode", "seeded",
 		"masked-aggregation variant for distributed runs: seeded or per-round")
 	commJSON := fs.String("comm-json", "", "with -panel comm, also write the comparison as JSON to this file")
+	hotJSON := fs.String("hot-json", "", "with -panel hot, also write the kernel benchmark as JSON to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve live /metrics (Prometheus), /debug/vars and /debug/pprof on this address while the experiments run (e.g. 127.0.0.1:9090; :0 picks a free port)")
@@ -132,11 +133,13 @@ func run(args []string) (err error) {
 		return printScalability(opts)
 	case "comm":
 		return printComm(opts, *commJSON)
+	case "hot":
+		return printHot(*hotJSON)
 	default:
 		if len(*panel) == 1 && strings.Contains("abcdefgh", *panel) {
 			return printPanel(*panel, opts)
 		}
-		return fmt.Errorf("unknown panel %q (want a..h, baseline, scalability, comm, all)", *panel)
+		return fmt.Errorf("unknown panel %q (want a..h, baseline, scalability, comm, hot, all)", *panel)
 	}
 }
 
@@ -238,6 +241,45 @@ func printComm(opts experiments.Options, jsonPath string) (err error) {
 			r.Mode, r.Learners, r.Iterations, r.Messages, r.Bytes, r.Seconds, r.Accuracy)
 	}
 	fmt.Printf("max |decision diff| between modes: %g\n", report.MaxDecisionDiff)
+	fmt.Println()
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// printHot runs the hot-kernel benchmark (tiled vs reference compute kernels,
+// packed vs unpacked Paillier aggregation) and optionally writes the report
+// to jsonPath — the data behind BENCH_hot.json.
+func printHot(jsonPath string) (err error) {
+	report, err := experiments.RunHot()
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Hot kernels: reference loop vs cache-blocked tiled kernel")
+	fmt.Println("kernel\tbaseline_ms\ttiled_ms\tspeedup")
+	for _, p := range report.Pairs {
+		fmt.Printf("%s\t%.2f\t%.2f\t%.2fx\n", p.Name, p.BaselineNs/1e6, p.TiledNs/1e6, p.Speedup)
+	}
+	hp := report.Paillier
+	fmt.Printf("# Paillier vector aggregation: %d-bit key, dim=%d, %d summands, %d slots/ciphertext\n",
+		hp.KeyBits, hp.Dim, hp.MaxSummands, hp.Slots)
+	fmt.Println("layout\tciphertexts\tbytes\tms")
+	fmt.Printf("packed\t%d\t%d\t%.2f\n", hp.PackedCiphertexts, hp.PackedBytes, hp.PackedNs/1e6)
+	fmt.Printf("unpacked\t%d\t%d\t%.2f\n", hp.UnpackedCiphertexts, hp.UnpackedBytes, hp.UnpackedNs/1e6)
+	fmt.Printf("ratio: %.1fx fewer ciphertexts, %.1fx fewer bytes, %.1fx faster\n",
+		hp.CiphertextRatio, hp.ByteRatio, hp.SpeedupNs)
 	fmt.Println()
 	if jsonPath == "" {
 		return nil

@@ -9,7 +9,9 @@
 //   - an element write x[i] = v into a captured slice or array whose index
 //     is computed from closure-local variables (the lo/hi block bounds or
 //     loop variables derived from them), which is the pool's sanctioned
-//     disjoint-write pattern;
+//     disjoint-write pattern — including the flat tile index x[i*stride+j]
+//     of the cache-blocked kernels, where the captured stride appears only
+//     multiplied by a block-local expression;
 //   - preceded, inside the closure, by a Lock/RLock call on a sync.Mutex or
 //     sync.RWMutex, the sanctioned pattern for error capture; or
 //   - annotated with a justified //ppml:shared-ok directive.
@@ -143,28 +145,105 @@ func (c *closure) checkWrite(at token.Pos, lhs ast.Expr) {
 }
 
 // indexIsBlockLocal reports whether the index expression references at least
-// one closure-local variable and no captured variable, the shape of an
-// index-disjoint block write.
+// one closure-local variable and every captured variable in it is licensed,
+// the shape of an index-disjoint block write. Two licensed shapes exist: a
+// purely block-local index (out[i] with i derived from lo/hi), and the flat
+// tile index of the blocked kernels (out[i*stride+j]), where a captured
+// stride appears only as a factor multiplied by a block-local expression —
+// i*stride is disjoint across blocks whenever i is.
 func (c *closure) indexIsBlockLocal(index ast.Expr) bool {
-	sawLocal := false
-	sawCaptured := false
-	ast.Inspect(index, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
+	return c.refsLocal(index) && c.capturedLicensed(index)
+}
+
+// refsLocal reports whether e references at least one closure-local variable.
+func (c *closure) refsLocal(e ast.Expr) bool {
+	saw := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok && c.local(obj) {
+				saw = true
+			}
 		}
-		obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
-		if !ok {
-			return true
-		}
-		if c.local(obj) {
-			sawLocal = true
-		} else {
-			sawCaptured = true
+		return !saw
+	})
+	return saw
+}
+
+// blockLocalOnly reports whether e references at least one closure-local
+// variable and no captured one.
+func (c *closure) blockLocalOnly(e ast.Expr) bool {
+	sawLocal, sawCaptured := false, false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				if c.local(obj) {
+					sawLocal = true
+				} else {
+					sawCaptured = true
+				}
+			}
 		}
 		return true
 	})
 	return sawLocal && !sawCaptured
+}
+
+// capturedLicensed reports whether every captured variable in e appears only
+// as a stride: one factor of a multiplication whose other factor is
+// block-local. Anything more opaque than variables, constants, and arithmetic
+// (calls, selectors, further indexing) must not touch captures at all.
+func (c *closure) capturedLicensed(e ast.Expr) bool {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj, ok := c.pass.TypesInfo.Uses[t].(*types.Var)
+		return !ok || c.local(obj)
+	case *ast.BasicLit:
+		return true
+	case *ast.BinaryExpr:
+		if t.Op == token.MUL {
+			if c.strideFactor(t.X) && c.blockLocalOnly(t.Y) {
+				return true
+			}
+			if c.strideFactor(t.Y) && c.blockLocalOnly(t.X) {
+				return true
+			}
+		}
+		return c.capturedLicensed(t.X) && c.capturedLicensed(t.Y)
+	case *ast.UnaryExpr:
+		return c.capturedLicensed(t.X)
+	default:
+		return !c.refsCaptured(e)
+	}
+}
+
+// strideFactor reports whether e is built only from variables, constants,
+// and arithmetic — the transparent shape a stride operand must have for the
+// multiplication license to apply.
+func (c *closure) strideFactor(e ast.Expr) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Ident, *ast.BasicLit, *ast.BinaryExpr, *ast.UnaryExpr, *ast.ParenExpr:
+		default:
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// refsCaptured reports whether e references any captured variable.
+func (c *closure) refsCaptured(e ast.Expr) bool {
+	saw := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok && !c.local(obj) {
+				saw = true
+			}
+		}
+		return !saw
+	})
+	return saw
 }
 
 // rootObject resolves the variable at the base of an assignment target:

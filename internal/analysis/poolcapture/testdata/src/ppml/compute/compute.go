@@ -118,6 +118,44 @@ func ProbeUnjustified(xs []float64) float64 {
 	return last
 }
 
+// TiledTransform mirrors the cache-blocked kernels: each block owns rows
+// [lo, hi) of a flat row-major buffer and writes them through the strided
+// index i*cols+j. cols is captured, but only as a stride multiplied by the
+// block-local row — disjoint across blocks. No diagnostics.
+func TiledTransform(src []float64, cols int, out []float64) {
+	parallel.For(len(src)/cols, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j++ {
+				out[i*cols+j] = 2 * src[i*cols+j]
+			}
+		}
+	})
+}
+
+// TiledMirror is the symmetric-tile shape: the mirrored cell out[j*n+i]
+// with both loop variables block-derived and a captured stride. No
+// diagnostics.
+func TiledMirror(n int, out []float64) {
+	parallel.For(n, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i; j < n; j++ {
+				out[i*n+j] = 1
+				out[j*n+i] = 1
+			}
+		}
+	})
+}
+
+// Wrap folds a block-local index through a captured modulus: blocks collide,
+// so the stride license must not apply to %.
+func Wrap(xs []float64, k int, out []float64) {
+	parallel.For(len(xs), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i%k] = xs[i] // want `element write into captured "out" with an index not derived`
+		}
+	})
+}
+
 // LocalState writes only closure-local variables. No diagnostics.
 func LocalState(xs []float64, out []float64) {
 	parallel.For(len(xs), 64, func(lo, hi int) {

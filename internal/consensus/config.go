@@ -71,6 +71,10 @@ type Config struct {
 	// PaillierKey supplies the homomorphic key pair when Aggregation is
 	// mapreduce.AggregationPaillier.
 	PaillierKey *paillier.PrivateKey
+	// PaillierPackWidth caps how many fixed-point values are packed into one
+	// Paillier plaintext: 0 packs as many slots as the modulus allows, 1
+	// degenerates to the per-element layout. See paillier.NewPacking.
+	PaillierPackWidth int
 	// Network overrides the transport in distributed mode (default:
 	// in-process channels).
 	Network transport.Network
@@ -187,14 +191,15 @@ func runJob(ctx context.Context, cfg Config, job mapreduce.IterativeJob, parts [
 		locality = plan
 	}
 	res, err := mapreduce.RunDistributed(ctx, job, mapreduce.DriverOptions{
-		Network:      cfg.Network,
-		Aggregation:  cfg.Aggregation,
-		MaskMode:     cfg.MaskMode,
-		MapRetries:   cfg.MapRetries,
-		RoundTimeout: cfg.RoundTimeout,
-		Locality:     locality,
-		PaillierKey:  cfg.PaillierKey,
-		Telemetry:    cfg.Telemetry,
+		Network:           cfg.Network,
+		Aggregation:       cfg.Aggregation,
+		MaskMode:          cfg.MaskMode,
+		MapRetries:        cfg.MapRetries,
+		RoundTimeout:      cfg.RoundTimeout,
+		Locality:          locality,
+		PaillierKey:       cfg.PaillierKey,
+		PaillierPackWidth: cfg.PaillierPackWidth,
+		Telemetry:         cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, nil, err

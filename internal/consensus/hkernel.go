@@ -123,7 +123,13 @@ func TrainHorizontalKernel(ctx context.Context, parts []*dataset.Dataset, cfg Co
 		mappers[i] = mp
 		hkMappers[i] = mp
 	}
-	red := &meanConsensusReducer{m: m, tol: cfg.Tol, tel: newReducerGauges(cfg.Telemetry, "hk")}
+	red := &meanConsensusReducer{
+		m:        m,
+		tol:      cfg.Tol,
+		tel:      newReducerGauges(cfg.Telemetry, "hk"),
+		deltaZSq: make([]float64, 0, cfg.MaxIterations),
+		accuracy: make([]float64, 0, cfg.MaxIterations),
+	}
 	if cfg.EvalSet != nil {
 		red.eval = func(state []float64) float64 {
 			model := assembleHKModel(cfg, xg, hkMappers, state)
@@ -196,7 +202,13 @@ type hkMapper struct {
 	prevGw []float64
 	prevB  float64
 	haveW  bool
-	lambda []float64
+	lambda []float64 // warm start across iterations (mapper-owned copy)
+
+	// Round scratch, allocated once so steady-state Contribution calls are
+	// allocation-free; opts is prebuilt because qp.Options are closures.
+	u, pg, p, ylambda, gu []float64
+	qpScratch             qp.Scratch
+	opts                  []qp.Option
 
 	lastIter int
 	cached   []float64
@@ -261,13 +273,29 @@ func newHKMapper(p *dataset.Dataset, m int, cfg Config, xg, kgg, kgInv *linalg.M
 		return nil, err
 	}
 
-	return &hkMapper{
+	mp := &hkMapper{
 		m: m, cfg: cfg, x: p.X, y: p.Y, l: xg.Rows, rhoM: rhoM,
 		kgg: kgg, kgInv: kgInv, kmg: kmg,
 		q: q, phiPG: phiPG, gpg: gpg, kgInvKm: kgInvKm,
 		r:        make([]float64, xg.Rows),
+		prevGw:   make([]float64, xg.Rows),
+		lambda:   make([]float64, p.Len()),
+		u:        make([]float64, xg.Rows),
+		pg:       make([]float64, p.Len()),
+		p:        make([]float64, p.Len()),
+		ylambda:  make([]float64, p.Len()),
+		gu:       make([]float64, xg.Rows),
 		lastIter: -1,
-	}, nil
+	}
+	// Zero warm start equals the solver's default start, so the option set
+	// is static (see hlMapper).
+	mp.opts = []qp.Option{
+		qp.WithTolerance(cfg.QPTol),
+		qp.WithTelemetry(cfg.Telemetry),
+		qp.WithScratch(&mp.qpScratch),
+		qp.WithWarmStart(mp.lambda),
+	}
+	return mp, nil
 }
 
 // Contribution implements mapreduce.IterativeMapper.
@@ -284,41 +312,41 @@ func (mp *hkMapper) Contribution(iter int, state []float64) ([]float64, error) {
 		}
 		mp.beta += mp.prevB - s
 	}
-	u := linalg.SubVec(z, mp.r, nil) // z − r_m
+	u := linalg.SubVec(z, mp.r, mp.u) // z − r_m
 	t := s - mp.beta
 
 	// Linear term: ρ·Y·ΦPGᵀ·u + t·y − 1.
 	n := mp.x.Rows
-	pg, err := mp.phiPG.MulVec(u, nil)
+	pg, err := mp.phiPG.MulVec(u, mp.pg)
 	if err != nil {
 		return nil, err
 	}
-	p := make([]float64, n)
+	p := mp.p
 	for i := 0; i < n; i++ {
 		p[i] = mp.cfg.Rho*mp.y[i]*pg[i] + t*mp.y[i] - 1
 	}
-	opts := []qp.Option{qp.WithTolerance(mp.cfg.QPTol), qp.WithTelemetry(mp.cfg.Telemetry)}
-	if mp.lambda != nil {
-		opts = append(opts, qp.WithWarmStart(mp.lambda))
-	}
-	res, err := qp.SolveBox(qp.Problem{Q: mp.q, P: p, C: mp.cfg.C}, opts...)
+	res, err := qp.SolveBox(qp.Problem{Q: mp.q, P: p, C: mp.cfg.C}, mp.opts...)
 	if err != nil {
 		return nil, fmt.Errorf("consensus hk local solve: %w", err)
 	}
-	mp.lambda = res.Lambda
+	// res.Lambda aliases the qp scratch; copy it into the mapper-owned warm
+	// start before the next solve zeroes the scratch.
+	copy(mp.lambda, res.Lambda)
 
 	// Gw = (ΦPGᵀ)ᵀ·Yλ + ρ·GPGᵀ·u; b = t + (1/ρ)·yᵀλ.
-	ylambda := make([]float64, n)
+	ylambda := mp.ylambda
 	sumYL := 0.0
 	for i := range ylambda {
 		ylambda[i] = mp.y[i] * res.Lambda[i]
 		sumYL += ylambda[i]
 	}
-	gw, err := mp.phiPG.MulVecT(ylambda, nil)
+	// prevGw was consumed by the dual update above, so it can take this
+	// round's Gw in place.
+	gw, err := mp.phiPG.MulVecT(ylambda, mp.prevGw)
 	if err != nil {
 		return nil, err
 	}
-	gu, err := mp.gpg.MulVec(u, nil)
+	gu, err := mp.gpg.MulVec(u, mp.gu)
 	if err != nil {
 		return nil, err
 	}
@@ -326,12 +354,15 @@ func (mp *hkMapper) Contribution(iter int, state []float64) ([]float64, error) {
 	b := t + sumYL/mp.cfg.Rho
 
 	mp.prevGw, mp.prevB, mp.haveW = gw, b, true
-	contrib := make([]float64, mp.l+1)
+	if mp.cached == nil {
+		mp.cached = make([]float64, mp.l+1)
+	}
+	contrib := mp.cached
 	for j := range gw {
 		contrib[j] = gw[j] + mp.r[j]
 	}
 	contrib[mp.l] = b + mp.beta
-	mp.lastIter, mp.cached = iter, contrib
+	mp.lastIter = iter
 	return contrib, nil
 }
 

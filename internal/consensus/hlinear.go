@@ -53,9 +53,11 @@ func TrainHorizontalLinear(ctx context.Context, parts []*dataset.Dataset, cfg Co
 		mappers[i] = mp
 	}
 	red := &meanConsensusReducer{
-		m:   m,
-		tol: cfg.Tol,
-		tel: newReducerGauges(cfg.Telemetry, "hl"),
+		m:        m,
+		tol:      cfg.Tol,
+		tel:      newReducerGauges(cfg.Telemetry, "hl"),
+		deltaZSq: make([]float64, 0, cfg.MaxIterations),
+		accuracy: make([]float64, 0, cfg.MaxIterations),
 	}
 	if cfg.EvalSet != nil {
 		red.eval = func(state []float64) float64 {
@@ -102,7 +104,14 @@ type hlMapper struct {
 	prevW  []float64
 	prevB  float64
 	haveW  bool
-	lambda []float64 // warm start across iterations
+	lambda []float64 // warm start across iterations (mapper-owned copy)
+
+	// Round scratch, allocated once in newHLMapper so steady-state
+	// Contribution calls are allocation-free. opts is prebuilt because every
+	// qp.Option is a closure — constructing them per round would allocate.
+	u, p, ylambda []float64
+	qpScratch     qp.Scratch
+	opts          []qp.Option
 
 	lastIter int
 	cached   []float64
@@ -114,7 +123,24 @@ func newHLMapper(p *dataset.Dataset, m int, cfg Config) (*hlMapper, error) {
 		m: m, cfg: cfg, eta: eta,
 		x: p.X, y: p.Y,
 		gamma:    make([]float64, p.Features()),
+		prevW:    make([]float64, p.Features()),
+		lambda:   make([]float64, p.Len()),
+		u:        make([]float64, p.Features()),
+		p:        make([]float64, p.Len()),
+		ylambda:  make([]float64, p.Len()),
 		lastIter: -1,
+	}
+	// A zero warm start is the solvers' default start, so the warm-start
+	// option can be installed unconditionally and fed by copying each
+	// round's solution back into mp.lambda.
+	mp.opts = []qp.Option{
+		qp.WithTolerance(cfg.QPTol),
+		qp.WithTelemetry(cfg.Telemetry),
+		qp.WithScratch(&mp.qpScratch),
+		qp.WithWarmStart(mp.lambda),
+	}
+	if cfg.PaperSplit && cfg.QPSecondOrder {
+		mp.opts = append(mp.opts, qp.WithSecondOrderSelection())
 	}
 	// Dual Hessian: η·Y X Xᵀ Y (+ (1/ρ)·y yᵀ for the joint update).
 	gram, err := linalg.MatMulT(p.X, p.X)
@@ -150,13 +176,13 @@ func (mp *hlMapper) Contribution(iter int, state []float64) ([]float64, error) {
 		}
 		mp.beta += mp.prevB - s
 	}
-	u := linalg.SubVec(z, mp.gamma, nil)
+	u := linalg.SubVec(z, mp.gamma, mp.u)
 	t := s - mp.beta
 
 	// Linear term: P_i = ηρ·y_i·x_iᵀu + t·y_i − 1 (the t·y term is folded
 	// into the equality constraint in paper-split mode).
 	n := mp.x.Rows
-	p := make([]float64, n)
+	p := mp.p
 	for i := 0; i < n; i++ {
 		p[i] = mp.eta*mp.cfg.Rho*mp.y[i]*linalg.Dot(mp.x.Row(i), u) - 1
 		if !mp.cfg.PaperSplit {
@@ -164,35 +190,32 @@ func (mp *hlMapper) Contribution(iter int, state []float64) ([]float64, error) {
 		}
 	}
 	prob := qp.Problem{Q: mp.q, P: p, C: mp.cfg.C}
-	opts := []qp.Option{qp.WithTolerance(mp.cfg.QPTol), qp.WithTelemetry(mp.cfg.Telemetry)}
-	if mp.lambda != nil {
-		opts = append(opts, qp.WithWarmStart(mp.lambda))
-	}
 	var res *qp.Result
 	var err error
 	if mp.cfg.PaperSplit {
 		// Equality constraint of eq. (12) with the lagged right-hand side.
-		if mp.cfg.QPSecondOrder {
-			opts = append(opts, qp.WithSecondOrderSelection())
-		}
 		d := mp.cfg.Rho * (mp.prevB - s + mp.beta)
-		res, err = qp.SolveEqualityBox(prob, mp.y, d, opts...)
+		res, err = qp.SolveEqualityBox(prob, mp.y, d, mp.opts...)
 	} else {
-		res, err = qp.SolveBox(prob, opts...)
+		res, err = qp.SolveBox(prob, mp.opts...)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("consensus hl local solve: %w", err)
 	}
-	mp.lambda = res.Lambda
+	// res.Lambda aliases the qp scratch; copy it into the mapper-owned warm
+	// start before the next solve zeroes the scratch.
+	copy(mp.lambda, res.Lambda)
 
 	// Primal recovery: w = η(XᵀYλ + ρu), b = t + (1/ρ)·yᵀλ.
-	ylambda := make([]float64, n)
+	ylambda := mp.ylambda
 	sumYL := 0.0
 	for i := range ylambda {
 		ylambda[i] = mp.y[i] * res.Lambda[i]
 		sumYL += ylambda[i]
 	}
-	w, err := mp.x.MulVecT(ylambda, nil)
+	// prevW was consumed by the dual update above, so it can take this
+	// round's w in place.
+	w, err := mp.x.MulVecT(ylambda, mp.prevW)
 	if err != nil {
 		return nil, err
 	}
@@ -202,12 +225,15 @@ func (mp *hlMapper) Contribution(iter int, state []float64) ([]float64, error) {
 	b := t + sumYL/mp.cfg.Rho
 
 	mp.prevW, mp.prevB, mp.haveW = w, b, true
-	contrib := make([]float64, k+1)
+	if mp.cached == nil {
+		mp.cached = make([]float64, k+1)
+	}
+	contrib := mp.cached
 	for j := range w {
 		contrib[j] = w[j] + mp.gamma[j]
 	}
 	contrib[k] = b + mp.beta
-	mp.lastIter, mp.cached = iter, contrib
+	mp.lastIter = iter
 	return contrib, nil
 }
 
@@ -221,23 +247,30 @@ type meanConsensusReducer struct {
 	tel  reducerGauges
 
 	prev     []float64
+	next     []float64 // broadcast buffer, reused every round
 	deltaZSq []float64
 	accuracy []float64
 }
 
 // Combine implements mapreduce.IterativeReducer.
 func (r *meanConsensusReducer) Combine(iter int, sum []float64) ([]float64, bool, error) {
-	next := make([]float64, len(sum))
+	if cap(r.next) < len(sum) {
+		r.next = make([]float64, len(sum))
+	}
+	next := r.next[:len(sum)]
 	for i, v := range sum {
 		next[i] = v / float64(r.m)
 	}
 	var delta float64
 	if r.prev == nil {
 		delta = linalg.Norm2Sq(next)
+		r.prev = linalg.CopyVec(next)
 	} else {
 		delta = linalg.Dist2Sq(next, r.prev)
+		// Swap buffers: next becomes the reference, the old reference is
+		// overwritten on the following round.
+		r.prev, r.next = next, r.prev
 	}
-	r.prev = next
 	r.deltaZSq = append(r.deltaZSq, delta)
 	r.tel.deltaZSq.Set(delta)
 	if r.eval != nil {

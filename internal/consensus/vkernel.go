@@ -133,6 +133,7 @@ type vkMapper struct {
 
 	alpha  []float64 // ρ(I + ρK_m)⁻¹q — the expansion coefficients
 	prevKw []float64 // Φ_m w_m = K_m·alpha at the previous iterate
+	q      []float64 // residual-target scratch, reused every round
 
 	lastIter int
 	cached   []float64
@@ -169,19 +170,24 @@ func (mp *vkMapper) Contribution(iter int, state []float64) ([]float64, error) {
 	if len(state) != mp.x.Rows {
 		return nil, fmt.Errorf("%w: state of %d values for %d records", ErrBadPartition, len(state), mp.x.Rows)
 	}
-	q := linalg.AddVec(mp.prevKw, state, nil)
-	alpha, err := mp.ch.SolveVec(q, nil)
+	// All vectors land in mapper-owned buffers (see vlMapper.Contribution):
+	// steady-state rounds allocate nothing.
+	mp.q = linalg.AddVec(mp.prevKw, state, mp.q)
+	alpha, err := mp.ch.SolveVec(mp.q, mp.alpha)
 	if err != nil {
 		return nil, err
 	}
 	linalg.Scale(mp.cfg.Rho, alpha)
 	mp.alpha = alpha
-	kw, err := mp.km.MulVec(alpha, nil)
+	kw, err := mp.km.MulVec(alpha, mp.prevKw)
 	if err != nil {
 		return nil, err
 	}
 	mp.prevKw = kw
-	contrib := linalg.CopyVec(kw)
-	mp.lastIter, mp.cached = iter, contrib
-	return contrib, nil
+	if mp.cached == nil {
+		mp.cached = make([]float64, len(kw))
+	}
+	copy(mp.cached, kw)
+	mp.lastIter = iter
+	return mp.cached, nil
 }

@@ -86,6 +86,8 @@ type vlMapper struct {
 
 	w      []float64 // current block weights
 	prevXw []float64 // X_m·w at the previous iterate
+	q      []float64 // residual-target scratch, reused every round
+	xtq    []float64 // Xᵀq scratch, reused every round
 
 	lastIter int
 	cached   []float64
@@ -124,25 +126,33 @@ func (mp *vlMapper) Contribution(iter int, state []float64) ([]float64, error) {
 	if len(state) != mp.x.Rows {
 		return nil, fmt.Errorf("%w: state of %d values for %d records", ErrBadPartition, len(state), mp.x.Rows)
 	}
-	q := linalg.AddVec(mp.prevXw, state, nil)
-	xtq, err := mp.x.MulVecT(q, nil)
+	// Every vector below lands in a mapper-owned buffer, so a steady-state
+	// round allocates nothing: q and xtq are round scratch, w and prevXw are
+	// the carried state, and cached doubles as the returned contribution.
+	mp.q = linalg.AddVec(mp.prevXw, state, mp.q)
+	xtq, err := mp.x.MulVecT(mp.q, mp.xtq)
 	if err != nil {
 		return nil, err
 	}
-	w, err := mp.ch.SolveVec(xtq, nil)
+	mp.xtq = xtq
+	w, err := mp.ch.SolveVec(xtq, mp.w)
 	if err != nil {
 		return nil, err
 	}
 	linalg.Scale(mp.cfg.Rho, w)
 	mp.w = w
-	xw, err := mp.x.MulVec(w, nil)
+	// q has been consumed, so prevXw is free to take this round's X·w.
+	xw, err := mp.x.MulVec(w, mp.prevXw)
 	if err != nil {
 		return nil, err
 	}
 	mp.prevXw = xw
-	contrib := linalg.CopyVec(xw)
-	mp.lastIter, mp.cached = iter, contrib
-	return contrib, nil
+	if mp.cached == nil {
+		mp.cached = make([]float64, len(xw))
+	}
+	copy(mp.cached, xw)
+	mp.lastIter = iter
+	return mp.cached, nil
 }
 
 // verticalReducer is the Reduce() side shared by both vertical schemes: it
@@ -160,19 +170,38 @@ type verticalReducer struct {
 	prevZeta []float64
 	b        float64
 
+	// Round scratch, allocated once so steady-state Combine calls are
+	// allocation-free: abar/d/p feed the prox step, zeta and prevZeta swap
+	// roles every round, next is the broadcast buffer (consumed by the
+	// mappers before the following Combine overwrites it).
+	abar, d, p, zeta, next []float64
+	qpScratch              qp.Scratch
+	qpOpts                 []qp.Option // prebuilt once, reused every solve
+
 	deltaZSq []float64
 	accuracy []float64
 }
 
 func newVerticalReducer(y []float64, m int, cfg Config) *verticalReducer {
-	return &verticalReducer{
+	n := len(y)
+	r := &verticalReducer{
 		y:    linalg.CopyVec(y),
 		m:    m,
 		cfg:  cfg,
 		tel:  newReducerGauges(cfg.Telemetry, "vl-vk"),
-		u:    make([]float64, len(y)),
-		zbar: make([]float64, len(y)),
+		u:    make([]float64, n),
+		zbar: make([]float64, n),
+		abar: make([]float64, n),
+		d:    make([]float64, n),
+		p:    make([]float64, n),
+		zeta: make([]float64, n),
+		next: make([]float64, n),
+
+		deltaZSq: make([]float64, 0, cfg.MaxIterations),
+		accuracy: make([]float64, 0, cfg.MaxIterations),
 	}
+	r.qpOpts = []qp.Option{qp.WithTelemetry(cfg.Telemetry), qp.WithScratch(&r.qpScratch)}
+	return r
 }
 
 // Combine implements mapreduce.IterativeReducer: the (z, b)-update and dual
@@ -182,25 +211,25 @@ func (r *verticalReducer) Combine(iter int, sum []float64) ([]float64, bool, err
 	if len(sum) != n {
 		return nil, false, fmt.Errorf("%w: aggregate of %d values for %d records", ErrBadPartition, len(sum), n)
 	}
-	abar := make([]float64, n)
+	abar := r.abar
 	for i := range abar {
 		abar[i] = sum[i] / float64(r.m)
 	}
-	d := linalg.AddVec(r.u, abar, nil)
+	d := linalg.AddVec(r.u, abar, r.d)
 
 	// Prox-hinge dual: min ½(M/ρ)‖λ‖² + (M·Y·d − 1)ᵀλ, 0 ≤ λ ≤ C, yᵀλ = 0.
 	mf := float64(r.m)
-	p := make([]float64, n)
+	p := r.p
 	for i := range p {
 		p[i] = mf*r.y[i]*d[i] - 1
 	}
-	res, err := qp.SolveUniformDiagEqualityBox(mf/r.cfg.Rho, p, r.cfg.C, r.y, 0, qp.WithTelemetry(r.cfg.Telemetry))
+	res, err := qp.SolveUniformDiagEqualityBox(mf/r.cfg.Rho, p, r.cfg.C, r.y, 0, r.qpOpts...)
 	if err != nil {
 		return nil, false, fmt.Errorf("consensus vertical reducer solve: %w", err)
 	}
 
 	// ζ = M·d + (M/ρ)·Yλ; z̄ = ζ/M; u ← u + ā − z̄.
-	zeta := make([]float64, n)
+	zeta := r.zeta
 	for i := range zeta {
 		zeta[i] = mf*d[i] + mf/r.cfg.Rho*r.y[i]*res.Lambda[i]
 		r.zbar[i] = zeta[i] / mf
@@ -211,10 +240,12 @@ func (r *verticalReducer) Combine(iter int, sum []float64) ([]float64, bool, err
 	var delta float64
 	if r.prevZeta == nil {
 		delta = linalg.Norm2Sq(zeta)
+		r.prevZeta = linalg.CopyVec(zeta)
 	} else {
 		delta = linalg.Dist2Sq(zeta, r.prevZeta)
+		// Swap rather than copy: zeta's buffer becomes next round's scratch.
+		r.prevZeta, r.zeta = r.zeta, r.prevZeta
 	}
-	r.prevZeta = zeta
 	r.deltaZSq = append(r.deltaZSq, delta)
 	r.tel.deltaZSq.Set(delta)
 	if r.eval != nil {
@@ -223,7 +254,7 @@ func (r *verticalReducer) Combine(iter int, sum []float64) ([]float64, bool, err
 		r.tel.accuracy.Set(acc)
 	}
 
-	next := make([]float64, n)
+	next := r.next
 	for i := range next {
 		next[i] = r.zbar[i] - abar[i] - r.u[i]
 	}

@@ -1,0 +1,166 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/dataset"
+	"github.com/ppml-go/ppml/internal/fixedpoint"
+	"github.com/ppml-go/ppml/internal/linalg"
+	"github.com/ppml-go/ppml/internal/partition"
+	"github.com/ppml-go/ppml/internal/securesum"
+)
+
+// TestSteadyStateRoundZeroAlloc pins the allocation contract of the hot
+// training loop: one steady-state consensus round at M = 64 learners — every
+// mapper's ridge sub-problem, the seed-derived secure-sum masking of its
+// contribution, the ring aggregation, and the reducer's prox step with its
+// QP solve — performs zero heap allocations. The first rounds are warm-up
+// (they grow the mapper/reducer/QP scratch and the first prevZeta copy);
+// after that, every buffer is owned and reused, exactly like the telemetry
+// no-op path pinned by TestDisabledZeroAlloc.
+func TestSteadyStateRoundZeroAlloc(t *testing.T) {
+	const m = 64
+	const rows = 96
+	rng := rand.New(rand.NewSource(11))
+	x := linalg.NewMatrix(rows, m)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < m; j++ {
+			x.Data[i*m+j] = rng.NormFloat64()
+		}
+		if rng.Intn(2) == 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	full, err := dataset.New("zeroalloc", x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, _, err := partition.Vertical(full, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := Config{C: 50, Rho: 100, MaxIterations: 1000}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mappers := make([]*vlMapper, m)
+	for i, p := range parts {
+		mp, err := newVLMapper(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mappers[i] = mp
+	}
+	red := newVerticalReducer(y, m, cfg)
+
+	// Seed-derived masking sessions with a full pairwise seed exchange, the
+	// same setup SetupSeeded performs over the wire.
+	codec := fixedpoint.Default()
+	const session = 0xfeed
+	sessions := make([]*securesum.SeededSession, m)
+	for i := range sessions {
+		s, err := securesum.NewSeededSession(i, m, rows, session, codec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	for i := range sessions {
+		for j := range sessions {
+			if i == j {
+				continue
+			}
+			seed, err := sessions[i].SeedFor(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sessions[j].SetPeerSeed(i, seed); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	state := make([]float64, rows)
+	acc := make([]uint64, rows)
+	sum := make([]float64, rows)
+	iter := 0
+	round := func() {
+		for j := range acc {
+			acc[j] = 0
+		}
+		for i, mp := range mappers {
+			contrib, err := mp.Contribution(iter, state)
+			if err != nil {
+				t.Fatal(err)
+			}
+			share, err := sessions[i].RoundShare(int32(iter), contrib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fixedpoint.AddVec(acc, share); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum, err = codec.DecodeVec(acc, sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, _, err := red.Combine(iter, sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(state, next)
+		iter++
+	}
+
+	for i := 0; i < 3; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(10, round); allocs != 0 {
+		t.Fatalf("steady-state consensus round at M=%d allocated %v times, want 0", m, allocs)
+	}
+
+	// The masked rounds above must equal the unmasked aggregate: decode one
+	// more round both ways to prove the masks cancelled.
+	plain := make([]float64, rows)
+	for i, mp := range mappers {
+		contrib, err := mp.Contribution(iter, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+		for j, v := range contrib {
+			plain[j] += v
+		}
+	}
+	for j := range acc {
+		acc[j] = 0
+	}
+	for i, mp := range mappers {
+		contrib, err := mp.Contribution(iter, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		share, err := sessions[i].RoundShare(int32(iter), contrib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fixedpoint.AddVec(acc, share); err != nil {
+			t.Fatal(err)
+		}
+	}
+	masked, err := codec.DecodeVec(acc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range plain {
+		if diff := masked[j] - plain[j]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("masked sum[%d] = %g, plain %g", j, masked[j], plain[j])
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+// Hot-kernel benchmark: the measurements behind BENCH_hot.json. Each pair
+// times the seed's reference loop against the production cache-blocked kernel
+// on the same input, and the Paillier section compares slot-packed against
+// per-element vector aggregation on the identical contribution. The numbers
+// feed the EXPERIMENTS.md before/after table; `make bench-hot` regenerates
+// the JSON via ppml-figures -panel hot.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/fixedpoint"
+	"github.com/ppml-go/ppml/internal/kernel"
+	"github.com/ppml-go/ppml/internal/linalg"
+	"github.com/ppml-go/ppml/internal/paillier"
+)
+
+// HotPair is one before/after row: the reference loop the tiled kernel
+// replaced, the tiled kernel, and their ratio.
+type HotPair struct {
+	Name       string
+	BaselineNs float64
+	TiledNs    float64
+	Speedup    float64
+}
+
+// HotPaillier compares packed and unpacked (width-1) Paillier vector
+// aggregation: full mapper-encrypt → wire → reducer-fold-and-open on one
+// Dim-dimensional contribution.
+type HotPaillier struct {
+	KeyBits             int
+	Dim                 int
+	MaxSummands         int
+	Slots               int
+	PackedCiphertexts   int
+	UnpackedCiphertexts int
+	PackedBytes         int
+	UnpackedBytes       int
+	CiphertextRatio     float64
+	ByteRatio           float64
+	PackedNs            float64
+	UnpackedNs          float64
+	SpeedupNs           float64
+}
+
+// HotReport is the schema of BENCH_hot.json.
+type HotReport struct {
+	Pairs    []HotPair
+	Paillier HotPaillier
+}
+
+// evalOnly hides the concrete kernel type from the dot-form dispatch, forcing
+// GramMatrix onto the seed's pairwise Eval loop — the baseline the tiled
+// panel path replaced.
+type evalOnly struct{ kernel.Kernel }
+
+// benchNs times f with the standard benchmark calibration and returns ns/op.
+func benchNs(f func() error) (float64, error) {
+	var ferr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := f(); err != nil {
+				ferr = err
+				b.FailNow()
+			}
+		}
+	})
+	if ferr != nil {
+		return 0, ferr
+	}
+	return float64(r.NsPerOp()), nil
+}
+
+func hotMatrix(rows, cols int, seed int64) *linalg.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := linalg.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// RunHot measures the hot-kernel pairs and the Paillier packing comparison.
+func RunHot() (*HotReport, error) {
+	sq := hotMatrix(500, 500, 1)
+	tall := hotMatrix(2000, 50, 2)
+	rbf := kernel.RBF{Gamma: 0.1}
+
+	pairs := []struct {
+		name            string
+		baseline, tiled func() error
+	}{
+		{"MatMul500",
+			func() error { _, err := linalg.MatMulNaive(sq, sq); return err },
+			func() error { _, err := linalg.MatMul(sq, sq); return err }},
+		{"MatMulT2000x50",
+			func() error { _, err := linalg.MatMulTNaive(tall, tall); return err },
+			func() error { _, err := linalg.MatMulT(tall, tall); return err }},
+		{"GramRBF2000x50",
+			func() error { kernel.GramMatrix(evalOnly{rbf}, tall); return nil },
+			func() error { kernel.GramMatrix(rbf, tall); return nil }},
+	}
+
+	rep := &HotReport{}
+	for _, p := range pairs {
+		base, err := benchNs(p.baseline)
+		if err != nil {
+			return nil, fmt.Errorf("hot bench %s baseline: %w", p.name, err)
+		}
+		tiled, err := benchNs(p.tiled)
+		if err != nil {
+			return nil, fmt.Errorf("hot bench %s tiled: %w", p.name, err)
+		}
+		rep.Pairs = append(rep.Pairs, HotPair{
+			Name: p.name, BaselineNs: base, TiledNs: tiled, Speedup: base / tiled,
+		})
+	}
+
+	pail, err := runHotPaillier()
+	if err != nil {
+		return nil, err
+	}
+	rep.Paillier = *pail
+	return rep, nil
+}
+
+// runHotPaillier times one mapper's vector encryption plus the reducer's
+// fold-and-open under both layouts, with a production-sized (1024-bit) key.
+func runHotPaillier() (*HotPaillier, error) {
+	const keyBits, dim, summands = 1024, 64, 4
+	key, err := paillier.GenerateKey(nil, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	codec := fixedpoint.Default()
+	contrib := make([]float64, dim)
+	for i := range contrib {
+		contrib[i] = float64(i%7) * 0.25
+	}
+	vals, err := codec.EncodeVec(contrib, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &HotPaillier{KeyBits: keyBits, Dim: dim, MaxSummands: summands}
+	measure := func(width int) (ns float64, ciphertexts, bytes int, err error) {
+		pack, err := paillier.NewPacking(&key.PublicKey, summands, width)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if width == 0 {
+			res.Slots = pack.Slots
+		}
+		ns, err = benchNs(func() error {
+			cs, err := pack.EncryptVec(nil, vals)
+			if err != nil {
+				return err
+			}
+			wire := paillier.MarshalCiphertexts(cs)
+			ciphertexts, bytes = len(cs), len(wire)
+			folded, err := paillier.UnmarshalCiphertexts(wire)
+			if err != nil {
+				return err
+			}
+			for j := range folded {
+				folded[j] = key.Add(folded[j], folded[j])
+			}
+			sum, err := pack.DecryptVec(key, folded, dim, nil)
+			if err != nil {
+				return err
+			}
+			_, err = codec.DecodeVec(sum, nil)
+			return err
+		})
+		return ns, ciphertexts, bytes, err
+	}
+
+	if res.PackedNs, res.PackedCiphertexts, res.PackedBytes, err = measure(0); err != nil {
+		return nil, fmt.Errorf("hot bench paillier packed: %w", err)
+	}
+	if res.UnpackedNs, res.UnpackedCiphertexts, res.UnpackedBytes, err = measure(1); err != nil {
+		return nil, fmt.Errorf("hot bench paillier unpacked: %w", err)
+	}
+	res.CiphertextRatio = float64(res.UnpackedCiphertexts) / float64(res.PackedCiphertexts)
+	res.ByteRatio = float64(res.UnpackedBytes) / float64(res.PackedBytes)
+	res.SpeedupNs = res.UnpackedNs / res.PackedNs
+	return res, nil
+}

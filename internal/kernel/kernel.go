@@ -92,40 +92,51 @@ func (s Sigmoid) Eval(x, y []float64) float64 {
 // Name implements Kernel.
 func (s Sigmoid) Name() string { return fmt.Sprintf("sigmoid(a=%g,c=%g)", s.A, s.C) }
 
-// parMinEvalWork is the minimum number of scalar multiply-adds (entries ×
-// features) a kernel-matrix computation must represent before the row loop is
-// handed to the worker pool; below it the scheduling overhead dominates.
-const parMinEvalWork = 1 << 15
-
 // Matrix computes the cross Gram matrix K(A, B) with K[i][j] = k(A_i, B_j),
-// where rows of a and b are samples. Rows of the output are computed
-// concurrently on the parallel worker pool for inputs large enough to
-// amortize the scheduling; the per-entry arithmetic is identical on the
-// sequential and parallel paths, so the result does not depend on the worker
-// count.
+// where rows of a and b are samples. Built-in kernels run on the tiled dot
+// path (panel dots via the register-tiled linalg kernel, then an elementwise
+// transform); rows are computed concurrently on the parallel worker pool for
+// inputs large enough to amortize the scheduling, and the per-entry
+// arithmetic is identical on the sequential and parallel paths, so the
+// result does not depend on the worker count.
 func Matrix(k Kernel, a, b *linalg.Matrix) (*linalg.Matrix, error) {
+	return MatrixInto(k, a, b, nil)
+}
+
+// MatrixInto computes the cross Gram matrix into dst per the linalg dst-reuse
+// contract: nil allocates, a dst with sufficient backing capacity is reshaped
+// and reused in place, and a too-small dst is an error.
+func MatrixInto(k Kernel, a, b, dst *linalg.Matrix) (*linalg.Matrix, error) {
 	if a.Cols != b.Cols {
 		return nil, fmt.Errorf("kernel matrix: %w: samples have %d and %d features",
 			linalg.ErrShape, a.Cols, b.Cols)
 	}
-	out := linalg.NewMatrix(a.Rows, b.Rows)
+	out, err := linalg.ReuseMatrix(dst, "kernel matrix", a.Rows, b.Rows)
+	if err != nil {
+		return nil, err
+	}
 	par := useParallel(a.Rows * b.Rows * a.Cols)
-	if r, ok := k.(RBF); ok {
-		// ‖x−y‖² = ‖x‖² + ‖y‖² − 2⟨x, y⟩: precompute the squared row norms
-		// once and each entry costs a single dot product.
-		sqA := rowNormsSq(a)
-		sqB := rowNormsSq(b)
-		if par {
-			matrixRBFPar(r, a, b, sqA, sqB, out)
+	if f, needNorms, ok := dotForm(k); ok {
+		if a == b {
+			// Self-similarity: take the symmetric panel path so
+			// Matrix(k, a, a) is bit-identical to GramMatrix(k, a)
+			// (mirrored entries, exact diagonal) at half the work.
+			var sq []float64
+			if needNorms {
+				sq = rowNormsSq(a)
+			}
+			gramTiled(f, a, sq, out, useParallel(a.Rows*a.Rows*a.Cols/2))
 			return out, nil
 		}
-		for i := 0; i < a.Rows; i++ {
-			ai := a.Row(i)
-			row := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				row[j] = r.evalNormed(sqA[i]+sqB[j], ai, b.Row(j))
-			}
+		var sqA, sqB []float64
+		if needNorms {
+			// ‖x−y‖² = ‖x‖² + ‖y‖² − 2⟨x, y⟩: precompute the squared row
+			// norms once and each entry costs one panel-dot plus the
+			// transform.
+			sqA = rowNormsSq(a)
+			sqB = rowNormsSq(b)
 		}
+		matrixTiled(f, a, b, sqA, sqB, out, par)
 		return out, nil
 	}
 	if par {
@@ -142,22 +153,10 @@ func Matrix(k Kernel, a, b *linalg.Matrix) (*linalg.Matrix, error) {
 	return out, nil
 }
 
-// matrixRBFPar and matrixEvalPar are Matrix's worker-pool row loops. They
-// live in separate functions so their closures cannot pessimize the
-// sequential path (captured variables force indirection on everything the
-// enclosing function touches).
-func matrixRBFPar(r RBF, a, b *linalg.Matrix, sqA, sqB []float64, out *linalg.Matrix) {
-	parallel.For(a.Rows, rowGrain(b.Rows*a.Cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Row(i)
-			row := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				row[j] = r.evalNormed(sqA[i]+sqB[j], ai, b.Row(j))
-			}
-		}
-	})
-}
-
+// matrixEvalPar is the worker-pool row loop for kernels outside this package
+// (no dot form — the generic Eval call per entry). It lives in a separate
+// function so its closure cannot pessimize the sequential path (captured
+// variables force indirection on everything the enclosing function touches).
 func matrixEvalPar(k Kernel, a, b, out *linalg.Matrix) {
 	parallel.For(a.Rows, rowGrain(b.Rows*a.Cols), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -171,28 +170,19 @@ func matrixEvalPar(k Kernel, a, b, out *linalg.Matrix) {
 }
 
 // GramMatrix computes the symmetric Gram matrix K(A, A), evaluating each pair
-// once and mirroring it. Like Matrix it runs row blocks on the worker pool
-// (each block owns rows i of the upper triangle plus their mirrored cells, so
-// blocks never write the same element) and takes the squared-norm fast path
-// for RBF kernels.
+// once and mirroring it. Built-in kernels run on the tiled panel path
+// (gramTiled); blocks own disjoint output elements, so the result does not
+// depend on the worker count.
 func GramMatrix(k Kernel, a *linalg.Matrix) *linalg.Matrix {
 	n := a.Rows
 	out := linalg.NewMatrix(n, n)
 	par := useParallel(n * n * a.Cols / 2)
-	if r, ok := k.(RBF); ok {
-		sq := rowNormsSq(a)
-		if par {
-			gramRBFPar(r, a, sq, out)
-			return out
+	if f, needNorms, ok := dotForm(k); ok {
+		var sq []float64
+		if needNorms {
+			sq = rowNormsSq(a)
 		}
-		for i := 0; i < n; i++ {
-			ai := a.Row(i)
-			for j := i; j < n; j++ {
-				v := r.evalNormed(sq[i]+sq[j], ai, a.Row(j))
-				out.Set(i, j, v)
-				out.Set(j, i, v)
-			}
-		}
+		gramTiled(f, a, sq, out, par)
 		return out
 	}
 	if par {
@@ -210,23 +200,11 @@ func GramMatrix(k Kernel, a *linalg.Matrix) *linalg.Matrix {
 	return out
 }
 
-// gramRBFPar and gramEvalPar are GramMatrix's worker-pool row loops,
-// isolated like matrixRBFPar. Triangular rows shrink as i grows; a grain of
-// one row plus dynamic block claiming keeps the load balanced.
-func gramRBFPar(r RBF, a *linalg.Matrix, sq []float64, out *linalg.Matrix) {
-	n := a.Rows
-	parallel.For(n, 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Row(i)
-			for j := i; j < n; j++ {
-				v := r.evalNormed(sq[i]+sq[j], ai, a.Row(j))
-				out.Set(i, j, v)
-				out.Set(j, i, v)
-			}
-		}
-	})
-}
-
+// gramEvalPar is GramMatrix's worker-pool row loop for kernels without a dot
+// form, isolated like matrixEvalPar. Triangular rows shrink as i grows; a
+// grain of one row plus dynamic block claiming keeps the load balanced. Each
+// block owns rows i of the upper triangle plus their mirrored cells, so
+// blocks never write the same element.
 func gramEvalPar(k Kernel, a, out *linalg.Matrix) {
 	n := a.Rows
 	parallel.For(n, 1, func(lo, hi int) {
@@ -242,7 +220,7 @@ func gramEvalPar(k Kernel, a, out *linalg.Matrix) {
 }
 
 // Vector computes dst[i] = k(x, rows[i]) for every row of a. dst is allocated
-// when nil.
+// when nil. Built-in kernels route the dot column through the tiled MulVec.
 func Vector(k Kernel, x []float64, a *linalg.Matrix, dst []float64) ([]float64, error) {
 	if len(x) != a.Cols {
 		return nil, fmt.Errorf("kernel vector: %w: x has %d features, samples have %d",
@@ -250,6 +228,25 @@ func Vector(k Kernel, x []float64, a *linalg.Matrix, dst []float64) ([]float64, 
 	}
 	if dst == nil {
 		dst = make([]float64, a.Rows)
+	}
+	if f, needNorms, ok := dotForm(k); ok && a.Rows > 0 {
+		// dst doubles as the dot buffer: dst = a · x, then the transform is
+		// applied in place.
+		if _, err := a.MulVec(x, dst); err != nil {
+			return nil, err
+		}
+		if needNorms {
+			sx := linalg.Dot(x, x)
+			sq := rowNormsSq(a)
+			for i, d := range dst {
+				dst[i] = f(d, sx+sq[i])
+			}
+			return dst, nil
+		}
+		for i, d := range dst {
+			dst[i] = f(d, 0)
+		}
+		return dst, nil
 	}
 	if useParallel(a.Rows * a.Cols) {
 		vectorPar(k, x, a, dst)
@@ -261,7 +258,7 @@ func Vector(k Kernel, x []float64, a *linalg.Matrix, dst []float64) ([]float64, 
 	return dst, nil
 }
 
-// vectorPar is Vector's worker-pool row loop, isolated like matrixRBFPar.
+// vectorPar is Vector's worker-pool row loop, isolated like matrixEvalPar.
 func vectorPar(k Kernel, x []float64, a *linalg.Matrix, dst []float64) {
 	parallel.For(a.Rows, rowGrain(a.Cols), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -271,11 +268,13 @@ func vectorPar(k Kernel, x []float64, a *linalg.Matrix, dst []float64) {
 }
 
 // useParallel reports whether a kernel loop of totalWork multiply-adds should
-// go to the worker pool. Sequential call sites keep their original direct
-// loops: routing them through the parallel closure costs measurably on every
-// single-core run (captured-variable indirection).
+// go to the worker pool. The threshold is the shared knob in the parallel
+// package (PPML_PAR_THRESHOLD / parallel.SetThreshold). Sequential call
+// sites keep their original direct loops: routing them through the parallel
+// closure costs measurably on every single-core run (captured-variable
+// indirection).
 func useParallel(totalWork int) bool {
-	return totalWork >= parMinEvalWork && parallel.Workers() > 1
+	return totalWork >= parallel.Threshold() && parallel.Workers() > 1
 }
 
 // rowGrain sizes the parallel.For grain for a row loop of rowWork

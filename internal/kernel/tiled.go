@@ -1,0 +1,169 @@
+package kernel
+
+import (
+	"math"
+	"sync"
+
+	"github.com/ppml-go/ppml/internal/linalg"
+	"github.com/ppml-go/ppml/internal/parallel"
+)
+
+// The tiled Gram path: every built-in kernel is a pointwise function of the
+// inner product ⟨x, y⟩ (plus, for RBF, the squared row norms), so kernel
+// matrices factor into a dense a · bᵀ — computed with the register-tiled
+// linalg kernel — followed by an elementwise transform. The dot panel for a
+// block of rows is computed into a per-worker scratch arena claimed from
+// panelPool and transformed into the output in place, so the full n×n dot
+// matrix is never materialized and workers never share scratch.
+
+// panelRows is the row height of a dot panel: tall enough that the tiled
+// kernel runs at full width and the pool claim amortizes, short enough that
+// a panel (panelRows × n doubles) stays modest even for large Gram sizes.
+const panelRows = 32
+
+// panelPool holds dot-panel scratch arenas. A worker grabs one panel when it
+// claims a block and releases it when the block is done; panels are sized to
+// the widest use and resliced per block.
+var panelPool = sync.Pool{New: func() any { return new(linalg.Matrix) }}
+
+func grabPanel(r, c int) *linalg.Matrix {
+	p := panelPool.Get().(*linalg.Matrix)
+	if cap(p.Data) < r*c {
+		p.Data = make([]float64, r*c)
+	}
+	p.Rows, p.Cols = r, c
+	p.Data = p.Data[:r*c]
+	return p
+}
+
+func releasePanel(p *linalg.Matrix) { panelPool.Put(p) }
+
+// dotForm returns the pointwise transform of a built-in kernel:
+// out = f(⟨x, y⟩, ‖x‖²+‖y‖²). needNorms reports whether the second argument
+// is used (RBF only); ok is false for kernels outside this package, which
+// keep the generic Eval path.
+func dotForm(k Kernel) (f func(dot, sqSum float64) float64, needNorms, ok bool) {
+	switch kk := k.(type) {
+	case Linear:
+		return func(d, _ float64) float64 { return d }, false, true
+	case Polynomial:
+		return func(d, _ float64) float64 {
+			base := kk.A*d + kk.B
+			out := 1.0
+			for i := 0; i < kk.Degree; i++ {
+				out *= base
+			}
+			return out
+		}, false, true
+	case RBF:
+		return func(d, s float64) float64 {
+			dd := s - 2*d
+			if dd < 0 {
+				dd = 0
+			}
+			return math.Exp(-kk.Gamma * dd)
+		}, true, true
+	case Sigmoid:
+		return func(d, _ float64) float64 { return math.Tanh(kk.A*d + kk.C) }, false, true
+	}
+	return nil, false, false
+}
+
+// rowView returns the submatrix of rows [rlo, rhi) of m as a view sharing
+// m's storage.
+func rowView(m *linalg.Matrix, rlo, rhi int) linalg.Matrix {
+	return linalg.Matrix{Rows: rhi - rlo, Cols: m.Cols, Data: m.Data[rlo*m.Cols : rhi*m.Cols]}
+}
+
+// matrixTiled fills out[i][j] = f(⟨a_i, b_j⟩, sqA[i]+sqB[j]) panel by panel.
+// sqA/sqB are nil when the transform ignores norms. Each block claimed off
+// the pool computes its dot panel into worker-local scratch, then transforms
+// it into the disjoint output rows it owns.
+func matrixTiled(f func(dot, sqSum float64) float64, a, b *linalg.Matrix, sqA, sqB []float64, out *linalg.Matrix, par bool) {
+	n := b.Rows
+	chunks := (a.Rows + panelRows - 1) / panelRows
+	body := func(lo, hi int) {
+		panel := grabPanel(panelRows, n)
+		for c := lo; c < hi; c++ {
+			rlo := c * panelRows
+			rhi := min(rlo+panelRows, a.Rows)
+			av := rowView(a, rlo, rhi)
+			pv := linalg.Matrix{Rows: rhi - rlo, Cols: n, Data: panel.Data[:(rhi-rlo)*n]}
+			linalg.MatMulTRows(&av, b, &pv, 0, rhi-rlo)
+			for i := rlo; i < rhi; i++ {
+				prow := pv.Row(i - rlo)
+				orow := out.Row(i)
+				if sqA != nil {
+					si := sqA[i]
+					for j, d := range prow {
+						orow[j] = f(d, si+sqB[j])
+					}
+					continue
+				}
+				for j, d := range prow {
+					orow[j] = f(d, 0)
+				}
+			}
+		}
+		releasePanel(panel)
+	}
+	if par {
+		parallel.For(chunks, 1, body)
+		return
+	}
+	body(0, chunks)
+}
+
+// gramTiled is matrixTiled specialized to the symmetric case: each panel
+// covers only columns j ≥ rlo of its row block, and entries below the
+// diagonal are mirrored rather than recomputed, halving both the dot and the
+// transform work. A block writes rows [rlo, rhi) plus the mirrored cells
+// out[j][i] for its columns — element-disjoint across blocks, exactly like
+// the pre-tiling triangular row loops.
+func gramTiled(f func(dot, sqSum float64) float64, a *linalg.Matrix, sq []float64, out *linalg.Matrix, par bool) {
+	n := a.Rows
+	chunks := (n + panelRows - 1) / panelRows
+	body := func(lo, hi int) {
+		panel := grabPanel(panelRows, n)
+		for c := lo; c < hi; c++ {
+			rlo := c * panelRows
+			rhi := min(rlo+panelRows, n)
+			av := rowView(a, rlo, rhi)
+			bv := rowView(a, rlo, n)
+			pv := linalg.Matrix{Rows: rhi - rlo, Cols: n - rlo, Data: panel.Data[:(rhi-rlo)*(n-rlo)]}
+			linalg.MatMulTRows(&av, &bv, &pv, 0, rhi-rlo)
+			for i := rlo; i < rhi; i++ {
+				prow := pv.Row(i - rlo)
+				orow := out.Row(i)
+				var si float64
+				if sq != nil {
+					si = sq[i]
+				}
+				for j := i; j < n; j++ {
+					d := prow[j-rlo]
+					var v float64
+					if sq != nil {
+						// On the diagonal the dot product is the squared
+						// norm by definition; using sq[i] for both keeps the
+						// cancellation exact, so K(x, x) = 1 for RBF
+						// bit-for-bit, independent of tile rounding.
+						if j == i {
+							d = sq[i]
+						}
+						v = f(d, si+sq[j])
+					} else {
+						v = f(d, 0)
+					}
+					orow[j] = v
+					out.Data[j*n+i] = v
+				}
+			}
+		}
+		releasePanel(panel)
+	}
+	if par {
+		parallel.For(chunks, 1, body)
+		return
+	}
+	body(0, chunks)
+}

@@ -1,0 +1,51 @@
+//go:build amd64
+
+package linalg
+
+import "os"
+
+// cpuidAsm executes CPUID with the given EAX/ECX arguments.
+func cpuidAsm(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvAsm reads XCR0 (extended control register 0).
+func xgetbvAsm() (eax, edx uint32)
+
+// dotTile2x4FMA computes the 2×4 dot tile out[r*4+c] = Σ_k a_r[k]·b_c[k]
+// over n elements with AVX2 FMA. Callers must have checked hasFMA and n ≥ 1.
+func dotTile2x4FMA(a0, a1, b0, b1, b2, b3 *float64, n int, out *[8]float64)
+
+// dotFMA returns Σ_k x[k]·y[k] over n elements with AVX2 FMA. Callers must
+// have checked hasFMA and n ≥ 1.
+func dotFMA(x, y *float64, n int) float64
+
+// hasFMA gates the assembly microkernels. It is a variable, not a constant,
+// so tests can force the pure-Go tile path and equivalence-check the two.
+var hasFMA = detectFMA()
+
+// detectFMA reports whether the CPU and OS support the AVX2+FMA kernels:
+// CPUID must advertise OSXSAVE, AVX, FMA and AVX2, and XCR0 must show the OS
+// saves xmm+ymm state on context switch. PPML_NOSIMD=1 forces the pure-Go
+// kernels for debugging or A/B timing.
+func detectFMA() bool {
+	if os.Getenv("PPML_NOSIMD") != "" {
+		return false
+	}
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 || ecx1&fmaBit == 0 {
+		return false
+	}
+	if xlo, _ := xgetbvAsm(); xlo&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}

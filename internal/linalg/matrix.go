@@ -14,20 +14,16 @@ import (
 	"github.com/ppml-go/ppml/internal/parallel"
 )
 
-// parMinWork is the minimum number of scalar multiply-adds an operation must
-// represent before its row loop is handed to the parallel worker pool. Below
-// it (the tiny per-iteration ADMM systems) the sequential path is used so
-// scheduling overhead is never paid.
-const parMinWork = 1 << 15
-
 // useParallel reports whether a row loop of totalWork multiply-adds should be
-// dispatched to the worker pool. Call sites keep their original direct loop
-// for the sequential case — routing it through a closure costs 15–60% on
-// these kernels (captured-variable indirection defeats the optimizations the
-// compiler applies to the plain loop), which would be paid on every
-// single-core run.
+// dispatched to the worker pool. The threshold lives in the parallel package
+// (default 2^15, tunable per host via PPML_PAR_THRESHOLD or
+// parallel.SetThreshold) so every compute kernel shares one knob. Call sites
+// keep their original direct loop for the sequential case — routing it
+// through a closure costs 15–60% on these kernels (captured-variable
+// indirection defeats the optimizations the compiler applies to the plain
+// loop), which would be paid on every single-core run.
 func useParallel(totalWork int) bool {
-	return totalWork >= parMinWork && parallel.Workers() > 1
+	return totalWork >= parallel.Threshold() && parallel.Workers() > 1
 }
 
 // rowGrain sizes a parallel.For grain for a loop over rows of rowWork
@@ -134,21 +130,20 @@ func (m *Matrix) MulVec(x, dst []float64) ([]float64, error) {
 		m.mulVecPar(x, dst)
 		return dst, nil
 	}
-	for i := 0; i < m.Rows; i++ {
-		dst[i] = Dot(m.Row(i), x)
-	}
+	mulVecTiledRows(m, x, dst, 0, m.Rows)
 	return dst, nil
 }
 
 // mulVecPar is the worker-pool row loop of MulVec. It lives in its own
 // function so the closure it builds cannot pessimize the sequential path
 // (captured variables force indirection on everything the enclosing function
-// touches).
+// touches). Blocks claim whole row tiles so the tiled kernel runs at full
+// width inside each block.
 func (m *Matrix) mulVecPar(x, dst []float64) {
-	parallel.For(m.Rows, rowGrain(m.Cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = Dot(m.Row(i), x)
-		}
+	tiles := (m.Rows + tileM - 1) / tileM
+	parallel.For(tiles, tileRowGrain(tileM*m.Cols), func(lo, hi int) {
+		rlo, rhi := tileRange(lo, hi, m.Rows)
+		mulVecTiledRows(m, x, dst, rlo, rhi)
 	})
 }
 
@@ -171,19 +166,73 @@ func (m *Matrix) MulVecT(x, dst []float64) ([]float64, error) {
 	return dst, nil
 }
 
+// reuseInto resolves the shared destination contract of the Into variants
+// (the PR-4 dst-reuse contract, matrix form): a nil dst is allocated; a dst
+// whose backing array has capacity for r×c is reshaped in place — pass the
+// previous round's matrix back in to make steady-state calls allocation-free;
+// a non-nil dst that is too small is an error, so callers relying on writing
+// through a fixed buffer fail loudly.
+func reuseInto(dst *Matrix, op string, r, c int) (*Matrix, error) {
+	if dst == nil {
+		return NewMatrix(r, c), nil
+	}
+	if cap(dst.Data) < r*c {
+		return nil, fmt.Errorf("%s: %w: dst capacity %d, want ≥ %d", op, ErrShape, cap(dst.Data), r*c)
+	}
+	dst.Rows, dst.Cols = r, c
+	dst.Data = dst.Data[:r*c]
+	return dst, nil
+}
+
+// ReuseMatrix applies the dst-reuse contract for packages layering their own
+// Into variants on this one (kernel.MatrixInto): nil allocates an r×c matrix,
+// sufficient backing capacity reshapes dst in place, and a too-small dst is
+// an error tagged with op.
+func ReuseMatrix(dst *Matrix, op string, r, c int) (*Matrix, error) {
+	return reuseInto(dst, op, r, c)
+}
+
 // MatMul returns a * b. Output rows are computed concurrently on the
 // parallel worker pool when the product is large enough to amortize the
 // scheduling; the per-row arithmetic is identical either way, so the result
 // does not depend on the worker count.
 func MatMul(a, b *Matrix) (*Matrix, error) {
+	return MatMulInto(a, b, nil)
+}
+
+// MatMulInto computes dst = a * b with the register-tiled kernel, reusing
+// dst per the reuseInto contract (nil allocates). dst must not alias a or b.
+// b is transpose-packed into a pooled scratch matrix first so the tile
+// kernel reads both operands at unit stride; the O(b.Rows·b.Cols) pack is
+// negligible against the multiply and the scratch comes from (and returns
+// to) packPool, so steady-state calls stay allocation-free.
+func MatMulInto(a, b, dst *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("MatMul: %w: %dx%d by %dx%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out, err := reuseInto(dst, "MatMul", a.Rows, b.Cols)
+	if err != nil {
+		return nil, err
+	}
+	bt := grabPacked(b.Cols, b.Rows)
+	transposeInto(b, bt)
+	if useParallel(a.Rows * a.Cols * b.Cols) {
+		matMulTPar(a, bt, out)
+	} else {
+		matMulTTiledRows(a, bt, out, 0, a.Rows)
+	}
+	releasePacked(bt)
+	return out, nil
+}
+
+// MatMulNaive is the reference triple loop of MatMul, kept for equivalence
+// tests and as the before-row baseline of BENCH_hot.json. Not used by any
+// hot path.
+func MatMulNaive(a, b *Matrix) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("MatMul: %w: %dx%d by %dx%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	out := NewMatrix(a.Rows, b.Cols)
-	if useParallel(a.Rows * a.Cols * b.Cols) {
-		matMulPar(a, b, out)
-		return out, nil
-	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -197,33 +246,56 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 	return out, nil
 }
 
-// matMulPar is MatMul's worker-pool row loop, isolated like mulVecPar.
-func matMulPar(a, b, out *Matrix) {
-	parallel.For(a.Rows, rowGrain(a.Cols*b.Cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				Axpy(av, b.Row(k), orow)
-			}
-		}
-	})
+// MatMulT returns a * bᵀ; the common Gram-matrix pattern. Parallelized over
+// output row tiles like MatMul.
+func MatMulT(a, b *Matrix) (*Matrix, error) {
+	return MatMulTInto(a, b, nil)
 }
 
-// MatMulT returns a * bᵀ; the common Gram-matrix pattern. Parallelized over
-// output rows like MatMul.
-func MatMulT(a, b *Matrix) (*Matrix, error) {
+// MatMulTInto computes dst = a * bᵀ with the register-tiled kernel, reusing
+// dst per the reuseInto contract (nil allocates). dst must not alias a or b.
+func MatMulTInto(a, b, dst *Matrix) (*Matrix, error) {
 	if a.Cols != b.Cols {
 		return nil, fmt.Errorf("MatMulT: %w: %dx%d by (%dx%d)ᵀ", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	out := NewMatrix(a.Rows, b.Rows)
+	out, err := reuseInto(dst, "MatMulT", a.Rows, b.Rows)
+	if err != nil {
+		return nil, err
+	}
 	if useParallel(a.Rows * a.Cols * b.Rows) {
 		matMulTPar(a, b, out)
 		return out, nil
 	}
+	matMulTTiledRows(a, b, out, 0, a.Rows)
+	return out, nil
+}
+
+// matMulTPar is MatMulT's worker-pool loop, isolated like mulVecPar, with
+// the same tile-disjoint write structure as matMulPar.
+func matMulTPar(a, b, out *Matrix) {
+	tiles := (a.Rows + tileM - 1) / tileM
+	parallel.For(tiles, tileRowGrain(tileM*a.Cols*b.Rows), func(lo, hi int) {
+		rlo, rhi := tileRange(lo, hi, a.Rows)
+		matMulTTiledRows(a, b, out, rlo, rhi)
+	})
+}
+
+// MatMulTRows computes only rows [rlo, rhi) of out = a * bᵀ with the
+// register-tiled kernel, writing out.Row(i) for rlo ≤ i < rhi and touching
+// nothing else. It is the panel entry point for callers that drive their own
+// blocking (the kernel package computes Gram panels into per-worker scratch
+// arenas and transforms them in place); shapes are the caller's contract.
+func MatMulTRows(a, b, out *Matrix, rlo, rhi int) {
+	matMulTTiledRows(a, b, out, rlo, rhi)
+}
+
+// MatMulTNaive is the reference row-dot loop of MatMulT, kept for
+// equivalence tests and the BENCH_hot baseline. Not used by any hot path.
+func MatMulTNaive(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Cols {
+		return nil, fmt.Errorf("MatMulT: %w: %dx%d by (%dx%d)ᵀ", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(a.Rows, b.Rows)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -232,19 +304,6 @@ func MatMulT(a, b *Matrix) (*Matrix, error) {
 		}
 	}
 	return out, nil
-}
-
-// matMulTPar is MatMulT's worker-pool row loop, isolated like mulVecPar.
-func matMulTPar(a, b, out *Matrix) {
-	parallel.For(a.Rows, rowGrain(a.Cols*b.Rows), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				orow[j] = Dot(arow, b.Row(j))
-			}
-		}
-	})
 }
 
 // Add computes m += a, element-wise.

@@ -1,0 +1,55 @@
+package linalg
+
+import "testing"
+
+// Tiled-vs-naive pairs behind the BENCH_hot.json before/after rows: the
+// Naive variants run the seed's reference loops, the Tiled variants the
+// production kernels.
+
+func BenchmarkTiledMatMul500(b *testing.B) {
+	x := benchMatrix(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(x, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveMatMul500(b *testing.B) {
+	x := benchMatrix(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMulNaive(x, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTall(r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = float64(i%17) * 0.25
+	}
+	return m
+}
+
+func BenchmarkTiledMatMulT2000x50(b *testing.B) {
+	a := benchTall(2000, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMulT(a, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveMatMulT2000x50(b *testing.B) {
+	a := benchTall(2000, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMulTNaive(a, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

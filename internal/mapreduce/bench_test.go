@@ -1,7 +1,6 @@
 package mapreduce
 
 import (
-	"math/big"
 	"testing"
 
 	"github.com/ppml-go/ppml/internal/fixedpoint"
@@ -10,8 +9,10 @@ import (
 
 // BenchmarkPaillierVector measures one mapper-side vector encryption plus the
 // reducer-side fold-and-decrypt for a 64-dimensional contribution — the
-// dominant per-iteration cost of AggregationPaillier jobs. The encode scratch
-// buffer is reused across iterations exactly as runMapperNode reuses it.
+// dominant per-iteration cost of AggregationPaillier jobs. The packed variant
+// uses the full slot capacity of the modulus; unpacked forces width 1 (one
+// value per ciphertext, the pre-packing layout). The encode scratch buffer is
+// reused across iterations exactly as runMapperNode reuses it.
 func BenchmarkPaillierVector(b *testing.B) {
 	key, err := paillier.GenerateKey(nil, 512)
 	if err != nil {
@@ -19,38 +20,48 @@ func BenchmarkPaillierVector(b *testing.B) {
 	}
 	codec := fixedpoint.Default()
 	const dim = 64
+	const summands = 4
 	contrib := make([]float64, dim)
 	for i := range contrib {
 		contrib[i] = float64(i%7) * 0.25
 	}
-	ring := new(big.Int).Lsh(big.NewInt(1), 64)
-	var scratch []uint64
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var payload []byte
-		payload, scratch, err = encryptContribution(contrib, codec, &key.PublicKey, scratch)
-		if err != nil {
-			b.Fatal(err)
-		}
-		cs, err := paillier.UnmarshalCiphertexts(payload)
-		if err != nil {
-			b.Fatal(err)
-		}
-		// Reducer side: fold a second share in and open the aggregate.
-		for j := range cs {
-			cs[j] = key.Add(cs[j], cs[j])
-		}
-		sum := make([]uint64, dim)
-		red := new(big.Int)
-		for j := range cs {
-			mval, err := key.Decrypt(cs[j])
+	for _, bc := range []struct {
+		name  string
+		width int
+	}{
+		{"packed", 0},
+		{"unpacked", 1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			pack, err := paillier.NewPacking(&key.PublicKey, summands, bc.width)
 			if err != nil {
 				b.Fatal(err)
 			}
-			sum[j] = red.Mod(mval, ring).Uint64()
-		}
-		if _, err := codec.DecodeVec(sum, nil); err != nil {
-			b.Fatal(err)
-		}
+			b.ReportMetric(float64(pack.Ciphertexts(dim)), "ciphertexts")
+			var scratch []uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var payload []byte
+				payload, scratch, err = encryptContribution(contrib, codec, pack, scratch, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cs, err := paillier.UnmarshalCiphertexts(payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Reducer side: fold a second share in and open the aggregate.
+				for j := range cs {
+					cs[j] = key.Add(cs[j], cs[j])
+				}
+				sum, err := pack.DecryptVec(key, cs, dim, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := codec.DecodeVec(sum, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -393,16 +393,37 @@ func TestDistributedPaillierAggregation(t *testing.T) {
 			t.Errorf("state[%d]: paillier %g vs local %g", i, dist.FinalState[i], local.FinalState[i])
 		}
 	}
-	// Ciphertext payloads dwarf plain ones: each element is ~N²-sized.
+	// Ciphertext payloads still dwarf plain ones (each ciphertext is
+	// N²-sized), but slot packing bounds the blow-up to ⌈d/k⌉ ciphertexts
+	// per share instead of d.
 	plain, err := RunDistributed(ctx, mustJob(t, values, 15), DriverOptions{
 		Aggregation: AggregationPlain,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dist.Net.Bytes < 5*plain.Net.Bytes {
+	if dist.Net.Bytes <= plain.Net.Bytes {
 		t.Errorf("paillier moved %d bytes, plain %d; ciphertext blow-up missing?",
 			dist.Net.Bytes, plain.Net.Bytes)
+	}
+	// Forcing width 1 reproduces the per-element layout; the packed run must
+	// move strictly fewer bytes and produce the same model.
+	unpacked, err := RunDistributed(ctx, mustJob(t, values, 15), DriverOptions{
+		Aggregation:       AggregationPaillier,
+		PaillierKey:       key,
+		PaillierPackWidth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dist.FinalState {
+		if dist.FinalState[i] != unpacked.FinalState[i] {
+			t.Errorf("state[%d]: packed %g vs width-1 %g", i, dist.FinalState[i], unpacked.FinalState[i])
+		}
+	}
+	if dist.Net.Bytes >= unpacked.Net.Bytes {
+		t.Errorf("packed moved %d bytes, width-1 moved %d; packing saved nothing",
+			dist.Net.Bytes, unpacked.Net.Bytes)
 	}
 }
 

@@ -74,6 +74,13 @@ type DriverOptions struct {
 	// half goes to every Mapper, the private half stays with the simulated
 	// key authority that decrypts only aggregates.
 	PaillierKey *paillier.PrivateKey
+	// PaillierPackWidth caps how many fixed-point values are slot-packed
+	// into one Paillier plaintext. 0 (the default) packs as many as the
+	// modulus and the mapper fan-in allow — ⌈dim/k⌉ ciphertexts per
+	// contribution instead of dim; 1 reproduces the unpacked one-ciphertext-
+	// per-element layout for ablations. Ignored by the other aggregation
+	// modes.
+	PaillierPackWidth int
 	// Checkpoint enables Twister-style crash recovery: the consensus state
 	// is written to the DFS every CheckpointEvery iterations, and a job that
 	// finds a checkpoint at start warm-restarts from it (consensus state and
@@ -135,6 +142,14 @@ const (
 	metricRetries      = "ppml_map_retries_total"
 	metricTimeouts     = "ppml_round_timeouts_total"
 	metricFanout       = "ppml_mapper_fanout"
+	// metricCiphertexts counts Paillier ciphertexts produced by mapper
+	// encryptions; with packing it grows ⌈dim/k⌉ per contribution instead of
+	// dim, which is the win the pack-ratio gauge makes visible.
+	metricCiphertexts = "ppml_paillier_ciphertexts_total"
+	// metricPackRatio is elements-per-ciphertext under the active packing
+	// (dim / ⌈dim/k⌉); 1 when unpacked. A scalar of the layout, never of
+	// any payload value.
+	metricPackRatio = "ppml_paillier_pack_ratio"
 )
 
 // sessionCounter allocates process-unique job session ids. Session 0 is
@@ -180,6 +195,18 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	if codec.FracBits() == 0 {
 		codec = fixedpoint.Default()
 	}
+	// Slot packing for the HE path: the layout is a pure function of the
+	// public key, the mapper fan-in (the guard-bit budget: the reducer adds
+	// at most len(Mappers) ciphertexts) and the width knob, so the mappers
+	// and the reducer derive identical layouts without any negotiation.
+	var pack *paillier.Packing
+	if agg == AggregationPaillier {
+		var err error
+		pack, err = paillier.NewPacking(&opts.PaillierKey.PublicKey, len(job.Mappers), opts.PaillierPackWidth)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: %w", err)
+		}
+	}
 
 	start := time.Now()
 	res := &DriverResult{}
@@ -203,6 +230,13 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	var sstel *securesum.Telemetry
 	if agg == AggregationMasked {
 		sstel = securesum.NewTelemetry(reg, opts.MaskMode)
+	}
+	var cipherCtr *telemetry.Counter
+	if agg == AggregationPaillier {
+		cipherCtr = reg.Counter(metricCiphertexts)
+		if job.ContributionDim > 0 {
+			reg.Gauge(metricPackRatio).Set(float64(job.ContributionDim) / float64(pack.Ciphertexts(job.ContributionDim)))
+		}
 	}
 	ctx, jobSpan := telemetry.StartSpan(ctx, "mapreduce.job")
 	defer jobSpan.End()
@@ -246,8 +280,9 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 				sstel:    sstel,
 				retryCtr: retries,
 			}
-			if opts.PaillierKey != nil {
-				cfg.paillierPub = &opts.PaillierKey.PublicKey
+			if pack != nil {
+				cfg.pack = pack
+				cfg.cipherCtr = cipherCtr
 			}
 			mapperErrs <- runMapperNode(ctx, cfg)
 		}(i)
@@ -301,7 +336,7 @@ reduceLoop:
 		if opts.RoundTimeout > 0 {
 			roundCtx, cancelRound = context.WithTimeout(spanCtx, opts.RoundTimeout)
 		}
-		sum, err := collectContributions(roundCtx, redEP, session, int32(iter), m, job.ContributionDim, agg, codec, opts.PaillierKey, &scratch)
+		sum, err := collectContributions(roundCtx, redEP, session, int32(iter), m, job.ContributionDim, agg, codec, opts.PaillierKey, pack, &scratch)
 		if cancelRound != nil {
 			cancelRound()
 		}
@@ -391,19 +426,20 @@ func (p *LocalityPlan) remoteBytes(mappers int) (int64, error) {
 }
 
 type mapperNodeConfig struct {
-	id          int
-	session     uint64
-	names       []string
-	ep          transport.Endpoint
-	mapper      IterativeMapper
-	agg         Aggregation
-	maskMode    MaskMode
-	codec       fixedpoint.Codec
-	dim         int
-	retries     int
-	paillierPub *paillier.PublicKey
-	sstel       *securesum.Telemetry
-	retryCtr    *telemetry.Counter
+	id        int
+	session   uint64
+	names     []string
+	ep        transport.Endpoint
+	mapper    IterativeMapper
+	agg       Aggregation
+	maskMode  MaskMode
+	codec     fixedpoint.Codec
+	dim       int
+	retries   int
+	pack      *paillier.Packing
+	cipherCtr *telemetry.Counter
+	sstel     *securesum.Telemetry
+	retryCtr  *telemetry.Counter
 }
 
 // reduceScratch is the Reducer's per-session reuse state: one collector
@@ -501,7 +537,7 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 				return fmt.Errorf("mapper %d: %w", cfg.id, err)
 			}
 		case AggregationPaillier:
-			payload, scratch, err := encryptContribution(contrib, cfg.codec, cfg.paillierPub, encScratch)
+			payload, scratch, err := encryptContribution(contrib, cfg.codec, cfg.pack, encScratch, cfg.cipherCtr)
 			encScratch = scratch
 			if err != nil {
 				//ppml:err-ok best-effort abort notification: the encryption error below is the one worth reporting
@@ -536,26 +572,27 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 	}
 }
 
-// encryptContribution fixed-point-encodes the vector and encrypts every
-// element under the Paillier public key. Element encryptions are independent
+// encryptContribution fixed-point-encodes the vector, slot-packs it (k ring
+// elements per plaintext — the SPINDLE-style layout in paillier.Packing) and
+// encrypts every packed plaintext. Plaintext encryptions are independent
 // (each draws its own randomness from crypto/rand, which is safe for
 // concurrent use), so they run on the parallel worker pool — public-key
 // encryption is by far the most expensive per-element operation in the
-// system. scratch is an optional reusable encode buffer; the (possibly
-// grown) buffer is returned for the next call.
-func encryptContribution(contrib []float64, codec fixedpoint.Codec, pub *paillier.PublicKey, scratch []uint64) ([]byte, []uint64, error) {
+// system, which is exactly why ⌈d/k⌉ encryptions instead of d is the
+// headline HE win. scratch is an optional reusable encode buffer; the
+// (possibly grown) buffer is returned for the next call.
+func encryptContribution(contrib []float64, codec fixedpoint.Codec, pack *paillier.Packing, scratch []uint64, ctr *telemetry.Counter) ([]byte, []uint64, error) {
 	enc, err := codec.EncodeVec(contrib, scratch)
 	if err != nil {
 		return nil, scratch, fmt.Errorf("paillier share encode: %w", err)
 	}
-	cs := make([]*big.Int, len(enc))
+	ms := pack.PackVec(enc)
+	cs := make([]*big.Int, len(ms))
 	var mu sync.Mutex
 	var encErr error
-	parallel.For(len(enc), 1, func(lo, hi int) {
-		elem := new(big.Int)
+	parallel.For(len(ms), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			elem.SetUint64(enc[i])
-			c, err := pub.Encrypt(nil, elem)
+			c, err := pack.Encrypt(nil, ms[i])
 			if err != nil {
 				mu.Lock()
 				if encErr == nil {
@@ -570,6 +607,7 @@ func encryptContribution(contrib []float64, codec fixedpoint.Codec, pub *paillie
 	if encErr != nil {
 		return nil, enc, fmt.Errorf("paillier share encrypt: %w", encErr)
 	}
+	ctr.Add(int64(len(cs)))
 	return paillier.MarshalCiphertexts(cs), enc, nil
 }
 
@@ -598,10 +636,11 @@ func reducerFilter(session uint64, round int32) transport.Filter {
 
 // collectContributions gathers one (session, round)-scoped aggregate on the
 // Reducer.
-func collectContributions(ctx context.Context, ep transport.Endpoint, session uint64, round int32, m, dim int, agg Aggregation, codec fixedpoint.Codec, key *paillier.PrivateKey, scratch *reduceScratch) ([]float64, error) {
+func collectContributions(ctx context.Context, ep transport.Endpoint, session uint64, round int32, m, dim int, agg Aggregation, codec fixedpoint.Codec, key *paillier.PrivateKey, pack *paillier.Packing, scratch *reduceScratch) ([]float64, error) {
 	filter := reducerFilter(session, round)
 	switch agg {
 	case AggregationPaillier:
+		want := pack.Ciphertexts(dim)
 		var acc []*big.Int
 		for got := 0; got < m; got++ {
 			msg, err := ep.RecvMatch(ctx, filter)
@@ -614,15 +653,18 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, session ui
 				if err != nil {
 					return nil, err
 				}
-				if len(cs) != dim {
-					return nil, fmt.Errorf("%w: cipher share of %d values, want %d", ErrBadJob, len(cs), dim)
+				if len(cs) != want {
+					return nil, fmt.Errorf("%w: cipher share of %d ciphertexts, want %d (%d values packed %d-wide)",
+						ErrBadJob, len(cs), want, dim, pack.Slots)
 				}
 				if acc == nil {
 					acc = cs
 					continue
 				}
 				// Element-wise homomorphic adds are independent modular
-				// multiplications; fold them on the worker pool.
+				// multiplications; fold them on the worker pool. Slot sums
+				// stay inside their guard bits because the layout budgeted
+				// for m summands.
 				parallel.For(len(acc), 16, func(lo, hi int) {
 					for j := lo; j < hi; j++ {
 						acc[j] = key.Add(acc[j], cs[j])
@@ -634,15 +676,14 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, session ui
 				return nil, fmt.Errorf("%w: unexpected %q at reducer", ErrBadJob, msg.Kind)
 			}
 		}
-		// Key-authority step: decrypt only the aggregate. Per-element
+		// Key-authority step: decrypt only the aggregate. Per-ciphertext
 		// decryptions (one modular exponentiation each) are independent and
-		// run on the worker pool.
-		sum := make([]uint64, dim)
-		ring := new(big.Int).Lsh(big.NewInt(1), 64)
+		// run on the worker pool; unpacking then reduces each slot mod 2⁶⁴,
+		// the fixedpoint ring's wrapping sum.
+		ms := make([]*big.Int, len(acc))
 		var mu sync.Mutex
 		var decErr error
-		parallel.For(dim, 1, func(lo, hi int) {
-			red := new(big.Int)
+		parallel.For(len(acc), 1, func(lo, hi int) {
 			for j := lo; j < hi; j++ {
 				mval, err := key.Decrypt(acc[j])
 				if err != nil {
@@ -653,11 +694,15 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, session ui
 					mu.Unlock()
 					return
 				}
-				sum[j] = red.Mod(mval, ring).Uint64()
+				ms[j] = mval
 			}
 		})
 		if decErr != nil {
 			return nil, fmt.Errorf("mapreduce paillier decrypt: %w", decErr)
+		}
+		sum, err := pack.UnpackVec(ms, dim, nil)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce paillier unpack: %w", err)
 		}
 		return codec.DecodeVec(sum, nil)
 	case AggregationPlain:

@@ -1,0 +1,250 @@
+package paillier
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestNewPackingLayout pins the layout arithmetic: 64 payload bits plus
+// ⌈log₂ maxSummands⌉ guard bits per slot, ⌊(|N|−1)/w⌋ slots.
+func TestNewPackingLayout(t *testing.T) {
+	cases := []struct {
+		summands, wantBits int
+	}{
+		{1, 64}, {2, 65}, {3, 66}, {4, 66}, {64, 70}, {65, 71},
+	}
+	for _, c := range cases {
+		p, err := NewPacking(&testKey.PublicKey, c.summands, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.SlotBits != c.wantBits {
+			t.Errorf("maxSummands %d: SlotBits = %d, want %d", c.summands, p.SlotBits, c.wantBits)
+		}
+		if want := (testKey.N.BitLen() - 1) / c.wantBits; p.Slots != want {
+			t.Errorf("maxSummands %d: Slots = %d, want %d", c.summands, p.Slots, want)
+		}
+	}
+	if _, err := NewPacking(&testKey.PublicKey, 0, 0); err == nil {
+		t.Error("maxSummands 0: want error")
+	}
+	// width caps the slot count; width 1 is the unpacked layout.
+	p, err := NewPacking(&testKey.PublicKey, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slots != 1 {
+		t.Errorf("width 1: Slots = %d, want 1", p.Slots)
+	}
+}
+
+// TestPackedRoundtrip packs, unpacks, and round-trips through encryption for
+// every width 1..k and several vector lengths, including lengths that leave
+// a partial final plaintext.
+func TestPackedRoundtrip(t *testing.T) {
+	full, err := NewPacking(&testKey.PublicKey, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for width := 1; width <= full.Slots; width++ {
+		p, err := NewPacking(&testKey.PublicKey, 4, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range []int{1, width, width + 1, 3*width - 1, 3 * width} {
+			vals := make([]uint64, d)
+			for i := range vals {
+				vals[i] = rng.Uint64()
+			}
+			ms := p.PackVec(vals)
+			if len(ms) != p.Ciphertexts(d) {
+				t.Fatalf("width %d d %d: %d plaintexts, want %d", width, d, len(ms), p.Ciphertexts(d))
+			}
+			got, err := p.UnpackVec(ms, d, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("width %d d %d: unpack[%d] = %d, want %d", width, d, i, got[i], vals[i])
+				}
+			}
+		}
+	}
+
+	// One full encrypt/decrypt pass at full width (keygen-scale ops are slow,
+	// so the exhaustive width sweep above stays plaintext-only).
+	vals := make([]uint64, 2*full.Slots+3)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	cs, err := full.EncryptVec(nil, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != full.Ciphertexts(len(vals)) {
+		t.Fatalf("EncryptVec: %d ciphertexts, want %d", len(cs), full.Ciphertexts(len(vals)))
+	}
+	got, err := full.DecryptVec(testKey, cs, len(vals), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("encrypt roundtrip: [%d] = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+// TestPackedSumAdversarial is the overflow-headroom property test: every
+// slot carries the maximum ring value 2⁶⁴−1 and exactly maxSummands
+// ciphertexts are homomorphically added. Slot sums then need the entire
+// guard range; the test checks each decrypted slot equals the ring
+// (mod 2⁶⁴) sum and that no carry corrupted a neighboring slot.
+func TestPackedSumAdversarial(t *testing.T) {
+	const m = 5 // summands
+	p, err := NewPacking(&testKey.PublicKey, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Slots + 2 // force a second, partial plaintext
+	vals := make([]uint64, d)
+	for i := range vals {
+		vals[i] = ^uint64(0) // adversarial: max slot value
+	}
+	var acc []*big.Int
+	for round := 0; round < m; round++ {
+		cs, err := p.EncryptVec(nil, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc == nil {
+			acc = cs
+			continue
+		}
+		for i := range acc {
+			acc[i] = testKey.Add(acc[i], cs[i])
+		}
+	}
+	got, err := p.DecryptVec(testKey, acc, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summands := uint64(m)
+	want := ^uint64(0) * summands // wrapping ring sum
+	for i := range got {
+		if got[i] != want {
+			t.Fatalf("slot %d: sum = %d, want %d (ring wrap intact, no carry)", i, got[i], want)
+		}
+	}
+}
+
+// TestPackedSumMatchesUnpacked checks the aggregation equivalence that the
+// mapreduce HE path relies on: summing packed ciphertexts and summing
+// per-element ciphertexts produce identical ring vectors.
+func TestPackedSumMatchesUnpacked(t *testing.T) {
+	const m, d = 3, 7
+	p, err := NewPacking(&testKey.PublicKey, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	contribs := make([][]uint64, m)
+	for c := range contribs {
+		contribs[c] = make([]uint64, d)
+		for i := range contribs[c] {
+			contribs[c][i] = rng.Uint64()
+		}
+	}
+
+	// Packed aggregation.
+	var packed []*big.Int
+	for _, v := range contribs {
+		cs, err := p.EncryptVec(nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if packed == nil {
+			packed = cs
+			continue
+		}
+		for i := range packed {
+			packed[i] = testKey.Add(packed[i], cs[i])
+		}
+	}
+	got, err := p.DecryptVec(testKey, packed, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-element reference on the ring.
+	ring := new(big.Int).Lsh(big.NewInt(1), 64)
+	for i := 0; i < d; i++ {
+		sum := new(big.Int)
+		for _, v := range contribs {
+			sum.Add(sum, new(big.Int).SetUint64(v[i]))
+		}
+		want := sum.Mod(sum, ring).Uint64()
+		if got[i] != want {
+			t.Fatalf("element %d: packed sum %d, per-element sum %d", i, got[i], want)
+		}
+	}
+}
+
+// TestPackedLengthValidation pins the loud-failure contract for mismatched
+// ciphertext counts.
+func TestPackedLengthValidation(t *testing.T) {
+	p, err := NewPacking(&testKey.PublicKey, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.UnpackVec([]*big.Int{big.NewInt(1)}, 3*p.Slots, nil); err == nil {
+		t.Error("UnpackVec with too few plaintexts: want error")
+	}
+	if _, err := p.DecryptVec(testKey, nil, 1, nil); err == nil {
+		t.Error("DecryptVec with no ciphertexts: want error")
+	}
+}
+
+// TestPackingKeyTooSmall: a modulus that cannot hold even one slot must be
+// rejected with ErrKeySize. 64-bit payload + guard never fits a 64-bit
+// modulus, but GenerateKey refuses keys that small, so fake the public key.
+func TestPackingKeyTooSmall(t *testing.T) {
+	tiny := &PublicKey{N: big.NewInt(1 << 62), N2: new(big.Int).Lsh(big.NewInt(1), 124)}
+	if _, err := NewPacking(tiny, 2, 0); !errors.Is(err, ErrKeySize) {
+		t.Errorf("tiny modulus: err = %v, want ErrKeySize", err)
+	}
+}
+
+// FuzzPackedRoundtrip fuzzes the pack/unpack pair (pure big.Int arithmetic,
+// no encryption — the codec is the part with bit-twiddling to get wrong).
+func FuzzPackedRoundtrip(f *testing.F) {
+	f.Add(uint64(0), uint64(1), uint64(^uint64(0)), 3, 5)
+	f.Add(uint64(1)<<63, uint64(12345), uint64(42), 1, 1)
+	f.Fuzz(func(t *testing.T, v0, v1, v2 uint64, width, extra int) {
+		if width < 1 || width > 29 || extra < 0 || extra > 64 {
+			t.Skip()
+		}
+		p, err := NewPacking(&testKey.PublicKey, 64, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]uint64, 3+extra)
+		vals[0], vals[1], vals[2] = v0, v1, v2
+		for i := 3; i < len(vals); i++ {
+			vals[i] = v0 ^ uint64(i)*0x9e3779b97f4a7c15
+		}
+		got, err := p.UnpackVec(p.PackVec(vals), len(vals), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("roundtrip[%d] = %d, want %d (width %d)", i, got[i], vals[i], width)
+			}
+		}
+	})
+}

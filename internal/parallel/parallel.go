@@ -14,6 +14,13 @@
 // The worker budget defaults to runtime.GOMAXPROCS(0) and can be overridden
 // either by the PPML_WORKERS environment variable (read once at startup) or
 // programmatically with SetWorkers.
+//
+// The package also owns the dispatch threshold shared by the compute
+// kernels: Threshold is the minimum number of scalar multiply-adds an
+// operation must represent before its loop is worth handing to the pool.
+// It defaults to 2^15 and can be tuned per host with PPML_PAR_THRESHOLD or
+// SetThreshold, because the break-even point depends on core count, cache
+// sizes and scheduler latency.
 package parallel
 
 import (
@@ -24,9 +31,15 @@ import (
 	"sync/atomic"
 )
 
-var workers atomic.Int64
+var (
+	workers   atomic.Int64
+	threshold atomic.Int64
+)
 
-func init() { workers.Store(int64(defaultWorkers())) }
+func init() {
+	workers.Store(int64(defaultWorkers()))
+	threshold.Store(int64(defaultThreshold()))
+}
 
 // defaultWorkers resolves the startup worker budget: PPML_WORKERS when set to
 // a positive integer, else GOMAXPROCS.
@@ -37,6 +50,39 @@ func defaultWorkers() int {
 		}
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// DefaultThreshold is the built-in parallel-dispatch threshold: loops below
+// this many scalar multiply-adds stay sequential so the tiny per-iteration
+// ADMM systems never pay pool-scheduling overhead.
+const DefaultThreshold = 1 << 15
+
+// defaultThreshold resolves the startup dispatch threshold: the
+// PPML_PAR_THRESHOLD environment variable when set to a positive integer,
+// else DefaultThreshold.
+func defaultThreshold() int {
+	if s := os.Getenv("PPML_PAR_THRESHOLD"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return DefaultThreshold
+}
+
+// Threshold returns the current parallel-dispatch threshold in scalar
+// multiply-adds (≥ 1). Compute kernels compare their total work against it
+// before routing a loop to the pool.
+func Threshold() int { return int(threshold.Load()) }
+
+// SetThreshold overrides the dispatch threshold and returns the previous
+// value. n < 1 restores the startup default (PPML_PAR_THRESHOLD or
+// DefaultThreshold). Safe for concurrent use; kernels pick up the new value
+// on their next dispatch decision.
+func SetThreshold(n int) int {
+	if n < 1 {
+		n = defaultThreshold()
+	}
+	return int(threshold.Swap(int64(n)))
 }
 
 // Workers returns the current worker budget (≥ 1).

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -107,4 +108,39 @@ func TestForConcurrentCallers(t *testing.T) {
 	if got := total.Load(); got != 8*500 {
 		t.Errorf("concurrent For covered %d indices, want %d", got, 8*500)
 	}
+}
+
+func TestSetThreshold(t *testing.T) {
+	orig := Threshold()
+	if orig < 1 {
+		t.Fatalf("Threshold() = %d, want ≥ 1", orig)
+	}
+	if prev := SetThreshold(4096); prev != orig {
+		t.Errorf("SetThreshold returned %d, want %d", prev, orig)
+	}
+	if Threshold() != 4096 {
+		t.Errorf("Threshold() = %d after SetThreshold(4096)", Threshold())
+	}
+	SetThreshold(0) // restore default
+	if Threshold() != DefaultThreshold && os.Getenv("PPML_PAR_THRESHOLD") == "" {
+		t.Errorf("Threshold() = %d after restoring default, want %d", Threshold(), DefaultThreshold)
+	}
+	SetThreshold(orig)
+}
+
+func TestThresholdEnv(t *testing.T) {
+	// defaultThreshold re-reads the environment on every restore-default
+	// call, so the env override is testable without a subprocess.
+	t.Setenv("PPML_PAR_THRESHOLD", "1234")
+	prev := Threshold()
+	SetThreshold(0)
+	if Threshold() != 1234 {
+		t.Errorf("Threshold() = %d with PPML_PAR_THRESHOLD=1234, want 1234", Threshold())
+	}
+	t.Setenv("PPML_PAR_THRESHOLD", "not-a-number")
+	SetThreshold(0)
+	if Threshold() != DefaultThreshold {
+		t.Errorf("Threshold() = %d with junk env, want %d", Threshold(), DefaultThreshold)
+	}
+	SetThreshold(prev)
 }

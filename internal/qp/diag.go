@@ -37,21 +37,7 @@ func SolveUniformDiagEqualityBox(q0 float64, p []float64, c float64, y []float64
 	}
 	cfg := newConfig(n, opts)
 
-	lambdaAt := func(nu float64, dst []float64) {
-		for i := range dst {
-			dst[i] = linalg.Clamp((-p[i]-nu*y[i])/q0, 0, c)
-		}
-	}
-	sum := func(nu float64, buf []float64) float64 {
-		lambdaAt(nu, buf)
-		var s float64
-		for i := range buf {
-			s += y[i] * buf[i]
-		}
-		return s
-	}
-
-	buf := make([]float64, n)
+	buf := cfg.takeBuf(n)
 	// Feasibility: the reachable range of yᵀλ over the box.
 	pos := 0
 	for _, v := range y {
@@ -68,17 +54,17 @@ func SolveUniformDiagEqualityBox(q0 float64, p []float64, c float64, y []float64
 	bound := linalg.NormInf(p) + q0*c + 1
 	nuLo, nuHi := -bound, bound
 	// s is non-increasing; expand the bracket defensively.
-	for sum(nuLo, buf) < d && nuLo > -1e30 {
+	for diagDualSum(nuLo, q0, c, p, y, buf) < d && nuLo > -1e30 {
 		nuLo *= 2
 	}
-	for sum(nuHi, buf) > d && nuHi < 1e30 {
+	for diagDualSum(nuHi, q0, c, p, y, buf) > d && nuHi < 1e30 {
 		nuHi *= 2
 	}
 
 	iterations := 0
 	for iterations = 0; iterations < cfg.maxIter; iterations++ {
 		mid := 0.5 * (nuLo + nuHi)
-		if sum(mid, buf) >= d {
+		if diagDualSum(mid, q0, c, p, y, buf) >= d {
 			nuLo = mid
 		} else {
 			nuHi = mid
@@ -88,8 +74,8 @@ func SolveUniformDiagEqualityBox(q0 float64, p []float64, c float64, y []float64
 		}
 	}
 	nu := 0.5 * (nuLo + nuHi)
-	lambda := make([]float64, n)
-	lambdaAt(nu, lambda)
+	lambda, res := cfg.takeLambda(n)
+	diagLambdaAt(nu, q0, c, p, y, lambda)
 	// Exact-equality repair of the residual caused by the finite bisection.
 	got := 0.0
 	for i := range lambda {
@@ -101,12 +87,30 @@ func SolveUniformDiagEqualityBox(q0 float64, p []float64, c float64, y []float64
 			return nil, err
 		}
 	}
-	res := &Result{
-		Lambda:       lambda,
-		Iterations:   iterations,
-		KKTViolation: viol,
-		Converged:    true,
-	}
+	res.Lambda = lambda
+	res.Iterations = iterations
+	res.KKTViolation = viol
+	res.Converged = true
 	cfg.record("diag", res)
 	return res, nil
+}
+
+// diagLambdaAt evaluates λ(ν) = clip((−p − ν·y)/q0, 0, C) into dst. A
+// top-level function, not a closure inside the solver: closures capturing
+// the problem data would heap-allocate on every solve, and the solve sits on
+// the reducer's per-round path.
+func diagLambdaAt(nu, q0, c float64, p, y, dst []float64) {
+	for i := range dst {
+		dst[i] = linalg.Clamp((-p[i]-nu*y[i])/q0, 0, c)
+	}
+}
+
+// diagDualSum evaluates s(ν) = yᵀλ(ν) using buf as λ scratch.
+func diagDualSum(nu, q0, c float64, p, y, buf []float64) float64 {
+	diagLambdaAt(nu, q0, c, p, y, buf)
+	var s float64
+	for i := range buf {
+		s += y[i] * buf[i]
+	}
+	return s
 }

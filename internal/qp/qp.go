@@ -78,21 +78,122 @@ type Result struct {
 	Converged bool
 }
 
-// Option configures a solver invocation.
-type Option func(*config)
+// Option configures a solver invocation. Options are plain values, not
+// closures: newConfig applies them without the config ever escaping, so a
+// solve allocates nothing for its configuration — the solvers sit on the
+// consensus round hot path, which is pinned allocation-free.
+type Option struct {
+	kind optionKind
+	f    float64
+	n    int
+	vec  []float64
+	scr  *Scratch
+	tel  *telemetry.Registry
+}
+
+type optionKind uint8
+
+const (
+	optTolerance optionKind = iota + 1
+	optMaxIter
+	optWarmStart
+	optSecondOrder
+	optScratch
+	optTelemetry
+)
+
+// Scratch carries solver-owned buffers across solves so a steady-state round
+// loop allocates nothing: with WithScratch, the returned Result and its
+// Lambda alias the scratch and are overwritten by the next solve that uses
+// the same Scratch. The zero value is ready to use; one Scratch must not be
+// shared by concurrent solves.
+type Scratch struct {
+	lambda []float64
+	grad   []float64
+	buf    []float64
+	res    Result
+}
+
+// WithScratch draws the solution vector, gradient, and Result from s instead
+// of allocating. See Scratch for the aliasing contract.
+func WithScratch(s *Scratch) Option { return Option{kind: optScratch, scr: s} }
 
 type config struct {
 	tol         float64
 	maxIter     int
 	warmStart   []float64
 	secondOrder bool
+	scratch     *Scratch
 	tel         *telemetry.Registry
+}
+
+// takeLambda returns a zeroed length-n solution vector and a reset Result,
+// drawn from the scratch when one was supplied.
+func (c *config) takeLambda(n int) ([]float64, *Result) {
+	if c.scratch == nil {
+		return make([]float64, n), &Result{}
+	}
+	s := c.scratch
+	if cap(s.lambda) < n {
+		s.lambda = make([]float64, n)
+	}
+	s.lambda = s.lambda[:n]
+	linalg.Zero(s.lambda)
+	s.res = Result{}
+	return s.lambda, &s.res
+}
+
+// takeGrad returns a length-n gradient buffer: scratch-owned when available,
+// pooled otherwise. dropGrad returns only pooled buffers to the pool.
+func (c *config) takeGrad(n int) []float64 {
+	if c.scratch == nil {
+		return getGradBuf(n)
+	}
+	s := c.scratch
+	if cap(s.grad) < n {
+		s.grad = make([]float64, n)
+	}
+	s.grad = s.grad[:n]
+	return s.grad
+}
+
+func (c *config) dropGrad(g []float64) {
+	if c.scratch == nil {
+		putGradBuf(g)
+	}
+}
+
+// takeBuf returns a length-n working buffer (contents unspecified), drawn
+// from the scratch when one was supplied.
+func (c *config) takeBuf(n int) []float64 {
+	if c.scratch == nil {
+		return make([]float64, n)
+	}
+	s := c.scratch
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	s.buf = s.buf[:n]
+	return s.buf
 }
 
 func newConfig(n int, opts []Option) config {
 	cfg := config{tol: 1e-6, maxIter: 0}
 	for _, o := range opts {
-		o(&cfg)
+		switch o.kind {
+		case optTolerance:
+			cfg.tol = o.f
+		case optMaxIter:
+			cfg.maxIter = o.n
+		case optWarmStart:
+			cfg.warmStart = o.vec
+		case optSecondOrder:
+			cfg.secondOrder = true
+		case optScratch:
+			cfg.scratch = o.scr
+		case optTelemetry:
+			cfg.tel = o.tel
+		}
 	}
 	if cfg.maxIter <= 0 {
 		cfg.maxIter = 1000*n + 10000
@@ -101,16 +202,16 @@ func newConfig(n int, opts []Option) config {
 }
 
 // WithTolerance sets the KKT-violation stopping tolerance (default 1e-6).
-func WithTolerance(tol float64) Option { return func(c *config) { c.tol = tol } }
+func WithTolerance(tol float64) Option { return Option{kind: optTolerance, f: tol} }
 
 // WithMaxIter caps the number of solver updates (default 1000·n + 10000).
-func WithMaxIter(n int) Option { return func(c *config) { c.maxIter = n } }
+func WithMaxIter(n int) Option { return Option{kind: optMaxIter, n: n} }
 
 // WithWarmStart seeds the solver with a previous solution. The point is
 // clipped to the box; SolveEqualityBox additionally repairs it to satisfy the
 // equality constraint. A copy is taken: the caller's slice is not modified.
 func WithWarmStart(lambda []float64) Option {
-	return func(c *config) { c.warmStart = lambda }
+	return Option{kind: optWarmStart, vec: lambda}
 }
 
 // WithSecondOrderSelection switches SolveEqualityBox from first-order
@@ -120,7 +221,7 @@ func WithWarmStart(lambda []float64) Option {
 // Each step costs one extra Hessian-row scan but typically needs far fewer
 // steps on ill-conditioned duals.
 func WithSecondOrderSelection() Option {
-	return func(c *config) { c.secondOrder = true }
+	return Option{kind: optSecondOrder}
 }
 
 // SolveBox minimizes ½λᵀQλ + pᵀλ over the box [0, C]ⁿ.
@@ -131,7 +232,7 @@ func SolveBox(p Problem, opts ...Option) (*Result, error) {
 	n := p.Q.Rows
 	cfg := newConfig(n, opts)
 
-	lambda := make([]float64, n)
+	lambda, res := cfg.takeLambda(n)
 	if cfg.warmStart != nil {
 		if len(cfg.warmStart) != n {
 			return nil, fmt.Errorf("%w: warm start has length %d, want %d", ErrBadProblem, len(cfg.warmStart), n)
@@ -140,8 +241,8 @@ func SolveBox(p Problem, opts ...Option) (*Result, error) {
 			lambda[i] = linalg.Clamp(v, 0, p.C)
 		}
 	}
-	grad := gradient(&p, lambda, getGradBuf(n))
-	defer putGradBuf(grad)
+	grad := gradient(&p, lambda, cfg.takeGrad(n))
+	defer cfg.dropGrad(grad)
 
 	// stuck marks coordinates whose exact line-search step rounds to zero
 	// (flat or near-flat curvature pinning them in place). They are skipped
@@ -150,7 +251,7 @@ func SolveBox(p Problem, opts ...Option) (*Result, error) {
 	// solve the moment the top violator cannot move.
 	var stuck []bool
 	stuckCount := 0
-	res := &Result{Lambda: lambda}
+	res.Lambda = lambda
 	for res.Iterations = 0; res.Iterations < cfg.maxIter; res.Iterations++ {
 		// Gauss–Southwell: the coordinate with the largest projected gradient.
 		best, bestViol := -1, cfg.tol
@@ -219,7 +320,7 @@ func SolveEqualityBox(p Problem, y []float64, d float64, opts ...Option) (*Resul
 	}
 	cfg := newConfig(n, opts)
 
-	lambda := make([]float64, n)
+	lambda, res := cfg.takeLambda(n)
 	if cfg.warmStart != nil {
 		if len(cfg.warmStart) != n {
 			return nil, fmt.Errorf("%w: warm start has length %d, want %d", ErrBadProblem, len(cfg.warmStart), n)
@@ -231,10 +332,10 @@ func SolveEqualityBox(p Problem, y []float64, d float64, opts ...Option) (*Resul
 	if err := repairEquality(lambda, y, d, p.C); err != nil {
 		return nil, err
 	}
-	grad := gradient(&p, lambda, getGradBuf(n))
-	defer putGradBuf(grad)
+	grad := gradient(&p, lambda, cfg.takeGrad(n))
+	defer cfg.dropGrad(grad)
 
-	res := &Result{Lambda: lambda}
+	res.Lambda = lambda
 	for res.Iterations = 0; res.Iterations < cfg.maxIter; res.Iterations++ {
 		var i, j int
 		var viol float64

@@ -14,7 +14,7 @@ const (
 // ppml_qp_solves_total and a ppml_qp_iterations histogram, both labeled
 // solver=box|smo|diag. A nil registry records nothing at zero cost.
 func WithTelemetry(r *telemetry.Registry) Option {
-	return func(c *config) { c.tel = r }
+	return Option{kind: optTelemetry, tel: r}
 }
 
 // record emits the per-solve metrics; solver names the algorithm family.

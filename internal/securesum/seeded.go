@@ -76,6 +76,11 @@ const SetupRound = -1
 // counter block, so every round's mask is an independent PRF output.
 type pairPRG struct {
 	block cipher.Block
+	// ctr and ks are the counter and keystream blocks. They live on the
+	// struct, not the stack, because slices passed through the cipher.Block
+	// interface escape — as locals they would be two heap allocations per
+	// mask call, 4(M−1) per learner per round.
+	ctr, ks [aes.BlockSize]byte
 }
 
 // newPairPRG builds the expander for one pairwise seed.
@@ -90,16 +95,16 @@ func newPairPRG(seed []byte) (*pairPRG, error) {
 	return &pairPRG{block: block}, nil
 }
 
-// mask fills dst with the (session, round) mask. It is allocation-free: the
-// counter and keystream blocks live on the stack and each 16-byte AES block
-// yields two ring elements.
+// mask fills dst with the (session, round) mask. It is allocation-free —
+// counter and keystream blocks are struct scratch — and each 16-byte AES
+// block yields two ring elements.
 func (g *pairPRG) mask(session uint64, round int32, dst []uint64) {
-	var ctr, ks [aes.BlockSize]byte
+	ctr, ks := g.ctr[:], g.ks[:]
 	binary.BigEndian.PutUint64(ctr[0:], session)
 	binary.BigEndian.PutUint32(ctr[8:], uint32(round))
 	for i := 0; i < len(dst); i += 2 {
 		binary.BigEndian.PutUint32(ctr[12:], uint32(i/2))
-		g.block.Encrypt(ks[:], ctr[:])
+		g.block.Encrypt(ks, ctr)
 		dst[i] = binary.LittleEndian.Uint64(ks[0:8])
 		if i+1 < len(dst) {
 			dst[i+1] = binary.LittleEndian.Uint64(ks[8:16])

@@ -478,6 +478,16 @@ func WithPaillierAggregation(keyBits int) Option {
 	}
 }
 
+// WithPaillierPackWidth caps how many fixed-point values are packed into one
+// Paillier plaintext under WithPaillierAggregation. The default (0) packs as
+// many slots as the modulus allows — ⌈d/k⌉ ciphertexts per contribution
+// instead of d — while 1 forces the per-element layout, which is useful for
+// measuring what packing saves. Widths above the modulus capacity are
+// clamped; the aggregate is identical for every width.
+func WithPaillierPackWidth(width int) Option {
+	return func(o *options) { o.cfg.PaillierPackWidth = width }
+}
+
 // WithTCP runs distributed training over loopback TCP sockets instead of
 // in-process channels.
 func WithTCP() Option {

@@ -377,13 +377,15 @@ func TestWithPaillierAggregation(t *testing.T) {
 	if acc < 0.8 {
 		t.Errorf("paillier-aggregated accuracy = %g", acc)
 	}
-	// Compare traffic against masked aggregation: ciphertexts are far bigger.
+	// Compare traffic against masked aggregation: ciphertexts are still
+	// bigger than masked ring shares, but slot packing bounds the blow-up
+	// to ⌈d/k⌉ ciphertexts per contribution rather than d.
 	masked, err := ppml.Train(train, ppml.HorizontalLinear,
 		ppml.WithLearners(2), ppml.WithIterations(3), ppml.WithDistributed())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.History.BytesSent < 3*masked.History.BytesSent {
+	if res.History.BytesSent <= masked.History.BytesSent {
 		t.Errorf("paillier traffic %d bytes vs masked %d; expected ciphertext blow-up",
 			res.History.BytesSent, masked.History.BytesSent)
 	}

@@ -1,19 +1,53 @@
 #!/bin/sh
-# Communication benchmark: runs the scalability sweep under both masking
-# modes (one iteration each — these are measurements of traffic, not of
-# wall-clock noise) and regenerates BENCH_comm.json, the measured
-# seeded-vs-per-round comparison behind the EXPERIMENTS.md table.
+# Benchmark driver behind the checked-in BENCH_*.json measurements.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_comm.json)
+#   scripts/bench.sh comm [output.json]   communication: scalability sweep
+#                                         under both masking modes, then the
+#                                         seeded-vs-per-round comparison
+#                                         (default output BENCH_comm.json)
+#   scripts/bench.sh hot  [output.json]   hot kernels: tiled-vs-reference
+#                                         compute kernels plus packed vs
+#                                         unpacked Paillier aggregation
+#                                         (default output BENCH_hot.json)
+#
+# Running with no arguments keeps the historical behavior: the comm mode.
+# A bare *.json first argument is also accepted as the comm output path.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_comm.json}"
 
-echo "==> scalability bench, both mask modes (1x)"
-go test -run '^$' -bench Scalability -benchtime 1x .
+mode="${1:-comm}"
+case "$mode" in
+*.json)
+	# Backward compatibility: scripts/bench.sh out.json == comm mode.
+	set -- comm "$mode"
+	mode=comm
+	;;
+esac
 
-echo "==> measuring seeded vs per-round communication -> $out"
-go run ./cmd/ppml-figures -panel comm -learners 16 -comm-json "$out"
+case "$mode" in
+comm)
+	out="${2:-BENCH_comm.json}"
+	echo "==> scalability bench, both mask modes (1x)"
+	go test -run '^$' -bench Scalability -benchtime 1x .
+
+	echo "==> measuring seeded vs per-round communication -> $out"
+	go run ./cmd/ppml-figures -panel comm -learners 16 -comm-json "$out"
+	;;
+hot)
+	out="${2:-BENCH_hot.json}"
+	echo "==> hot-kernel pairs (go test cross-check, 1x)"
+	go test -run '^$' -bench 'MatMul500|MatMulT2000x50' -benchtime 1x ./internal/linalg/
+	go test -run '^$' -bench 'GramRBF2000x50' -benchtime 1x ./internal/kernel/
+	go test -run '^$' -bench 'PaillierVector' -benchtime 1x ./internal/mapreduce/
+
+	echo "==> measuring tiled vs reference kernels + Paillier packing -> $out"
+	go run ./cmd/ppml-figures -panel hot -hot-json "$out"
+	;;
+*)
+	echo "usage: scripts/bench.sh [comm|hot] [output.json]" >&2
+	exit 2
+	;;
+esac
 
 echo "ok: wrote $out"

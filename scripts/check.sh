@@ -46,14 +46,17 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> fuzz smoke (4 x 10s over the wire codecs)"
+echo "==> fuzz smoke (5 x 10s over the wire codecs and the packed layout)"
 go test -fuzz FuzzFixedpointRoundtrip -fuzztime 10s -run '^$' ./internal/fixedpoint/
 go test -fuzz FuzzWireDecode -fuzztime 10s -run '^$' ./internal/transport/
 go test -fuzz FuzzWireDecode -fuzztime 10s -run '^$' ./internal/mapreduce/
 go test -fuzz FuzzWireDecode -fuzztime 10s -run '^$' ./internal/paillier/
+go test -fuzz FuzzPackedRoundtrip -fuzztime 10s -run '^$' ./internal/paillier/
 
-echo "==> bench smoke (Gram, 1 iteration)"
+echo "==> bench smoke (Gram + tiled kernels + Paillier packing, 1 iteration)"
 go test -run '^$' -bench Gram -benchtime 1x ./internal/kernel/
+go test -run '^$' -bench 'MatMul500|MatMulT2000x50' -benchtime 1x ./internal/linalg/
+go test -run '^$' -bench PaillierVector -benchtime 1x ./internal/mapreduce/
 
 echo "==> metrics smoke (live -metrics-addr endpoint on a real training run)"
 sh scripts/metrics_smoke.sh
