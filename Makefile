@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-custom fuzz-short bench bench-smoke bench-comm bench-hot metrics-smoke check
+.PHONY: build test race vet vet-custom vet-flow fuzz-short bench bench-smoke bench-comm bench-hot metrics-smoke check
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,19 @@ vet:
 	$(GO) vet ./...
 
 # Custom invariant analyzers (internal/analysis) run through `go vet`:
-# randsource, plaintextwire, droppederr, poolcapture, telemetrysafe. See
-# DESIGN.md ("Machine-checked invariants").
+# randsource, plaintextwire, droppederr, poolcapture, telemetrysafe,
+# secretflow, unuseddirective. See DESIGN.md ("Machine-checked invariants"
+# and §13 for the taint model).
 vet-custom:
 	$(GO) build -o bin/ppml-vet ./cmd/ppml-vet
 	$(GO) vet -vettool="$(CURDIR)/bin/ppml-vet" ./...
+
+# vet-custom plus the interprocedural taint trace under each flow
+# diagnostic: one witness step per line (where the secret originated, which
+# helpers and fields it moved through, where it reached the sink).
+vet-flow:
+	$(GO) build -o bin/ppml-vet ./cmd/ppml-vet
+	$(GO) vet -vettool="$(CURDIR)/bin/ppml-vet" -trace ./...
 
 # Live telemetry endpoint smoke: train a tiny job with -metrics-addr and
 # scrape the running process (same script as the CI metrics-smoke shard).

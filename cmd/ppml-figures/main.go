@@ -113,7 +113,7 @@ func run(args []string) (err error) {
 			return fmt.Errorf("metrics listener: %w", lnErr)
 		}
 		srv := &http.Server{Handler: tel.Handler()}
-		go func() { _ = srv.Serve(ln) }() //ppml:err-ok server lifetime is the process; Serve returns on Close
+		go func() { _ = srv.Serve(ln) }() // server lifetime is the process; Serve returns on Close
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", ln.Addr())
 		opts.Telemetry = tel

@@ -185,7 +185,7 @@ func run(ctx context.Context, args []string) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		srv := &http.Server{Handler: tel.Handler()}
-		go func() { _ = srv.Serve(ln) }() //ppml:err-ok server lifetime is the process; Serve returns on Close
+		go func() { _ = srv.Serve(ln) }() // server lifetime is the process; Serve returns on Close
 		defer srv.Close()
 		fmt.Printf("metrics      http://%s/metrics\n", ln.Addr())
 		opts = append(opts, ppml.WithTelemetry(tel))

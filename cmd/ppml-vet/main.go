@@ -30,6 +30,7 @@ import (
 
 	"github.com/ppml-go/ppml/internal/analysis/framework"
 	"github.com/ppml-go/ppml/internal/analysis/ppmlvet"
+	"github.com/ppml-go/ppml/internal/analysis/unuseddirective"
 )
 
 // unitConfig is the JSON compilation-unit description the go command writes
@@ -54,6 +55,7 @@ func main() {
 	versionFlag := flag.String("V", "", "print version and exit (the go command passes -V=full)")
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags in JSON and exit")
 	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON instead of text")
+	traceFlag := flag.Bool("trace", false, "print the taint flow trace under each flow diagnostic")
 	enabled := make(map[string]*bool, len(suite))
 	for _, a := range suite {
 		doc, _, _ := strings.Cut(a.Doc, "\n")
@@ -75,12 +77,27 @@ func main() {
 	}
 
 	var active []*framework.Analyzer
+	anyDisabled := false
 	for _, a := range suite {
 		if *enabled[a.Name] {
 			active = append(active, a)
+		} else {
+			anyDisabled = true
 		}
 	}
-	os.Exit(run(args[0], active, *jsonFlag))
+	if anyDisabled {
+		// With part of the suite switched off, its directives are never
+		// looked up, and the staleness post-pass would flag every one of
+		// them. Only a full-suite run can judge staleness.
+		var kept []*framework.Analyzer
+		for _, a := range active {
+			if a != unuseddirective.Analyzer {
+				kept = append(kept, a)
+			}
+		}
+		active = kept
+	}
+	os.Exit(run(args[0], active, *jsonFlag, *traceFlag))
 }
 
 // selfHash fingerprints the executable so the go command's action cache
@@ -110,7 +127,10 @@ func printFlagDefs(suite []*framework.Analyzer) {
 		Bool  bool
 		Usage string
 	}
-	defs := []flagDef{{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"}}
+	defs := []flagDef{
+		{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+		{Name: "trace", Bool: true, Usage: "print the taint flow trace under each flow diagnostic"},
+	}
 	for _, a := range suite {
 		doc, _, _ := strings.Cut(a.Doc, "\n")
 		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: doc})
@@ -123,7 +143,7 @@ func printFlagDefs(suite []*framework.Analyzer) {
 }
 
 // run analyzes one compilation unit and returns the process exit code.
-func run(cfgFile string, analyzers []*framework.Analyzer, asJSON bool) int {
+func run(cfgFile string, analyzers []*framework.Analyzer, asJSON, trace bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		log.Fatal(err)
@@ -185,6 +205,9 @@ func run(cfgFile string, analyzers []*framework.Analyzer, asJSON bool) int {
 		diag     framework.Diagnostic
 	}
 	var findings []finding
+	// One usage recorder spans the whole suite so the unuseddirective
+	// post-pass sees every directive lookup the earlier analyzers made.
+	usage := framework.NewDirectiveUsage()
 	for _, a := range analyzers {
 		pass := &framework.Pass{
 			Analyzer:  a,
@@ -192,6 +215,7 @@ func run(cfgFile string, analyzers []*framework.Analyzer, asJSON bool) int {
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Usage:     usage,
 		}
 		pass.Report = func(d framework.Diagnostic) {
 			findings = append(findings, finding{analyzer: pass.Analyzer.Name, diag: d})
@@ -208,14 +232,16 @@ func run(cfgFile string, analyzers []*framework.Analyzer, asJSON bool) int {
 		// Mirror the x/tools unitchecker JSON tree: package → analyzer →
 		// diagnostics.
 		type jsonDiag struct {
-			Posn    string `json:"posn"`
-			Message string `json:"message"`
+			Posn    string   `json:"posn"`
+			Message string   `json:"message"`
+			Trace   []string `json:"trace,omitempty"`
 		}
 		tree := map[string]map[string][]jsonDiag{cfg.ID: {}}
 		for _, f := range findings {
 			tree[cfg.ID][f.analyzer] = append(tree[cfg.ID][f.analyzer], jsonDiag{
 				Posn:    fset.Position(f.diag.Pos).String(),
 				Message: f.diag.Message,
+				Trace:   f.diag.Trace,
 			})
 		}
 		out, err := json.MarshalIndent(tree, "", "\t")
@@ -227,6 +253,11 @@ func run(cfgFile string, analyzers []*framework.Analyzer, asJSON bool) int {
 	}
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(f.diag.Pos), f.diag.Message)
+		if trace {
+			for _, step := range f.diag.Trace {
+				fmt.Fprintf(os.Stderr, "\tflow: %s\n", step)
+			}
+		}
 	}
 	if len(findings) > 0 {
 		return 1

@@ -14,6 +14,7 @@ package analysistest
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -21,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,6 +35,17 @@ import (
 // and compares the reported diagnostics against the // want expectations in
 // the package sources.
 func Run(t *testing.T, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	RunSuite(t, []*framework.Analyzer{a}, pkgPaths...)
+}
+
+// RunSuite applies the analyzers in order to each named golden package,
+// sharing one directive-usage recorder per package — the way the ppml-vet
+// driver runs the real suite — and compares the union of their diagnostics
+// against the // want expectations. Usage-dependent checks (unuseddirective)
+// only make sense under RunSuite, after the analyzers whose directives they
+// audit.
+func RunSuite(t *testing.T, analyzers []*framework.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	root, err := filepath.Abs(filepath.Join("testdata", "src"))
 	if err != nil {
@@ -50,26 +63,92 @@ func Run(t *testing.T, a *framework.Analyzer, pkgPaths ...string) {
 			if err != nil {
 				t.Fatalf("loading golden package %s: %v", path, err)
 			}
-			var diags []framework.Diagnostic
-			pass := &framework.Pass{
-				Analyzer:  a,
-				Fset:      l.fset,
-				Files:     res.files,
-				Pkg:       res.pkg,
-				TypesInfo: res.info,
-				Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
-			}
-			if err := a.Run(pass); err != nil {
-				t.Fatalf("analyzer %s: %v", a.Name, err)
+			diags, err := runSuite(l.fset, res, analyzers)
+			if err != nil {
+				t.Fatal(err)
 			}
 			check(t, l.fset, res.files, diags)
 		})
 	}
 }
 
+// RepoDiagnostics type-checks real repository packages (rooted at repoRoot,
+// imported as modulePath/<dir>) and runs the analyzers as a suite over each,
+// returning every diagnostic as a "file:line: [analyzer] message" string.
+// This is the engine of the repo-wide meta-test: the protocol packages must
+// come back empty. Test files are excluded, as in the real vet run.
+func RepoDiagnostics(t *testing.T, analyzers []*framework.Analyzer, repoRoot, modulePath string, pkgDirs ...string) []string {
+	t.Helper()
+	root, err := filepath.Abs(repoRoot)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	l := &loader{
+		fset:       token.NewFileSet(),
+		root:       root,
+		pkgs:       make(map[string]*result),
+		modulePath: modulePath,
+		skipTests:  true,
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	var out []string
+	for _, dir := range pkgDirs {
+		res, err := l.load(modulePath + "/" + dir)
+		if err != nil {
+			t.Fatalf("loading repository package %s: %v", dir, err)
+		}
+		diags, err := runSuite(l.fset, res, analyzers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			p := l.fset.Position(d.pos)
+			rel, rerr := filepath.Rel(root, p.Filename)
+			if rerr != nil {
+				rel = p.Filename
+			}
+			out = append(out, fmt.Sprintf("%s:%d: [%s] %s", filepath.ToSlash(rel), p.Line, d.analyzer, d.Message))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// suiteDiag tags a diagnostic with the analyzer that reported it.
+type suiteDiag struct {
+	framework.Diagnostic
+	analyzer string
+	pos      token.Pos
+}
+
+// runSuite runs the analyzers over one loaded package with a shared
+// directive-usage recorder.
+func runSuite(fset *token.FileSet, res *result, analyzers []*framework.Analyzer) ([]suiteDiag, error) {
+	usage := framework.NewDirectiveUsage()
+	var diags []suiteDiag
+	for _, a := range analyzers {
+		a := a
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     res.files,
+			Pkg:       res.pkg,
+			TypesInfo: res.info,
+			Usage:     usage,
+		}
+		pass.Report = func(d framework.Diagnostic) {
+			diags = append(diags, suiteDiag{Diagnostic: d, analyzer: a.Name, pos: d.Pos})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	return diags, nil
+}
+
 // check compares diagnostics against the want expectations, both keyed by
 // (file, line).
-func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []framework.Diagnostic) {
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []suiteDiag) {
 	t.Helper()
 	type key struct {
 		file string
@@ -127,10 +206,17 @@ type wantExpr struct {
 }
 
 // parseWants extracts the quoted regexps of a `// want "re" "re"` comment.
+// The expectation may also trail other content inside the same comment token
+// (`//ppml:err-ok reason // want "re"`) — a //ppml: directive under test
+// owns the whole line, so its expectation can only live embedded like this.
 func parseWants(text string) ([]*wantExpr, error) {
 	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
 	if !ok {
-		return nil, nil
+		i := strings.LastIndex(text, "// want ")
+		if i < 0 {
+			return nil, nil
+		}
+		rest = text[i+len("// want "):]
 	}
 	var out []*wantExpr
 	for {
@@ -181,12 +267,32 @@ type result struct {
 }
 
 // loader type-checks golden packages, resolving imports against testdata/src
-// first and the standard library (from source) second.
+// (or, with modulePath set, the repository tree) first and the standard
+// library (from source) second.
 type loader struct {
 	fset *token.FileSet
 	root string
 	pkgs map[string]*result
 	std  types.Importer
+
+	// modulePath, when set, maps import paths under it to directories of
+	// the repository rooted at root instead of testdata/src packages.
+	modulePath string
+	// skipTests excludes _test.go files from loaded packages.
+	skipTests bool
+}
+
+// dirFor maps an import path to the directory holding its sources, or ""
+// when the path is not ours to load.
+func (l *loader) dirFor(path string) string {
+	if l.modulePath != "" {
+		rest, ok := strings.CutPrefix(path, l.modulePath+"/")
+		if !ok {
+			return ""
+		}
+		return filepath.Join(l.root, filepath.FromSlash(rest))
+	}
+	return filepath.Join(l.root, filepath.FromSlash(path))
 }
 
 func (l *loader) load(path string) (*result, error) {
@@ -196,7 +302,11 @@ func (l *loader) load(path string) (*result, error) {
 	res := &result{}
 	l.pkgs[path] = res // set before recursing; import cycles fail in Check
 
-	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	dir := l.dirFor(path)
+	if dir == "" {
+		res.err = fmt.Errorf("import path %s is outside the loaded module", path)
+		return res, res.err
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		res.err = err
@@ -204,7 +314,9 @@ func (l *loader) load(path string) (*result, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") &&
+			!(l.skipTests && strings.HasSuffix(e.Name(), "_test.go")) &&
+			matchesBuild(filepath.Join(dir, e.Name()), e.Name()) {
 			names = append(names, e.Name())
 		}
 	}
@@ -236,12 +348,14 @@ func (l *loader) load(path string) (*result, error) {
 }
 
 func (l *loader) importPkg(path string) (*types.Package, error) {
-	if info, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil && info.IsDir() {
-		res, err := l.load(path)
-		if err != nil {
-			return nil, err
+	if dir := l.dirFor(path); dir != "" {
+		if info, err := os.Stat(dir); err == nil && info.IsDir() {
+			res, err := l.load(path)
+			if err != nil {
+				return nil, err
+			}
+			return res.pkg, nil
 		}
-		return res.pkg, nil
 	}
 	return l.std.Import(path)
 }
@@ -249,3 +363,81 @@ func (l *loader) importPkg(path string) (*types.Package, error) {
 type importerFunc func(string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// matchesBuild reports whether a file participates in the host-platform
+// build: its GOOS/GOARCH filename suffixes and its leading //go:build
+// constraint (if any) are evaluated as the go command would, so that e.g.
+// linalg's amd64 assembly declarations and their !amd64 stubs never load
+// into the same package.
+func matchesBuild(path, name string) bool {
+	if !goodOSArchFile(name) {
+		return false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return false
+			}
+			return expr.Eval(buildTag)
+		}
+	}
+	return true
+}
+
+// buildTag evaluates one constraint tag against the host platform.
+func buildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "windows", "plan9", "js", "wasip1":
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mipsle": true, "mips64": true, "mips64le": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true, "wasm": true,
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true, "linux": true,
+	"netbsd": true, "openbsd": true, "plan9": true, "solaris": true,
+	"wasip1": true, "windows": true,
+}
+
+// goodOSArchFile applies the _GOOS, _GOARCH, and _GOOS_GOARCH filename
+// rules. As in the go command, a suffix only counts when something precedes
+// the underscore (a file named amd64.go is unconstrained).
+func goodOSArchFile(name string) bool {
+	name = strings.TrimSuffix(name, ".go")
+	name = strings.TrimSuffix(name, "_test")
+	parts := strings.Split(name, "_")
+	if len(parts) >= 3 && knownOS[parts[len(parts)-2]] && knownArch[parts[len(parts)-1]] {
+		return parts[len(parts)-2] == runtime.GOOS && parts[len(parts)-1] == runtime.GOARCH
+	}
+	if len(parts) >= 2 {
+		switch last := parts[len(parts)-1]; {
+		case knownArch[last]:
+			return last == runtime.GOARCH
+		case knownOS[last]:
+			return last == runtime.GOOS
+		}
+	}
+	return true
+}

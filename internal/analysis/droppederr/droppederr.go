@@ -1,11 +1,12 @@
 // Package droppederr flags discarded error results from the protocol API
-// surface: securesum, paillier, transport, and mapreduce.
+// surface: securesum, paillier, transport, mapreduce, and dp.
 //
 // In an ordinary program a swallowed error is a bug; in this system it is a
 // silent protocol degradation — a mask that was never delivered, a share
-// that was never added, a ciphertext that failed to decode — that the
-// aggregate may absorb without any numeric symptom. The analyzer therefore
-// treats every error produced by those four packages as load-bearing:
+// that was never added, a ciphertext that failed to decode, a released
+// model missing its differential-privacy noise — that the aggregate may
+// absorb without any numeric symptom. The analyzer therefore treats every
+// error produced by those five packages as load-bearing:
 // a call whose error lands nowhere (expression statement, go statement, or
 // an assignment that sends every error result to the blank identifier) is a
 // violation unless a //ppml:err-ok directive with a justification marks the
@@ -23,7 +24,7 @@ import (
 // Analyzer is the droppederr checker.
 var Analyzer = &framework.Analyzer{
 	Name: "droppederr",
-	Doc: "flag discarded errors from securesum, paillier, transport, and mapreduce APIs; " +
+	Doc: "flag discarded errors from securesum, paillier, transport, mapreduce, and dp APIs; " +
 		"deliberate discards require //ppml:err-ok",
 	Run: run,
 }
@@ -38,6 +39,7 @@ var apiPaths = []string{
 	"internal/paillier",
 	"internal/transport",
 	"internal/mapreduce",
+	"internal/dp",
 }
 
 func run(pass *framework.Pass) error {

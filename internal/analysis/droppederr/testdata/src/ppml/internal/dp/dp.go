@@ -1,0 +1,12 @@
+// Package dp is a golden stand-in for the differential-privacy mechanism
+// surface audited by droppederr.
+package dp
+
+// PerturbVector adds calibrated noise to w in place; the error reports a
+// failed randomness draw, after which w is NOT private.
+func PerturbVector(w []float64, epsilon, sensitivity float64) error {
+	_ = epsilon
+	_ = sensitivity
+	_ = w
+	return nil
+}

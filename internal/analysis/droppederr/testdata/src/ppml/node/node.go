@@ -5,6 +5,7 @@ package node
 import (
 	"context"
 
+	"ppml/internal/dp"
 	"ppml/internal/transport"
 )
 
@@ -27,6 +28,15 @@ func Run(ctx context.Context, ep *transport.Endpoint) error {
 	_ = ep.Send(ctx, "reducer", "stop", hdr, nil) // want `directive requires a justification string` `assigned to the blank identifier`
 
 	if err := ep.Send(ctx, "reducer", "share", hdr, nil); err != nil { // handled: no diagnostic
+		return err
+	}
+
+	w := []float64{1, 2}
+	dp.PerturbVector(w, 1.0, 1.0) // want `error returned by dp.PerturbVector is discarded`
+
+	_ = dp.PerturbVector(w, 1.0, 1.0) // want `assigned to the blank identifier`
+
+	if err := dp.PerturbVector(w, 1.0, 1.0); err != nil { // handled: no diagnostic
 		return err
 	}
 

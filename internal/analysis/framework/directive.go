@@ -20,15 +20,19 @@ const DirectivePrefix = "//ppml:"
 
 // Directive looks up a //ppml:<name> directive governing the source line of
 // pos. A directive applies to the line it is written on (trailing comment)
-// and to the line immediately below it (standalone comment above the
-// governed statement).
+// and chains downward through an unbroken run of directive-bearing lines to
+// the first line below the run — so a statement that violates two
+// invariants stacks two directive comments above itself, each on its own
+// line. When a Usage recorder is attached to the pass, every matched
+// directive is marked as consulted; the unuseddirective check reports the
+// ones that excused nothing.
 func (p *Pass) Directive(pos token.Pos, name string) (Directive, bool) {
 	if p.directives == nil {
-		p.directives = make(map[string]map[int]Directive)
+		p.directives = make(map[string]map[int][]Directive)
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					d, ok := parseDirective(c.Text)
+					d, ok := ParseDirective(c.Text)
 					if !ok {
 						continue
 					}
@@ -36,21 +40,33 @@ func (p *Pass) Directive(pos token.Pos, name string) (Directive, bool) {
 					cp := p.Fset.Position(c.Pos())
 					lines := p.directives[cp.Filename]
 					if lines == nil {
-						lines = make(map[int]Directive)
+						lines = make(map[int][]Directive)
 						p.directives[cp.Filename] = lines
 					}
-					lines[cp.Line] = d
-					lines[cp.Line+1] = d
+					lines[cp.Line] = append(lines[cp.Line], d)
 				}
 			}
 		}
 	}
 	at := p.Fset.Position(pos)
-	d, ok := p.directives[at.Filename][at.Line]
-	if !ok || d.Name != name {
+	lines := p.directives[at.Filename]
+	if lines == nil {
 		return Directive{}, false
 	}
-	return d, true
+	// The governed line itself, then upward while lines keep carrying
+	// directives (a stacked run of directive comments).
+	for l := at.Line; l == at.Line || len(lines[l]) > 0; l-- {
+		for _, d := range lines[l] {
+			if d.Name != name {
+				continue
+			}
+			if p.Usage != nil {
+				p.Usage.mark(d.Pos)
+			}
+			return d, true
+		}
+	}
+	return Directive{}, false
 }
 
 // Allowed reports whether pos is excused by a justified //ppml:<name>
@@ -70,7 +86,8 @@ func (p *Pass) Allowed(pos token.Pos, name string) bool {
 	return true
 }
 
-func parseDirective(text string) (Directive, bool) {
+// ParseDirective parses one //ppml:<name> <justification> comment.
+func ParseDirective(text string) (Directive, bool) {
 	if !strings.HasPrefix(text, DirectivePrefix) {
 		return Directive{}, false
 	}
@@ -81,3 +98,21 @@ func parseDirective(text string) (Directive, bool) {
 	}
 	return Directive{Name: name, Justification: strings.TrimSpace(justification)}, true
 }
+
+// DirectiveUsage records which directives were consulted (matched by name at
+// a would-be violation) across a whole suite run. The driver shares one
+// recorder between all analyzers of a package and hands it to the
+// unuseddirective check, which flags every directive that excused nothing.
+type DirectiveUsage struct {
+	used map[token.Pos]bool
+}
+
+// NewDirectiveUsage creates an empty recorder.
+func NewDirectiveUsage() *DirectiveUsage {
+	return &DirectiveUsage{used: make(map[token.Pos]bool)}
+}
+
+func (u *DirectiveUsage) mark(pos token.Pos) { u.used[pos] = true }
+
+// Used reports whether the directive written at pos was consulted.
+func (u *DirectiveUsage) Used(pos token.Pos) bool { return u != nil && u.used[pos] }

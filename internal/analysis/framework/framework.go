@@ -25,10 +25,13 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// Diagnostic is one finding, anchored at a source position.
+// Diagnostic is one finding, anchored at a source position. Trace, when
+// set, is the dataflow witness chain explaining the finding (one
+// "position: step" line per hop); drivers print it behind a -trace flag.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	Trace   []string
 }
 
 // Pass carries one type-checked package through an Analyzer.Run.
@@ -40,7 +43,12 @@ type Pass struct {
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
 
-	directives map[string]map[int]Directive // filename → line → directive
+	// Usage, when non-nil, records every directive a lookup matched. The
+	// driver shares one recorder across the suite so the unuseddirective
+	// check can flag directives that excused nothing.
+	Usage *DirectiveUsage
+
+	directives map[string]map[int][]Directive // filename → line → directives
 }
 
 // Reportf reports a formatted diagnostic at pos.

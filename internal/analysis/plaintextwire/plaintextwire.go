@@ -5,17 +5,18 @@
 // The analyzer audits the packages that move consensus data — consensus and
 // mapreduce — and inspects every call to transport's Endpoint.Send. The
 // coordination plane (state broadcast, stop, abort) is protocol-public by
-// design and always allowed; for every data-plane send the payload
-// expression must provably route through securesum or paillier:
+// design and always allowed; for every data-plane send the payload must
+// provably route through securesum or paillier.
 //
-//   - directly (securesum.EncodeShares(...), paillier.MarshalCiphertexts(...)),
-//   - through a same-package wrapper whose body uses those packages
-//     (e.g. a helper that encodes and encrypts before returning bytes), or
-//   - through a local variable assigned from such a call, traced
-//     intra-procedurally.
+// The proof obligation runs on the framework's interprocedural taint engine
+// under a provenance model: every value is "raw" at origin, and only
+// results of the sanitizer packages are clean. Raw payloads are therefore
+// flagged no matter how many same-package helpers, struct fields, or
+// aliased buffers they pass through — and a helper that routes through
+// paillier is sanctioned automatically, because its summary is computed
+// from its body rather than guessed from one level of call syntax.
 //
-// Anything else is raw data on the wire and is flagged. The deliberate
-// no-privacy ablation mode (AggregationPlain) must carry a
+// The deliberate no-privacy ablation mode (AggregationPlain) must carry a
 // //ppml:plaintext-ok directive with a justification.
 package plaintextwire
 
@@ -62,49 +63,74 @@ var controlKinds = map[string]bool{
 	"KindAbort":     true,
 }
 
+// raw is the single taint class of the provenance model: not yet routed
+// through a sanitizer.
+const raw framework.Taint = 1
+
 func run(pass *framework.Pass) error {
 	if !framework.PathMatches(pass.Pkg.Path(), auditPaths...) {
 		return nil
 	}
-	routing := cryptoRoutingFuncs(pass)
+	flow := framework.RunTaintFlow(pass, &model{})
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
 			continue
 		}
-		// Map every node to its enclosing function body so payload variables
-		// can be traced to their assignments.
 		ast.Inspect(f, func(n ast.Node) bool {
-			var body *ast.BlockStmt
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				body = fn.Body
-			case *ast.FuncLit:
-				body = fn.Body
-			default:
-				return true
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkSend(pass, flow, call)
 			}
-			if body == nil {
-				return true
-			}
-			ast.Inspect(body, func(m ast.Node) bool {
-				// Nested function literals get their own, narrower trace scope
-				// when the outer traversal reaches them.
-				if _, ok := m.(*ast.FuncLit); ok {
-					return false
-				}
-				if call, ok := m.(*ast.CallExpr); ok {
-					checkSend(pass, routing, body, call)
-				}
-				return true
-			})
 			return true
 		})
 	}
 	return nil
 }
 
+// model is the provenance TaintModel: everything is raw at origin; only the
+// sanitizer packages clean.
+type model struct{}
+
+func (m *model) SourceField(f *types.Var) Taint { return 0 }
+func (m *model) ClearField(f *types.Var) bool   { return false }
+func (m *model) SourceParam(fn *types.Func, p *types.Var) Taint {
+	return 0
+}
+func (m *model) SourceCall(fn *types.Func) Taint { return 0 }
+
+func (m *model) SourceType(t types.Type) Taint {
+	if t == nil {
+		return 0
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return 0 // a nil payload carries nothing
+	}
+	return raw
+}
+
+func (m *model) Sanitizes(fn *types.Func) bool {
+	return fn.Pkg() != nil && framework.PathMatches(fn.Pkg().Path(), sanitizerPaths...)
+}
+
+func (m *model) Blocks(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Identical(t, errorType) {
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Info()&types.IsBoolean != 0
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// Taint aliases the framework type for the model methods above.
+type Taint = framework.Taint
+
 // checkSend validates one transport Send call.
-func checkSend(pass *framework.Pass, routing map[*types.Func]bool, body *ast.BlockStmt, call *ast.CallExpr) {
+func checkSend(pass *framework.Pass, flow *framework.TaintFlow, call *ast.CallExpr) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return
@@ -121,16 +147,20 @@ func checkSend(pass *framework.Pass, routing map[*types.Func]bool, body *ast.Blo
 	if isControlKind(pass, call.Args[2]) {
 		return
 	}
-	tr := &tracer{pass: pass, routing: routing, body: body}
-	if tr.sanctioned(call.Args[4], 0) {
+	payload := call.Args[4]
+	if flow.TaintOf(payload) == 0 {
 		return
 	}
 	if pass.Allowed(call.Pos(), DirectiveName) {
 		return
 	}
-	pass.Reportf(call.Pos(),
-		"payload sent on the transport does not route through securesum or paillier: raw local results must not cross the reducer boundary (mask or encrypt it, or annotate //ppml:%s)",
-		DirectiveName)
+	pass.Report(framework.Diagnostic{
+		Pos: call.Pos(),
+		Message: "payload sent on the transport does not route through securesum or paillier: " +
+			"raw local results must not cross the reducer boundary (mask or encrypt it, or annotate //ppml:" +
+			DirectiveName + ")",
+		Trace: flow.Trace(payload),
+	})
 }
 
 // isControlKind reports whether the kind argument is one of the
@@ -148,130 +178,4 @@ func isControlKind(pass *framework.Pass, kind ast.Expr) bool {
 	obj, _ := pass.TypesInfo.Uses[id].(*types.Const)
 	return obj != nil && controlKinds[obj.Name()] && obj.Pkg() != nil &&
 		framework.PathMatches(obj.Pkg().Path(), auditPaths...)
-}
-
-// cryptoRoutingFuncs returns the package-level functions of this package
-// whose bodies use securesum or paillier — one level of wrapper indirection
-// for the taint check (e.g. a helper that encrypts a contribution and
-// returns the ciphertext bytes).
-func cryptoRoutingFuncs(pass *framework.Pass) map[*types.Func]bool {
-	out := make(map[*types.Func]bool)
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			uses := false
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				id, ok := n.(*ast.Ident)
-				if !ok || uses {
-					return !uses
-				}
-				if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil &&
-					framework.PathMatches(obj.Pkg().Path(), sanitizerPaths...) {
-					uses = true
-				}
-				return true
-			})
-			if !uses {
-				continue
-			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				out[fn] = true
-			}
-		}
-	}
-	return out
-}
-
-// tracer decides whether a payload expression provably routes through the
-// sanitizer packages.
-type tracer struct {
-	pass    *framework.Pass
-	routing map[*types.Func]bool
-	body    *ast.BlockStmt
-}
-
-const maxTraceDepth = 4
-
-func (tr *tracer) sanctioned(expr ast.Expr, depth int) bool {
-	if depth > maxTraceDepth {
-		return false
-	}
-	switch e := ast.Unparen(expr).(type) {
-	case *ast.CallExpr:
-		return tr.sanctionedCall(e)
-	case *ast.Ident:
-		return tr.sanctionedVar(e, depth)
-	}
-	return false
-}
-
-// sanctionedCall accepts calls into the sanitizer packages and calls of
-// same-package wrappers that use them.
-func (tr *tracer) sanctionedCall(call *ast.CallExpr) bool {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return false
-	}
-	fn, _ := tr.pass.TypesInfo.Uses[id].(*types.Func)
-	if fn == nil {
-		return false
-	}
-	if fn.Pkg() != nil && framework.PathMatches(fn.Pkg().Path(), sanitizerPaths...) {
-		return true
-	}
-	return tr.routing[fn]
-}
-
-// sanctionedVar traces a payload variable to its assignments inside the
-// enclosing function body; every assignment must be sanctioned.
-func (tr *tracer) sanctionedVar(id *ast.Ident, depth int) bool {
-	obj, _ := tr.pass.TypesInfo.Uses[id].(*types.Var)
-	if obj == nil {
-		return false
-	}
-	found := false
-	ok := true
-	ast.Inspect(tr.body, func(n ast.Node) bool {
-		assign, isAssign := n.(*ast.AssignStmt)
-		if !isAssign || !ok {
-			return ok
-		}
-		for _, lhs := range assign.Lhs {
-			lid, isIdent := ast.Unparen(lhs).(*ast.Ident)
-			if !isIdent {
-				continue
-			}
-			var lobj types.Object = tr.pass.TypesInfo.Defs[lid]
-			if lobj == nil {
-				lobj = tr.pass.TypesInfo.Uses[lid]
-			}
-			if lobj != obj {
-				continue
-			}
-			found = true
-			// Multi-value assignments (payload, scratch, err := f(...))
-			// have a single call on the right; otherwise match positionally.
-			rhs := assign.Rhs[0]
-			if len(assign.Rhs) == len(assign.Lhs) {
-				for i := range assign.Lhs {
-					if assign.Lhs[i] == lhs {
-						rhs = assign.Rhs[i]
-					}
-				}
-			}
-			if !tr.sanctioned(rhs, depth+1) {
-				ok = false
-			}
-		}
-		return ok
-	})
-	return found && ok
 }

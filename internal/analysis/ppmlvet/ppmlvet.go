@@ -11,10 +11,14 @@ import (
 	"github.com/ppml-go/ppml/internal/analysis/plaintextwire"
 	"github.com/ppml-go/ppml/internal/analysis/poolcapture"
 	"github.com/ppml-go/ppml/internal/analysis/randsource"
+	"github.com/ppml-go/ppml/internal/analysis/secretflow"
 	"github.com/ppml-go/ppml/internal/analysis/telemetrysafe"
+	"github.com/ppml-go/ppml/internal/analysis/unuseddirective"
 )
 
-// Suite returns the full analyzer suite in a stable order.
+// Suite returns the full analyzer suite in a stable order. The
+// unuseddirective post-pass must come last: it audits the directive lookups
+// the earlier analyzers record in the shared usage recorder.
 func Suite() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		randsource.Analyzer,
@@ -22,5 +26,7 @@ func Suite() []*framework.Analyzer {
 		droppederr.Analyzer,
 		poolcapture.Analyzer,
 		telemetrysafe.Analyzer,
+		secretflow.Analyzer,
+		unuseddirective.Analyzer,
 	}
 }

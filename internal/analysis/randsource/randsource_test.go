@@ -10,6 +10,7 @@ import (
 func TestRandSource(t *testing.T) {
 	analysistest.Run(t, randsource.Analyzer,
 		"ppml/internal/securesum", // hard tier: import is the violation
+		"ppml/internal/dp",        // hard tier: DP noise must be unpredictable too
 		"ppml/internal/consensus", // deterministic tier: directives govern use sites
 		"ppml/simulation",         // unaudited: must produce no diagnostics
 	)

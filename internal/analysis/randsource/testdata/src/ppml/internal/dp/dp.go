@@ -1,0 +1,16 @@
+// Package dp is a golden stand-in for the differential-privacy mechanism:
+// hard tier, so the math/rand import itself is the violation.
+package dp
+
+import (
+	weak "math/rand" // want `math/rand is forbidden in privacy-critical package`
+)
+
+// NoisyVector perturbs w with predictable noise: calibrated DP noise drawn
+// from a seedable generator gives no privacy against an adversary who can
+// rewind the stream. Flagged at the import, before any draw happens.
+func NoisyVector(w []float64) {
+	for i := range w {
+		w[i] += weak.NormFloat64()
+	}
+}

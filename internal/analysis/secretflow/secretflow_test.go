@@ -1,0 +1,19 @@
+package secretflow_test
+
+import (
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/analysis/analysistest"
+	"github.com/ppml-go/ppml/internal/analysis/secretflow"
+)
+
+func TestSecretFlow(t *testing.T) {
+	analysistest.Run(t, secretflow.Analyzer,
+		"ppml/internal/mapreduce", // seeded leak classes + sanctioned paths
+		"ppml/internal/consensus", // dataset sources vs telemetry/dfs/file sinks
+		"ppml/internal/transport", // wire-payload sources inside the transport
+		"ppml/internal/securesum", // mask material inside the sanitizer package
+		"ppml/internal/paillier",  // private-key material inside the vault
+		"ppml/tools",              // unaudited: must produce no diagnostics
+	)
+}

@@ -1,0 +1,57 @@
+// Package consensus is the second audited golden package: dataset sources
+// meeting the telemetry, DFS, and local-file sinks.
+package consensus
+
+import (
+	"fmt"
+	"os"
+
+	"ppml/internal/dataset"
+	"ppml/internal/dfs"
+	"ppml/internal/telemetry"
+)
+
+// rawBytes is a plain row encoder shared by the cases below.
+func rawBytes(d *dataset.Dataset) []byte {
+	out := make([]byte, 0, 8*len(d.X.Data))
+	for _, x := range d.X.Data {
+		out = append(out, byte(int64(x)))
+	}
+	return out
+}
+
+// checkLabels embeds a raw label value in an error string.
+func checkLabels(d *dataset.Dataset) error {
+	for i, y := range d.Y {
+		if y != 1 && y != -1 {
+			return fmt.Errorf("partition %s sample %d: label %g is not ±1", d.Name, i, y) // want `dataset-derived data reaches fmt\.Errorf`
+		}
+	}
+	return nil
+}
+
+// reportShape logs declassified metadata only. No diagnostics.
+func reportShape(lg telemetry.Logger, d *dataset.Dataset) {
+	lg.Event("partition loaded", "name", d.Name, "n", d.Len(), "p", d.Features())
+}
+
+// leakGauge pushes a raw label into a metric.
+func leakGauge(g telemetry.Gauge, d *dataset.Dataset) {
+	g.Set(d.Y[0]) // want `dataset-derived data reaches telemetry call`
+}
+
+// leakCheckpoint writes raw rows into the distributed file system.
+func leakCheckpoint(c *dfs.Cluster, d *dataset.Dataset) error {
+	return c.Write("plans/learner-0", rawBytes(d), "") // want `dataset-derived data reaches distributed-file write`
+}
+
+// leakLocalFile dumps raw rows to local disk.
+func leakLocalFile(d *dataset.Dataset) error {
+	return os.WriteFile("partition.bin", rawBytes(d), 0o600) // want `dataset-derived data reaches file write`
+}
+
+// annotatedCheckpoint persists under a justified directive. No diagnostics.
+func annotatedCheckpoint(c *dfs.Cluster, d *dataset.Dataset) error {
+	//ppml:flow-ok locality plan: each partition is written replication-1 to its own learner's node
+	return c.Write("plans/learner-1", rawBytes(d), "")
+}

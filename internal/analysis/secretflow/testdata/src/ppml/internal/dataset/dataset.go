@@ -1,0 +1,18 @@
+// Package dataset is a golden stub of the training-data layer: its X and Y
+// fields are the root taint sources of the secretflow model.
+package dataset
+
+import "ppml/internal/linalg"
+
+// Dataset is one learner's private partition.
+type Dataset struct {
+	Name string // protocol-public identifier (cleared field)
+	X    *linalg.Matrix
+	Y    []float64
+}
+
+// Len reports the number of samples (declassified shape metadata).
+func (d *Dataset) Len() int { return d.X.Rows }
+
+// Features reports the feature dimension (declassified shape metadata).
+func (d *Dataset) Features() int { return d.X.Cols }

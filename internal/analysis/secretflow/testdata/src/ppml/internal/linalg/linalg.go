@@ -1,0 +1,14 @@
+// Package linalg is a golden stub of the dense-matrix kernel layer.
+package linalg
+
+// Matrix is a row-major dense matrix. Rows and Cols are structural metadata
+// (cleared fields in the taint model); Data carries the values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// Row returns row i without copying.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}

@@ -1,0 +1,33 @@
+// Package paillier is a golden stub of the homomorphic-encryption layer:
+// a sanitizer from outside, a guarded vault of private-key material inside.
+package paillier
+
+import "fmt"
+
+// PublicKey is the published encryption key.
+type PublicKey struct {
+	N int64
+}
+
+// PrivateKey holds the trapdoor components lambda and mu.
+type PrivateKey struct {
+	PublicKey
+	lambda int64
+	mu     int64
+}
+
+// Encrypt encrypts v under the public key (stub).
+func Encrypt(v []float64) []byte { return make([]byte, 16*len(v)) }
+
+// Decrypt recovers the aggregate (stub).
+func (k *PrivateKey) Decrypt(ct []byte) []float64 { return make([]float64, len(ct)/16) }
+
+// String renders only public material. No diagnostics.
+func (k *PrivateKey) String() string {
+	return fmt.Sprintf("paillier key N=%d", k.N)
+}
+
+// debugTrapdoor embeds the private components.
+func (k *PrivateKey) debugTrapdoor() string {
+	return fmt.Sprintf("lambda=%d mu=%d", k.lambda, k.mu) // want `paillier private-key material reaches fmt\.Sprintf`
+}

@@ -1,0 +1,15 @@
+// Package telemetry is a golden stub of the metrics/logging layer; every
+// call into it is a secretflow sink.
+package telemetry
+
+// Gauge is a single scalar metric.
+type Gauge struct{}
+
+// Set records the gauge value.
+func (Gauge) Set(v float64) {}
+
+// Logger is the structured diagnostic logger.
+type Logger struct{}
+
+// Event emits one structured log record.
+func (Logger) Event(msg string, kv ...any) {}

@@ -14,11 +14,16 @@
 // mapreduce, transport) this analyzer therefore flags any call into a
 // telemetry or logging sink — the telemetry package itself, log, or log/slog
 // — that passes a numeric slice, array, or linalg.Matrix argument, directly
-// or as a format operand. Scalars, strings, and label values pass freely,
-// and the bucket-bounds parameter of Histogram is exempt (a bucket layout is
-// static configuration, not payload). A site that records a genuinely public
-// vector (none exist today) must carry a //ppml:telemetry-ok directive with
-// a justification.
+// or as a format operand. On top of the type check, the framework's taint
+// engine tracks values derived from vectors, so a string built from an
+// iterate (fmt.Sprint of a share buffer, a formatted weight vector) is
+// flagged at the sink even though its static type is string. Scalars pass
+// freely — including scalars computed from vectors: a convergence delta or
+// an accuracy is an aggregate statistic, which is exactly what telemetry is
+// for — and the bucket-bounds parameter of Histogram is exempt (a bucket
+// layout is static configuration, not payload). A site that records a
+// genuinely public vector (none exist today) must carry a
+// //ppml:telemetry-ok directive with a justification.
 package telemetrysafe
 
 import (
@@ -54,10 +59,14 @@ var sinkPkgs = map[string]bool{
 	"log/slog": true,
 }
 
+// vec is the single taint class of the model: derived from a payload vector.
+const vec framework.Taint = 1
+
 func run(pass *framework.Pass) error {
 	if !framework.PathMatches(pass.Pkg.Path(), hardPaths...) {
 		return nil
 	}
+	flow := framework.RunTaintFlow(pass, &model{})
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
 			continue
@@ -65,7 +74,7 @@ func run(pass *framework.Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if ok {
-				checkCall(pass, call)
+				checkCall(pass, flow, call)
 			}
 			return true
 		})
@@ -73,8 +82,43 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
-// checkCall flags vector-typed arguments flowing into a telemetry/log sink.
-func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+// model taints values of vector type at origin; everything else is the
+// engine's default propagation.
+type model struct{}
+
+func (m *model) SourceField(f *types.Var) framework.Taint { return 0 }
+func (m *model) ClearField(f *types.Var) bool             { return false }
+func (m *model) SourceParam(fn *types.Func, p *types.Var) framework.Taint {
+	return 0
+}
+func (m *model) SourceCall(fn *types.Func) framework.Taint { return 0 }
+func (m *model) Sanitizes(fn *types.Func) bool             { return false }
+
+func (m *model) SourceType(t types.Type) framework.Taint {
+	if isVectorType(t) {
+		return vec
+	}
+	return 0
+}
+
+func (m *model) Blocks(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Identical(t, errorType) {
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Info()&types.IsBoolean != 0
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// checkCall flags vector-typed (or vector-derived string) arguments flowing
+// into a telemetry/log sink.
+func checkCall(pass *framework.Pass, flow *framework.TaintFlow, call *ast.CallExpr) {
 	callee := calleeFunc(pass, call)
 	if callee == nil || callee.Pkg() == nil {
 		return
@@ -90,17 +134,39 @@ func checkCall(pass *framework.Pass, call *ast.CallExpr) {
 			continue
 		}
 		tv, ok := pass.TypesInfo.Types[arg]
-		if !ok || !isVectorType(tv.Type) {
+		if !ok || tv.Type == nil {
 			continue
 		}
-		if pass.Allowed(call.Pos(), DirectiveName) {
-			return
+		switch {
+		case isVectorType(tv.Type):
+			if pass.Allowed(call.Pos(), DirectiveName) {
+				return
+			}
+			pass.Reportf(arg.Pos(),
+				"%s value passed to telemetry/log sink %s.%s in %s: protocol telemetry records scalars only — "+
+					"a payload vector here leaks a learner's private iterate (//ppml:%s to document a public vector)",
+				tv.Type, path, callee.Name(), pass.Pkg.Path(), DirectiveName)
+		case isStringType(tv.Type) && flow.TaintOf(arg)&vec != 0:
+			// A vector that was stringified before reaching the sink: same
+			// leak, laundered through fmt or a helper.
+			if pass.Allowed(call.Pos(), DirectiveName) {
+				return
+			}
+			pass.Report(framework.Diagnostic{
+				Pos: arg.Pos(),
+				Message: "string built from a payload vector passed to telemetry/log sink " + path + "." + callee.Name() +
+					" in " + pass.Pkg.Path() + ": stringifying an iterate leaks it just as surely as logging the slice " +
+					"(//ppml:" + DirectiveName + " to document a public vector)",
+				Trace: flow.Trace(arg),
+			})
 		}
-		pass.Reportf(arg.Pos(),
-			"%s value passed to telemetry/log sink %s.%s in %s: protocol telemetry records scalars only — "+
-				"a payload vector here leaks a learner's private iterate (//ppml:%s to document a public vector)",
-			tv.Type, path, callee.Name(), pass.Pkg.Path(), DirectiveName)
 	}
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
 }
 
 // isVectorType reports whether t can carry a payload vector: a slice or

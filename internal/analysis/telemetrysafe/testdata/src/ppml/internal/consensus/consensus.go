@@ -25,3 +25,29 @@ func nested(l *telemetry.Logger, contribs [][]float64) {
 func scalars(r *telemetry.Registry, deltaZSq float64) {
 	r.Set("admm_delta_z_sq", deltaZSq, telemetry.L("scheme", "hl"))
 }
+
+// render stringifies a vector through a helper; the result is still the
+// iterate.
+func render(w []float64) string {
+	s := ""
+	for _, x := range w {
+		s += string(rune(int(x)))
+	}
+	return s
+}
+
+// stringified launders the vector into a string before logging it: the taint
+// engine follows it through the helper call.
+func stringified(w []float64) {
+	slog.Info("step", "w", render(w)) // want `string built from a payload vector passed to telemetry/log sink`
+}
+
+// derivedScalar logs a scalar computed from the iterate: an aggregate
+// statistic, never flagged.
+func derivedScalar(w []float64) {
+	sq := 0.0
+	for _, x := range w {
+		sq += x * x
+	}
+	slog.Info("norm", "wTw", sq)
+}

@@ -1,0 +1,37 @@
+// Package node exercises every disposition of a //ppml:* directive the
+// unuseddirective post-pass distinguishes: consulted (silent), stale
+// (reported), and unknown (reported). The suite runs droppederr first so the
+// err-ok lookups actually happen.
+package node
+
+import (
+	"context"
+
+	"ppml/internal/transport"
+)
+
+// Run mixes used and stale directives around audited calls.
+func Run(ctx context.Context, ep *transport.Endpoint) error {
+	hdr := transport.Header{Session: 1}
+
+	//ppml:err-ok fire-and-forget probe; the collected result below is authoritative
+	_ = ep.Send(ctx, "reducer", "probe", hdr, nil)
+
+	// The error is handled, so this directive excuses nothing.
+	//ppml:err-ok handled below anyway // want `stale //ppml:err-ok directive`
+	if err := ep.Send(ctx, "reducer", "share", hdr, nil); err != nil {
+		return err
+	}
+
+	// A directive that drifted away from the discard it once excused: the
+	// discard on the next line is still reported by droppederr, and the
+	// misplaced directive is reported as stale.
+	//ppml:err-ok teardown is best-effort // want `stale //ppml:err-ok directive`
+
+	_ = ep.Close() // want `assigned to the blank identifier`
+
+	//ppml:error-ok misspelled name // want `unknown directive //ppml:error-ok`
+	_ = ep.Close() // want `assigned to the blank identifier`
+
+	return nil
+}

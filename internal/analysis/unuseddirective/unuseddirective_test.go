@@ -1,0 +1,36 @@
+package unuseddirective_test
+
+import (
+	"testing"
+
+	"github.com/ppml-go/ppml/internal/analysis/analysistest"
+	"github.com/ppml-go/ppml/internal/analysis/droppederr"
+	"github.com/ppml-go/ppml/internal/analysis/framework"
+	"github.com/ppml-go/ppml/internal/analysis/unuseddirective"
+)
+
+// TestUnusedDirective runs the post-pass the only way it is meaningful: as
+// the last analyzer of a suite sharing one directive-usage recorder. The
+// golden package mixes a consulted err-ok (silent), stale err-ok directives
+// (reported), and a misspelled directive name (reported).
+func TestUnusedDirective(t *testing.T) {
+	analysistest.RunSuite(t,
+		[]*framework.Analyzer{droppederr.Analyzer, unuseddirective.Analyzer},
+		"ppml/node",
+	)
+}
+
+// TestNoRecorderIsSilent pins the standalone behavior: without a shared
+// usage recorder the analyzer cannot distinguish "unused" from "never looked
+// up", so it must report nothing rather than flag every directive.
+func TestNoRecorderIsSilent(t *testing.T) {
+	pass := &framework.Pass{
+		Analyzer: unuseddirective.Analyzer,
+		Report: func(d framework.Diagnostic) {
+			t.Errorf("unexpected diagnostic without a usage recorder: %s", d.Message)
+		},
+	}
+	if err := unuseddirective.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -264,7 +264,9 @@ func validateHorizontalParts(parts []*dataset.Dataset) (features int, err error)
 		}
 		for j, y := range p.Y {
 			if y != 1 && y != -1 {
-				return 0, fmt.Errorf("%w: learner %d label %d = %g", ErrBadPartition, i, j, y)
+				// Do not echo the label value: it is a training-data datum,
+				// and validation errors end up in logs.
+				return 0, fmt.Errorf("%w: learner %d label %d is not ±1", ErrBadPartition, i, j)
 			}
 		}
 	}

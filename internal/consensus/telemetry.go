@@ -34,5 +34,6 @@ func newReducerGauges(r *telemetry.Registry, scheme string) reducerGauges {
 // recordRun observes end-of-training aggregates: the rounds-to-converge
 // histogram. Nil-safe via the registry's no-op handles.
 func recordRun(r *telemetry.Registry, h *History) {
+	//ppml:flow-ok rounds-to-converge is run metadata (the Fig. 4 curve), an aggregate over the whole cohort, not a sample of any learner's data
 	r.Histogram(metricADMMRounds, telemetry.IterationBuckets).Observe(float64(h.Iterations))
 }

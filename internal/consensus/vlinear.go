@@ -247,10 +247,12 @@ func (r *verticalReducer) Combine(iter int, sum []float64) ([]float64, bool, err
 		r.prevZeta, r.zeta = r.zeta, r.prevZeta
 	}
 	r.deltaZSq = append(r.deltaZSq, delta)
+	//ppml:flow-ok the consensus residual ‖z−z′‖² is the public stopping statistic every learner computes from the shared iterate
 	r.tel.deltaZSq.Set(delta)
 	if r.eval != nil {
 		acc := r.eval(r.b)
 		r.accuracy = append(r.accuracy, acc)
+		//ppml:flow-ok held-out accuracy is the published evaluation metric — an aggregate over the model, not a training row
 		r.tel.accuracy.Set(acc)
 	}
 

@@ -526,6 +526,7 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 			if attempt >= cfg.retries {
 				//ppml:err-ok best-effort abort notification: the Contribution error below is the one worth reporting
 				_ = cfg.ep.Send(ctx, reducerName, KindAbort, hdr, []byte(err.Error()))
+				//ppml:flow-ok iter is decoded from the reducer's public state broadcast; the round counter is coordination metadata, not payload content
 				return fmt.Errorf("%w: mapper %d at iteration %d: %v", ErrAborted, cfg.id, iter, err)
 			}
 			cfg.retryCtr.Inc()
@@ -671,7 +672,10 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, session ui
 					}
 				})
 			case KindAbort:
-				return nil, fmt.Errorf("%w: %s", ErrAborted, msg.Payload)
+				// The abort payload is a remote error string and may quote
+				// remote data (a bad label, a share value); identify the
+				// aborter, do not echo its bytes.
+				return nil, fmt.Errorf("%w: abort from %q", ErrAborted, msg.From)
 			default:
 				return nil, fmt.Errorf("%w: unexpected %q at reducer", ErrBadJob, msg.Kind)
 			}
@@ -725,7 +729,10 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, session ui
 					sum[j] += x
 				}
 			case KindAbort:
-				return nil, fmt.Errorf("%w: %s", ErrAborted, msg.Payload)
+				// The abort payload is a remote error string and may quote
+				// remote data (a bad label, a share value); identify the
+				// aborter, do not echo its bytes.
+				return nil, fmt.Errorf("%w: abort from %q", ErrAborted, msg.From)
 			default:
 				return nil, fmt.Errorf("%w: unexpected %q at reducer", ErrBadJob, msg.Kind)
 			}
@@ -753,7 +760,10 @@ func collectContributions(ctx context.Context, ep transport.Endpoint, session ui
 					return nil, fmt.Errorf("share from %q: %w", msg.From, err)
 				}
 			case KindAbort:
-				return nil, fmt.Errorf("%w: %s", ErrAborted, msg.Payload)
+				// The abort payload is a remote error string and may quote
+				// remote data (a bad label, a share value); identify the
+				// aborter, do not echo its bytes.
+				return nil, fmt.Errorf("%w: abort from %q", ErrAborted, msg.From)
 			default:
 				return nil, fmt.Errorf("%w: unexpected %q at reducer", ErrBadJob, msg.Kind)
 			}

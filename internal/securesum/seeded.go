@@ -284,6 +284,7 @@ func SetupSeeded(ctx context.Context, ep transport.Endpoint, names []string, sel
 		if err != nil {
 			return nil, err
 		}
+		//ppml:flow-ok the pairwise seed exchange IS the protocol's key agreement (DESIGN.md §10): the seed must reach exactly this peer, and only the higher-id party of each pair sends it
 		if err := ep.Send(ctx, names[peer], KindSeed, hdr, seed); err != nil {
 			return nil, fmt.Errorf("securesum: send seed to %q: %w", names[peer], err)
 		}

@@ -188,7 +188,8 @@ func varKey(name string, labels []Label) string {
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		//ppml:err-ok a broken scrape connection is the scraper's problem; nothing to do server-side
+		// A broken scrape connection is the scraper's problem; nothing to
+		// do server-side.
 		_ = r.WritePrometheus(w)
 	})
 }
@@ -206,7 +207,8 @@ func NewMux(r *Registry) *http.ServeMux {
 	mux.Handle("/metrics", r.Handler())
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		//ppml:err-ok a broken scrape connection is the scraper's problem; nothing to do server-side
+		// A broken scrape connection is the scraper's problem; nothing to
+		// do server-side.
 		_ = r.WriteVars(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -353,12 +353,14 @@ func (e *tcpEndpoint) Send(ctx context.Context, to, kind string, hdr Header, pay
 	}
 	c.mu.Lock()
 	if dl, ok := ctx.Deadline(); ok {
-		//ppml:err-ok a connection that rejects deadlines fails the Write below with the real error
+		// A connection that rejects deadlines fails the Write below with
+		// the real error. (net.Conn is outside the audited API surface, so
+		// this deliberate discard needs no //ppml:err-ok.)
 		_ = c.conn.SetWriteDeadline(dl)
 	}
 	_, err = c.conn.Write(frame)
 	if _, ok := ctx.Deadline(); ok {
-		//ppml:err-ok clearing a deadline on a dying connection is best-effort
+		// Clearing a deadline on a dying connection is best-effort.
 		_ = c.conn.SetWriteDeadline(time.Time{})
 	}
 	c.mu.Unlock()
