@@ -1,0 +1,28 @@
+package framework
+
+import "testing"
+
+// Scratch test (review only): does a helper that writes taint through a
+// pointer/slice parameter propagate it back to the caller's argument?
+func TestScratchMutationSummary(t *testing.T) {
+	src := `package p
+
+func source() []int { return make([]int, 4) }
+func sink(v []int)  {}
+
+func fill(dst *[]int) {
+	*dst = source()
+}
+
+func use() {
+	var buf []int
+	fill(&buf)
+	sink(buf)
+}
+`
+	got := sinkArgTaints(t, src)
+	t.Logf("got: %v", got)
+	if got[13] != 1 {
+		t.Errorf("mutation through pointer parameter not propagated: taint=%d, want 1", got[13])
+	}
+}
