@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-custom vet-flow fuzz-short bench bench-smoke bench-comm bench-hot metrics-smoke check
+.PHONY: build test race vet vet-custom vet-flow fuzz-short bench bench-smoke bench-comm bench-hot bench-elastic metrics-smoke check
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,11 @@ bench-comm:
 # and packed vs unpacked Paillier aggregation, written to BENCH_hot.json.
 bench-hot:
 	./scripts/bench.sh hot
+
+# Straggler-recovery measurement: round latency vs injected delay at M=16,
+# demote-and-continue vs abort-and-restart, written to BENCH_elastic.json.
+bench-elastic:
+	./scripts/bench.sh elastic
 
 # The pre-merge gate: scripts/check.sh = vet (standard + custom analyzers) +
 # build + race tests + short fuzz + bench smoke.

@@ -43,7 +43,7 @@ func main() {
 
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("ppml-figures", flag.ContinueOnError)
-	panel := fs.String("panel", "all", "a..h, baseline, scalability, comm, hot, or all")
+	panel := fs.String("panel", "all", "a..h, baseline, scalability, comm, hot, elastic, or all")
 	paperScale := fs.Bool("paper-scale", false, "use the full Section VI data sizes (slow)")
 	distributed := fs.Bool("distributed", false, "run on the simulated cluster with secure aggregation")
 	iterations := fs.Int("iterations", 0, "override the iteration budget")
@@ -54,6 +54,7 @@ func run(args []string) (err error) {
 		"masked-aggregation variant for distributed runs: seeded or per-round")
 	commJSON := fs.String("comm-json", "", "with -panel comm, also write the comparison as JSON to this file")
 	hotJSON := fs.String("hot-json", "", "with -panel hot, also write the kernel benchmark as JSON to this file")
+	elasticJSON := fs.String("elastic-json", "", "with -panel elastic, also write the straggler benchmark as JSON to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve live /metrics (Prometheus), /debug/vars and /debug/pprof on this address while the experiments run (e.g. 127.0.0.1:9090; :0 picks a free port)")
@@ -135,11 +136,13 @@ func run(args []string) (err error) {
 		return printComm(opts, *commJSON)
 	case "hot":
 		return printHot(*hotJSON)
+	case "elastic":
+		return printElastic(opts, *elasticJSON)
 	default:
 		if len(*panel) == 1 && strings.Contains("abcdefgh", *panel) {
 			return printPanel(*panel, opts)
 		}
-		return fmt.Errorf("unknown panel %q (want a..h, baseline, scalability, comm, hot, all)", *panel)
+		return fmt.Errorf("unknown panel %q (want a..h, baseline, scalability, comm, hot, elastic, all)", *panel)
 	}
 }
 
@@ -280,6 +283,45 @@ func printHot(jsonPath string) (err error) {
 	fmt.Printf("unpacked\t%d\t%d\t%.2f\n", hp.UnpackedCiphertexts, hp.UnpackedBytes, hp.UnpackedNs/1e6)
 	fmt.Printf("ratio: %.1fx fewer ciphertexts, %.1fx fewer bytes, %.1fx faster\n",
 		hp.CiphertextRatio, hp.ByteRatio, hp.SpeedupNs)
+	fmt.Println()
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// printElastic runs the straggler-recovery benchmark (demote-and-continue vs
+// abort-and-restart at each injected delay) and optionally writes the report
+// to jsonPath — the data behind BENCH_elastic.json.
+func printElastic(opts experiments.Options, jsonPath string) (err error) {
+	m := opts.Learners
+	if m < 3 {
+		m = 16
+	}
+	report, err := experiments.RunElastic(m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Elastic rounds: demote-and-continue vs abort-and-restart, M=%d, %d rounds of %.0fms work, straggler from round %d, timeout %.0fms, write-off after %d\n",
+		report.Learners, report.Rounds, report.WorkMs, report.FaultAtRound,
+		report.StragglerTimeoutMs, report.WriteOffAfter)
+	fmt.Println("delay_ms\tdemote_total_ms\tdemote_round_ms\tdemotions\tabort_total_ms\tabort_round_ms\trestarted\tspeedup")
+	for _, p := range report.Points {
+		fmt.Printf("%.0f\t%.1f\t%.2f\t%d\t%.1f\t%.2f\t%t\t%.2fx\n",
+			p.StragglerDelayMs, p.DemoteTotalMs, p.DemoteRoundMs, p.Demotions,
+			p.AbortTotalMs, p.AbortRoundMs, p.Restarted, p.Speedup)
+	}
 	fmt.Println()
 	if jsonPath == "" {
 		return nil

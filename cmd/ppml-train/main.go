@@ -57,6 +57,10 @@ func run(ctx context.Context, args []string) error {
 	plain := fs.Bool("plain-aggregation", false, "disable secure summation (no privacy)")
 	maskMode := fs.String("mask-mode", "seeded",
 		"masked-aggregation variant: seeded (one seed exchange per session, O(M) msgs/round) or per-round (paper-literal, O(M^2) msgs/round)")
+	stragglerTimeout := fs.Duration("straggler-timeout", 0,
+		"elastic rounds (implies -distributed): demote learners that miss this deadline and continue on the live roster; 0 keeps strict fixed membership")
+	minQuorum := fs.Int("min-quorum", 0,
+		"smallest live roster an elastic round may fold (0: 2 under masked aggregation, 1 otherwise)")
 	trace := fs.Bool("trace", false, "print per-iteration |dz|^2 and accuracy")
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve live /metrics (Prometheus), /debug/vars and /debug/pprof on this address while training (e.g. 127.0.0.1:9090; :0 picks a free port)")
@@ -175,6 +179,12 @@ func run(ctx context.Context, args []string) error {
 		opts = append(opts, ppml.WithPerRoundMasks())
 	default:
 		return fmt.Errorf("unknown -mask-mode %q (want seeded or per-round)", *maskMode)
+	}
+	if *stragglerTimeout > 0 {
+		opts = append(opts, ppml.WithStragglerTimeout(*stragglerTimeout))
+	}
+	if *minQuorum > 0 {
+		opts = append(opts, ppml.WithMinQuorum(*minQuorum))
 	}
 
 	var tel *ppml.Telemetry

@@ -31,6 +31,16 @@ func Run(ctx context.Context, ep *transport.Endpoint) error {
 		return err
 	}
 
+	// Elastic roster control: a swallowed roster broadcast or demotion
+	// notice is a stalled round, not a cosmetic miss, so the send errors are
+	// load-bearing like any other.
+	ep.Send(ctx, "mapper-3", "mr.roster", hdr, nil) // want `error returned by transport.Send is discarded`
+
+	_ = ep.Send(ctx, "mapper-3", "mr.ready", hdr, nil) // want `assigned to the blank identifier`
+
+	//ppml:err-ok the demoted mapper may already be gone; the re-roster retry is authoritative
+	_ = ep.Send(ctx, "mapper-3", "mr.roster", hdr, nil)
+
 	w := []float64{1, 2}
 	dp.PerturbVector(w, 1.0, 1.0) // want `error returned by dp.PerturbVector is discarded`
 

@@ -4,7 +4,13 @@ import "testing"
 
 // Scratch test (review only): does a helper that writes taint through a
 // pointer/slice parameter propagate it back to the caller's argument?
+//
+// It does not yet: function summaries record taint flowing to results, but a
+// write through a pointer parameter is an out-parameter the summary has no
+// slot for. The skip below keeps the probe in the tree as the executable
+// statement of that gap until the engine grows mutation summaries.
 func TestScratchMutationSummary(t *testing.T) {
+	t.Skip("known engine gap: out-parameter mutation is not summarized; see comment above")
 	src := `package p
 
 func source() []int { return make([]int, 4) }

@@ -56,11 +56,15 @@ var sanitizerPaths = []string{
 // controlKinds are the coordination-plane message kinds: the broadcast state
 // is the public consensus iterate z (shared with every learner by the
 // protocol itself), stop carries the final public state, and abort carries
-// an error string. None of them carries a learner-local iterate.
+// an error string. The elastic-roster plane is control too: ready is an
+// empty liveness declaration and roster announces round membership in the
+// envelope header. None of them carries a learner-local iterate.
 var controlKinds = map[string]bool{
 	"KindBroadcast": true,
 	"KindStop":      true,
 	"KindAbort":     true,
+	"KindReady":     true,
+	"KindRoster":    true,
 }
 
 // raw is the single taint class of the provenance model: not yet routed

@@ -16,6 +16,8 @@ const (
 	KindStop      = "mr.stop"
 	KindAbort     = "mr.abort"
 	KindShare     = "mr.share"
+	KindReady     = "mr.ready"
+	KindRoster    = "mr.roster"
 )
 
 // encodeVector is a plain, non-cryptographic encoder.
@@ -41,6 +43,17 @@ func Good(ctx context.Context, ep transport.Endpoint, hdr transport.Header, cont
 		return err
 	}
 	return ep.Send(ctx, "reducer", KindShare, hdr, encryptContribution(contrib))
+}
+
+// GoodElastic drives the demote-and-continue control plane: a readiness
+// declaration and a roster announcement are coordination traffic like stop,
+// exempt even when the roster rides with an encoded epoch payload.
+// No diagnostics.
+func GoodElastic(ctx context.Context, ep transport.Endpoint, hdr transport.Header, epoch []float64) error {
+	if err := ep.Send(ctx, "reducer", KindReady, hdr, nil); err != nil {
+		return err
+	}
+	return ep.Send(ctx, "learner-0", KindRoster, hdr, encodeVector(epoch))
 }
 
 // Bad puts raw local results on the wire, directly and through a variable.

@@ -82,11 +82,15 @@ var sanitizerPaths = []string{
 }
 
 // controlKinds are the coordination-plane message kinds (see plaintextwire):
-// broadcast state, stop, and abort are protocol-public by design.
+// broadcast state, stop, abort, and the elastic-roster plane (readiness
+// declarations, roster membership announcements) are protocol-public by
+// design.
 var controlKinds = map[string]bool{
 	"KindBroadcast": true,
 	"KindStop":      true,
 	"KindAbort":     true,
+	"KindReady":     true,
+	"KindRoster":    true,
 }
 
 // maskFields are the securesum stores that hold seed/mask material.
@@ -107,6 +111,10 @@ var clearedFields = map[string]map[string]bool{
 	"internal/transport": {
 		"From": true, "To": true, "Kind": true,
 		"Session": true, "Round": true, "Seq": true,
+		// The elastic-round stamps: who is in the round and which
+		// share-collection attempt this is. Membership is announced to every
+		// learner by the roster protocol itself, so it is public metadata.
+		"Roster": true, "Attempt": true,
 	},
 }
 

@@ -20,6 +20,8 @@ const (
 	KindBroadcast = "mr.broadcast"
 	KindStop      = "mr.stop"
 	KindShare     = "mr.share"
+	KindReady     = "mr.ready"
+	KindRoster    = "mr.roster"
 )
 
 // frame is a plain, non-cryptographic encoder: its output carries whatever
@@ -92,6 +94,16 @@ func GoodMetadata(d *dataset.Dataset) error {
 // GoodControl sends on the coordination plane. No diagnostics.
 func GoodControl(ctx context.Context, ep transport.Endpoint, hdr transport.Header) error {
 	return ep.Send(ctx, "all", KindStop, hdr, nil)
+}
+
+// GoodElasticControl drives the demote-and-continue roster plane: the
+// readiness declaration is empty and the roster announcement travels in the
+// envelope header — coordination traffic like stop. No diagnostics.
+func GoodElasticControl(ctx context.Context, ep transport.Endpoint, hdr transport.Header) error {
+	if err := ep.Send(ctx, "reducer", KindReady, hdr, nil); err != nil {
+		return err
+	}
+	return ep.Send(ctx, "mapper-0", KindRoster, hdr, nil)
 }
 
 // DebugDump is the audited escape hatch, justified. No diagnostics.

@@ -8,10 +8,12 @@ import (
 	"fmt"
 )
 
-// Header is the sender-stamped envelope (session, round).
+// Header is the sender-stamped envelope (session, round, roster, attempt).
 type Header struct {
 	Session uint64
 	Round   int32
+	Roster  []uint64
+	Attempt int32
 }
 
 // Message is one delivered datagram. Everything but Payload is routing
@@ -21,6 +23,8 @@ type Message struct {
 	Kind     string
 	Session  uint64
 	Round    int32
+	Roster   []uint64
+	Attempt  int32
 	Seq      uint64
 	Payload  []byte
 }
@@ -37,6 +41,13 @@ func (Endpoint) Send(ctx context.Context, to, kind string, hdr Header, payload [
 // touches is protocol metadata.
 func Describe(m Message) string {
 	return fmt.Sprintf("from=%d to=%d kind=%s seq=%d", m.From, m.To, m.Kind, m.Seq)
+}
+
+// DescribeRoster renders the elastic-round stamps. No diagnostics: roster
+// membership and the attempt counter are protocol metadata, announced to
+// every learner by the roster broadcast itself.
+func DescribeRoster(m Message) string {
+	return fmt.Sprintf("roster=%v attempt=%d", m.Roster, m.Attempt)
 }
 
 // Dump embeds the raw payload bytes in a string.

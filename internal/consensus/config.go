@@ -83,6 +83,18 @@ type Config struct {
 	// RoundTimeout (distributed mode) bounds how long the Reducer waits for
 	// any one consensus round; zero waits indefinitely.
 	RoundTimeout time.Duration
+	// StragglerTimeout (distributed mode) enables the elastic demote-and-
+	// continue driver: a learner that misses the deadline is demoted for the
+	// round instead of stalling the job, and rejoins when it catches up. The
+	// consensus reducers scale their M-dependent coefficients to the round's
+	// live roster. Zero keeps the strict fixed-membership protocol; when set,
+	// RoundTimeout is ignored. See DESIGN.md §14.
+	StragglerTimeout time.Duration
+	// MinQuorum is the smallest roster the elastic driver will fold; below it
+	// training fails rather than continuing on too few learners. 0 defaults
+	// to 2 under masked aggregation (a roster of one would be effectively
+	// unmasked) and 1 otherwise.
+	MinQuorum int
 	// TrackLocality (distributed mode) stores every learner's partition in
 	// the simulated HDFS on that learner's own node and asks the driver to
 	// account for map-input movement; History.RemoteInputBytes then reports
@@ -196,6 +208,8 @@ func runJob(ctx context.Context, cfg Config, job mapreduce.IterativeJob, parts [
 		MaskMode:          cfg.MaskMode,
 		MapRetries:        cfg.MapRetries,
 		RoundTimeout:      cfg.RoundTimeout,
+		StragglerTimeout:  cfg.StragglerTimeout,
+		MinQuorum:         cfg.MinQuorum,
 		Locality:          locality,
 		PaillierKey:       cfg.PaillierKey,
 		PaillierPackWidth: cfg.PaillierPackWidth,

@@ -1,0 +1,233 @@
+package consensus
+
+// Kill-k-of-M chaos tests for the elastic (demote-and-continue) driver: a
+// fault-injecting transport murders live mappers mid-training and the job
+// must keep converging on the survivors instead of stalling or aborting. The
+// horizontal schemes lose two of eight learners permanently — their data is
+// gone, but the survivors' consensus boundary must still match a clean run,
+// because the partitions are i.i.d. draws of the same distribution. The
+// vertical schemes cannot afford permanent loss (a dead learner's feature
+// block would vanish from the model), so there the dead learners are healed
+// and must rejoin and catch up within the iteration budget.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/ppml-go/ppml/internal/dataset"
+	"github.com/ppml-go/ppml/internal/kernel"
+	"github.com/ppml-go/ppml/internal/mapreduce"
+	"github.com/ppml-go/ppml/internal/telemetry"
+	"github.com/ppml-go/ppml/internal/transport"
+)
+
+// chaosMaskModes: every kill scenario runs under both masked-aggregation
+// variants — the seed-derived masks and the paper-literal per-round exchange,
+// whose mid-round dropout behaviour (the wedge) is the harder case.
+var chaosMaskModes = []struct {
+	name string
+	mask mapreduce.MaskMode
+}{
+	{"seeded", mapreduce.MaskSeeded},
+	{"perround", mapreduce.MaskPerRound},
+}
+
+// chaosCluster arms cfg for the elastic driver over a fault-injected in-proc
+// network. The Reducer's sends are paced so the iteration budget outlives the
+// scheduled murders — otherwise a fast run would finish before the fault
+// lands and the test would assert nothing.
+func chaosCluster(cfg Config, mask mapreduce.MaskMode) (Config, *transport.Chaos, *telemetry.Registry) {
+	reg := telemetry.NewRegistry()
+	ch := transport.NewChaos(transport.NewInProc())
+	ch.Delay("reducer", 4*time.Millisecond)
+	cfg.Distributed = true
+	cfg.Network = ch
+	cfg.MaskMode = mask
+	cfg.StragglerTimeout = 60 * time.Millisecond
+	cfg.Telemetry = reg
+	return cfg, ch, reg
+}
+
+// killAt schedules a both-ways kill of the named endpoints. The caller stops
+// the timer on exit so a fast failure does not leak it.
+func killAt(t *testing.T, ch *transport.Chaos, at time.Duration, names ...string) {
+	t.Helper()
+	timer := time.AfterFunc(at, func() {
+		for _, n := range names {
+			ch.Kill(n)
+		}
+	})
+	t.Cleanup(func() { timer.Stop() })
+}
+
+// healAt is killAt's inverse, for the transient-death scenarios.
+func healAt(t *testing.T, ch *transport.Chaos, at time.Duration, names ...string) {
+	t.Helper()
+	timer := time.AfterFunc(at, func() {
+		for _, n := range names {
+			ch.Heal(n)
+		}
+	})
+	t.Cleanup(func() { timer.Stop() })
+}
+
+type decider interface{ Decision(x []float64) float64 }
+
+// signAgreement is the fraction of rows on which both models pick the same
+// side of the boundary.
+func signAgreement(a, b decider, d *dataset.Dataset) float64 {
+	same := 0
+	for i := 0; i < d.Len(); i++ {
+		x := d.X.Row(i)
+		if (a.Decision(x) >= 0) == (b.Decision(x) >= 0) {
+			same++
+		}
+	}
+	return float64(same) / float64(d.Len())
+}
+
+// decisionAccuracy is the correct-classification ratio via Decision, the one
+// method all four scheme models share.
+func decisionAccuracy(m decider, d *dataset.Dataset) float64 {
+	correct := 0
+	for i := 0; i < d.Len(); i++ {
+		if (m.Decision(d.X.Row(i)) >= 0) == (d.Y[i] > 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// assertChaosOutcome checks the contract every kill scenario shares: the
+// survivors' boundary agrees with the clean reference, still classifies the
+// held-out set, and the roster churn the telemetry recorded matches the
+// murders that were committed.
+func assertChaosOutcome(t *testing.T, reg *telemetry.Registry, clean, survived decider, test *dataset.Dataset, minDemotions, minRejoins int64) {
+	t.Helper()
+	if ag := signAgreement(clean, survived, test); ag < 0.85 {
+		t.Errorf("boundary agreement with the clean run = %g, want ≥ 0.85", ag)
+	}
+	if acc := decisionAccuracy(survived, test); acc < 0.85 {
+		t.Errorf("survivors' accuracy = %g, want ≥ 0.85", acc)
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterTotal("ppml_mapper_demotions_total"); got < minDemotions {
+		t.Errorf("ppml_mapper_demotions_total = %d, want ≥ %d (the killed mappers)", got, minDemotions)
+	}
+	if got := snap.CounterTotal("ppml_mapper_rejoins_total"); got < minRejoins {
+		t.Errorf("ppml_mapper_rejoins_total = %d, want ≥ %d (the healed mappers)", got, minRejoins)
+	}
+}
+
+func chaosCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestElasticChaosKillHorizontalLinear(t *testing.T) {
+	d := dataset.TwoGaussians("g", 480, 4, 3, 61)
+	train, test := splitAndScale(t, d)
+	base := Config{C: 10, Rho: 50, MaxIterations: 30}
+	clean, _, err := TrainHorizontalLinear(chaosCtx(t), horizontalParts(t, train, 8, 3), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range chaosMaskModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			t.Parallel()
+			cfg, ch, reg := chaosCluster(base, mode.mask)
+			killAt(t, ch, 150*time.Millisecond, "mapper-5", "mapper-6")
+			model, h, err := TrainHorizontalLinear(chaosCtx(t), horizontalParts(t, train, 8, 3), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Iterations != base.MaxIterations {
+				t.Errorf("ran %d of %d iterations despite demote-and-continue", h.Iterations, base.MaxIterations)
+			}
+			assertChaosOutcome(t, reg, clean, model, test, 2, 0)
+		})
+	}
+}
+
+func TestElasticChaosKillHorizontalKernel(t *testing.T) {
+	d := dataset.TwoGaussians("g", 240, 3, 3, 17)
+	train, test := splitAndScale(t, d)
+	base := Config{C: 10, Rho: 20, MaxIterations: 25, Kernel: kernel.RBF{Gamma: 0.5}}
+	clean, _, err := TrainHorizontalKernel(chaosCtx(t), horizontalParts(t, train, 8, 5), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range chaosMaskModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			t.Parallel()
+			cfg, ch, reg := chaosCluster(base, mode.mask)
+			killAt(t, ch, 150*time.Millisecond, "mapper-2", "mapper-7")
+			model, _, err := TrainHorizontalKernel(chaosCtx(t), horizontalParts(t, train, 8, 5), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertChaosOutcome(t, reg, clean, model, test, 2, 0)
+		})
+	}
+}
+
+func TestElasticChaosKillAndHealVerticalLinear(t *testing.T) {
+	d := dataset.TwoGaussians("g", 240, 10, 3, 29)
+	train, test := splitAndScale(t, d)
+	base := Config{C: 50, Rho: 100, MaxIterations: 30}
+	parts, cols := verticalParts(t, train, 8, 7)
+	clean, _, err := TrainVerticalLinear(chaosCtx(t), parts, cols, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range chaosMaskModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			t.Parallel()
+			cfg, ch, reg := chaosCluster(base, mode.mask)
+			// A vertical learner owns feature columns nothing else can
+			// replace, so the death is transient: the survivors carry the
+			// rounds in between, and the healed learners must rejoin with
+			// their blocks before the budget runs out.
+			killAt(t, ch, 150*time.Millisecond, "mapper-3", "mapper-6")
+			healAt(t, ch, 450*time.Millisecond, "mapper-3", "mapper-6")
+			partsD, colsD := verticalParts(t, train, 8, 7)
+			model, _, err := TrainVerticalLinear(chaosCtx(t), partsD, colsD, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertChaosOutcome(t, reg, clean, model, test, 2, 2)
+		})
+	}
+}
+
+func TestElasticChaosKillAndHealVerticalKernel(t *testing.T) {
+	d := dataset.TwoGaussians("g", 320, 10, 4, 37)
+	train, test := splitAndScale(t, d)
+	base := Config{C: 10, Rho: 20, MaxIterations: 40, Kernel: kernel.RBF{Gamma: 0.5}}
+	parts, cols := verticalParts(t, train, 8, 9)
+	clean, _, err := TrainVerticalKernel(chaosCtx(t), parts, cols, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range chaosMaskModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			t.Parallel()
+			cfg, ch, reg := chaosCluster(base, mode.mask)
+			killAt(t, ch, 150*time.Millisecond, "mapper-1", "mapper-4")
+			healAt(t, ch, 450*time.Millisecond, "mapper-1", "mapper-4")
+			partsD, colsD := verticalParts(t, train, 8, 9)
+			model, _, err := TrainVerticalKernel(chaosCtx(t), partsD, colsD, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertChaosOutcome(t, reg, clean, model, test, 2, 2)
+		})
+	}
+}

@@ -246,20 +246,34 @@ type meanConsensusReducer struct {
 	eval func(state []float64) float64
 	tel  reducerGauges
 
+	// live is the participant count of the upcoming round under the elastic
+	// driver (SetRoundParticipants); 0 — the strict driver and the local
+	// engine never call it — means the full cohort.
+	live int
+
 	prev     []float64
 	next     []float64 // broadcast buffer, reused every round
 	deltaZSq []float64
 	accuracy []float64
 }
 
+// SetRoundParticipants implements mapreduce.RosterReducer: the consensus mean
+// divides by how many learners actually contributed, so a round folded over a
+// partial roster averages the live iterates instead of shrinking them.
+func (r *meanConsensusReducer) SetRoundParticipants(n int) { r.live = n }
+
 // Combine implements mapreduce.IterativeReducer.
 func (r *meanConsensusReducer) Combine(iter int, sum []float64) ([]float64, bool, error) {
 	if cap(r.next) < len(sum) {
 		r.next = make([]float64, len(sum))
 	}
+	div := float64(r.m)
+	if r.live > 0 {
+		div = float64(r.live)
+	}
 	next := r.next[:len(sum)]
 	for i, v := range sum {
-		next[i] = v / float64(r.m)
+		next[i] = v / div
 	}
 	var delta float64
 	if r.prev == nil {

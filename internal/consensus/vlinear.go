@@ -165,6 +165,14 @@ type verticalReducer struct {
 	eval func(b float64) float64
 	tel  reducerGauges
 
+	// live is the participant count of the upcoming round under the elastic
+	// driver (SetRoundParticipants); 0 — the strict driver and the local
+	// engine never call it — means the full cohort. A demoted vertical
+	// learner's feature block drops out of the consensus score for the round,
+	// so every M-dependent coefficient of the prox step scales to the live
+	// count to keep the fold consistent.
+	live int
+
 	u        []float64
 	zbar     []float64
 	prevZeta []float64
@@ -204,6 +212,10 @@ func newVerticalReducer(y []float64, m int, cfg Config) *verticalReducer {
 	return r
 }
 
+// SetRoundParticipants implements mapreduce.RosterReducer: see the live
+// field.
+func (r *verticalReducer) SetRoundParticipants(n int) { r.live = n }
+
 // Combine implements mapreduce.IterativeReducer: the (z, b)-update and dual
 // step of the sharing ADMM, then the next broadcast z̄ − ā − u.
 func (r *verticalReducer) Combine(iter int, sum []float64) ([]float64, bool, error) {
@@ -211,14 +223,18 @@ func (r *verticalReducer) Combine(iter int, sum []float64) ([]float64, bool, err
 	if len(sum) != n {
 		return nil, false, fmt.Errorf("%w: aggregate of %d values for %d records", ErrBadPartition, len(sum), n)
 	}
+	mf := float64(r.m)
+	if r.live > 0 {
+		mf = float64(r.live)
+	}
 	abar := r.abar
 	for i := range abar {
-		abar[i] = sum[i] / float64(r.m)
+		abar[i] = sum[i] / mf
 	}
 	d := linalg.AddVec(r.u, abar, r.d)
 
-	// Prox-hinge dual: min ½(M/ρ)‖λ‖² + (M·Y·d − 1)ᵀλ, 0 ≤ λ ≤ C, yᵀλ = 0.
-	mf := float64(r.m)
+	// Prox-hinge dual: min ½(M/ρ)‖λ‖² + (M·Y·d − 1)ᵀλ, 0 ≤ λ ≤ C, yᵀλ = 0
+	// (M being the round's live learner count under the elastic driver).
 	p := r.p
 	for i := range p {
 		p[i] = mf*r.y[i]*d[i] - 1

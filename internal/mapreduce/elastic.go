@@ -1,0 +1,844 @@
+package mapreduce
+
+// The elastic (demote-and-continue) driver: per-round participation rosters
+// instead of fixed membership.
+//
+// Every round runs in two phases. The Reducer broadcasts the state to every
+// mapper it has not written off, then collects cheap KindReady answers until
+// either everyone replied or StragglerTimeout fires; the responders become
+// the round's roster, which the Reducer declares with a KindRoster message
+// (the roster travels in the envelope). Under masked aggregation the roster
+// members then derive shares whose pairwise-mask telescope spans only the
+// roster (securesum.RoundShareFor / PerRoundParty.RoundRoster), so the masks
+// still cancel at the Reducer. If a member dies between declaring ready and
+// delivering its share, the share phase times out, the Reducer demotes the
+// missing members, and re-declares a strictly smaller roster for the same
+// round — every message is stamped with the roster it was produced under, so
+// superseded-attempt shares are identified and dropped rather than poisoning
+// the sum. Rosters only shrink within a round, which both bounds the retry
+// loop and makes roster equality a complete attempt identifier.
+//
+// Plain and Paillier aggregation need none of that ceremony: their shares do
+// not depend on who else participates, so the Reducer simply folds whatever
+// arrives before the deadline and the responders ARE the roster.
+//
+// A demoted mapper is not dead: it still receives every round's broadcast,
+// and the round it answers ready in time it re-enters the roster (rejoin),
+// with the current consensus state in hand — ADMM tolerates the stale local
+// dual state. Only a KindAbort (a mapper whose Contribution failed past its
+// retry budget) is a permanent demotion.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"github.com/ppml-go/ppml/internal/fixedpoint"
+	"github.com/ppml-go/ppml/internal/paillier"
+	"github.com/ppml-go/ppml/internal/parallel"
+	"github.com/ppml-go/ppml/internal/securesum"
+	"github.com/ppml-go/ppml/internal/telemetry"
+	"github.com/ppml-go/ppml/internal/transport"
+)
+
+// elasticDriver is the Reducer-side state of one elastic job.
+type elasticDriver struct {
+	session uint64
+	names   []string
+	redEP   transport.Endpoint
+
+	agg           Aggregation
+	maskMode      MaskMode
+	codec         fixedpoint.Codec
+	key           *paillier.PrivateKey
+	pack          *paillier.Packing
+	quorum        int
+	timeout       time.Duration
+	writeOffAfter int
+	dim           int
+
+	scratch    *reduceScratch
+	checkpoint *CheckpointPlan
+
+	rounds       *telemetry.Counter
+	roundDur     *telemetry.Histogram
+	timeouts     *telemetry.Counter
+	participants *telemetry.Gauge
+	demotions    *telemetry.Counter
+	rejoins      *telemetry.Counter
+
+	res *DriverResult
+
+	idOf   map[string]int
+	dead   []bool // permanently demoted (aborted, unreachable, or written off)
+	silent []int  // consecutive rounds each mapper missed the roster
+}
+
+// staleRoundFilter drops this session's frames older than round (the setup
+// round's seed exchange excepted); everything else stays buffered.
+func staleRoundFilter(session uint64, round int32) transport.Filter {
+	return func(m transport.Message) transport.Verdict {
+		if m.Session == session && m.Round < round && m.Round != securesum.SetupRound {
+			return transport.Drop
+		}
+		return transport.Defer
+	}
+}
+
+// readyFilter scopes the ready-collection phase on the Reducer: this round's
+// ready declarations and any abort are delivered; older rounds' leftovers are
+// dropped; nothing else of this round can legitimately arrive before a
+// roster exists, so it is dropped too rather than stashed forever.
+func readyFilter(session uint64, round int32) transport.Filter {
+	return func(m transport.Message) transport.Verdict {
+		if m.Session != session {
+			return transport.Defer
+		}
+		if m.Kind == KindAbort {
+			return transport.Accept
+		}
+		switch {
+		case m.Round < round:
+			return transport.Drop
+		case m.Round > round:
+			return transport.Defer
+		}
+		if m.Kind == KindReady {
+			return transport.Accept
+		}
+		return transport.Drop
+	}
+}
+
+// collectRosterFilter scopes one share-collection attempt under masked
+// aggregation: only shares stamped with the CURRENT attempt and roster are
+// delivered. Shares from a superseded attempt of the same round carry a lower
+// attempt counter and are dropped — they were derived over a telescope that
+// can no longer cancel (a re-ready retry can even reuse the same roster with
+// fresh randomness, which is why the attempt stamp, not the roster, is the
+// identity). Ready declarations of the current round are held, not dropped: a
+// wedged mapper's re-declaration races the Reducer's share deadline, and
+// recovery must not depend on which timer fired first — recollectReady finds
+// the held declaration in the reorder buffer. Unclaimed ones are swept by the
+// round-advance eviction.
+func collectRosterFilter(session uint64, round, attempt int32, roster transport.Roster) transport.Filter {
+	return func(m transport.Message) transport.Verdict {
+		if m.Session != session {
+			return transport.Defer
+		}
+		if m.Kind == KindAbort {
+			return transport.Accept
+		}
+		switch {
+		case m.Round < round:
+			return transport.Drop
+		case m.Round > round:
+			return transport.Defer
+		}
+		switch {
+		case m.Kind == securesum.KindShare && m.Attempt == attempt && m.Roster.Equal(roster):
+			return transport.Accept
+		case m.Kind == KindReady:
+			return transport.Defer
+		}
+		return transport.Drop
+	}
+}
+
+// collectLooseFilter scopes share collection for the roster-oblivious
+// aggregations (plain, Paillier): this round's shares and aborts are
+// delivered, older rounds are dropped, future rounds wait.
+func collectLooseFilter(session uint64, round int32, kind string) transport.Filter {
+	return func(m transport.Message) transport.Verdict {
+		if m.Session != session {
+			return transport.Defer
+		}
+		if m.Kind == KindAbort {
+			return transport.Accept
+		}
+		switch {
+		case m.Round < round:
+			return transport.Drop
+		case m.Round > round:
+			return transport.Defer
+		}
+		if m.Kind == kind {
+			return transport.Accept
+		}
+		return transport.Drop
+	}
+}
+
+// reduceLoop runs the elastic rounds and returns the final state. The caller
+// owns teardown.
+func (d *elasticDriver) reduceLoop(ctx context.Context, job IterativeJob, state []float64, startIter int) ([]float64, error) {
+	m := len(d.names)
+	d.idOf = make(map[string]int, m)
+	for id, name := range d.names {
+		d.idOf[name] = id
+	}
+	d.dead = make([]bool, m)
+	d.silent = make([]int, m)
+	prev := transport.FullRoster(m)
+	rosterRed, scalable := job.Reducer.(RosterReducer)
+
+	for iter := startIter; iter < job.MaxIterations; iter++ {
+		roundStart := time.Now()
+		spanCtx, roundSpan := telemetry.StartSpan(ctx, "round")
+		r := int32(iter)
+		// Sweep out frames no future filter will claim: superseded-attempt
+		// shares and late ready declarations of finished rounds.
+		if ev, ok := d.redEP.(transport.Evictor); ok {
+			ev.Evict(staleRoundFilter(d.session, r))
+		}
+
+		roster, sum, err := d.round(spanCtx, r, state)
+		roundSpan.End()
+		if err != nil {
+			return state, err
+		}
+		roundDurSecs := time.Since(roundStart).Seconds()
+		d.roundDur.Observe(roundDurSecs)
+		d.rounds.Inc()
+		n := roster.Count()
+		d.participants.Set(float64(n))
+		for i := 0; i < m; i++ {
+			switch {
+			case prev.Has(i) && !roster.Has(i):
+				d.demotions.Inc()
+				d.res.Demotions++
+			case !prev.Has(i) && roster.Has(i):
+				d.rejoins.Inc()
+				d.res.Rejoins++
+			}
+			// Missed-heartbeat write-off: a mapper demoted WriteOffAfter
+			// rounds in a row is declared permanently dead so later rounds
+			// stop waiting a straggler window for it.
+			if d.dead[i] {
+				continue
+			}
+			if roster.Has(i) {
+				d.silent[i] = 0
+			} else if d.silent[i]++; d.writeOffAfter > 0 && d.silent[i] >= d.writeOffAfter {
+				d.dead[i] = true
+			}
+		}
+		prev = roster
+
+		if scalable {
+			rosterRed.SetRoundParticipants(n)
+		}
+		next, done, err := job.Reducer.Combine(iter, sum)
+		if err != nil {
+			return state, fmt.Errorf("%w: reducer at iteration %d: %v", ErrAborted, iter, err)
+		}
+		state = append(state[:0], next...)
+		d.res.Iterations = iter + 1
+		if cp := d.checkpoint; cp != nil {
+			every := cp.Every
+			if every <= 0 {
+				every = 1
+			}
+			if (iter+1)%every == 0 || done {
+				payload := encodeStatePayload(iter+1, state)
+				if err := cp.Cluster.Write(cp.Path, payload, ""); err != nil {
+					return state, fmt.Errorf("mapreduce checkpoint: %w", err)
+				}
+			}
+		}
+		if done {
+			d.res.Converged = true
+			break
+		}
+	}
+	return state, nil
+}
+
+// round executes one elastic round: broadcast, roster declaration, and
+// aggregate collection (with re-roster retries under masked aggregation).
+// It returns the final roster the sum was folded over.
+func (d *elasticDriver) round(ctx context.Context, r int32, state []float64) (transport.Roster, []float64, error) {
+	m := len(d.names)
+	hdr := transport.Header{Session: d.session, Round: r}
+	payload := appendStatePayload(d.scratch.bcast[:0], int(r), state)
+	d.scratch.bcast = payload
+	alive := 0
+	for i, name := range d.names {
+		if d.dead[i] {
+			continue
+		}
+		if err := d.redEP.Send(ctx, name, KindBroadcast, hdr, payload); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, nil, fmt.Errorf("mapreduce: broadcast: %w", err)
+			}
+			// An unreachable endpoint is a permanent demotion, not a job
+			// failure — the exact stall the elastic driver exists to absorb.
+			d.dead[i] = true
+			continue
+		}
+		alive++
+	}
+	if alive < d.quorum {
+		return nil, nil, fmt.Errorf("%w: %d mappers reachable at round %d, need %d", ErrQuorum, alive, r, d.quorum)
+	}
+
+	if d.agg != AggregationMasked {
+		return d.collectLoose(ctx, r, alive)
+	}
+
+	// Phase 1 — readiness. Everyone who answers before the deadline makes
+	// the roster; the deadline only matters when someone doesn't.
+	roster, err := d.collectReady(ctx, r, alive)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 2 — roster-scoped shares, with re-roster on mid-attempt death.
+	// Every attempt either completes, shrinks the roster, or (re-ready with a
+	// stable roster) burns one of a bounded number of stuck retries, so the
+	// loop terminates.
+	got := make([]bool, m)
+	attempt := int32(0)
+	stuck := 0 // consecutive re-ready passes that shrank nothing
+	for {
+		if roster.Count() < d.quorum {
+			return nil, nil, fmt.Errorf("%w: roster of %d at round %d, need %d", ErrQuorum, roster.Count(), r, d.quorum)
+		}
+		sum, outcome, err := d.collectAttempt(ctx, r, attempt, roster, got)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch outcome {
+		case attemptDone:
+			return roster, sum, nil
+		case attemptRetry:
+		case attemptReready:
+			// Zero shares under per-round masks: the likeliest cause is a
+			// member that died between declaring ready and delivering its
+			// masks, wedging every OTHER member mid mask exchange. The wedged
+			// mappers time out and re-declare readiness; the dead one never
+			// does, so re-collecting readiness shrinks the roster without
+			// having to guess who to blame.
+			before := roster.Count()
+			roster, err = d.recollectReady(ctx, r, roster)
+			if err != nil {
+				return nil, nil, err
+			}
+			if roster.Count() == before {
+				if stuck++; stuck >= maxStuckAttempts {
+					return nil, nil, fmt.Errorf("%w: round %d produced no shares across %d attempts with a stable roster of %d — StragglerTimeout %v is shorter than the mask exchange", ErrQuorum, r, stuck, before, d.timeout)
+				}
+			} else {
+				stuck = 0
+			}
+		}
+		attempt++
+	}
+}
+
+// maxStuckAttempts bounds consecutive re-ready retries that demote nobody: a
+// roster that keeps answering ready but never lands a share means the
+// straggler deadline is shorter than a healthy mask exchange, and retrying
+// will not fix configuration.
+const maxStuckAttempts = 3
+
+// attemptOutcome is how one share-collection attempt resolved.
+type attemptOutcome int
+
+const (
+	// attemptDone — every roster share arrived; the sum is valid.
+	attemptDone attemptOutcome = iota
+	// attemptRetry — members were demoted mid-attempt; re-run with the
+	// shrunken roster.
+	attemptRetry
+	// attemptReready — nobody delivered a share under per-round masks; the
+	// roster is presumed wedged and readiness must be re-collected.
+	attemptReready
+)
+
+// collectReady gathers KindReady answers for round r until every live mapper
+// replied or the straggler deadline fires, and returns the resulting roster.
+func (d *elasticDriver) collectReady(ctx context.Context, r int32, alive int) (transport.Roster, error) {
+	roster := transport.NewRoster(len(d.names))
+	readyCtx, cancel := context.WithTimeout(ctx, d.timeout)
+	defer cancel()
+	filter := readyFilter(d.session, r)
+	ready := 0
+	for ready < alive {
+		msg, err := d.redEP.RecvMatch(readyCtx, filter)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				d.timeouts.Inc()
+				break // the deadline IS the roster declaration
+			}
+			return nil, fmt.Errorf("mapreduce ready phase: %w", err)
+		}
+		id, ok := d.idOf[msg.From]
+		if !ok {
+			return nil, fmt.Errorf("%w: ready from unknown party %q", ErrBadJob, msg.From)
+		}
+		switch msg.Kind {
+		case KindReady:
+			if !d.dead[id] && !roster.Has(id) {
+				roster.Add(id)
+				ready++
+			}
+		case KindAbort:
+			if !d.dead[id] {
+				d.dead[id] = true
+				alive--
+				if roster.Has(id) {
+					roster.Remove(id)
+					ready--
+				}
+			}
+		}
+	}
+	return roster, nil
+}
+
+// collectAttempt declares the roster and collects its masked shares. It
+// returns attemptRetry after demoting members that went silent mid-attempt —
+// the caller re-runs with the shrunken roster — and attemptReready when the
+// deadline passed with nothing collected under per-round masks, where a
+// single dead member wedges everyone else's mask exchange and blaming the
+// whole roster would collapse the round.
+func (d *elasticDriver) collectAttempt(ctx context.Context, r, attempt int32, roster transport.Roster, got []bool) (sum []float64, outcome attemptOutcome, err error) {
+	n := roster.Count()
+	rosterHdr := transport.Header{Session: d.session, Round: r, Roster: roster, Attempt: attempt}
+	for i, name := range d.names {
+		if !roster.Has(i) {
+			continue
+		}
+		if err := d.redEP.Send(ctx, name, KindRoster, rosterHdr, nil); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, attemptRetry, fmt.Errorf("mapreduce: roster broadcast: %w", err)
+			}
+			d.dead[i] = true
+			roster.Remove(i)
+			return nil, attemptRetry, nil
+		}
+	}
+	col := d.scratch.col
+	if err := col.ResetFor(n); err != nil {
+		return nil, attemptRetry, err
+	}
+	for i := range got {
+		got[i] = false
+	}
+	shareCtx, cancel := context.WithTimeout(ctx, d.timeout)
+	defer cancel()
+	filter := collectRosterFilter(d.session, r, attempt, roster)
+	collected := 0
+	for collected < n {
+		msg, err := d.redEP.RecvMatch(shareCtx, filter)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				d.timeouts.Inc()
+				if collected == 0 && d.maskMode == MaskPerRound {
+					return nil, attemptReready, nil
+				}
+				// Demote whoever went silent between ready and share; the
+				// survivors re-derive over the smaller roster.
+				for i := range d.names {
+					if roster.Has(i) && !got[i] {
+						roster.Remove(i)
+					}
+				}
+				return nil, attemptRetry, nil
+			}
+			return nil, attemptRetry, fmt.Errorf("mapreduce reduce: %w", err)
+		}
+		id, ok := d.idOf[msg.From]
+		if !ok {
+			return nil, attemptRetry, fmt.Errorf("%w: share from unknown party %q", ErrBadJob, msg.From)
+		}
+		switch msg.Kind {
+		case securesum.KindShare:
+			if got[id] || !roster.Has(id) {
+				continue // duplicate or out-of-roster share: ignore
+			}
+			share, err := securesum.DecodeSharesInto(d.scratch.shareBuf, msg.Payload)
+			if err != nil {
+				return nil, attemptRetry, err
+			}
+			d.scratch.shareBuf = share
+			if err := col.Add(share); err != nil {
+				return nil, attemptRetry, fmt.Errorf("share from %q: %w", msg.From, err)
+			}
+			got[id] = true
+			collected++
+		case KindAbort:
+			if d.dead[id] {
+				continue
+			}
+			d.dead[id] = true
+			if roster.Has(id) {
+				// A roster member died: this attempt's telescope can never
+				// complete. Shrink and re-derive.
+				roster.Remove(id)
+				return nil, attemptRetry, nil
+			}
+		}
+	}
+	sum, err = col.SumInto(d.scratch.sum)
+	if err != nil {
+		return nil, attemptRetry, err
+	}
+	d.scratch.sum = sum
+	return sum, attemptDone, nil
+}
+
+// recollectReady re-runs the readiness phase for round r after a wedged
+// attempt: only members of the superseded roster may re-enter (admitting a
+// newcomer would grow the roster mid-round and break the shrink-only attempt
+// ordering), and a member that died mid mask exchange never re-declares, so
+// the returned roster excludes it.
+func (d *elasticDriver) recollectReady(ctx context.Context, r int32, old transport.Roster) (transport.Roster, error) {
+	roster := transport.NewRoster(len(d.names))
+	readyCtx, cancel := context.WithTimeout(ctx, d.timeout)
+	defer cancel()
+	filter := readyFilter(d.session, r)
+	want := old.Count()
+	ready := 0
+	for ready < want {
+		msg, err := d.redEP.RecvMatch(readyCtx, filter)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				d.timeouts.Inc()
+				break
+			}
+			return nil, fmt.Errorf("mapreduce re-ready phase: %w", err)
+		}
+		id, ok := d.idOf[msg.From]
+		if !ok {
+			return nil, fmt.Errorf("%w: ready from unknown party %q", ErrBadJob, msg.From)
+		}
+		switch msg.Kind {
+		case KindReady:
+			if !d.dead[id] && old.Has(id) && !roster.Has(id) {
+				roster.Add(id)
+				ready++
+			}
+		case KindAbort:
+			if !d.dead[id] {
+				d.dead[id] = true
+				if old.Has(id) {
+					want--
+				}
+				if roster.Has(id) {
+					roster.Remove(id)
+					ready--
+				}
+			}
+		}
+	}
+	return roster, nil
+}
+
+// collectLoose folds plain or Paillier shares: they are roster-oblivious, so
+// whoever delivers before the deadline IS the roster and partial sums are
+// valid as-is (the Paillier packing budgeted its guard bits for the full
+// cohort, so any subset stays in range).
+func (d *elasticDriver) collectLoose(ctx context.Context, r int32, alive int) (transport.Roster, []float64, error) {
+	kind := KindPlainShare
+	if d.agg == AggregationPaillier {
+		kind = KindCipherShare
+	}
+	roster := transport.NewRoster(len(d.names))
+	collectCtx, cancel := context.WithTimeout(ctx, d.timeout)
+	defer cancel()
+	filter := collectLooseFilter(d.session, r, kind)
+
+	var plainSum []float64
+	var acc []*big.Int
+	want := 0
+	if d.agg == AggregationPaillier {
+		want = d.pack.Ciphertexts(d.dim)
+	} else {
+		plainSum = make([]float64, d.dim)
+	}
+	collected := 0
+	for collected < alive {
+		msg, err := d.redEP.RecvMatch(collectCtx, filter)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				d.timeouts.Inc()
+				break
+			}
+			return nil, nil, fmt.Errorf("mapreduce reduce: %w", err)
+		}
+		id, ok := d.idOf[msg.From]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: share from unknown party %q", ErrBadJob, msg.From)
+		}
+		if msg.Kind == KindAbort {
+			if !d.dead[id] {
+				d.dead[id] = true
+				if !roster.Has(id) {
+					// It will never contribute this round; stop waiting for
+					// it. A share it already delivered stays folded — it was
+					// computed honestly before the mapper died.
+					alive--
+				}
+			}
+			continue
+		}
+		if roster.Has(id) {
+			continue // duplicate
+		}
+		switch d.agg {
+		case AggregationPaillier:
+			cs, err := paillier.UnmarshalCiphertexts(msg.Payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(cs) != want {
+				return nil, nil, fmt.Errorf("%w: cipher share of %d ciphertexts, want %d", ErrBadJob, len(cs), want)
+			}
+			if acc == nil {
+				acc = cs
+			} else {
+				parallel.For(len(acc), 16, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						acc[j] = d.key.Add(acc[j], cs[j])
+					}
+				})
+			}
+		default:
+			v, err := decodeVector(msg.Payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(v) != d.dim {
+				return nil, nil, fmt.Errorf("%w: share of %d values, want %d", ErrBadJob, len(v), d.dim)
+			}
+			for j, x := range v {
+				plainSum[j] += x
+			}
+		}
+		roster.Add(id)
+		collected++
+	}
+	if roster.Count() < d.quorum {
+		return nil, nil, fmt.Errorf("%w: %d shares at round %d, need %d", ErrQuorum, roster.Count(), r, d.quorum)
+	}
+	if d.agg == AggregationPaillier {
+		// Key-authority step, identical to the strict driver's: decrypt only
+		// the aggregate, in parallel, then unpack slot sums mod 2⁶⁴.
+		ms := make([]*big.Int, len(acc))
+		var mu sync.Mutex
+		var decErr error
+		parallel.For(len(acc), 1, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				mval, err := d.key.Decrypt(acc[j])
+				if err != nil {
+					mu.Lock()
+					if decErr == nil {
+						decErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				ms[j] = mval
+			}
+		})
+		if decErr != nil {
+			return nil, nil, fmt.Errorf("mapreduce paillier decrypt: %w", decErr)
+		}
+		ringSum, err := d.pack.UnpackVec(ms, d.dim, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mapreduce paillier unpack: %w", err)
+		}
+		dec, err := d.codec.DecodeVec(ringSum, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		return roster, dec, nil
+	}
+	return roster, plainSum, nil
+}
+
+// runMapperNodeElastic is the masked-aggregation mapper loop under elastic
+// rosters: compute, declare ready, then serve every roster attempt of the
+// round until the Reducer moves on. A contribution failure past the retry
+// budget is a permanent self-demotion (abort), not a job failure.
+func runMapperNodeElastic(ctx context.Context, cfg mapperNodeConfig) error {
+	var seeded *securesum.SeededSession
+	var perRound *securesum.PerRoundParty
+	var err error
+	if cfg.maskMode == MaskPerRound {
+		perRound, err = securesum.NewPerRoundParty(cfg.ep, cfg.names, cfg.id, reducerName, cfg.dim, cfg.codec, nil)
+		if perRound != nil {
+			perRound.SetTelemetry(cfg.sstel)
+		}
+	} else {
+		seeded, err = securesum.SetupSeeded(ctx, cfg.ep, cfg.names, cfg.id, cfg.dim, cfg.codec, nil, cfg.session, cfg.sstel)
+	}
+	if err != nil {
+		return fmt.Errorf("mapper %d aggregation setup: %w", cfg.id, err)
+	}
+	idle := idleFilter(cfg.session)
+	m := len(cfg.names)
+	var pending *transport.Message
+	for {
+		var msg transport.Message
+		if pending != nil {
+			msg, pending = *pending, nil
+		} else {
+			msg, err = cfg.ep.RecvMatch(ctx, idle)
+			if err != nil {
+				return fmt.Errorf("mapper %d: %w", cfg.id, err)
+			}
+		}
+		switch msg.Kind {
+		case KindStop:
+			return nil
+		case KindBroadcast:
+		case KindRoster:
+			// A roster for a round we never saw the broadcast of (we were
+			// mid-catch-up); we have no contribution for it, so skip.
+			continue
+		default:
+			return fmt.Errorf("%w: unexpected %q while idle", ErrBadJob, msg.Kind)
+		}
+		iter, state, err := decodeStatePayload(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("mapper %d: %w", cfg.id, err)
+		}
+		round := int32(iter)
+		// Round advance: deferred masks of dead attempts from earlier rounds
+		// will never be claimed; sweep them.
+		if ev, ok := cfg.ep.(transport.Evictor); ok {
+			ev.Evict(staleRoundFilter(cfg.session, round))
+		}
+		hdr := transport.Header{Session: cfg.session, Round: round}
+		var contrib []float64
+		for attempt := 0; ; attempt++ {
+			contrib, err = cfg.mapper.Contribution(iter, state)
+			if err == nil {
+				break
+			}
+			if attempt >= cfg.retries {
+				//ppml:err-ok best-effort abort notification: the Contribution error below is the one worth reporting
+				_ = cfg.ep.Send(ctx, reducerName, KindAbort, hdr, []byte(err.Error()))
+				//ppml:flow-ok iter is decoded from the reducer's public state broadcast; the round counter is coordination metadata, not payload content
+				return fmt.Errorf("%w: mapper %d at iteration %d: %v", ErrAborted, cfg.id, iter, err)
+			}
+			cfg.retryCtr.Inc()
+		}
+		if err := cfg.ep.Send(ctx, reducerName, KindReady, hdr, nil); err != nil {
+			return fmt.Errorf("mapper %d: ready: %w", cfg.id, err)
+		}
+		// Serve roster attempts until the next broadcast (or stop) arrives.
+		waitF := rosterWaitFilter(cfg.session, round)
+		var inner *transport.Message
+		for pending == nil {
+			var m2 transport.Message
+			if inner != nil {
+				m2, inner = *inner, nil
+			} else {
+				m2, err = cfg.ep.RecvMatch(ctx, waitF)
+				if err != nil {
+					return fmt.Errorf("mapper %d: %w", cfg.id, err)
+				}
+			}
+			switch m2.Kind {
+			case KindStop:
+				return nil
+			case KindBroadcast:
+				if m2.Round > round {
+					msgCopy := m2
+					pending = &msgCopy
+				}
+			case KindRoster:
+				if !m2.Roster.Has(cfg.id) {
+					continue // demoted this round; wait for the next broadcast
+				}
+				live := m2.Roster.Bools(m)
+				shareHdr := transport.Header{Session: cfg.session, Round: round, Roster: m2.Roster, Attempt: m2.Attempt}
+				if seeded != nil {
+					payload, err := seeded.RoundShareBytesFor(round, contrib, live)
+					if err != nil {
+						return fmt.Errorf("mapper %d: %w", cfg.id, err)
+					}
+					if err := cfg.ep.Send(ctx, reducerName, securesum.KindShare, shareHdr, payload); err != nil {
+						return fmt.Errorf("mapper %d: %w", cfg.id, err)
+					}
+					cfg.sstel.RecordShare(len(payload))
+				} else {
+					rctx, rcancel := ctx, context.CancelFunc(nil)
+					if cfg.straggler > 0 {
+						rctx, rcancel = context.WithTimeout(ctx, cfg.straggler)
+					}
+					ctrl, err := perRound.RoundRoster(rctx, shareHdr, contrib, live)
+					if rcancel != nil {
+						rcancel()
+					}
+					if err != nil {
+						if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+							// Wedged mask exchange: a roster member died before
+							// its masks arrived. Abandon the attempt and
+							// re-declare readiness — the Reducer rebuilds the
+							// roster from whoever re-declares, and this
+							// attempt's stale masks are dropped by the next
+							// attempt's filter (the attempt stamp, not the
+							// roster, identifies a derivation).
+							if err := cfg.ep.Send(ctx, reducerName, KindReady, hdr, nil); err != nil {
+								return fmt.Errorf("mapper %d: ready: %w", cfg.id, err)
+							}
+							continue
+						}
+						return fmt.Errorf("mapper %d aggregation: %w", cfg.id, err)
+					}
+					if ctrl != nil {
+						ctrlCopy := *ctrl
+						inner = &ctrlCopy // a newer roster or a stop landed mid-attempt
+					}
+				}
+			default:
+				return fmt.Errorf("%w: unexpected %q awaiting roster", ErrBadJob, m2.Kind)
+			}
+		}
+	}
+}
+
+// rosterWaitFilter demultiplexes a mapper between declaring ready and the
+// round resolving: roster declarations for this round and the job's control
+// messages are delivered; a NEWER broadcast means the Reducer moved on
+// without us (we were demoted) and is delivered so the mapper can catch up;
+// mask traffic for attempts whose roster declaration hasn't reached us yet
+// waits in the reorder buffer.
+func rosterWaitFilter(session uint64, round int32) transport.Filter {
+	return func(m transport.Message) transport.Verdict {
+		if m.Session != session {
+			return transport.Defer
+		}
+		switch m.Kind {
+		case KindStop:
+			return transport.Accept
+		case KindBroadcast:
+			if m.Round > round {
+				return transport.Accept
+			}
+			return transport.Drop // duplicate of a round we already hold
+		case KindRoster:
+			switch {
+			case m.Round < round:
+				return transport.Drop
+			case m.Round > round:
+				return transport.Defer
+			}
+			return transport.Accept
+		case securesum.KindMask:
+			if m.Round < round {
+				return transport.Drop
+			}
+			return transport.Defer
+		}
+		return transport.Accept
+	}
+}

@@ -1,0 +1,433 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/ppml-go/ppml/internal/telemetry"
+	"github.com/ppml-go/ppml/internal/transport"
+)
+
+// slowMapper contributes value − state (the averaging consensus) but sleeps
+// slowOn[iter] before answering, simulating a straggler on chosen rounds.
+// During elastic catch-up the driver replays Contribution for the rounds the
+// mapper slept through, so slowOn keys are the only slow rounds.
+type slowMapper struct {
+	value  []float64
+	slowOn map[int]time.Duration
+	delay  time.Duration // unconditional per-call sleep
+}
+
+func (m *slowMapper) Contribution(iter int, state []float64) ([]float64, error) {
+	if m.delay > 0 {
+		time.Sleep(m.delay)
+	}
+	if d := m.slowOn[iter]; d > 0 {
+		time.Sleep(d)
+	}
+	out := make([]float64, len(m.value))
+	for i := range out {
+		out[i] = m.value[i] - state[i]
+	}
+	return out, nil
+}
+
+// elasticAveragingReducer is the roster-aware averaging consensus: it divides
+// the aggregate by the round's live participant count (SetRoundParticipants)
+// instead of the fixed cohort, and optionally refuses to declare convergence
+// until the full cohort is back — so a test can assert the post-rejoin state
+// rather than a partial-roster fixed point.
+type elasticAveragingReducer struct {
+	m, n      int
+	tol       float64
+	needFull  bool
+	lastState []float64
+	// participants records every SetRoundParticipants call, in round order.
+	participants []int
+}
+
+func newElasticAveragingReducer(m int, needFull bool) *elasticAveragingReducer {
+	return &elasticAveragingReducer{m: m, n: m, tol: 1e-9, needFull: needFull}
+}
+
+func (r *elasticAveragingReducer) SetRoundParticipants(n int) {
+	r.n = n
+	r.participants = append(r.participants, n)
+}
+
+func (r *elasticAveragingReducer) Combine(iter int, sum []float64) ([]float64, bool, error) {
+	delta := 0.0
+	next := make([]float64, len(sum))
+	for i := range sum {
+		step := sum[i] / float64(r.n)
+		prev := 0.0
+		if r.lastState != nil {
+			prev = r.lastState[i]
+		}
+		next[i] = prev + step
+		delta += step * step
+	}
+	r.lastState = next
+	done := delta < r.tol*r.tol && (!r.needFull || r.n == r.m)
+	return next, done, nil
+}
+
+// runElastic executes the job over a fresh in-proc network with a registry
+// attached and fails the test on any job error.
+func runElastic(t *testing.T, job IterativeJob, opts DriverOptions) (*DriverResult, *telemetry.Snapshot) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	opts.Telemetry = reg
+	net := transport.NewInProc()
+	defer net.Close()
+	opts.Network = net
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := RunDistributed(ctx, job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, reg.Snapshot()
+}
+
+// TestElasticDemoteAndRejoin is the elastic driver's core contract, under
+// both mask modes: a mapper that sleeps through its straggler deadline is
+// demoted for the rounds it misses, the survivors keep training over partial
+// rosters, the straggler rejoins once it catches up, and the job converges to
+// the FULL-cohort consensus. The roster-churn results, the elastic telemetry
+// counters and the transport stale counter must all agree with that story.
+func TestElasticDemoteAndRejoin(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		mask MaskMode
+	}{
+		{"seeded", MaskSeeded},
+		{"perround", MaskPerRound},
+	} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			t.Parallel()
+			values := [][]float64{{1, 9}, {3, 11}, {5, 13}, {7, 15}}
+			m := len(values)
+			mappers := make([]IterativeMapper, m)
+			for i := range values {
+				sm := &slowMapper{value: values[i]}
+				if i == m-1 {
+					// Sleeps through several straggler windows, then wakes and
+					// catches up through the buffered broadcasts.
+					sm.slowOn = map[int]time.Duration{1: 1200 * time.Millisecond}
+				}
+				mappers[i] = sm
+			}
+			red := newElasticAveragingReducer(m, true)
+			job := IterativeJob{
+				Mappers:         mappers,
+				Reducer:         red,
+				InitialState:    make([]float64, 2),
+				ContributionDim: 2,
+				MaxIterations:   80,
+			}
+			res, snap := runElastic(t, job, DriverOptions{
+				MaskMode:         mode.mask,
+				StragglerTimeout: 200 * time.Millisecond,
+			})
+			if !res.Converged {
+				t.Fatalf("did not converge in %d iterations", res.Iterations)
+			}
+			want := []float64{4, 12} // mean over the FULL cohort
+			for i := range want {
+				if math.Abs(res.FinalState[i]-want[i]) > 1e-3 {
+					t.Errorf("state[%d] = %g, want %g", i, res.FinalState[i], want[i])
+				}
+			}
+			if res.Demotions < 1 || res.Rejoins < 1 {
+				t.Errorf("Demotions = %d, Rejoins = %d, want at least one of each", res.Demotions, res.Rejoins)
+			}
+			// The job only converges on a full roster, so every demotion was
+			// eventually matched by a rejoin.
+			if res.Demotions != res.Rejoins {
+				t.Errorf("Demotions = %d != Rejoins = %d with a full final roster", res.Demotions, res.Rejoins)
+			}
+			// Wiretap parity: the counters are the same events the result
+			// fields recorded, observed through the registry.
+			if got := snap.CounterTotal("ppml_mapper_demotions_total"); got != int64(res.Demotions) {
+				t.Errorf("ppml_mapper_demotions_total = %d, res.Demotions = %d", got, res.Demotions)
+			}
+			if got := snap.CounterTotal("ppml_mapper_rejoins_total"); got != int64(res.Rejoins) {
+				t.Errorf("ppml_mapper_rejoins_total = %d, res.Rejoins = %d", got, res.Rejoins)
+			}
+			if got, ok := snap.GaugeValue("ppml_round_participants"); !ok || got != float64(m) {
+				t.Errorf("ppml_round_participants = %v (ok=%v), want %d on the full final round", got, ok, m)
+			}
+			// SetRoundParticipants saw the shrunken rounds.
+			shrunk := false
+			for _, n := range red.participants {
+				if n < m {
+					shrunk = true
+				}
+				if n < 1 || n > m {
+					t.Errorf("SetRoundParticipants(%d) outside [1, %d]", n, m)
+				}
+			}
+			if !shrunk {
+				t.Error("reducer never saw a partial roster despite demotions")
+			}
+			// Regression for the round-advance eviction: the straggler's
+			// catch-up replays readiness for rounds the reducer already
+			// finished; those frames must be dropped and counted stale, not
+			// stashed until the endpoint closes.
+			if res.Net.StaleDropped < 1 {
+				t.Errorf("StaleDropped = %d, want at least 1 from the straggler's stale catch-up traffic", res.Net.StaleDropped)
+			}
+		})
+	}
+}
+
+// TestElasticPerRoundMaskWedge pins the re-ready recovery: under per-round
+// masks, a mapper whose readiness declarations arrive but whose masks and
+// shares vanish (a crash between phases, injected with a kind-scoped chaos
+// drop) wedges every OTHER roster member mid mask exchange. The wedged
+// mappers must time out and re-declare, the Reducer must rebuild the roster
+// from the re-declarations instead of demoting everyone, and the round must
+// fold over the survivors — every round, since the faulty mapper keeps
+// answering ready.
+func TestElasticPerRoundMaskWedge(t *testing.T) {
+	t.Parallel()
+	values := [][]float64{{2}, {4}, {9}}
+	m := len(values)
+	mappers := make([]IterativeMapper, m)
+	for i := range values {
+		mappers[i] = &slowMapper{value: values[i]}
+	}
+	red := newElasticAveragingReducer(m, false)
+	job := IterativeJob{
+		Mappers:         mappers,
+		Reducer:         red,
+		InitialState:    []float64{0},
+		ContributionDim: 1,
+		MaxIterations:   20,
+	}
+	reg := telemetry.NewRegistry()
+	chaos := transport.NewChaos(transport.NewInProc())
+	defer chaos.Close()
+	// mapper-2 stays reachable for broadcasts and readiness but its protocol
+	// payloads never leave: the exact shape of a process that dies after
+	// KindReady (the ready is on the wire, the masks never follow), repeated
+	// every round.
+	chaos.KillOutboundKind("mapper-2", "securesum.mask")
+	chaos.KillOutboundKind("mapper-2", "securesum.share")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := RunDistributed(ctx, job, DriverOptions{
+		Network:          chaos,
+		Telemetry:        reg,
+		MaskMode:         MaskPerRound,
+		StragglerTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	// The survivors' consensus: mean of {2, 4}. If a wedged attempt's stale
+	// masks ever leaked into a later attempt the telescope would not cancel
+	// and this would be garbage, so the assertion also pins the attempt-stamp
+	// filtering.
+	if math.Abs(res.FinalState[0]-3) > 1e-3 {
+		t.Errorf("state = %g, want 3 (the survivors' mean)", res.FinalState[0])
+	}
+	if res.Demotions < 1 {
+		t.Errorf("Demotions = %d, want at least 1 (the wedging mapper)", res.Demotions)
+	}
+	snap := reg.Snapshot()
+	// Every round burned at least one share deadline before recovering.
+	if got := snap.CounterTotal("ppml_round_timeouts_total"); got < int64(res.Iterations) {
+		t.Errorf("ppml_round_timeouts_total = %d over %d rounds, want one per wedged round", got, res.Iterations)
+	}
+	for _, n := range red.participants {
+		if n != m-1 {
+			t.Errorf("SetRoundParticipants(%d), want every fold over the %d survivors", n, m-1)
+		}
+	}
+}
+
+// TestElasticWriteOff pins the missed-heartbeat write-off: with WriteOffAfter
+// set, a mapper that goes permanently silent costs exactly that many straggler
+// windows before the Reducer writes it off and stops waiting for it — instead
+// of burning one window every remaining round.
+func TestElasticWriteOff(t *testing.T) {
+	t.Parallel()
+	values := [][]float64{{2}, {4}, {9}}
+	m := len(values)
+	mappers := make([]IterativeMapper, m)
+	for i := range values {
+		mappers[i] = &slowMapper{value: values[i]}
+	}
+	red := newElasticAveragingReducer(m, false)
+	job := IterativeJob{
+		Mappers:         mappers,
+		Reducer:         red,
+		InitialState:    []float64{0},
+		ContributionDim: 1,
+		MaxIterations:   20,
+	}
+	reg := telemetry.NewRegistry()
+	chaos := transport.NewChaos(transport.NewInProc())
+	defer chaos.Close()
+	chaos.Kill("mapper-2") // crashed from the start; its sends vanish silently
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	const writeOffAfter = 2
+	res, err := RunDistributed(ctx, job, DriverOptions{
+		Network:   chaos,
+		Telemetry: reg,
+		// Per-round masks: a mapper dead from t=0 would stall the seeded
+		// variant's full-cohort seed exchange before any round begins.
+		MaskMode:         MaskPerRound,
+		StragglerTimeout: 150 * time.Millisecond,
+		WriteOffAfter:    writeOffAfter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	if math.Abs(res.FinalState[0]-3) > 1e-3 {
+		t.Errorf("state = %g, want 3 (the survivors' mean)", res.FinalState[0])
+	}
+	if res.Demotions != 1 || res.Rejoins != 0 {
+		t.Errorf("Demotions = %d, Rejoins = %d, want 1 and 0 (written off)", res.Demotions, res.Rejoins)
+	}
+	// The whole point: the dead mapper's straggler windows stop at the
+	// write-off threshold rather than recurring every round.
+	snap := reg.Snapshot()
+	if got := snap.CounterTotal("ppml_round_timeouts_total"); got != writeOffAfter {
+		t.Errorf("ppml_round_timeouts_total = %d, want exactly %d (one per round until the write-off)", got, writeOffAfter)
+	}
+}
+
+// TestElasticQuorumFailure: a masked roster of one would hand the Reducer an
+// effectively unmasked share, so the driver fails the round with ErrQuorum
+// instead of folding it.
+func TestElasticQuorumFailure(t *testing.T) {
+	job := IterativeJob{
+		Mappers: []IterativeMapper{
+			&slowMapper{value: []float64{1}},
+			&slowMapper{value: []float64{2}, delay: time.Second},
+		},
+		Reducer:         newElasticAveragingReducer(2, false),
+		InitialState:    []float64{0},
+		ContributionDim: 1,
+		MaxIterations:   10,
+	}
+	net := transport.NewInProc()
+	defer net.Close()
+	_, err := RunDistributed(context.Background(), job, DriverOptions{
+		Network:          net,
+		StragglerTimeout: 100 * time.Millisecond,
+		MinQuorum:        2,
+	})
+	if !errors.Is(err, ErrQuorum) {
+		t.Fatalf("err = %v, want ErrQuorum", err)
+	}
+}
+
+// TestElasticMinQuorumValidation rejects a quorum the cohort cannot satisfy.
+func TestElasticMinQuorumValidation(t *testing.T) {
+	job := IterativeJob{
+		Mappers:         []IterativeMapper{&slowMapper{value: []float64{1}}},
+		Reducer:         newElasticAveragingReducer(1, false),
+		InitialState:    []float64{0},
+		ContributionDim: 1,
+		MaxIterations:   2,
+	}
+	_, err := RunDistributed(context.Background(), job, DriverOptions{
+		StragglerTimeout: 50 * time.Millisecond,
+		MinQuorum:        5,
+	})
+	if !errors.Is(err, ErrBadJob) {
+		t.Fatalf("err = %v, want ErrBadJob", err)
+	}
+}
+
+// TestElasticAbortIsPermanentDemotion: a mapper whose Contribution fails past
+// its retry budget aborts itself out of the job; under the elastic contract
+// that is a roster event, not a job failure — the survivors finish without
+// ever waiting a straggler window for the dead node again.
+func TestElasticAbortIsPermanentDemotion(t *testing.T) {
+	job := IterativeJob{
+		Mappers: []IterativeMapper{
+			&slowMapper{value: []float64{2}},
+			&slowMapper{value: []float64{4}},
+			&failingMapper{failAt: 0},
+		},
+		Reducer:         newElasticAveragingReducer(3, false),
+		InitialState:    []float64{0},
+		ContributionDim: 1,
+		MaxIterations:   20,
+	}
+	res, snap := runElastic(t, job, DriverOptions{
+		StragglerTimeout: 200 * time.Millisecond,
+	})
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	// The survivors' consensus: mean of {2, 4}.
+	if math.Abs(res.FinalState[0]-3) > 1e-3 {
+		t.Errorf("state = %g, want 3 (the survivors' mean)", res.FinalState[0])
+	}
+	if res.Demotions != 1 || res.Rejoins != 0 {
+		t.Errorf("Demotions = %d, Rejoins = %d, want 1 and 0 (aborts are permanent)", res.Demotions, res.Rejoins)
+	}
+	if got, ok := snap.GaugeValue("ppml_round_participants"); !ok || got != 2 {
+		t.Errorf("ppml_round_participants = %v (ok=%v), want 2", got, ok)
+	}
+}
+
+// TestElasticPlainAggregation exercises the roster-oblivious path: plain
+// shares do not depend on who else answers, so the responders ARE the roster
+// and a straggler's demotion needs no re-roster ceremony.
+func TestElasticPlainAggregation(t *testing.T) {
+	values := [][]float64{{3}, {6}, {9}}
+	m := len(values)
+	mappers := make([]IterativeMapper, m)
+	for i := range values {
+		sm := &slowMapper{value: values[i]}
+		if i == 1 {
+			sm.slowOn = map[int]time.Duration{1: 700 * time.Millisecond}
+		}
+		mappers[i] = sm
+	}
+	red := newElasticAveragingReducer(m, true)
+	job := IterativeJob{
+		Mappers:         mappers,
+		Reducer:         red,
+		InitialState:    []float64{0},
+		ContributionDim: 1,
+		MaxIterations:   60,
+	}
+	res, snap := runElastic(t, job, DriverOptions{
+		Aggregation:      AggregationPlain,
+		StragglerTimeout: 150 * time.Millisecond,
+	})
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	if math.Abs(res.FinalState[0]-6) > 1e-3 {
+		t.Errorf("state = %g, want 6 (full-cohort mean)", res.FinalState[0])
+	}
+	if res.Demotions < 1 || res.Rejoins < 1 {
+		t.Errorf("Demotions = %d, Rejoins = %d, want at least one of each", res.Demotions, res.Rejoins)
+	}
+	if got := snap.CounterTotal("ppml_mapper_demotions_total"); got != int64(res.Demotions) {
+		t.Errorf("ppml_mapper_demotions_total = %d, res.Demotions = %d", got, res.Demotions)
+	}
+	if got := snap.CounterTotal("ppml_mapper_rejoins_total"); got != int64(res.Rejoins) {
+		t.Errorf("ppml_mapper_rejoins_total = %d, res.Rejoins = %d", got, res.Rejoins)
+	}
+}

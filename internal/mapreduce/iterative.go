@@ -31,8 +31,25 @@ type IterativeReducer interface {
 	Combine(iter int, sum []float64) (next []float64, done bool, err error)
 }
 
+// RosterReducer is an IterativeReducer that scales its combine step to the
+// number of contributions actually folded. The elastic driver calls
+// SetRoundParticipants with the final roster size before every Combine, so
+// M-dependent reductions (a consensus mean, a proximal weight) divide by the
+// live cohort instead of the full one. Reducers whose aggregates are
+// absolute sums (counts, moments) simply don't implement it.
+type RosterReducer interface {
+	IterativeReducer
+	// SetRoundParticipants announces how many mappers' contributions the
+	// next Combine's sum contains.
+	SetRoundParticipants(n int)
+}
+
 // ErrAborted reports that a Mapper failed fatally and the job unwound.
 var ErrAborted = errors.New("mapreduce: job aborted")
+
+// ErrQuorum reports that the elastic driver's roster fell below MinQuorum
+// and the job stopped rather than train on too few parties.
+var ErrQuorum = errors.New("mapreduce: roster below quorum")
 
 // IterativeJob describes one consensus training job.
 type IterativeJob struct {

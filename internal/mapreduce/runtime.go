@@ -70,6 +70,25 @@ type DriverOptions struct {
 	// fails the job with a round-stamped error when a straggler or lost
 	// message stalls a round past the bound.
 	RoundTimeout time.Duration
+	// StragglerTimeout enables the elastic (demote-and-continue) driver: a
+	// mapper that has not answered within this bound is demoted for the
+	// round instead of stalling or failing the job, and rejoins the next
+	// round it answers in time. Zero (the default) keeps the strict
+	// fixed-membership protocol; when set, RoundTimeout is ignored.
+	StragglerTimeout time.Duration
+	// MinQuorum is the smallest roster the elastic driver will fold. Below
+	// it the job fails rather than silently training on too few parties. 0
+	// defaults to 2 under masked aggregation (a roster of one would hand the
+	// Reducer an effectively unmasked share) and 1 otherwise.
+	MinQuorum int
+	// WriteOffAfter permanently writes off a mapper after this many
+	// consecutive rounds of silence (demoted every one of them), so the
+	// Reducer stops burning a StragglerTimeout window on a peer that is
+	// plainly gone. Zero (the default) never writes off: every demoted
+	// mapper keeps its right to rejoin, which vertically partitioned
+	// schemes — where each mapper owns irreplaceable feature columns —
+	// depend on. Only meaningful with StragglerTimeout.
+	WriteOffAfter int
 	// PaillierKey supplies the key pair for AggregationPaillier: the public
 	// half goes to every Mapper, the private half stays with the simulated
 	// key authority that decrypts only aggregates.
@@ -130,6 +149,11 @@ type DriverResult struct {
 	RemoteInputBytes int64
 	// Elapsed is the wall-clock job duration.
 	Elapsed time.Duration
+	// Demotions and Rejoins count elastic roster transitions: a mapper
+	// leaving the roster between consecutive rounds, and one returning.
+	// Always zero under the strict driver.
+	Demotions int
+	Rejoins   int
 }
 
 const reducerName = "reducer"
@@ -150,6 +174,12 @@ const (
 	// (dim / ⌈dim/k⌉); 1 when unpacked. A scalar of the layout, never of
 	// any payload value.
 	metricPackRatio = "ppml_paillier_pack_ratio"
+	// Elastic-roster metrics: how many mappers each round actually folded,
+	// and the cumulative roster churn. All are counts of the driver's
+	// control flow, never contribution values.
+	metricParticipants = "ppml_round_participants"
+	metricDemotions    = "ppml_mapper_demotions_total"
+	metricRejoins      = "ppml_mapper_rejoins_total"
 )
 
 // sessionCounter allocates process-unique job session ids. Session 0 is
@@ -220,6 +250,26 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 
 	session := sessionCounter.Add(1)
 	m := len(job.Mappers)
+	elastic := opts.StragglerTimeout > 0
+	quorum := opts.MinQuorum
+	if elastic {
+		if quorum == 0 {
+			// A masked roster of one would hand the Reducer a share whose
+			// masks all cancelled locally — effectively plaintext — so the
+			// privacy floor is two participants whenever masking is on.
+			if agg == AggregationMasked {
+				quorum = 2
+				if m < 2 {
+					quorum = m
+				}
+			} else {
+				quorum = 1
+			}
+		}
+		if quorum < 1 || quorum > m {
+			return nil, fmt.Errorf("%w: MinQuorum %d with %d mappers", ErrBadJob, opts.MinQuorum, m)
+		}
+	}
 	// Prepared metric handles; with no registry each is nil and every
 	// operation below is a free no-op.
 	reg.Gauge(metricFanout).Set(float64(m))
@@ -267,24 +317,33 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	for i := 0; i < m; i++ {
 		go func(i int) {
 			cfg := mapperNodeConfig{
-				id:       i,
-				session:  session,
-				names:    names,
-				ep:       mapEPs[i],
-				mapper:   job.Mappers[i],
-				agg:      agg,
-				maskMode: opts.MaskMode,
-				codec:    codec,
-				dim:      job.ContributionDim,
-				retries:  opts.MapRetries,
-				sstel:    sstel,
-				retryCtr: retries,
+				id:        i,
+				session:   session,
+				names:     names,
+				ep:        mapEPs[i],
+				mapper:    job.Mappers[i],
+				agg:       agg,
+				maskMode:  opts.MaskMode,
+				codec:     codec,
+				dim:       job.ContributionDim,
+				retries:   opts.MapRetries,
+				straggler: opts.StragglerTimeout,
+				sstel:     sstel,
+				retryCtr:  retries,
 			}
 			if pack != nil {
 				cfg.pack = pack
 				cfg.cipherCtr = cipherCtr
 			}
-			mapperErrs <- runMapperNode(ctx, cfg)
+			// Masked aggregation needs the roster handshake on the mapper
+			// side; the plain and Paillier paths are roster-oblivious (their
+			// shares do not depend on who else answers), so the strict mapper
+			// loop serves them under both drivers.
+			if elastic && agg == AggregationMasked {
+				mapperErrs <- runMapperNodeElastic(ctx, cfg)
+			} else {
+				mapperErrs <- runMapperNode(ctx, cfg)
+			}
 		}(i)
 	}
 
@@ -317,10 +376,58 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 		}
 	}
 	var jobErr error
+	if elastic {
+		ed := &elasticDriver{
+			session: session, names: names, redEP: redEP,
+			agg: agg, maskMode: opts.MaskMode, codec: codec, key: opts.PaillierKey, pack: pack,
+			quorum: quorum, timeout: opts.StragglerTimeout, writeOffAfter: opts.WriteOffAfter,
+			dim: job.ContributionDim, scratch: &scratch,
+			checkpoint: opts.Checkpoint,
+			rounds:     rounds, roundDur: roundDur, timeouts: timeouts,
+			participants: reg.Gauge(metricParticipants),
+			demotions:    reg.Counter(metricDemotions),
+			rejoins:      reg.Counter(metricRejoins),
+			res:          res,
+		}
+		state, jobErr = ed.reduceLoop(ctx, job, state, startIter)
+		stopHdr := transport.Header{Session: session, Round: int32(res.Iterations)}
+		stopPayload := encodeStatePayload(res.Iterations, state)
+		for _, name := range names {
+			//ppml:err-ok best-effort teardown: a demoted or dead mapper cannot receive its stop, which is exactly the failure mode the elastic driver absorbs
+			_ = redEP.Send(ctx, name, KindStop, stopHdr, stopPayload)
+		}
+		// A killed mapper never sees its stop (the chaos transport eats it)
+		// and may be parked in RecvMatch forever; closing the endpoints
+		// unblocks every mapper goroutine with ErrClosed so the drain below
+		// terminates. Mapper errors are roster events under the elastic
+		// contract — demotions, not job failures — so the reducer's outcome
+		// stands alone.
+		for _, ep := range mapEPs {
+			//ppml:err-ok teardown close: the endpoint is being discarded and the job result is already decided
+			_ = ep.Close()
+		}
+		for i := 0; i < m; i++ {
+			<-mapperErrs
+		}
+		if jobErr != nil {
+			return nil, jobErr
+		}
+		res.FinalState = state
+		res.Net = net.Stats()
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
 reduceLoop:
 	for iter := startIter; iter < job.MaxIterations; iter++ {
 		roundStart := time.Now()
 		spanCtx, roundSpan := telemetry.StartSpan(ctx, "round")
+		// Round advance: late frames of finished (or timed-out) rounds will
+		// never be claimed by any future filter — sweep them out of the
+		// reorder buffer and into the stale counter instead of stashing them
+		// until the endpoint closes.
+		if ev, ok := redEP.(transport.Evictor); ok {
+			ev.Evict(staleRoundFilter(session, int32(iter)))
+		}
 		hdr := transport.Header{Session: session, Round: int32(iter)}
 		payload := appendStatePayload(scratch.bcast[:0], iter, state)
 		scratch.bcast = payload
@@ -436,6 +543,7 @@ type mapperNodeConfig struct {
 	codec     fixedpoint.Codec
 	dim       int
 	retries   int
+	straggler time.Duration // elastic mode: per-attempt mask-exchange deadline
 	pack      *paillier.Packing
 	cipherCtr *telemetry.Counter
 	sstel     *securesum.Telemetry

@@ -18,6 +18,12 @@ const (
 	KindCipherShare = "mr.ciphershare"
 	// KindAbort reports a fatal Mapper error to the Reducer.
 	KindAbort = "mr.abort"
+	// KindReady tells the Reducer this Mapper has computed its contribution
+	// for the round and can join the roster (elastic mode; empty payload).
+	KindReady = "mr.ready"
+	// KindRoster broadcasts the Reducer's declared participation set for a
+	// round attempt; the roster rides in the envelope, the payload is empty.
+	KindRoster = "mr.roster"
 )
 
 // encodeStatePayload frames (iteration, vector) for broadcast messages.

@@ -167,6 +167,122 @@ func (r *PerRoundParty) Round(ctx context.Context, hdr transport.Header, value [
 	return nil
 }
 
+// maskRosterFilter demultiplexes an elastic round attempt: current-round
+// masks stamped with THIS attempt and the same roster are delivered. Masks
+// from a superseded attempt (a lower attempt counter) are dropped — a
+// re-ready retry can re-run the same roster with fresh randomness, so the
+// attempt number, not the roster, is what tells two derivations apart. Masks
+// from a later attempt, whose roster broadcast has not reached us yet, wait
+// in the reorder buffer. Non-mask same-session messages are delivered for
+// the caller to interpret (a new roster, a stop).
+func maskRosterFilter(hdr transport.Header) transport.Filter {
+	return func(m transport.Message) transport.Verdict {
+		if m.Session != hdr.Session {
+			return transport.Defer
+		}
+		if m.Kind == KindMask {
+			switch {
+			case m.Round < hdr.Round:
+				return transport.Drop
+			case m.Round > hdr.Round:
+				return transport.Defer
+			}
+			switch {
+			case m.Attempt < hdr.Attempt:
+				return transport.Drop
+			case m.Attempt > hdr.Attempt:
+				return transport.Defer
+			}
+			if m.Roster.Equal(hdr.Roster) {
+				return transport.Accept
+			}
+			// Same attempt, different roster: a protocol violation no later
+			// filter will want either.
+			return transport.Drop
+		}
+		return transport.Accept
+	}
+}
+
+// RoundRoster is Round over a roster attempt: masks are exchanged only among
+// the live peers of hdr.Roster (live is its Bools expansion), and the share
+// telescopes only over those pairs, so the Reducer's sum cancels when every
+// roster member folds the same roster. All messages are stamped with
+// hdr.Roster so receivers can tell attempts apart.
+//
+// Unlike Round, a non-mask message of the same session does not fail the
+// round: it is returned to the caller, who decides what it means — a new,
+// smaller roster broadcast restarts the attempt; a stop ends the session.
+// On a completed attempt RoundRoster returns (nil, nil).
+func (r *PerRoundParty) RoundRoster(ctx context.Context, hdr transport.Header, value []float64, live []bool) (*transport.Message, error) {
+	m := len(r.names)
+	if len(live) != m {
+		return nil, fmt.Errorf("%w: roster over %d parties, want %d", ErrBadParty, len(live), m)
+	}
+	if !live[r.self] {
+		return nil, fmt.Errorf("%w: party %d excluded from its own roster", ErrBadParty, r.self)
+	}
+	expected := -1 // peers beyond self
+	for _, l := range live {
+		if l {
+			expected++
+		}
+	}
+	r.party.Reset()
+	masks, err := r.party.MaskForAll()
+	if err != nil {
+		return nil, err
+	}
+	for peer := 0; peer < m; peer++ {
+		if peer == r.self || !live[peer] {
+			continue
+		}
+		if r.maskWire[peer] == nil {
+			r.maskWire[peer] = make([]byte, 0, 8*len(masks[peer]))
+		}
+		r.maskWire[peer] = AppendShares(r.maskWire[peer][:0], masks[peer])
+		if err := r.ep.Send(ctx, r.names[peer], KindMask, hdr, r.maskWire[peer]); err != nil {
+			return nil, fmt.Errorf("securesum: send mask to %q: %w", r.names[peer], err)
+		}
+		r.tel.RecordMask(len(r.maskWire[peer]))
+	}
+	filter := maskRosterFilter(hdr)
+	for received := 0; received < expected; received++ {
+		msg, err := r.ep.RecvMatch(ctx, filter)
+		if err != nil {
+			return nil, fmt.Errorf("securesum: receive mask: %w", err)
+		}
+		if msg.Kind != KindMask {
+			return &msg, nil // control message — the caller interprets it
+		}
+		peer, ok := r.idOf[msg.From]
+		if !ok {
+			return nil, fmt.Errorf("%w: mask from unknown party %q", ErrProtocol, msg.From)
+		}
+		if !live[peer] {
+			return nil, fmt.Errorf("%w: mask from party %d outside the roster", ErrProtocol, peer)
+		}
+		mask, err := DecodeSharesInto(r.maskBuf, msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		r.maskBuf = mask
+		if err := r.party.SetPeerMask(peer, mask); err != nil {
+			return nil, err
+		}
+	}
+	share, err := r.party.ShareOver(value, live)
+	if err != nil {
+		return nil, err
+	}
+	r.wire = AppendShares(r.wire[:0], share)
+	if err := r.ep.Send(ctx, r.reducer, KindShare, hdr, r.wire); err != nil {
+		return nil, fmt.Errorf("securesum: send share: %w", err)
+	}
+	r.tel.RecordShare(len(r.wire))
+	return nil, nil
+}
+
 // RunParty executes one full protocol round for one Mapper over its
 // transport endpoint. It is a one-shot convenience around PerRoundParty;
 // callers running many rounds should hold a PerRoundParty so the scratch

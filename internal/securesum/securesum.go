@@ -180,17 +180,60 @@ func (p *Party) Share(value []float64) ([]uint64, error) {
 		return nil, fmt.Errorf("%w: have %d/%d sent and %d/%d received masks",
 			ErrIncomplete, len(p.sent), p.m-1, len(p.recv), p.m-1)
 	}
+	return p.shareOver(value, nil)
+}
+
+// ShareOver is Share restricted to a roster: only masks exchanged with live
+// peers enter the telescope, so the sum cancels at the Reducer when every
+// roster member folds the same roster. Masks already exchanged with a peer
+// that was demoted after the exchange are simply skipped — that pair's mask
+// never reaches the Reducer from either side, so it cannot unbalance the
+// telescope. A live peer whose mask is missing (in either direction) is an
+// ErrIncomplete: the caller must re-run the exchange for the shrunken roster
+// rather than send a share that cannot cancel. live[p.id] must be true.
+func (p *Party) ShareOver(value []float64, live []bool) ([]uint64, error) {
+	if len(live) != p.m {
+		return nil, fmt.Errorf("%w: roster over %d parties, want %d", ErrBadParty, len(live), p.m)
+	}
+	if !live[p.id] {
+		return nil, fmt.Errorf("%w: party %d excluded from its own roster", ErrBadParty, p.id)
+	}
+	for peer := 0; peer < p.m; peer++ {
+		if peer == p.id || !live[peer] {
+			continue
+		}
+		if _, ok := p.sent[peer]; !ok {
+			return nil, fmt.Errorf("%w: no mask generated for live peer %d", ErrIncomplete, peer)
+		}
+		if _, ok := p.recv[peer]; !ok {
+			return nil, fmt.Errorf("%w: no mask received from live peer %d", ErrIncomplete, peer)
+		}
+	}
+	return p.shareOver(value, live)
+}
+
+// shareOver folds the telescope; a nil live means every recorded mask.
+func (p *Party) shareOver(value []float64, live []bool) ([]uint64, error) {
+	if len(value) != p.dim {
+		return nil, fmt.Errorf("%w: value has %d elements, want %d", ErrBadParty, len(value), p.dim)
+	}
 	share, err := p.codec.EncodeVec(value, p.shareBuf)
 	if err != nil {
 		return nil, fmt.Errorf("securesum encode: %w", err)
 	}
 	p.shareBuf = share
-	for _, mask := range p.sent {
+	for peer, mask := range p.sent {
+		if live != nil && !live[peer] {
+			continue
+		}
 		if err := fixedpoint.AddVec(share, mask); err != nil {
 			return nil, err
 		}
 	}
-	for _, mask := range p.recv {
+	for peer, mask := range p.recv {
+		if live != nil && !live[peer] {
+			continue
+		}
 		if err := fixedpoint.SubVec(share, mask); err != nil {
 			return nil, err
 		}
@@ -199,13 +242,15 @@ func (p *Party) Share(value []float64) ([]uint64, error) {
 }
 
 // Collector is the Reducer's state for one round: it accumulates the M
-// masked shares and exposes only their sum.
+// masked shares and exposes only their sum. ResetFor lets a round expect
+// fewer shares than the cohort size, for elastic rosters.
 type Collector struct {
-	m     int
-	dim   int
-	codec fixedpoint.Codec
-	seen  int
-	acc   []uint64
+	m      int // shares expected this round (≤ cohort)
+	cohort int // cohort size at construction, the ceiling for ResetFor
+	dim    int
+	codec  fixedpoint.Codec
+	seen   int
+	acc    []uint64
 }
 
 // NewCollector creates a collector expecting m shares of the given dimension.
@@ -213,7 +258,7 @@ func NewCollector(m, dim int, codec fixedpoint.Codec) (*Collector, error) {
 	if m < 1 || dim <= 0 {
 		return nil, fmt.Errorf("%w: m=%d dim=%d", ErrBadParty, m, dim)
 	}
-	return &Collector{m: m, dim: dim, codec: codec, acc: make([]uint64, dim)}, nil
+	return &Collector{m: m, cohort: m, dim: dim, codec: codec, acc: make([]uint64, dim)}, nil
 }
 
 // Reset clears the collector for the next round, zeroing the accumulator in
@@ -223,6 +268,19 @@ func (c *Collector) Reset() {
 	for i := range c.acc {
 		c.acc[i] = 0
 	}
+}
+
+// ResetFor is Reset with a new expected share count — the elastic Reducer's
+// per-round entry point, where the roster (not the full cohort) decides how
+// many shares complete the sum. n must be at least 1 and at most the cohort
+// size the collector was built for.
+func (c *Collector) ResetFor(n int) error {
+	if n < 1 || n > c.cohort {
+		return fmt.Errorf("%w: %d shares of a %d-party cohort", ErrBadParty, n, c.cohort)
+	}
+	c.m = n
+	c.Reset()
+	return nil
 }
 
 // Add folds one masked share into the aggregate.

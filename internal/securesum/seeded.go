@@ -205,6 +205,29 @@ func (s *SeededSession) SetPeerSeed(peer int, seed []byte) error {
 // driver's lockstep (the Reducer consumes round r before broadcasting round
 // r+1) makes that reuse safe on the wire.
 func (s *SeededSession) RoundShare(round int32, value []float64) ([]uint64, error) {
+	return s.roundShare(round, value, nil)
+}
+
+// RoundShareFor is RoundShare restricted to a roster: the mask telescope runs
+// only over peers marked live, so the masks cancel at the Reducer exactly
+// when every roster member derives its share from the SAME roster. This is
+// what makes dropout a local re-derivation instead of a new handshake: the
+// pairwise seeds with dead peers simply go unused this round (and resume
+// working the round the peer rejoins — seeds are per-session, not per-
+// roster). live[s.id] must be true: a party outside the roster has no share
+// to contribute. live must have exactly m entries.
+func (s *SeededSession) RoundShareFor(round int32, value []float64, live []bool) ([]uint64, error) {
+	if len(live) != s.m {
+		return nil, fmt.Errorf("%w: roster over %d parties, want %d", ErrBadParty, len(live), s.m)
+	}
+	if !live[s.id] {
+		return nil, fmt.Errorf("%w: party %d excluded from its own roster", ErrBadParty, s.id)
+	}
+	return s.roundShare(round, value, live)
+}
+
+// roundShare is the shared telescope: a nil live means the full cohort.
+func (s *SeededSession) roundShare(round int32, value []float64, live []bool) ([]uint64, error) {
 	if len(value) != s.dim {
 		return nil, fmt.Errorf("%w: value has %d elements, want %d", ErrBadParty, len(value), s.dim)
 	}
@@ -217,7 +240,7 @@ func (s *SeededSession) RoundShare(round int32, value []float64) ([]uint64, erro
 	}
 	s.share = share
 	for peer := 0; peer < s.m; peer++ {
-		if peer == s.id {
+		if peer == s.id || (live != nil && !live[peer]) {
 			continue
 		}
 		s.gen[peer].mask(s.session, round, s.mask)
@@ -237,6 +260,17 @@ func (s *SeededSession) RoundShare(round int32, value []float64) ([]uint64, erro
 // stable until the next round's call.
 func (s *SeededSession) RoundShareBytes(round int32, value []float64) ([]byte, error) {
 	share, err := s.RoundShare(round, value)
+	if err != nil {
+		return nil, err
+	}
+	s.wire = AppendShares(s.wire[:0], share)
+	return s.wire, nil
+}
+
+// RoundShareBytesFor is RoundShareFor pre-encoded for the wire under the same
+// scratch-reuse contract as RoundShareBytes.
+func (s *SeededSession) RoundShareBytesFor(round int32, value []float64, live []bool) ([]byte, error) {
+	share, err := s.RoundShareFor(round, value, live)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/ppml-go/ppml/internal/telemetry"
+)
+
+// Chaos wraps a Network with deterministic fault injection for the elastic-
+// roster tests: per-endpoint send delay (a straggler), outbound or inbound
+// message drop (a one-way partition), or both at once (a dead node). Faults
+// are keyed by endpoint name and can be installed or healed at any time,
+// including while a job is running — which is exactly how the kill-k-of-M
+// tests murder mappers mid-round.
+//
+// A dropped message is a silent success: Send returns nil, the bytes never
+// arrive, and the network's traffic counters do not move. That models a
+// crashed process or a cut cable, where the sender has no way to know the
+// peer is gone until a timeout fires — the failure mode the straggler
+// deadline in the mapreduce driver exists to absorb.
+type Chaos struct {
+	inner Network
+
+	mu    sync.Mutex
+	rules map[string]*chaosRule
+}
+
+type chaosRule struct {
+	delay     time.Duration   // added before each outbound send completes
+	dropOut   bool            // sends FROM this endpoint vanish
+	dropIn    bool            // sends TO this endpoint vanish
+	dropKinds map[string]bool // sends FROM this endpoint of these kinds vanish
+}
+
+// NewChaos wraps an existing network. Endpoints must be created through the
+// wrapper for faults to apply to their sends.
+func NewChaos(inner Network) *Chaos {
+	return &Chaos{inner: inner, rules: make(map[string]*chaosRule)}
+}
+
+var _ Network = (*Chaos)(nil)
+
+// Endpoint implements Network.
+func (c *Chaos) Endpoint(name string) (Endpoint, error) {
+	ep, err := c.inner.Endpoint(name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosEndpoint{inner: ep, net: c}, nil
+}
+
+// Stats implements Network, reporting the inner network's counters (dropped
+// messages never reached it, so they are absent by construction).
+func (c *Chaos) Stats() Stats { return c.inner.Stats() }
+
+// Close implements Network.
+func (c *Chaos) Close() error { return c.inner.Close() }
+
+// SetTelemetry forwards to the inner network when it exposes the registry
+// hook (InProc and TCP both do).
+func (c *Chaos) SetTelemetry(r *telemetry.Registry) {
+	if t, ok := c.inner.(interface{ SetTelemetry(*telemetry.Registry) }); ok {
+		t.SetTelemetry(r)
+	}
+}
+
+// Delay makes every send from the named endpoint take at least d longer — an
+// injected straggler. A zero d removes the delay without touching drops.
+func (c *Chaos) Delay(name string, d time.Duration) {
+	c.mu.Lock()
+	c.rule(name).delay = d
+	c.mu.Unlock()
+}
+
+// KillOutbound silently drops every send originating from the named endpoint.
+func (c *Chaos) KillOutbound(name string) {
+	c.mu.Lock()
+	c.rule(name).dropOut = true
+	c.mu.Unlock()
+}
+
+// KillInbound silently drops every send destined for the named endpoint.
+func (c *Chaos) KillInbound(name string) {
+	c.mu.Lock()
+	c.rule(name).dropIn = true
+	c.mu.Unlock()
+}
+
+// KillOutboundKind silently drops the named endpoint's sends of one message
+// kind while everything else still flows. This is the scalpel for protocol-
+// phase faults — e.g. a mapper whose readiness declarations arrive but whose
+// pairwise masks never do, the wedge the re-ready recovery exists for.
+func (c *Chaos) KillOutboundKind(name, kind string) {
+	c.mu.Lock()
+	r := c.rule(name)
+	if r.dropKinds == nil {
+		r.dropKinds = make(map[string]bool)
+	}
+	r.dropKinds[kind] = true
+	c.mu.Unlock()
+}
+
+// Kill cuts the named endpoint off in both directions: it appears dead to
+// every peer, and every peer appears dead to it.
+func (c *Chaos) Kill(name string) {
+	c.mu.Lock()
+	r := c.rule(name)
+	r.dropOut, r.dropIn = true, true
+	c.mu.Unlock()
+}
+
+// Heal removes every fault on the named endpoint — the node rejoins the
+// network with no residual delay or partition.
+func (c *Chaos) Heal(name string) {
+	c.mu.Lock()
+	delete(c.rules, name)
+	c.mu.Unlock()
+}
+
+// rule returns the (possibly new) rule for name; callers hold c.mu.
+func (c *Chaos) rule(name string) *chaosRule {
+	r, ok := c.rules[name]
+	if !ok {
+		r = &chaosRule{}
+		c.rules[name] = r
+	}
+	return r
+}
+
+// faultsFor snapshots the faults applying to one send: the sender's delay and
+// outbound (possibly kind-scoped) drop, plus the receiver's inbound drop.
+func (c *Chaos) faultsFor(from, to, kind string) (delay time.Duration, drop bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.rules[from]; ok {
+		delay = r.delay
+		drop = r.dropOut || r.dropKinds[kind]
+	}
+	if r, ok := c.rules[to]; ok {
+		drop = drop || r.dropIn
+	}
+	return delay, drop
+}
+
+type chaosEndpoint struct {
+	inner Endpoint
+	net   *Chaos
+}
+
+func (e *chaosEndpoint) Name() string { return e.inner.Name() }
+
+func (e *chaosEndpoint) Send(ctx context.Context, to, kind string, hdr Header, payload []byte) error {
+	delay, drop := e.net.faultsFor(e.inner.Name(), to, kind)
+	if drop {
+		return nil // the void accepts all messages
+	}
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	//ppml:flow-ok fault wrapper forwards the caller's already-audited bytes unchanged
+	return e.inner.Send(ctx, to, kind, hdr, payload)
+}
+
+func (e *chaosEndpoint) Recv(ctx context.Context) (Message, error) {
+	return e.inner.Recv(ctx)
+}
+
+func (e *chaosEndpoint) RecvMatch(ctx context.Context, filter Filter) (Message, error) {
+	return e.inner.RecvMatch(ctx, filter)
+}
+
+// Evict forwards to the inner endpoint's reorder buffer when it has one.
+func (e *chaosEndpoint) Evict(f Filter) int {
+	if ev, ok := e.inner.(Evictor); ok {
+		return ev.Evict(f)
+	}
+	return 0
+}
+
+func (e *chaosEndpoint) Close() error { return e.inner.Close() }

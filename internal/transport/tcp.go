@@ -33,7 +33,10 @@ const maxFrameBytes = 64 << 20
 // frameVersion is the wire-format version stamped into every frame. A
 // receiver rejects frames from any other version instead of misparsing them,
 // so the header can grow fields in later versions without silent corruption.
-const frameVersion = 1
+// Version 2 added the roster section (elastic per-round participation sets);
+// version 3 added the attempt counter that tells two roster attempts of one
+// round apart.
+const frameVersion = 3
 
 // Fixed envelope layout after the 4-byte length prefix:
 //
@@ -41,16 +44,23 @@ const frameVersion = 1
 //	0       1     version byte (frameVersion)
 //	1       8     session (big endian)
 //	9       4     round   (big endian, two's complement int32)
-//	13      8     seq     (big endian)
-//	21      2     len(from), then from bytes
+//	13      4     attempt (big endian, two's complement int32)
+//	17      8     seq     (big endian)
+//	25      2     roster word count, then 8 bytes (big endian) per word
+//	..      2     len(from), then from bytes
 //	..      2     len(to), then to bytes
 //	..      2     len(kind), then kind bytes
 //	..      —     payload (everything remaining)
-const frameFixedHeader = 1 + 8 + 4 + 8
+const frameFixedHeader = 1 + 8 + 4 + 4 + 8
 
 // maxNameBytes bounds the from/to/kind strings in a frame; endpoint names and
 // message kinds are short protocol identifiers.
 const maxNameBytes = 1 << 10
+
+// maxRosterWords bounds the roster bitset in a frame: 2^16 words cover four
+// million mappers, far beyond any cohort the protocols run, and the bound
+// keeps a corrupt length field from forcing a large allocation.
+const maxRosterWords = 1 << 16
 
 // TCP is a Network whose endpoints talk over loopback TCP sockets with
 // length-prefixed, versioned binary frames. It runs the exact same protocols
@@ -258,8 +268,8 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 }
 
 // encodeFrame serializes msg behind a 4-byte big-endian length prefix as a
-// version-1 binary frame: fixed envelope (version, session, round, seq), the
-// three length-prefixed strings, then the payload. Each frame is
+// binary frame: fixed envelope (version, session, round, seq), the roster
+// section, the three length-prefixed strings, then the payload. Each frame is
 // self-contained, so a dropped connection can never leave the peer's stream
 // in an undecodable state.
 func encodeFrame(msg *Message) ([]byte, error) {
@@ -275,7 +285,10 @@ func appendFrame(dst []byte, msg *Message) ([]byte, error) {
 			return nil, fmt.Errorf("%w: name of %d bytes", ErrBadFrame, len(s))
 		}
 	}
-	n := frameFixedHeader + 3*2 + len(msg.From) + len(msg.To) + len(msg.Kind) + len(msg.Payload)
+	if len(msg.Roster) > maxRosterWords {
+		return nil, fmt.Errorf("%w: roster of %d words", ErrBadFrame, len(msg.Roster))
+	}
+	n := frameFixedHeader + 2 + 8*len(msg.Roster) + 3*2 + len(msg.From) + len(msg.To) + len(msg.Kind) + len(msg.Payload)
 	if n > maxFrameBytes {
 		return nil, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, n, maxFrameBytes)
 	}
@@ -283,7 +296,12 @@ func appendFrame(dst []byte, msg *Message) ([]byte, error) {
 	b = append(b, frameVersion)
 	b = binary.BigEndian.AppendUint64(b, msg.Session)
 	b = binary.BigEndian.AppendUint32(b, uint32(msg.Round))
+	b = binary.BigEndian.AppendUint32(b, uint32(msg.Attempt))
 	b = binary.BigEndian.AppendUint64(b, msg.Seq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(msg.Roster)))
+	for _, w := range msg.Roster {
+		b = binary.BigEndian.AppendUint64(b, w)
+	}
 	for _, s := range []string{msg.From, msg.To, msg.Kind} {
 		b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
 		b = append(b, s...)
@@ -303,8 +321,27 @@ func decodeFrame(body []byte) (Message, error) {
 	var msg Message
 	msg.Session = binary.BigEndian.Uint64(body[1:])
 	msg.Round = int32(binary.BigEndian.Uint32(body[9:]))
-	msg.Seq = binary.BigEndian.Uint64(body[13:])
+	msg.Attempt = int32(binary.BigEndian.Uint32(body[13:]))
+	msg.Seq = binary.BigEndian.Uint64(body[17:])
 	rest := body[frameFixedHeader:]
+	if len(rest) < 2 {
+		return Message{}, fmt.Errorf("%w: truncated roster length", ErrBadFrame)
+	}
+	words := int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	if words > maxRosterWords {
+		return Message{}, fmt.Errorf("%w: roster of %d words", ErrBadFrame, words)
+	}
+	if len(rest) < 8*words {
+		return Message{}, fmt.Errorf("%w: truncated roster", ErrBadFrame)
+	}
+	if words > 0 {
+		msg.Roster = make(Roster, words)
+		for i := range msg.Roster {
+			msg.Roster[i] = binary.BigEndian.Uint64(rest[8*i:])
+		}
+		rest = rest[8*words:]
+	}
 	for _, dst := range []*string{&msg.From, &msg.To, &msg.Kind} {
 		if len(rest) < 2 {
 			return Message{}, fmt.Errorf("%w: truncated name length", ErrBadFrame)
@@ -343,6 +380,8 @@ func (e *tcpEndpoint) Send(ctx context.Context, to, kind string, hdr Header, pay
 	msg := Message{
 		From: e.name, To: to, Kind: kind,
 		Session: hdr.Session, Round: hdr.Round, Seq: e.seq.Add(1),
+		Roster:  hdr.Roster,
+		Attempt: hdr.Attempt,
 		Payload: payload,
 	}
 	bp := getFrameBuf(tel)
@@ -410,6 +449,11 @@ func (e *tcpEndpoint) Recv(ctx context.Context) (Message, error) {
 
 func (e *tcpEndpoint) RecvMatch(ctx context.Context, filter Filter) (Message, error) {
 	return e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped, e.net.tel.Load().staleCounter())
+}
+
+// Evict implements Evictor: discards stashed messages the filter Drops.
+func (e *tcpEndpoint) Evict(f Filter) int {
+	return e.dmx.evict(f, &e.net.dropped, e.net.tel.Load().staleCounter())
 }
 
 func (e *tcpEndpoint) Close() error {

@@ -47,6 +47,18 @@ type Header struct {
 	Session uint64
 	// Round is the protocol round (consensus iteration) of the message.
 	Round int32
+	// Roster, when non-nil, is the per-round participation set this message
+	// declares (a roster broadcast) or was produced under (a share or mask
+	// scoped to a roster attempt). Nil means fixed membership — the
+	// pre-elastic protocol where every mapper answers every round.
+	Roster Roster
+	// Attempt numbers the share-collection attempts of one elastic round:
+	// the first roster declaration is attempt 0 and every re-declaration
+	// increments it. Masks and shares carry the attempt they were derived
+	// under, so receivers can tell two attempts apart even when both span
+	// the same roster (a re-ready retry after a wedged mask exchange) and
+	// drop superseded-attempt traffic instead of folding it.
+	Attempt int32
 }
 
 // Message is one datagram between named endpoints. Kind routes it within the
@@ -59,6 +71,11 @@ type Message struct {
 	// Session and Round are copied from the sender's Header.
 	Session uint64
 	Round   int32
+	// Roster is the participation set copied from the sender's Header; nil
+	// when the message carries none.
+	Roster Roster
+	// Attempt is the roster-attempt counter copied from the sender's Header.
+	Attempt int32
 	// Seq is a per-sender monotonic sequence number stamped by the
 	// transport on Send; it breaks ties between same-round messages and
 	// gives transcripts a total per-sender order.
@@ -67,7 +84,9 @@ type Message struct {
 }
 
 // Header reconstructs the sender-stamped envelope of the message.
-func (m Message) Header() Header { return Header{Session: m.Session, Round: m.Round} }
+func (m Message) Header() Header {
+	return Header{Session: m.Session, Round: m.Round, Roster: m.Roster, Attempt: m.Attempt}
+}
 
 // Verdict is a Filter's decision for one inbound message.
 type Verdict int
@@ -191,6 +210,44 @@ func (d *demux) recvMatch(ctx context.Context, f Filter, inbox <-chan Message, d
 	}
 }
 
+// evict sweeps the reorder buffer without receiving: every pending message
+// the filter Drops is discarded and counted as stale, everything else stays.
+// Accept verdicts keep the message too — eviction never delivers. Returns the
+// number of messages evicted.
+func (d *demux) evict(f Filter, dropped *atomic.Int64, stale *telemetry.Counter) int {
+	if f == nil {
+		return 0
+	}
+	n := 0
+	d.mu.Lock()
+	kept := d.pending[:0]
+	for _, msg := range d.pending {
+		if f(msg) == Drop {
+			dropped.Add(1)
+			stale.Inc()
+			n++
+			continue
+		}
+		kept = append(kept, msg)
+	}
+	for i := len(kept); i < len(d.pending); i++ {
+		d.pending[i] = Message{} // release payloads of evicted tail slots
+	}
+	d.pending = kept
+	d.mu.Unlock()
+	return n
+}
+
+// Evictor is implemented by endpoints whose RecvMatch reorder buffer can be
+// swept without receiving. A long-lived receiver advancing to a new round
+// uses it to discard stale-round leftovers that no future filter will ever
+// scan (they would otherwise sit in the buffer until the endpoint closes):
+// Evict applies the filter to every held message, discards the ones it Drops
+// (counted in Stats.StaleDropped), and keeps the rest. It never delivers.
+type Evictor interface {
+	Evict(f Filter) int
+}
+
 func verdict(f Filter, m Message) Verdict {
 	if f == nil {
 		return Accept
@@ -304,7 +361,11 @@ func (e *inprocEndpoint) Send(ctx context.Context, to, kind string, hdr Header, 
 	}
 	msg := Message{
 		From: e.name, To: to, Kind: kind,
-		Session: hdr.Session, Round: hdr.Round, Seq: e.seq.Add(1),
+		// The roster is cloned so a sender reusing its roster buffer for the
+		// next attempt cannot mutate a message already in flight.
+		Session: hdr.Session, Round: hdr.Round, Roster: hdr.Roster.Clone(),
+		Attempt: hdr.Attempt,
+		Seq:     e.seq.Add(1),
 		Payload: payload,
 	}
 	select {
@@ -326,6 +387,11 @@ func (e *inprocEndpoint) Recv(ctx context.Context) (Message, error) {
 
 func (e *inprocEndpoint) RecvMatch(ctx context.Context, filter Filter) (Message, error) {
 	return e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped, e.net.tel.Load().staleCounter())
+}
+
+// Evict implements Evictor over the endpoint's reorder buffer.
+func (e *inprocEndpoint) Evict(f Filter) int {
+	return e.dmx.evict(f, &e.net.dropped, e.net.tel.Load().staleCounter())
 }
 
 func (e *inprocEndpoint) Close() error {

@@ -78,8 +78,8 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 				if msg.Session != 42 || msg.Round != 7 {
 					t.Fatalf("envelope = session %d round %d, want 42/7", msg.Session, msg.Round)
 				}
-				if msg.Header() != hdr {
-					t.Fatalf("Header() = %+v, want %+v", msg.Header(), hdr)
+				if got := msg.Header(); got.Session != hdr.Session || got.Round != hdr.Round || !got.Roster.Equal(hdr.Roster) {
+					t.Fatalf("Header() = %+v, want %+v", got, hdr)
 				}
 				if want := uint64(i + 1); msg.Seq != want {
 					t.Fatalf("seq = %d, want %d (per-sender monotonic)", msg.Seq, want)

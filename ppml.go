@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"github.com/ppml-go/ppml/internal/consensus"
 	"github.com/ppml-go/ppml/internal/dp"
@@ -448,6 +449,26 @@ func WithDistributed() Option { return func(o *options) { o.cfg.Distributed = tr
 // sees raw local iterates. No privacy — provided for overhead comparisons.
 func WithPlainAggregation() Option {
 	return func(o *options) { o.cfg.Aggregation = mapreduce.AggregationPlain }
+}
+
+// WithStragglerTimeout enables elastic rounds in distributed mode (and
+// implies WithDistributed): a learner that has not answered within d is
+// demoted for the round instead of stalling the job, the consensus step
+// scales to the live roster, and the straggler rejoins once it catches up.
+// See DESIGN.md §14.
+func WithStragglerTimeout(d time.Duration) Option {
+	return func(o *options) {
+		o.cfg.Distributed = true
+		o.cfg.StragglerTimeout = d
+	}
+}
+
+// WithMinQuorum sets the smallest live roster the elastic driver will fold;
+// below it training fails rather than continuing on too few learners.
+// Default: 2 under masked aggregation, 1 otherwise. Only meaningful together
+// with WithStragglerTimeout.
+func WithMinQuorum(n int) Option {
+	return func(o *options) { o.cfg.MinQuorum = n }
 }
 
 // WithPerRoundMasks selects the paper's literal Section V masking in

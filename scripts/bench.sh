@@ -9,6 +9,11 @@
 #                                         compute kernels plus packed vs
 #                                         unpacked Paillier aggregation
 #                                         (default output BENCH_hot.json)
+#   scripts/bench.sh elastic [output.json] straggler recovery: round latency
+#                                         vs injected delay at M=16,
+#                                         demote-and-continue vs
+#                                         abort-and-restart
+#                                         (default output BENCH_elastic.json)
 #
 # Running with no arguments keeps the historical behavior: the comm mode.
 # A bare *.json first argument is also accepted as the comm output path.
@@ -44,8 +49,16 @@ hot)
 	echo "==> measuring tiled vs reference kernels + Paillier packing -> $out"
 	go run ./cmd/ppml-figures -panel hot -hot-json "$out"
 	;;
+elastic)
+	out="${2:-BENCH_elastic.json}"
+	echo "==> elastic driver regression (race, cross-check)"
+	go test -race -run 'TestElastic' ./internal/mapreduce/
+
+	echo "==> measuring demote-and-continue vs abort-and-restart -> $out"
+	go run ./cmd/ppml-figures -panel elastic -learners 16 -elastic-json "$out"
+	;;
 *)
-	echo "usage: scripts/bench.sh [comm|hot] [output.json]" >&2
+	echo "usage: scripts/bench.sh [comm|hot|elastic] [output.json]" >&2
 	exit 2
 	;;
 esac
