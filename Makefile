@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-custom vet-flow fuzz-short bench bench-smoke bench-comm bench-hot bench-elastic metrics-smoke check
+.PHONY: build test race vet vet-custom vet-flow fuzz-short bench bench-smoke bench-comm bench-hot bench-elastic bench-async metrics-smoke check
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,11 @@ bench-hot:
 # demote-and-continue vs abort-and-restart, written to BENCH_elastic.json.
 bench-elastic:
 	./scripts/bench.sh elastic
+
+# Async-round measurement: bulk-synchronous vs bounded-staleness + minibatch
+# time-to-target-accuracy under a flaky link, written to BENCH_async.json.
+bench-async:
+	./scripts/bench.sh async
 
 # The pre-merge gate: scripts/check.sh = vet (standard + custom analyzers) +
 # build + race tests + short fuzz + bench smoke.

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -22,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
 	"strconv"
@@ -35,15 +37,19 @@ import (
 var outDir string
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C cancels the context; long sweeps unwind mid-round instead of
+	// running out their budgets.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ppml-figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) (err error) {
+func run(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("ppml-figures", flag.ContinueOnError)
-	panel := fs.String("panel", "all", "a..h, baseline, scalability, comm, hot, elastic, or all")
+	panel := fs.String("panel", "all", "a..h, baseline, scalability, comm, hot, elastic, async, or all")
 	paperScale := fs.Bool("paper-scale", false, "use the full Section VI data sizes (slow)")
 	distributed := fs.Bool("distributed", false, "run on the simulated cluster with secure aggregation")
 	iterations := fs.Int("iterations", 0, "override the iteration budget")
@@ -55,6 +61,7 @@ func run(args []string) (err error) {
 	commJSON := fs.String("comm-json", "", "with -panel comm, also write the comparison as JSON to this file")
 	hotJSON := fs.String("hot-json", "", "with -panel hot, also write the kernel benchmark as JSON to this file")
 	elasticJSON := fs.String("elastic-json", "", "with -panel elastic, also write the straggler benchmark as JSON to this file")
+	asyncJSON := fs.String("async-json", "", "with -panel async, also write the staleness benchmark as JSON to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve live /metrics (Prometheus), /debug/vars and /debug/pprof on this address while the experiments run (e.g. 127.0.0.1:9090; :0 picks a free port)")
@@ -137,12 +144,14 @@ func run(args []string) (err error) {
 	case "hot":
 		return printHot(*hotJSON)
 	case "elastic":
-		return printElastic(opts, *elasticJSON)
+		return printElastic(ctx, opts, *elasticJSON)
+	case "async":
+		return printAsync(ctx, opts, *asyncJSON)
 	default:
 		if len(*panel) == 1 && strings.Contains("abcdefgh", *panel) {
 			return printPanel(*panel, opts)
 		}
-		return fmt.Errorf("unknown panel %q (want a..h, baseline, scalability, comm, hot, elastic, all)", *panel)
+		return fmt.Errorf("unknown panel %q (want a..h, baseline, scalability, comm, hot, elastic, async, all)", *panel)
 	}
 }
 
@@ -304,12 +313,12 @@ func printHot(jsonPath string) (err error) {
 // printElastic runs the straggler-recovery benchmark (demote-and-continue vs
 // abort-and-restart at each injected delay) and optionally writes the report
 // to jsonPath — the data behind BENCH_elastic.json.
-func printElastic(opts experiments.Options, jsonPath string) (err error) {
+func printElastic(ctx context.Context, opts experiments.Options, jsonPath string) (err error) {
 	m := opts.Learners
 	if m < 3 {
 		m = 16
 	}
-	report, err := experiments.RunElastic(m)
+	report, err := experiments.RunElastic(ctx, m)
 	if err != nil {
 		return err
 	}
@@ -322,6 +331,49 @@ func printElastic(opts experiments.Options, jsonPath string) (err error) {
 			p.StragglerDelayMs, p.DemoteTotalMs, p.DemoteRoundMs, p.Demotions,
 			p.AbortTotalMs, p.AbortRoundMs, p.Restarted, p.Speedup)
 	}
+	fmt.Println()
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// printAsync runs the bounded-staleness benchmark (bulk-synchronous vs async
+// minibatch rounds under injected send jitter) and optionally writes the
+// report to jsonPath — the data behind BENCH_async.json.
+func printAsync(ctx context.Context, opts experiments.Options, jsonPath string) (err error) {
+	report, err := experiments.RunAsync(ctx, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Async rounds: bulk-synchronous vs bounded-staleness (S=%d, decay %.2f, chunks %d rows), M=%d, send jitter %g/%gms tail p=%g, straggler window %gms\n",
+		report.Staleness, report.StalenessDecay, report.ChunkRows, report.Learners,
+		report.JitterBaseMs, report.JitterTailMs, report.JitterTailProb, report.StragglerMs)
+	fmt.Println("scheme\tmode\titerations\tseconds\taccuracy\ttarget\titer_to_target\tsec_to_target\tmean_staleness\tspeedup")
+	for _, s := range report.Schemes {
+		for _, r := range []experiments.AsyncRun{s.Sync, s.Async} {
+			speedup := "-"
+			if r.Mode == "async" {
+				speedup = fmt.Sprintf("%.2fx", s.Speedup)
+			}
+			fmt.Printf("%s\t%s\t%d\t%.2f\t%.3f\t%.3f\t%d\t%.3f\t%.2f\t%s\n",
+				s.Scheme, r.Mode, r.Iterations, r.Seconds, r.Accuracy, s.TargetAccuracy,
+				r.IterationsToTarget, r.SecondsToTarget, r.MeanStaleness, speedup)
+		}
+	}
+	fmt.Printf("minibatch reproducibility: run1 %s run2 %s equal=%t\n",
+		report.MinibatchHash1, report.MinibatchHash2, report.Reproducible)
 	fmt.Println()
 	if jsonPath == "" {
 		return nil

@@ -9,7 +9,7 @@ import (
 
 func TestRunSinglePanelWithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-panel", "a", "-iterations", "2", "-csv", dir}); err != nil {
+	if err := run(t.Context(), []string{"-panel", "a", "-iterations", "2", "-csv", dir}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, "fig4a.csv"))
@@ -26,20 +26,20 @@ func TestRunSinglePanelWithCSV(t *testing.T) {
 }
 
 func TestRunBaselinePanel(t *testing.T) {
-	if err := run([]string{"-panel", "baseline", "-iterations", "2"}); err != nil {
+	if err := run(t.Context(), []string{"-panel", "baseline", "-iterations", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownPanel(t *testing.T) {
-	if err := run([]string{"-panel", "zzz"}); err == nil {
+	if err := run(t.Context(), []string{"-panel", "zzz"}); err == nil {
 		t.Error("unknown panel accepted")
 	}
 }
 
 func TestRunCPUProfile(t *testing.T) {
 	prof := filepath.Join(t.TempDir(), "cpu.prof")
-	if err := run([]string{"-panel", "a", "-iterations", "1", "-cpuprofile", prof}); err != nil {
+	if err := run(t.Context(), []string{"-panel", "a", "-iterations", "1", "-cpuprofile", prof}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(prof); err != nil || fi.Size() == 0 {

@@ -8,7 +8,11 @@
 //
 //   - dataset rows and labels: reads of dataset.Dataset's X and Y fields,
 //     and any value of dataset.Dataset type (the QP/ADMM local iterates are
-//     derived from these and inherit the class by propagation);
+//     derived from these and inherit the class by propagation); streamed row
+//     chunks inherit the class at the dfs read — Cluster.Read/ReadAt results
+//     are dataset bytes by construction (partitions and checkpoints of
+//     row-derived state are all the dfs stores), and the X/Y fields of
+//     decoded dataset.Chunk values are dataset fields like any other;
 //   - securesum seed/mask material: the Party and SeededSession stores
 //     (sent/recv flats, seeds, pair-PRG state, mask scratch) and the
 //     in-package randomVector generator;
@@ -198,9 +202,19 @@ func (m *model) SourceParam(fn *types.Func, p *types.Var) framework.Taint {
 }
 
 func (m *model) SourceCall(fn *types.Func) framework.Taint {
-	if fn.Pkg() != nil && framework.PathMatches(fn.Pkg().Path(), "internal/securesum") &&
-		fn.Name() == "randomVector" {
+	if fn.Pkg() == nil {
+		return 0
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case framework.PathMatches(path, "internal/securesum") && fn.Name() == "randomVector":
 		return taintMask
+	case framework.PathMatches(path, "internal/dfs") && (fn.Name() == "Read" || fn.Name() == "ReadAt"):
+		// The streaming path: every byte read out of the distributed file
+		// system is dataset rows (partitions, checkpoints of row-derived
+		// state), so out-of-core chunks carry the same taint as in-memory
+		// partitions from the moment they leave a block.
+		return taintData
 	}
 	return 0
 }

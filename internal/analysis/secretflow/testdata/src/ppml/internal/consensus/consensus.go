@@ -55,3 +55,38 @@ func annotatedCheckpoint(c *dfs.Cluster, d *dataset.Dataset) error {
 	//ppml:flow-ok locality plan: each partition is written replication-1 to its own learner's node
 	return c.Write("plans/learner-1", rawBytes(d), "")
 }
+
+// leakStreamedRead: bytes out of the distributed file system are dataset rows;
+// embedding them in an error string is a leak even though no *dataset.Dataset
+// ever appears.
+func leakStreamedRead(c *dfs.Cluster, path string) error {
+	raw, err := c.Read(path)
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("bad row header % x", raw[:8]) // want `dataset-derived data reaches fmt\.Errorf`
+}
+
+// leakStreamedWindow: every result of a windowed dfs read is row-derived —
+// deliberately including the byte count, which reveals the ragged tail and
+// hence the partition's row count.
+func leakStreamedWindow(c *dfs.Cluster, g telemetry.Gauge, path string) error {
+	buf := make([]byte, 64)
+	n, err := c.ReadAt(path, 128, buf)
+	if err != nil {
+		return err
+	}
+	g.Set(float64(n)) // want `dataset-derived data reaches telemetry call`
+	return nil
+}
+
+// streamedPathOnly: the path argument is routing metadata and the error is
+// blocked; neither read result escapes. No diagnostics.
+func streamedPathOnly(c *dfs.Cluster, lg telemetry.Logger, path string) error {
+	buf := make([]byte, 64)
+	if _, err := c.ReadAt(path, 0, buf); err != nil {
+		return fmt.Errorf("window read %s: %v", path, err)
+	}
+	lg.Event("chunk read", "path", path)
+	return nil
+}

@@ -1,5 +1,7 @@
 // Package dfs is a golden stub of the distributed file system; cluster
-// writes are secretflow sinks (checkpointed bytes land on other nodes).
+// writes are secretflow sinks (checkpointed bytes land on other nodes) and
+// cluster reads are dataset-taint sources (every stored byte is row data or
+// row-derived state).
 package dfs
 
 // Cluster is a handle on the simulated DFS.
@@ -7,3 +9,9 @@ type Cluster struct{}
 
 // Write stores data at path with an optional preferred owner.
 func (c *Cluster) Write(path string, data []byte, owner string) error { return nil }
+
+// Read returns the whole file at path.
+func (c *Cluster) Read(path string) ([]byte, error) { return nil, nil }
+
+// ReadAt copies bytes starting at off into dst (the streaming primitive).
+func (c *Cluster) ReadAt(path string, off int64, dst []byte) (int, error) { return len(dst), nil }

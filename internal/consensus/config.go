@@ -56,6 +56,27 @@ type Config struct {
 	// of the provably convergent joint update. See package doc.
 	PaperSplit bool
 
+	// ChunkRows switches every local sub-problem to minibatch mode: each
+	// iteration a learner solves its ADMM step over one contiguous chunk of
+	// at most ChunkRows rows, visiting chunks in a Seed-derived permutation
+	// that reshuffles every epoch. Horizontal learners keep per-chunk dual
+	// warm starts; the vertical schemes run block-coordinate updates on the
+	// shared score vector, with the Reducer following the same (shared)
+	// chunk schedule. Zero keeps the full-batch solves. See DESIGN.md §15.
+	ChunkRows int
+	// Staleness (distributed mode, masked aggregation with an elastic
+	// StragglerTimeout) allows a learner's share to be computed against a
+	// consensus state up to Staleness rounds old: the local solve runs on a
+	// background worker and the round answers with the newest completed
+	// contribution, scaled by StalenessDecay^s. Zero keeps rounds bulk-
+	// synchronous. Rejected for the vertical schemes when ChunkRows is also
+	// set (a stale chunk update would target the wrong coordinate block).
+	// See DESIGN.md §15.
+	Staleness int
+	// StalenessDecay is the per-round weight decay κ ∈ (0, 1] applied to
+	// stale contributions (weight κ^s). Default 0.5.
+	StalenessDecay float64
+
 	// Distributed runs the job on the full simulated cluster (transport,
 	// secure aggregation). When false the trainers use the sequential
 	// in-process engine, which computes the identical iterates.
@@ -137,6 +158,24 @@ func (c Config) normalized() (Config, error) {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.ChunkRows < 0 {
+		return c, fmt.Errorf("%w: ChunkRows = %d", ErrBadConfig, c.ChunkRows)
+	}
+	if c.ChunkRows > 0 && c.PaperSplit {
+		return c, fmt.Errorf("%w: ChunkRows is not supported with PaperSplit", ErrBadConfig)
+	}
+	if c.Staleness < 0 || c.Staleness > 255 {
+		return c, fmt.Errorf("%w: Staleness = %d, want 0..255", ErrBadConfig, c.Staleness)
+	}
+	if c.Staleness > 0 && !c.Distributed {
+		return c, fmt.Errorf("%w: Staleness needs Distributed (the local engine is bulk-synchronous)", ErrBadConfig)
+	}
+	if c.StalenessDecay == 0 {
+		c.StalenessDecay = 0.5
+	}
+	if c.StalenessDecay < 0 || c.StalenessDecay > 1 {
+		return c, fmt.Errorf("%w: StalenessDecay = %g, want (0, 1]", ErrBadConfig, c.StalenessDecay)
+	}
 	return c, nil
 }
 
@@ -184,6 +223,7 @@ func runJob(ctx context.Context, cfg Config, job mapreduce.IterativeJob, parts [
 	h := &History{}
 	if !cfg.Distributed {
 		// The local engine picks telemetry up from the context.
+		//ppml:flow-ok the registry handle is configuration plumbing — tainted only because Config also carries the eval dataset, not because any row reaches telemetry here
 		res, err := mapreduce.RunLocalContext(telemetry.NewContext(ctx, cfg.Telemetry), job)
 		if err != nil {
 			return nil, nil, err
@@ -210,6 +250,8 @@ func runJob(ctx context.Context, cfg Config, job mapreduce.IterativeJob, parts [
 		RoundTimeout:      cfg.RoundTimeout,
 		StragglerTimeout:  cfg.StragglerTimeout,
 		MinQuorum:         cfg.MinQuorum,
+		Staleness:         cfg.Staleness,
+		StalenessDecay:    cfg.StalenessDecay,
 		Locality:          locality,
 		PaillierKey:       cfg.PaillierKey,
 		PaillierPackWidth: cfg.PaillierPackWidth,

@@ -98,9 +98,19 @@ func TrainHorizontalKernel(ctx context.Context, parts []*dataset.Dataset, cfg Co
 		xg.Data[i] = rng.NormFloat64()
 	}
 
+	// In minibatch mode every chunk is a virtual learner (see hlChunkMapper),
+	// so the shared landmark matrices fold the virtual cohort size M′ instead
+	// of the real learner count.
+	meff := m
+	if cfg.ChunkRows > 0 {
+		meff = 0
+		for _, p := range parts {
+			meff += numChunksFor(p.Len(), cfg.ChunkRows)
+		}
+	}
 	kgg := kernel.GramMatrix(cfg.Kernel, xg)
 	kgScaled := kgg.Clone()
-	kgScaled.Scale(cfg.Rho * float64(m))
+	kgScaled.Scale(cfg.Rho * float64(meff))
 	if err := kgScaled.AddScaledIdentity(1); err != nil {
 		return nil, nil, err
 	}
@@ -114,14 +124,31 @@ func TrainHorizontalKernel(ctx context.Context, parts []*dataset.Dataset, cfg Co
 	}
 
 	mappers := make([]mapreduce.IterativeMapper, m)
-	hkMappers := make([]*hkMapper, m)
-	for i, p := range parts {
-		mp, err := newHKMapper(p, m, cfg, xg, kgg, kgInv)
+	hkMappers := make([]hkLearner, m)
+	if cfg.ChunkRows > 0 {
+		// GPGᵀ is data-independent, so in minibatch mode it is computed once
+		// and shared by every learner's chunk mapper.
+		gpg, err := buildGPG(meff, cfg.Rho, kgg, kgInv)
 		if err != nil {
-			return nil, nil, fmt.Errorf("learner %d: %w", i, err)
+			return nil, nil, err
 		}
-		mappers[i] = mp
-		hkMappers[i] = mp
+		for i, p := range parts {
+			mp, err := newHKChunkMapper(p, i, meff, cfg, xg, kgg, kgInv, gpg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("learner %d: %w", i, err)
+			}
+			mappers[i] = mp
+			hkMappers[i] = mp
+		}
+	} else {
+		for i, p := range parts {
+			mp, err := newHKMapper(p, m, cfg, xg, kgg, kgInv)
+			if err != nil {
+				return nil, nil, fmt.Errorf("learner %d: %w", i, err)
+			}
+			mappers[i] = mp
+			hkMappers[i] = mp
+		}
 	}
 	red := &meanConsensusReducer{
 		m:        m,
@@ -157,9 +184,38 @@ func TrainHorizontalKernel(ctx context.Context, parts []*dataset.Dataset, cfg Co
 	return assembleHKModel(cfg, xg, hkMappers, res.FinalState), h, nil
 }
 
+// hkLearner is what model assembly needs from a horizontal-kernel Map() task
+// — the full-batch and the minibatch mappers both provide it.
+type hkLearner interface {
+	mapreduce.IterativeMapper
+	// expansion converts the mapper's dual state plus the consensus z into
+	// explicit kernel-expansion coefficients (eq. 25).
+	expansion(z []float64) (coefX, coefG []float64, b float64)
+	// support is the mapper's private row block the expansion refers to.
+	support() *linalg.Matrix
+}
+
+// buildGPG computes GPGᵀ = M[K_gg − ρM·K_gg·K⁻¹_g·K_gg].
+func buildGPG(m int, rho float64, kgg, kgInv *linalg.Matrix) (*linalg.Matrix, error) {
+	kgKgInv, err := linalg.MatMul(kgg, kgInv)
+	if err != nil {
+		return nil, err
+	}
+	kgCorr, err := linalg.MatMul(kgKgInv, kgg)
+	if err != nil {
+		return nil, err
+	}
+	rhoM := rho * float64(m)
+	gpg := kgg.Clone()
+	for i := range gpg.Data {
+		gpg.Data[i] = float64(m) * (gpg.Data[i] - rhoM*kgCorr.Data[i])
+	}
+	return gpg, nil
+}
+
 // assembleHKModel folds the learners' dual state and the consensus into the
 // explicit kernel-expansion coefficients of eq. (25).
-func assembleHKModel(cfg Config, xg *linalg.Matrix, mappers []*hkMapper, state []float64) *KernelHorizontalModel {
+func assembleHKModel(cfg Config, xg *linalg.Matrix, mappers []hkLearner, state []float64) *KernelHorizontalModel {
 	m := len(mappers)
 	l := xg.Rows
 	model := &KernelHorizontalModel{
@@ -172,7 +228,7 @@ func assembleHKModel(cfg Config, xg *linalg.Matrix, mappers []*hkMapper, state [
 	}
 	z := state[:l]
 	for i, mp := range mappers {
-		model.SupportX[i] = mp.x
+		model.SupportX[i] = mp.support()
 		model.CoefX[i], model.CoefG[i], model.B[i] = mp.expansion(z)
 	}
 	return model
@@ -213,6 +269,8 @@ type hkMapper struct {
 	lastIter int
 	cached   []float64
 }
+
+func (mp *hkMapper) support() *linalg.Matrix { return mp.x }
 
 func newHKMapper(p *dataset.Dataset, m int, cfg Config, xg, kgg, kgInv *linalg.Matrix) (*hkMapper, error) {
 	rhoM := cfg.Rho * float64(m)

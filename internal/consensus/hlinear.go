@@ -44,6 +44,16 @@ func TrainHorizontalLinear(ctx context.Context, parts []*dataset.Dataset, cfg Co
 	}
 	m := len(parts)
 
+	if cfg.ChunkRows > 0 {
+		// Minibatch mode: the same chunked engine the streamed trainer uses,
+		// fed from in-memory sources.
+		srcs := make([]dataset.RowSource, m)
+		for i, p := range parts {
+			srcs[i] = dataset.NewMemorySource(p)
+		}
+		return trainHLChunked(ctx, srcs, parts, cfg)
+	}
+
 	mappers := make([]mapreduce.IterativeMapper, m)
 	for i, p := range parts {
 		mp, err := newHLMapper(p, m, cfg)
@@ -250,6 +260,10 @@ type meanConsensusReducer struct {
 	// driver (SetRoundParticipants); 0 — the strict driver and the local
 	// engine never call it — means the full cohort.
 	live int
+	// weight is the total staleness weight W = Σ κ^{s_i} of the upcoming
+	// round under bounded-staleness rounds (SetRoundWeight); 0 means
+	// synchronous rounds, where the head count divides the mean instead.
+	weight float64
 
 	prev     []float64
 	next     []float64 // broadcast buffer, reused every round
@@ -262,6 +276,11 @@ type meanConsensusReducer struct {
 // partial roster averages the live iterates instead of shrinking them.
 func (r *meanConsensusReducer) SetRoundParticipants(n int) { r.live = n }
 
+// SetRoundWeight implements mapreduce.WeightedReducer: under bounded-
+// staleness rounds the aggregate is Σ κ^{s_i}·c_i, so the consensus mean
+// divides by the total weight instead of the head count.
+func (r *meanConsensusReducer) SetRoundWeight(total float64) { r.weight = total }
+
 // Combine implements mapreduce.IterativeReducer.
 func (r *meanConsensusReducer) Combine(iter int, sum []float64) ([]float64, bool, error) {
 	if cap(r.next) < len(sum) {
@@ -270,6 +289,9 @@ func (r *meanConsensusReducer) Combine(iter int, sum []float64) ([]float64, bool
 	div := float64(r.m)
 	if r.live > 0 {
 		div = float64(r.live)
+	}
+	if r.weight > 0 {
+		div = r.weight
 	}
 	next := r.next[:len(sum)]
 	for i, v := range sum {

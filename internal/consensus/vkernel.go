@@ -71,12 +71,21 @@ func TrainVerticalKernel(ctx context.Context, parts []*dataset.Dataset, cols [][
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := checkVerticalChunkConfig(cfg); err != nil {
+		return nil, nil, err
+	}
 	m := len(parts)
 
 	mappers := make([]mapreduce.IterativeMapper, m)
-	vkMappers := make([]*vkMapper, m)
+	vkMappers := make([]vkBlock, m)
 	for i, p := range parts {
-		mp, err := newVKMapper(p, cfg)
+		var mp vkBlock
+		var err error
+		if cfg.ChunkRows > 0 {
+			mp, err = newVKChunkMapper(p, cfg)
+		} else {
+			mp, err = newVKMapper(p, cfg)
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("learner %d: %w", i, err)
 		}
@@ -92,12 +101,15 @@ func TrainVerticalKernel(ctx context.Context, parts []*dataset.Dataset, cols [][
 			B:        b,
 		}
 		for i, mp := range vkMappers {
-			model.SupportX[i] = mp.x
-			model.Alpha[i] = linalg.CopyVec(mp.alpha)
+			model.SupportX[i] = mp.support()
+			model.Alpha[i] = linalg.CopyVec(mp.coefficients())
 		}
 		return model
 	}
 	red := newVerticalReducer(parts[0].Y, m, cfg)
+	if cfg.ChunkRows > 0 {
+		red.sched = newChunkSchedule(rows, cfg.ChunkRows, cfg.Seed, sharedChunkStream)
+	}
 	if cfg.EvalSet != nil {
 		red.eval = func(b float64) float64 {
 			acc, err := eval.ClassifierAccuracy(assemble(b), cfg.EvalSet)
@@ -124,6 +136,16 @@ func TrainVerticalKernel(ctx context.Context, parts []*dataset.Dataset, cols [][
 	return assemble(red.b), h, nil
 }
 
+// vkBlock is what model assembly needs from a vertical-kernel Map() task —
+// the full-batch and the minibatch mappers both provide it.
+type vkBlock interface {
+	mapreduce.IterativeMapper
+	// support is the learner's private feature block of the training rows.
+	support() *linalg.Matrix
+	// coefficients are the learner's current expansion coefficients.
+	coefficients() []float64
+}
+
 // vkMapper is one learner's Map() task for the vertical kernel scheme.
 type vkMapper struct {
 	cfg Config
@@ -138,6 +160,9 @@ type vkMapper struct {
 	lastIter int
 	cached   []float64
 }
+
+func (mp *vkMapper) support() *linalg.Matrix { return mp.x }
+func (mp *vkMapper) coefficients() []float64 { return mp.alpha }
 
 func newVKMapper(p *dataset.Dataset, cfg Config) (*vkMapper, error) {
 	km := kernel.GramMatrix(cfg.Kernel, p.X)

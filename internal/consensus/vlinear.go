@@ -28,12 +28,21 @@ func TrainVerticalLinear(ctx context.Context, parts []*dataset.Dataset, cols [][
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := checkVerticalChunkConfig(cfg); err != nil {
+		return nil, nil, err
+	}
 	m := len(parts)
 
 	mappers := make([]mapreduce.IterativeMapper, m)
-	vlMappers := make([]*vlMapper, m)
+	vlMappers := make([]vlBlock, m)
 	for i, p := range parts {
-		mp, err := newVLMapper(p, cfg)
+		var mp vlBlock
+		var err error
+		if cfg.ChunkRows > 0 {
+			mp, err = newVLChunkMapper(p, cfg)
+		} else {
+			mp, err = newVLMapper(p, cfg)
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("learner %d: %w", i, err)
 		}
@@ -44,12 +53,15 @@ func TrainVerticalLinear(ctx context.Context, parts []*dataset.Dataset, cols [][
 		w := make([]float64, features)
 		for i, mp := range vlMappers {
 			for j, c := range cols[i] {
-				w[c] = mp.w[j]
+				w[c] = mp.blockWeights()[j]
 			}
 		}
 		return &LinearModel{W: w, B: b}
 	}
 	red := newVerticalReducer(parts[0].Y, m, cfg)
+	if cfg.ChunkRows > 0 {
+		red.sched = newChunkSchedule(rows, cfg.ChunkRows, cfg.Seed, sharedChunkStream)
+	}
 	if cfg.EvalSet != nil {
 		red.eval = func(b float64) float64 {
 			acc, err := eval.ClassifierAccuracy(assemble(b), cfg.EvalSet)
@@ -76,6 +88,27 @@ func TrainVerticalLinear(ctx context.Context, parts []*dataset.Dataset, cols [][
 	return assemble(red.b), h, nil
 }
 
+// vlBlock is what model assembly needs from a vertical-linear Map() task —
+// the full-batch and the minibatch mappers both provide it.
+type vlBlock interface {
+	mapreduce.IterativeMapper
+	// blockWeights is the learner's current weight block.
+	blockWeights() []float64
+}
+
+// checkVerticalChunkConfig rejects the minibatch × bounded-staleness
+// combination for the vertical schemes: the Reducer derives the round's
+// coordinate block from the iteration number, so a share computed s rounds
+// ago would carry scores for a different chunk than the one being folded.
+// The horizontal schemes have no such alignment (their shares are model
+// iterates, not coordinate blocks), so they allow both together.
+func checkVerticalChunkConfig(cfg Config) error {
+	if cfg.ChunkRows > 0 && cfg.Staleness > 0 {
+		return fmt.Errorf("%w: the vertical schemes cannot combine ChunkRows with Staleness (chunk-coordinate alignment; see DESIGN.md §15)", ErrBadConfig)
+	}
+	return nil
+}
+
 // vlMapper is one learner's Map() task for the vertical linear scheme: a
 // ridge-regularized least-squares fit of its feature block to the broadcast
 // residual target.
@@ -92,6 +125,8 @@ type vlMapper struct {
 	lastIter int
 	cached   []float64
 }
+
+func (mp *vlMapper) blockWeights() []float64 { return mp.w }
 
 func newVLMapper(p *dataset.Dataset, cfg Config) (*vlMapper, error) {
 	// (I + ρ·X_mᵀX_m) is constant across iterations: factor once.
@@ -172,6 +207,18 @@ type verticalReducer struct {
 	// so every M-dependent coefficient of the prox step scales to the live
 	// count to keep the fold consistent.
 	live int
+	// weight is the round's total staleness weight W = Σ κ^{s_i} under
+	// bounded-staleness rounds (SetRoundWeight); 0 means synchronous rounds.
+	weight float64
+
+	// sched, when non-nil, runs the Reducer's side of minibatch mode: only
+	// the round's chunk coordinates of the shared score vector are folded and
+	// prox-updated, following the same Seed-derived schedule the mappers use.
+	sched *chunkSchedule
+	// abar persists the per-coordinate mean contribution across rounds in
+	// minibatch mode (non-chunk coordinates keep their last folded value, so
+	// the broadcast z̄ − ā − u stays consistent at every coordinate).
+	abarFull []float64
 
 	u        []float64
 	zbar     []float64
@@ -216,6 +263,11 @@ func newVerticalReducer(y []float64, m int, cfg Config) *verticalReducer {
 // field.
 func (r *verticalReducer) SetRoundParticipants(n int) { r.live = n }
 
+// SetRoundWeight implements mapreduce.WeightedReducer: under bounded-
+// staleness rounds the aggregate is Σ κ^{s_i}·a_i, so the mean contribution
+// ā divides by the total weight instead of the head count.
+func (r *verticalReducer) SetRoundWeight(total float64) { r.weight = total }
+
 // Combine implements mapreduce.IterativeReducer: the (z, b)-update and dual
 // step of the sharing ADMM, then the next broadcast z̄ − ā − u.
 func (r *verticalReducer) Combine(iter int, sum []float64) ([]float64, bool, error) {
@@ -226,6 +278,12 @@ func (r *verticalReducer) Combine(iter int, sum []float64) ([]float64, bool, err
 	mf := float64(r.m)
 	if r.live > 0 {
 		mf = float64(r.live)
+	}
+	if r.weight > 0 {
+		mf = r.weight
+	}
+	if r.sched != nil {
+		return r.combineChunk(iter, sum, mf)
 	}
 	abar := r.abar
 	for i := range abar {

@@ -217,6 +217,52 @@ func (c *Cluster) Read(path string) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// ReadAt copies len(dst) bytes starting at byte offset off of path into dst
+// and returns the number of bytes copied. Only the blocks overlapping
+// [off, off+len(dst)) are touched, each with the same checksum-verified,
+// self-healing read as Read — this is the out-of-core streaming primitive:
+// a reader can walk a file chunk by chunk into a reused buffer without ever
+// materializing the whole file. A range ending past the file is truncated
+// (n < len(dst)); a range starting at or past the end reads zero bytes. An
+// out-of-range offset is the caller's bug and errors.
+func (c *Cluster) ReadAt(path string, off int64, dst []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: file %q", ErrNotFound, path)
+	}
+	if off < 0 || off > int64(f.size) {
+		return 0, fmt.Errorf("dfs: offset %d out of range for %q (%d bytes)", off, path, f.size)
+	}
+	n := 0
+	for n < len(dst) && off+int64(n) < int64(f.size) {
+		pos := off + int64(n)
+		bi := int(pos / int64(c.blockSize))
+		bo := int(pos % int64(c.blockSize))
+		healthy, err := c.healthyCopyLocked(f, f.blocks[bi])
+		if err != nil {
+			return n, err
+		}
+		n += copy(dst[n:], healthy[bo:])
+	}
+	return n, nil
+}
+
+// BlockSize returns the cluster's block size in bytes.
+func (c *Cluster) BlockSize() int { return c.blockSize }
+
+// NumBlocks returns how many blocks path occupies.
+func (c *Cluster) NumBlocks(path string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: file %q", ErrNotFound, path)
+	}
+	return len(f.blocks), nil
+}
+
 // healthyCopyLocked returns a checksum-valid copy of b, repairing corrupt
 // replicas from it as a side effect.
 func (c *Cluster) healthyCopyLocked(f *file, b *block) ([]byte, error) {

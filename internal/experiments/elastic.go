@@ -62,6 +62,7 @@ type ElasticPoint struct {
 
 // ElasticReport is the schema of BENCH_elastic.json.
 type ElasticReport struct {
+	Meta               RunMeta
 	Learners           int
 	Rounds             int
 	WorkMs             float64
@@ -141,11 +142,12 @@ func elasticJob(m int, straggler time.Duration, skip int) mapreduce.IterativeJob
 
 // RunElastic measures round latency versus injected straggler delay at M
 // learners under both recovery policies.
-func RunElastic(m int) (*ElasticReport, error) {
+func RunElastic(ctx context.Context, m int) (*ElasticReport, error) {
 	if m < 3 {
 		return nil, fmt.Errorf("experiments: elastic bench needs at least 3 learners, got %d", m)
 	}
 	rep := &ElasticReport{
+		Meta:               CollectMeta(),
 		Learners:           m,
 		Rounds:             elasticRounds,
 		WorkMs:             float64(elasticWork) / float64(time.Millisecond),
@@ -162,7 +164,7 @@ func RunElastic(m int) (*ElasticReport, error) {
 		p := ElasticPoint{StragglerDelayMs: float64(delay) / float64(time.Millisecond)}
 
 		// Demote-and-continue: one uninterrupted run.
-		res, err := runBenchJob(elasticJob(m, delay, -1), mapreduce.DriverOptions{
+		res, err := runBenchJob(ctx, elasticJob(m, delay, -1), mapreduce.DriverOptions{
 			StragglerTimeout: elasticStraggler,
 			WriteOffAfter:    elasticWriteOff,
 		})
@@ -176,7 +178,7 @@ func RunElastic(m int) (*ElasticReport, error) {
 		// Abort-and-restart: MinQuorum = M makes any demotion a job failure,
 		// exactly the pre-elastic all-or-nothing round contract.
 		start := time.Now()
-		attempt, err := runBenchJob(elasticJob(m, delay, -1), mapreduce.DriverOptions{
+		attempt, err := runBenchJob(ctx, elasticJob(m, delay, -1), mapreduce.DriverOptions{
 			StragglerTimeout: elasticStraggler,
 			MinQuorum:        m,
 		})
@@ -186,7 +188,7 @@ func RunElastic(m int) (*ElasticReport, error) {
 		case errors.Is(err, mapreduce.ErrQuorum):
 			// The straggler killed the attempt; restart from scratch without it.
 			p.Restarted = true
-			retrain, err := runBenchJob(elasticJob(m, 0, m-1), mapreduce.DriverOptions{
+			retrain, err := runBenchJob(ctx, elasticJob(m, 0, m-1), mapreduce.DriverOptions{
 				StragglerTimeout: elasticStraggler,
 			})
 			if err != nil {
@@ -204,9 +206,10 @@ func RunElastic(m int) (*ElasticReport, error) {
 	return rep, nil
 }
 
-// runBenchJob runs one benchmark job on a fresh in-proc network.
-func runBenchJob(job mapreduce.IterativeJob, opts mapreduce.DriverOptions) (*mapreduce.DriverResult, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+// runBenchJob runs one benchmark job on a fresh in-proc network under the
+// caller's context (bounded so a wedged job cannot hang the whole sweep).
+func runBenchJob(ctx context.Context, job mapreduce.IterativeJob, opts mapreduce.DriverOptions) (*mapreduce.DriverResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
 	defer cancel()
 	return mapreduce.RunDistributed(ctx, job, opts)
 }

@@ -329,6 +329,7 @@ type CommRow struct {
 
 // CommReport compares the two masking modes on the identical training job.
 type CommReport struct {
+	Meta RunMeta
 	// Rows holds the seeded-mode row first, then the per-round row.
 	Rows []CommRow
 	// MaxDecisionDiff is max_x |f_seeded(x) − f_perround(x)| over the test
@@ -353,7 +354,7 @@ func RunComm(o Options, m int) (*CommReport, error) {
 			cancer = w
 		}
 	}
-	report := &CommReport{}
+	report := &CommReport{Meta: CollectMeta()}
 	models := make([]ppml.Model, 0, 2)
 	for _, mode := range []struct {
 		name     string

@@ -48,6 +48,7 @@ type HotPaillier struct {
 
 // HotReport is the schema of BENCH_hot.json.
 type HotReport struct {
+	Meta     RunMeta
 	Pairs    []HotPair
 	Paillier HotPaillier
 }
@@ -104,7 +105,7 @@ func RunHot() (*HotReport, error) {
 			func() error { kernel.GramMatrix(rbf, tall); return nil }},
 	}
 
-	rep := &HotReport{}
+	rep := &HotReport{Meta: CollectMeta()}
 	for _, p := range pairs {
 		base, err := benchNs(p.baseline)
 		if err != nil {

@@ -1,0 +1,71 @@
+package experiments
+
+// Run metadata stamped into every BENCH_*.json so a checked-in measurement
+// can be traced to the code and machine that produced it. Benchmarks without
+// provenance rot silently: a 2x "regression" often turns out to be a
+// different CPU or GOMAXPROCS, not a different algorithm.
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// RunMeta identifies one benchmark run.
+type RunMeta struct {
+	// Commit is the git revision of the tree that ran the benchmark,
+	// "-dirty" suffixed when the working tree had modifications.
+	// Overridable via the BENCH_COMMIT environment variable for builds
+	// that run outside a checkout.
+	Commit string
+	// GoVersion is runtime.Version() of the benchmarking binary.
+	GoVersion string
+	// CPUModel is the processor name from /proc/cpuinfo (or GOOS/GOARCH
+	// where that file does not exist).
+	CPUModel string
+	// GOMAXPROCS is the parallelism the run was allowed.
+	GOMAXPROCS int
+}
+
+// CollectMeta gathers the provenance of the current process. Every lookup
+// degrades to a placeholder rather than failing: metadata must never break a
+// benchmark.
+func CollectMeta() RunMeta {
+	return RunMeta{
+		Commit:     gitCommit(),
+		GoVersion:  runtime.Version(),
+		CPUModel:   cpuModel(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+func gitCommit() string {
+	if c := os.Getenv("BENCH_COMMIT"); c != "" {
+		return c
+	}
+	rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	commit := strings.TrimSpace(string(rev))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+		len(strings.TrimSpace(string(status))) > 0 {
+		commit += "-dirty"
+	}
+	return commit
+}
+
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOOS + "/" + runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		// x86 says "model name", arm says "Processor" or only "CPU part".
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOOS + "/" + runtime.GOARCH
+}

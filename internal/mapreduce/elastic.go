@@ -58,6 +58,8 @@ type elasticDriver struct {
 	quorum        int
 	timeout       time.Duration
 	writeOffAfter int
+	staleness     int     // bounded-staleness window S; 0 = synchronous
+	decay         float64 // κ, the stale-share discount
 	dim           int
 
 	scratch    *reduceScratch
@@ -69,12 +71,48 @@ type elasticDriver struct {
 	participants *telemetry.Gauge
 	demotions    *telemetry.Counter
 	rejoins      *telemetry.Counter
+	staleHist    *telemetry.Histogram
 
 	res *DriverResult
 
-	idOf   map[string]int
-	dead   []bool // permanently demoted (aborted, unreachable, or written off)
-	silent []int  // consecutive rounds each mapper missed the roster
+	idOf    map[string]int
+	dead    []bool    // permanently demoted (aborted, unreachable, or written off)
+	silent  []int     // consecutive rounds each mapper missed the roster
+	weights []float64 // per-mapper κ^s from this round's ready stamps (staleness mode)
+}
+
+// recordStaleness parses the optional staleness stamp on a ready
+// declaration. An async mapper reports how many rounds old the contribution
+// it is about to share is; the reducer weights that share κ^s in the
+// consensus normalization. The stamp is public coordination metadata — a
+// round-counter difference, never derived from share contents. A strict
+// (empty) declaration is weight 1.
+func (d *elasticDriver) recordStaleness(id int, payload []byte) {
+	if d.weights == nil {
+		return
+	}
+	s := 0
+	if len(payload) >= 1 {
+		s = int(payload[0])
+	}
+	//ppml:flow-ok the staleness stamp is a public round-age counter the mapper declares for weighting — a round-index difference, never derived from share contents
+	d.staleHist.Observe(float64(s))
+	w := 1.0
+	for k := 0; k < s; k++ {
+		w *= d.decay
+	}
+	d.weights[id] = w
+}
+
+// rosterWeight sums the recorded κ^s weights over the final roster.
+func (d *elasticDriver) rosterWeight(roster transport.Roster) float64 {
+	total := 0.0
+	for i := range d.weights {
+		if roster.Has(i) {
+			total += d.weights[i]
+		}
+	}
+	return total
 }
 
 // staleRoundFilter drops this session's frames older than round (the setup
@@ -184,6 +222,13 @@ func (d *elasticDriver) reduceLoop(ctx context.Context, job IterativeJob, state 
 	d.silent = make([]int, m)
 	prev := transport.FullRoster(m)
 	rosterRed, scalable := job.Reducer.(RosterReducer)
+	weightRed, weighted := job.Reducer.(WeightedReducer)
+	if d.staleness > 0 {
+		if !weighted {
+			return state, fmt.Errorf("%w: Staleness needs a WeightedReducer (the reducer cannot renormalize stale shares)", ErrBadJob)
+		}
+		d.weights = make([]float64, m)
+	}
 
 	for iter := startIter; iter < job.MaxIterations; iter++ {
 		roundStart := time.Now()
@@ -231,8 +276,12 @@ func (d *elasticDriver) reduceLoop(ctx context.Context, job IterativeJob, state 
 		if scalable {
 			rosterRed.SetRoundParticipants(n)
 		}
+		if d.weights != nil {
+			weightRed.SetRoundWeight(d.rosterWeight(roster))
+		}
 		next, done, err := job.Reducer.Combine(iter, sum)
 		if err != nil {
+			//ppml:flow-ok iter resumes from the checkpointed round counter — coordination metadata every learner already knows, not payload content
 			return state, fmt.Errorf("%w: reducer at iteration %d: %v", ErrAborted, iter, err)
 		}
 		state = append(state[:0], next...)
@@ -262,6 +311,9 @@ func (d *elasticDriver) reduceLoop(ctx context.Context, job IterativeJob, state 
 // It returns the final roster the sum was folded over.
 func (d *elasticDriver) round(ctx context.Context, r int32, state []float64) (transport.Roster, []float64, error) {
 	m := len(d.names)
+	for i := range d.weights {
+		d.weights[i] = 1
+	}
 	hdr := transport.Header{Session: d.session, Round: r}
 	payload := appendStatePayload(d.scratch.bcast[:0], int(r), state)
 	d.scratch.bcast = payload
@@ -282,6 +334,7 @@ func (d *elasticDriver) round(ctx context.Context, r int32, state []float64) (tr
 		alive++
 	}
 	if alive < d.quorum {
+		//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
 		return nil, nil, fmt.Errorf("%w: %d mappers reachable at round %d, need %d", ErrQuorum, alive, r, d.quorum)
 	}
 
@@ -305,6 +358,7 @@ func (d *elasticDriver) round(ctx context.Context, r int32, state []float64) (tr
 	stuck := 0 // consecutive re-ready passes that shrank nothing
 	for {
 		if roster.Count() < d.quorum {
+			//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
 			return nil, nil, fmt.Errorf("%w: roster of %d at round %d, need %d", ErrQuorum, roster.Count(), r, d.quorum)
 		}
 		sum, outcome, err := d.collectAttempt(ctx, r, attempt, roster, got)
@@ -329,6 +383,7 @@ func (d *elasticDriver) round(ctx context.Context, r int32, state []float64) (tr
 			}
 			if roster.Count() == before {
 				if stuck++; stuck >= maxStuckAttempts {
+					//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
 					return nil, nil, fmt.Errorf("%w: round %d produced no shares across %d attempts with a stable roster of %d — StragglerTimeout %v is shorter than the mask exchange", ErrQuorum, r, stuck, before, d.timeout)
 				}
 			} else {
@@ -359,14 +414,42 @@ const (
 	attemptReready
 )
 
+// setupGrace multiplies the ready deadline of round 0. The first readiness
+// answer sits behind one-time costs — mapper boot, the pairwise mask-exchange
+// setup, the first local solve — that the steady-state straggler window is
+// not meant to police; demoting the whole cohort for a slow boot would abort
+// a perfectly healthy job below quorum.
+const setupGrace = 100
+
 // collectReady gathers KindReady answers for round r until every live mapper
 // replied or the straggler deadline fires, and returns the resulting roster.
+// A below-quorum roster at round start is usually transient — the cohort can
+// be mid catch-up after a wedged previous round, with its late readys already
+// queued or in flight — so the deadline is re-armed a bounded number of times
+// (keeping the readys already collected) before the caller sees a roster it
+// would abort on. Persistent silence across every retry is a real quorum
+// loss.
 func (d *elasticDriver) collectReady(ctx context.Context, r int32, alive int) (transport.Roster, error) {
 	roster := transport.NewRoster(len(d.names))
-	readyCtx, cancel := context.WithTimeout(ctx, d.timeout)
+	deadline := d.timeout
+	if r == 0 {
+		deadline *= setupGrace
+	}
+	alive, err := d.fillReady(ctx, r, roster, alive, deadline)
+	for retry := 0; err == nil && roster.Count() < d.quorum && retry < maxStuckAttempts; retry++ {
+		alive, err = d.fillReady(ctx, r, roster, alive, d.timeout)
+	}
+	return roster, err
+}
+
+// fillReady runs one ready-collection pass: it adds KindReady answers for
+// round r to roster until it holds every live mapper or one deadline fires,
+// and returns the (abort-adjusted) live count.
+func (d *elasticDriver) fillReady(ctx context.Context, r int32, roster transport.Roster, alive int, deadline time.Duration) (int, error) {
+	readyCtx, cancel := context.WithTimeout(ctx, deadline)
 	defer cancel()
 	filter := readyFilter(d.session, r)
-	ready := 0
+	ready := roster.Count()
 	for ready < alive {
 		msg, err := d.redEP.RecvMatch(readyCtx, filter)
 		if err != nil {
@@ -374,16 +457,17 @@ func (d *elasticDriver) collectReady(ctx context.Context, r int32, alive int) (t
 				d.timeouts.Inc()
 				break // the deadline IS the roster declaration
 			}
-			return nil, fmt.Errorf("mapreduce ready phase: %w", err)
+			return alive, fmt.Errorf("mapreduce ready phase: %w", err)
 		}
 		id, ok := d.idOf[msg.From]
 		if !ok {
-			return nil, fmt.Errorf("%w: ready from unknown party %q", ErrBadJob, msg.From)
+			return alive, fmt.Errorf("%w: ready from unknown party %q", ErrBadJob, msg.From)
 		}
 		switch msg.Kind {
 		case KindReady:
 			if !d.dead[id] && !roster.Has(id) {
 				roster.Add(id)
+				d.recordStaleness(id, msg.Payload)
 				ready++
 			}
 		case KindAbort:
@@ -397,7 +481,7 @@ func (d *elasticDriver) collectReady(ctx context.Context, r int32, alive int) (t
 			}
 		}
 	}
-	return roster, nil
+	return alive, nil
 }
 
 // collectAttempt declares the roster and collects its masked shares. It
@@ -429,28 +513,49 @@ func (d *elasticDriver) collectAttempt(ctx context.Context, r, attempt int32, ro
 	for i := range got {
 		got[i] = false
 	}
-	shareCtx, cancel := context.WithTimeout(ctx, d.timeout)
-	defer cancel()
 	filter := collectRosterFilter(d.session, r, attempt, roster)
+	// The collection window is tracked as an explicit deadline so a timeout
+	// can re-arm it without rebuilding the surrounding loop state.
+	windowEnd := time.Now().Add(d.timeout)
+	recvWindow := func() (transport.Message, bool, error) {
+		wctx, cancel := context.WithDeadline(ctx, windowEnd)
+		defer cancel()
+		msg, err := d.redEP.RecvMatch(wctx, filter)
+		if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			return transport.Message{}, true, nil
+		}
+		return msg, false, err
+	}
 	collected := 0
+	rearms := 0
 	for collected < n {
-		msg, err := d.redEP.RecvMatch(shareCtx, filter)
+		msg, timedOut, err := recvWindow()
 		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
-				d.timeouts.Inc()
-				if collected == 0 && d.maskMode == MaskPerRound {
-					return nil, attemptReready, nil
-				}
-				// Demote whoever went silent between ready and share; the
-				// survivors re-derive over the smaller roster.
-				for i := range d.names {
-					if roster.Has(i) && !got[i] {
-						roster.Remove(i)
-					}
-				}
-				return nil, attemptRetry, nil
-			}
 			return nil, attemptRetry, fmt.Errorf("mapreduce reduce: %w", err)
+		}
+		if timedOut {
+			d.timeouts.Inc()
+			if collected == 0 && d.maskMode == MaskPerRound {
+				return nil, attemptReready, nil
+			}
+			// Never demote below quorum on a single deadline: the missing
+			// shares are usually in flight rather than lost, and they stay
+			// foldable under this attempt's stamp — so re-arm the window
+			// and keep collecting before blaming anyone. Demoting the
+			// whole cohort for one tight window would abort a healthy job.
+			if collected < d.quorum && rearms < maxStuckAttempts {
+				rearms++
+				windowEnd = time.Now().Add(d.timeout)
+				continue
+			}
+			// Demote whoever went silent between ready and share; the
+			// survivors re-derive over the smaller roster.
+			for i := range d.names {
+				if roster.Has(i) && !got[i] {
+					roster.Remove(i)
+				}
+			}
+			return nil, attemptRetry, nil
 		}
 		id, ok := d.idOf[msg.From]
 		if !ok {
@@ -521,6 +626,7 @@ func (d *elasticDriver) recollectReady(ctx context.Context, r int32, old transpo
 		case KindReady:
 			if !d.dead[id] && old.Has(id) && !roster.Has(id) {
 				roster.Add(id)
+				d.recordStaleness(id, msg.Payload)
 				ready++
 			}
 		case KindAbort:
@@ -624,6 +730,7 @@ func (d *elasticDriver) collectLoose(ctx context.Context, r int32, alive int) (t
 		collected++
 	}
 	if roster.Count() < d.quorum {
+		//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
 		return nil, nil, fmt.Errorf("%w: %d shares at round %d, need %d", ErrQuorum, roster.Count(), r, d.quorum)
 	}
 	if d.agg == AggregationPaillier {
@@ -681,6 +788,14 @@ func runMapperNodeElastic(ctx context.Context, cfg mapperNodeConfig) error {
 	if err != nil {
 		return fmt.Errorf("mapper %d aggregation setup: %w", cfg.id, err)
 	}
+	// Bounded staleness: Contribution calls move to a background worker so
+	// the protocol loop can answer a broadcast with the newest completed
+	// (≤ S rounds old) contribution instead of stalling the roster.
+	var ac *asyncComputer
+	if cfg.staleness > 0 {
+		ac = newAsyncComputer(cfg.mapper, cfg.retries, cfg.retryCtr)
+		defer ac.close()
+	}
 	idle := idleFilter(cfg.session)
 	m := len(cfg.names)
 	var pending *transport.Message
@@ -717,20 +832,39 @@ func runMapperNodeElastic(ctx context.Context, cfg mapperNodeConfig) error {
 		}
 		hdr := transport.Header{Session: cfg.session, Round: round}
 		var contrib []float64
-		for attempt := 0; ; attempt++ {
-			contrib, err = cfg.mapper.Contribution(iter, state)
-			if err == nil {
-				break
-			}
-			if attempt >= cfg.retries {
+		var readyPayload []byte
+		if ac != nil {
+			// Hand the worker the new state (newest wins), then wait only
+			// until SOME contribution within the staleness window exists —
+			// usually the one already in hand, making ready effectively
+			// instant for a healthy mapper.
+			ac.submit(iter, state)
+			if err := ac.wait(ctx, iter-cfg.staleness); err != nil {
 				//ppml:err-ok best-effort abort notification: the Contribution error below is the one worth reporting
 				_ = cfg.ep.Send(ctx, reducerName, KindAbort, hdr, []byte(err.Error()))
 				//ppml:flow-ok iter is decoded from the reducer's public state broadcast; the round counter is coordination metadata, not payload content
 				return fmt.Errorf("%w: mapper %d at iteration %d: %v", ErrAborted, cfg.id, iter, err)
 			}
-			cfg.retryCtr.Inc()
+			contrib, readyPayload, err = ac.share(iter, cfg.decay)
+			if err != nil {
+				return fmt.Errorf("mapper %d: %w", cfg.id, err)
+			}
+		} else {
+			for attempt := 0; ; attempt++ {
+				contrib, err = cfg.mapper.Contribution(iter, state)
+				if err == nil {
+					break
+				}
+				if attempt >= cfg.retries {
+					//ppml:err-ok best-effort abort notification: the Contribution error below is the one worth reporting
+					_ = cfg.ep.Send(ctx, reducerName, KindAbort, hdr, []byte(err.Error()))
+					//ppml:flow-ok iter is decoded from the reducer's public state broadcast; the round counter is coordination metadata, not payload content
+					return fmt.Errorf("%w: mapper %d at iteration %d: %v", ErrAborted, cfg.id, iter, err)
+				}
+				cfg.retryCtr.Inc()
+			}
 		}
-		if err := cfg.ep.Send(ctx, reducerName, KindReady, hdr, nil); err != nil {
+		if err := cfg.ep.Send(ctx, reducerName, KindReady, hdr, readyPayload); err != nil {
 			return fmt.Errorf("mapper %d: ready: %w", cfg.id, err)
 		}
 		// Serve roster attempts until the next broadcast (or stop) arrives.
@@ -787,7 +921,7 @@ func runMapperNodeElastic(ctx context.Context, cfg mapperNodeConfig) error {
 							// attempt's stale masks are dropped by the next
 							// attempt's filter (the attempt stamp, not the
 							// roster, identifies a derivation).
-							if err := cfg.ep.Send(ctx, reducerName, KindReady, hdr, nil); err != nil {
+							if err := cfg.ep.Send(ctx, reducerName, KindReady, hdr, readyPayload); err != nil {
 								return fmt.Errorf("mapper %d: ready: %w", cfg.id, err)
 							}
 							continue

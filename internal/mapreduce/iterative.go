@@ -44,6 +44,21 @@ type RosterReducer interface {
 	SetRoundParticipants(n int)
 }
 
+// WeightedReducer is a RosterReducer that additionally scales its combine
+// step to the total staleness weight of the shares actually folded. Under
+// bounded-staleness rounds (DriverOptions.Staleness) a mapper that is s
+// rounds behind contributes its stale share scaled by κ^s, so the round's
+// sum is Σ κ^{s_i}·c_i and the consensus mean must divide by W = Σ κ^{s_i}
+// instead of the head count. The driver calls SetRoundWeight with W (derived
+// from the public staleness stamps on the ready declarations — never from
+// share contents) before every Combine; synchronous rounds pass W = n.
+type WeightedReducer interface {
+	RosterReducer
+	// SetRoundWeight announces the total staleness weight of the next
+	// Combine's sum.
+	SetRoundWeight(total float64)
+}
+
 // ErrAborted reports that a Mapper failed fatally and the job unwound.
 var ErrAborted = errors.New("mapreduce: job aborted")
 

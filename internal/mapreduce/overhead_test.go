@@ -1,0 +1,93 @@
+package mapreduce
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/ppml-go/ppml/internal/transport"
+)
+
+// busyMapper burns a fixed amount of floating-point work per round before
+// contributing, so driver overhead is measured against a realistic compute
+// floor rather than against empty rounds (where any protocol difference
+// dominates by construction).
+type busyMapper struct {
+	value []float64
+	loops int
+	sink  float64
+}
+
+func (m *busyMapper) Contribution(iter int, state []float64) ([]float64, error) {
+	s := m.sink
+	for i := 0; i < m.loops; i++ {
+		s += math.Sqrt(float64(i%97) + 1.5)
+	}
+	m.sink = s
+	out := make([]float64, len(m.value))
+	for i := range out {
+		out[i] = m.value[i] - state[i]
+	}
+	return out, nil
+}
+
+// TestElasticNoFaultOverhead is the regression guard for the elastic driver's
+// price of admission: with no faults injected, the demote-and-continue round
+// structure (ready declarations, roster confirmations) must stay within 10%
+// of the plain synchronous driver's wall-clock on the same job, plus a small
+// absolute allowance for scheduler noise at these millisecond scales.
+func TestElasticNoFaultOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive benchmark guard")
+	}
+	const (
+		m      = 4
+		rounds = 40
+		reps   = 5
+	)
+	run := func(straggler time.Duration) time.Duration {
+		mappers := make([]IterativeMapper, m)
+		for i := 0; i < m; i++ {
+			mappers[i] = &busyMapper{value: []float64{float64(i), float64(2 * i)}, loops: 20000}
+		}
+		job := IterativeJob{
+			Mappers:         mappers,
+			Reducer:         newElasticAveragingReducer(m, false),
+			InitialState:    make([]float64, 2),
+			ContributionDim: 2,
+			MaxIterations:   rounds,
+		}
+		net := transport.NewInProc()
+		defer net.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		start := time.Now()
+		if _, err := RunDistributed(ctx, job, DriverOptions{
+			Network:          net,
+			StragglerTimeout: straggler,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	median := func(straggler time.Duration) time.Duration {
+		ds := make([]time.Duration, reps)
+		for i := range ds {
+			ds[i] = run(straggler)
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[reps/2]
+	}
+	// Interleave-free ordering: warm both paths once, then measure.
+	run(0)
+	run(5 * time.Second)
+	strict := median(0)
+	elastic := median(5 * time.Second) // window far above round time: pure overhead, no timeouts
+	limit := strict + strict/10 + 25*time.Millisecond
+	t.Logf("strict %v, elastic %v, limit %v", strict, elastic, limit)
+	if elastic > limit {
+		t.Errorf("elastic no-fault wall-clock %v exceeds %v (strict %v + 10%% + scheduler slack)", elastic, limit, strict)
+	}
+}

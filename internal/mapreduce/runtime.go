@@ -81,6 +81,21 @@ type DriverOptions struct {
 	// defaults to 2 under masked aggregation (a roster of one would hand the
 	// Reducer an effectively unmasked share) and 1 otherwise.
 	MinQuorum int
+	// Staleness enables bounded-staleness (asynchronous) rounds on top of
+	// the elastic driver: a mapper whose fresh contribution is not ready
+	// when the round's broadcast arrives answers immediately with its newest
+	// completed contribution, as long as that one is at most Staleness
+	// rounds old; compute overlaps the protocol on a background worker per
+	// mapper. Stale shares are scaled by StalenessDecay^s mapper-side
+	// (before masking — the masks are content-agnostic, so roster
+	// cancellation is unaffected) and the reducer renormalizes by the total
+	// weight via WeightedReducer. Zero (the default) keeps every round
+	// synchronous. Requires StragglerTimeout and AggregationMasked.
+	Staleness int
+	// StalenessDecay is the per-round geometric discount κ ∈ (0, 1] applied
+	// to stale contributions. 0 defaults to 0.5. Only meaningful with
+	// Staleness.
+	StalenessDecay float64
 	// WriteOffAfter permanently writes off a mapper after this many
 	// consecutive rounds of silence (demoted every one of them), so the
 	// Reducer stops burning a StragglerTimeout window on a peer that is
@@ -180,7 +195,16 @@ const (
 	metricParticipants = "ppml_round_participants"
 	metricDemotions    = "ppml_mapper_demotions_total"
 	metricRejoins      = "ppml_mapper_rejoins_total"
+	// metricStaleness is the per-ready-declaration staleness distribution
+	// under bounded-staleness rounds: how many rounds old each folded
+	// contribution was. A count of the driver's control flow — the stamp is
+	// public coordination metadata, never share content.
+	metricStaleness = "ppml_round_staleness"
 )
+
+// stalenessBuckets covers the practical bounded-staleness range (S is
+// typically 1–4; anything above 16 means the decay has zeroed the share).
+var stalenessBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16}
 
 // sessionCounter allocates process-unique job session ids. Session 0 is
 // reserved for traffic outside any job, so the first allocation is 1.
@@ -251,6 +275,28 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	session := sessionCounter.Add(1)
 	m := len(job.Mappers)
 	elastic := opts.StragglerTimeout > 0
+	decay := opts.StalenessDecay
+	if opts.Staleness > 0 {
+		// Bounded staleness rides on the elastic round structure (the ready
+		// window IS the staleness window) and on masked aggregation (the
+		// weight travels as a public stamp on the ready declaration; the
+		// loose aggregations have no declaration to stamp).
+		if !elastic {
+			return nil, fmt.Errorf("%w: Staleness needs StragglerTimeout", ErrBadJob)
+		}
+		if agg != AggregationMasked {
+			return nil, fmt.Errorf("%w: Staleness needs AggregationMasked", ErrBadJob)
+		}
+		if opts.Staleness > 255 {
+			return nil, fmt.Errorf("%w: Staleness %d exceeds the wire stamp's range", ErrBadJob, opts.Staleness)
+		}
+		if decay == 0 {
+			decay = 0.5
+		}
+		if decay < 0 || decay > 1 {
+			return nil, fmt.Errorf("%w: StalenessDecay %g outside (0,1]", ErrBadJob, decay)
+		}
+	}
 	quorum := opts.MinQuorum
 	if elastic {
 		if quorum == 0 {
@@ -328,6 +374,8 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 				dim:       job.ContributionDim,
 				retries:   opts.MapRetries,
 				straggler: opts.StragglerTimeout,
+				staleness: opts.Staleness,
+				decay:     decay,
 				sstel:     sstel,
 				retryCtr:  retries,
 			}
@@ -381,6 +429,7 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 			session: session, names: names, redEP: redEP,
 			agg: agg, maskMode: opts.MaskMode, codec: codec, key: opts.PaillierKey, pack: pack,
 			quorum: quorum, timeout: opts.StragglerTimeout, writeOffAfter: opts.WriteOffAfter,
+			staleness: opts.Staleness, decay: decay,
 			dim: job.ContributionDim, scratch: &scratch,
 			checkpoint: opts.Checkpoint,
 			rounds:     rounds, roundDur: roundDur, timeouts: timeouts,
@@ -388,6 +437,9 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 			demotions:    reg.Counter(metricDemotions),
 			rejoins:      reg.Counter(metricRejoins),
 			res:          res,
+		}
+		if opts.Staleness > 0 {
+			ed.staleHist = reg.Histogram(metricStaleness, stalenessBuckets)
 		}
 		state, jobErr = ed.reduceLoop(ctx, job, state, startIter)
 		stopHdr := transport.Header{Session: session, Round: int32(res.Iterations)}
@@ -451,6 +503,7 @@ reduceLoop:
 			roundSpan.End()
 			if opts.RoundTimeout > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 				timeouts.Inc()
+				//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
 				err = fmt.Errorf("mapreduce: round %d exceeded RoundTimeout %v: %w",
 					iter, opts.RoundTimeout, context.DeadlineExceeded)
 			}
@@ -465,6 +518,7 @@ reduceLoop:
 		rounds.Inc()
 		next, done, err := job.Reducer.Combine(iter, sum)
 		if err != nil {
+			//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
 			jobErr = fmt.Errorf("%w: reducer at iteration %d: %v", ErrAborted, iter, err)
 			break
 		}
@@ -544,6 +598,8 @@ type mapperNodeConfig struct {
 	dim       int
 	retries   int
 	straggler time.Duration // elastic mode: per-attempt mask-exchange deadline
+	staleness int           // bounded-staleness window S; 0 = synchronous rounds
+	decay     float64       // κ, the per-round stale-share discount
 	pack      *paillier.Packing
 	cipherCtr *telemetry.Counter
 	sstel     *securesum.Telemetry

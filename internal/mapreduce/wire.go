@@ -18,8 +18,12 @@ const (
 	KindCipherShare = "mr.ciphershare"
 	// KindAbort reports a fatal Mapper error to the Reducer.
 	KindAbort = "mr.abort"
-	// KindReady tells the Reducer this Mapper has computed its contribution
-	// for the round and can join the roster (elastic mode; empty payload).
+	// KindReady tells the Reducer this Mapper has a contribution for the
+	// round and can join the roster (elastic mode). The payload is empty
+	// under synchronous rounds; under bounded staleness it is one byte — the
+	// public staleness stamp s (how many rounds old the contribution is),
+	// which the Reducer turns into the κ^s renormalization weight. Pure
+	// coordination metadata, never derived from share contents.
 	KindReady = "mr.ready"
 	// KindRoster broadcasts the Reducer's declared participation set for a
 	// round attempt; the roster rides in the envelope, the payload is empty.

@@ -32,6 +32,33 @@ type chaosRule struct {
 	dropOut   bool            // sends FROM this endpoint vanish
 	dropIn    bool            // sends TO this endpoint vanish
 	dropKinds map[string]bool // sends FROM this endpoint of these kinds vanish
+
+	// Two-point jitter: each send draws tail with probability prob, base
+	// otherwise, from the rule's seeded stream. Overrides delay when set.
+	jitterBase time.Duration
+	jitterTail time.Duration
+	jitterProb float64
+	jitterRng  *jitterRNG
+}
+
+// jitterRNG is a seeded splitmix64 stream for the fault schedule. Chaos is a
+// test harness: its randomness decides which sends run late, never anything a
+// mask, key, or payload depends on, so a tiny deterministic generator beats
+// pulling a general-purpose PRNG into a privacy-critical package (where the
+// randsource analyzer bans math/rand outright).
+type jitterRNG struct{ state uint64 }
+
+func (r *jitterRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1) from the top 53 bits.
+func (r *jitterRNG) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
 }
 
 // NewChaos wraps an existing network. Endpoints must be created through the
@@ -71,6 +98,25 @@ func (c *Chaos) SetTelemetry(r *telemetry.Registry) {
 func (c *Chaos) Delay(name string, d time.Duration) {
 	c.mu.Lock()
 	c.rule(name).delay = d
+	c.mu.Unlock()
+}
+
+// Jitter makes every send from the named endpoint draw a two-point latency —
+// tail with probability p, base otherwise — from a stream seeded with seed: a
+// reproducible stand-in for heavy-tailed network latency. This is the fault
+// the bounded-staleness driver exists for: a synchronous round stalls on
+// every tail draw, while an elastic round times the straggler out and folds
+// its share stale. Jitter overrides any constant Delay on the endpoint; a
+// zero tail removes it.
+func (c *Chaos) Jitter(name string, base, tail time.Duration, p float64, seed int64) {
+	c.mu.Lock()
+	r := c.rule(name)
+	r.jitterBase, r.jitterTail, r.jitterProb = base, tail, p
+	if tail > 0 {
+		r.jitterRng = &jitterRNG{state: uint64(seed)}
+	} else {
+		r.jitterRng = nil
+	}
 	c.mu.Unlock()
 }
 
@@ -136,6 +182,12 @@ func (c *Chaos) faultsFor(from, to, kind string) (delay time.Duration, drop bool
 	defer c.mu.Unlock()
 	if r, ok := c.rules[from]; ok {
 		delay = r.delay
+		if r.jitterRng != nil {
+			delay = r.jitterBase
+			if r.jitterRng.float64() < r.jitterProb {
+				delay = r.jitterTail
+			}
+		}
 		drop = r.dropOut || r.dropKinds[kind]
 	}
 	if r, ok := c.rules[to]; ok {

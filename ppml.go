@@ -569,6 +569,43 @@ func WithLocalityTracking() Option {
 	}
 }
 
+// WithMinibatch switches the horizontal schemes to minibatch local solves:
+// each learner's partition is split into row chunks of at most rows samples,
+// every chunk becomes a virtual consensus learner with its own ADMM dual and
+// warm-started QP state, and each round refreshes exactly one chunk per
+// learner (a deterministic seeded permutation re-drawn every epoch). Rounds
+// cost O(chunk) instead of O(partition) while the job converges to the same
+// full-batch consensus boundary. Composes with streaming TrainHorizontal*
+// sources so partitions never need to fit in memory; the vertical schemes
+// solve exact per-chunk sub-problems on the shared score vector instead.
+// See DESIGN.md §15.
+func WithMinibatch(rows int) Option {
+	return func(o *options) { o.cfg.ChunkRows = rows }
+}
+
+// WithStaleness enables bounded-staleness rounds in distributed elastic mode
+// (implies WithDistributed; requires WithStragglerTimeout): each learner runs
+// its local solve on a background worker and answers round t with its newest
+// finished contribution, up to s rounds old, scaled by decay^staleness. The
+// Reducer renormalizes by the total staleness weight, so slow-but-alive
+// learners blend into the consensus instead of stalling every round. A
+// learner more than s rounds behind blocks until it catches up — bounded
+// staleness degrades to synchronous, never to unbounded drift. See
+// DESIGN.md §15.
+func WithStaleness(s int) Option {
+	return func(o *options) {
+		o.cfg.Distributed = true
+		o.cfg.Staleness = s
+	}
+}
+
+// WithStalenessDecay sets κ ∈ (0, 1], the per-round weight decay applied to
+// stale contributions under WithStaleness (default 0.5): a share s rounds old
+// enters the consensus with weight κ^s.
+func WithStalenessDecay(k float64) Option {
+	return func(o *options) { o.cfg.StalenessDecay = k }
+}
+
 // WithPaperSplit (HorizontalLinear only) reproduces the paper's printed
 // Gauss-Seidel (w, b) update with the lagged equality constraint of eq. (12)
 // instead of the provably convergent joint update. See DESIGN.md for why the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/ppml-go/ppml"
 )
@@ -458,5 +459,55 @@ func TestLogisticWithDPOutput(t *testing.T) {
 	if _, err := ppml.Train(train, ppml.HorizontalNaiveBayes,
 		ppml.WithDPOutput(1)); !errors.Is(err, ppml.ErrBadRequest) {
 		t.Errorf("NB + DP: err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestWithMinibatchMatchesFullBatchBoundary(t *testing.T) {
+	train, test := prepared(t, 240)
+	full, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(3), ppml.WithIterations(40), ppml.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mini, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(3), ppml.WithIterations(120), ppml.WithSeed(4),
+		ppml.WithMinibatch(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := ppml.Evaluate(full.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := ppml.Evaluate(mini.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma < fa-0.05 {
+		t.Errorf("minibatch accuracy %g trails full batch %g", ma, fa)
+	}
+}
+
+func TestWithStalenessTrainsAsync(t *testing.T) {
+	train, test := prepared(t, 240)
+	res, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(3), ppml.WithIterations(60), ppml.WithSeed(4),
+		ppml.WithMinibatch(20),
+		ppml.WithStragglerTimeout(250*time.Millisecond),
+		ppml.WithStaleness(2), ppml.WithStalenessDecay(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ppml.Evaluate(res.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("async minibatch accuracy = %g, want >= 0.85", acc)
+	}
+	// Staleness without the elastic round structure is a configuration error.
+	if _, err := ppml.Train(train, ppml.HorizontalLinear,
+		ppml.WithLearners(2), ppml.WithIterations(5), ppml.WithStaleness(2)); err == nil || !strings.Contains(err.Error(), "StragglerTimeout") {
+		t.Errorf("staleness without straggler timeout: err = %v, want a StragglerTimeout configuration error", err)
 	}
 }

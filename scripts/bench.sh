@@ -14,6 +14,11 @@
 #                                         demote-and-continue vs
 #                                         abort-and-restart
 #                                         (default output BENCH_elastic.json)
+#   scripts/bench.sh async [output.json]  async rounds: bulk-synchronous vs
+#                                         bounded-staleness + minibatch time
+#                                         to target accuracy under a flaky
+#                                         link (default output
+#                                         BENCH_async.json)
 #
 # Running with no arguments keeps the historical behavior: the comm mode.
 # A bare *.json first argument is also accepted as the comm output path.
@@ -57,8 +62,16 @@ elastic)
 	echo "==> measuring demote-and-continue vs abort-and-restart -> $out"
 	go run ./cmd/ppml-figures -panel elastic -learners 16 -elastic-json "$out"
 	;;
+async)
+	out="${2:-BENCH_async.json}"
+	echo "==> staleness chaos regression (race, cross-check)"
+	go test -race -run 'TestAsyncStaleness' ./internal/consensus/
+
+	echo "==> measuring bulk-synchronous vs bounded-staleness rounds -> $out"
+	go run ./cmd/ppml-figures -panel async -async-json "$out"
+	;;
 *)
-	echo "usage: scripts/bench.sh [comm|hot|elastic] [output.json]" >&2
+	echo "usage: scripts/bench.sh [comm|hot|elastic|async] [output.json]" >&2
 	exit 2
 	;;
 esac
