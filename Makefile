@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-custom vet-flow fuzz-short bench bench-smoke bench-comm bench-hot bench-elastic bench-async metrics-smoke check
+.PHONY: build test race vet vet-custom vet-flow fuzz-short bench bench-smoke bench-comm bench-hot bench-elastic bench-async metrics-smoke trace-smoke check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ vet-flow:
 # scrape the running process (same script as the CI metrics-smoke shard).
 metrics-smoke:
 	sh scripts/metrics_smoke.sh
+
+# Flight-recorder smoke: run the ppml-trace chaos fixture and assert the
+# critical-path attribution names the injected straggler (>=90% of faulted
+# rounds) and the Chrome trace output parses.
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 # Short fuzz pass over the wire codecs (~40s total), same as the check gate.
 fuzz-short:

@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"github.com/ppml-go/ppml"
+	"github.com/ppml-go/ppml/internal/experiments"
+	"github.com/ppml-go/ppml/internal/telemetry"
 )
 
 func main() {
@@ -205,6 +207,15 @@ func run(ctx context.Context, args []string) error {
 	var tel *ppml.Telemetry
 	if *metricsAddr != "" {
 		tel = ppml.NewTelemetry()
+		// Stamp run attribution so every snapshot, journal dump, and
+		// /debug/vars scrape is traceable to a commit and a machine.
+		meta := experiments.CollectMeta()
+		tel.Registry().SetRunInfo(telemetry.RunInfo{
+			Commit:     meta.Commit,
+			GoVersion:  meta.GoVersion,
+			CPUModel:   meta.CPUModel,
+			GOMAXPROCS: meta.GOMAXPROCS,
+		})
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)

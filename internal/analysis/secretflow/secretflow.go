@@ -119,6 +119,12 @@ var clearedFields = map[string]map[string]bool{
 		// share-collection attempt this is. Membership is announced to every
 		// learner by the roster protocol itself, so it is public metadata.
 		"Roster": true, "Attempt": true,
+		// The distributed-trace context (frame v4): a random session
+		// identity the reducer mints before any data exists and every
+		// frame echoes verbatim. It never mixes with payload bytes, so it
+		// is public coordination metadata like Session/Round/Seq
+		// (DESIGN.md §16).
+		"Trace": true, "ParentSpan": true,
 	},
 }
 
@@ -225,6 +231,16 @@ func (m *model) Sanitizes(fn *types.Func) bool {
 	}
 	path := fn.Pkg().Path()
 	if framework.PathMatches(path, sanitizerPaths...) {
+		return true
+	}
+	if framework.PathMatches(path, "internal/telemetry") {
+		// One-way valve: the telemetry surface (metric handles, spans, the
+		// flight-recorder journal) is a sink — every argument crossing into
+		// it is audited by the sink scan below — and nothing recorded there
+		// flows back into the protocol. Without this, the unknown-callee
+		// assumption would let one audited argument (say, a checkpoint-
+		// resumed round counter) taint the journal handle's receiver and,
+		// transitively, every driver struct holding it.
 		return true
 	}
 	if framework.PathMatches(path, "internal/dataset") && declassifiers[fn.Name()] {

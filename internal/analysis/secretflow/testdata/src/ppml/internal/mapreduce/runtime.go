@@ -12,6 +12,7 @@ import (
 	"ppml/internal/dataset"
 	"ppml/internal/paillier"
 	"ppml/internal/securesum"
+	"ppml/internal/telemetry"
 	"ppml/internal/transport"
 )
 
@@ -123,4 +124,26 @@ func DebugDumpUnjustified(d *dataset.Dataset) {
 func AblationPlain(ctx context.Context, ep transport.Endpoint, hdr transport.Header, d *dataset.Dataset) error {
 	//ppml:plaintext-ok deliberate no-privacy baseline for the ablation benchmark
 	return ep.Send(ctx, "reducer", KindShare, hdr, frame(d.Y))
+}
+
+// JournalLeak embeds a raw label in the flight recorder's value argument:
+// the journal is a telemetry sink like any gauge.
+func JournalLeak(j *telemetry.Journal, d *dataset.Dataset) {
+	j.Emit("reducer", "round.end", telemetry.TraceID{}, 0, 0, "", "", 0, d.Y[0]) // want `dataset-derived data reaches telemetry call Emit`
+}
+
+// roundDriver holds the journal handle next to plain round bookkeeping, the
+// shape of the real drivers.
+type roundDriver struct {
+	journal *telemetry.Journal
+	dim     int
+}
+
+// record exercises the one-way valve: the audited argument is flagged (and
+// excused) AT the Emit, but the call must not taint the journal handle or
+// the driver holding it — the dim embedded in the error below stays clean.
+func (r *roundDriver) record(d *dataset.Dataset) error {
+	//ppml:flow-ok golden escape hatch: the audited flow is the Emit argument itself, not the handle it passes through
+	r.journal.Emit("reducer", "round.start", telemetry.TraceID{}, 0, 0, "", "", 0, d.Y[0])
+	return fmt.Errorf("contribution dim %d", r.dim)
 }

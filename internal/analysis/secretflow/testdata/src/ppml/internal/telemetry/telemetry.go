@@ -13,3 +13,14 @@ type Logger struct{}
 
 // Event emits one structured log record.
 func (Logger) Event(msg string, kv ...any) {}
+
+// TraceID is the distributed-trace session identity (frame v4): two random
+// words minted by the reducer before any data exists.
+type TraceID struct{ Hi, Lo uint64 }
+
+// Journal is the bounded flight recorder; Emit is a scalar-only sink.
+type Journal struct{}
+
+// Emit records one round-lifecycle event.
+func (*Journal) Emit(node, event string, trace TraceID, round, attempt int32, peer, kind string, bytes int64, value float64) {
+}

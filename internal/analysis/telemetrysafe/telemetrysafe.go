@@ -92,7 +92,21 @@ func (m *model) SourceParam(fn *types.Func, p *types.Var) framework.Taint {
 	return 0
 }
 func (m *model) SourceCall(fn *types.Func) framework.Taint { return 0 }
-func (m *model) Sanitizes(fn *types.Func) bool             { return false }
+
+// Sanitizes models the telemetry and log surfaces as one-way valves: every
+// argument crossing into a sink is audited by checkCall, and nothing recorded
+// there flows back into the protocol. Without this, the engine's
+// unknown-callee assumption would let a legitimate scalar-from-vector
+// argument (a share byte count, a staleness stamp) taint the journal handle's
+// receiver — and, transitively, every string later read off the struct
+// holding it.
+func (m *model) Sanitizes(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return sinkPkgs[path] || framework.PathMatches(path, "internal/telemetry")
+}
 
 func (m *model) SourceType(t types.Type) framework.Taint {
 	if isVectorType(t) {

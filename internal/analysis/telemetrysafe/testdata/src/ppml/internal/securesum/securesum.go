@@ -3,6 +3,7 @@
 package securesum
 
 import (
+	"fmt"
 	"log"
 
 	"ppml/internal/telemetry"
@@ -33,4 +34,36 @@ func buckets(r *telemetry.Registry) {
 func documented(r *telemetry.Registry, landmarks []float64) {
 	//ppml:telemetry-ok landmark points are protocol-public by construction (every learner already holds them)
 	r.Record("landmarks", landmarks)
+}
+
+// journalEvents drives the flight recorder with its intended arguments:
+// node/peer names, a kind constant, a round counter, a byte count. Scalars
+// and labels pass freely — including the share's length.
+func journalEvents(j *telemetry.Journal, share []float64, peer string) {
+	j.Emit("mapper-0", "share.sent", telemetry.TraceID{}, 3, 0, peer, "securesum.share", int64(len(share)), 0)
+}
+
+// journalStringified launders the share through fmt before the sink: same
+// leak as logging the slice.
+func journalStringified(j *telemetry.Journal, share []float64) {
+	j.Emit("mapper-0", "share.sent", telemetry.TraceID{}, 3, 0, "", fmt.Sprint(share), 0, 0) // want `string built from a payload vector passed to telemetry/log sink`
+}
+
+// journalHolder holds the recorder next to the node name, the shape of the
+// real drivers.
+type journalHolder struct {
+	journal *telemetry.Journal
+	name    string
+}
+
+// record exercises the one-way valve: a scalar computed from the share is a
+// legitimate Emit argument (an aggregate statistic), and the call must not
+// taint the holder — the name logged afterwards stays clean.
+func (h *journalHolder) record(share []float64) {
+	sq := 0.0
+	for _, x := range share {
+		sq += x * x
+	}
+	h.journal.Emit(h.name, "share.recv", telemetry.TraceID{}, 1, 0, "", "", 0, sq)
+	log.Printf("node %s folded a share", h.name)
 }

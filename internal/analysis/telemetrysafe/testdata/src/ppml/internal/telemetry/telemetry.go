@@ -28,3 +28,13 @@ type Logger struct{}
 
 // Info logs at info level.
 func (l *Logger) Info(msg string, kv ...any) {}
+
+// TraceID is the distributed-trace session identity (frame v4).
+type TraceID struct{ Hi, Lo uint64 }
+
+// Journal is the bounded flight recorder; Emit is a scalar-only sink.
+type Journal struct{}
+
+// Emit records one round-lifecycle event.
+func (*Journal) Emit(node, event string, trace TraceID, round, attempt int32, peer, kind string, bytes int64, value float64) {
+}

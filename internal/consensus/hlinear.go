@@ -309,6 +309,7 @@ func (r *meanConsensusReducer) Combine(iter int, sum []float64) ([]float64, bool
 	}
 	r.deltaZSq = append(r.deltaZSq, delta)
 	r.tel.deltaZSq.Set(delta)
+	r.tel.journalRound(iter, delta)
 	if r.eval != nil {
 		acc := r.eval(next)
 		r.accuracy = append(r.accuracy, acc)

@@ -913,6 +913,7 @@ func (r *verticalReducer) combineChunk(iter int, sum []float64, mf float64) ([]f
 	r.deltaZSq = append(r.deltaZSq, delta)
 	//ppml:flow-ok the consensus residual ‖z−z′‖² is the public stopping statistic every learner computes from the shared iterate
 	r.tel.deltaZSq.Set(delta)
+	r.tel.journalRound(iter, delta)
 	if r.eval != nil {
 		acc := r.eval(r.b)
 		r.accuracy = append(r.accuracy, acc)

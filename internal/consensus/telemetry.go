@@ -19,6 +19,8 @@ const (
 type reducerGauges struct {
 	deltaZSq *telemetry.Gauge
 	accuracy *telemetry.Gauge
+	journal  *telemetry.Journal
+	scheme   string
 }
 
 // newReducerGauges builds the gauges labeled with the training scheme
@@ -28,12 +30,27 @@ func newReducerGauges(r *telemetry.Registry, scheme string) reducerGauges {
 	return reducerGauges{
 		deltaZSq: r.Gauge(metricDeltaZSq, lbl),
 		accuracy: r.Gauge(metricEvalAccuracy, lbl),
+		journal:  r.Journal(),
+		scheme:   scheme,
 	}
 }
 
+// journalRound records one consensus round in the flight recorder: event
+// "consensus.round", kind = scheme, value = the public residual ‖Δz‖² — the
+// same Reducer-side stopping statistic the deltaZSq gauge exports, never a
+// per-learner quantity.
+func (g reducerGauges) journalRound(iter int, delta float64) {
+	//ppml:flow-ok the residual ‖Δz‖² is the cohort-wide stopping statistic the deltaZSq gauge already exports — an aggregate over the consensus state, not a sample of any learner's data
+	g.journal.Emit("reducer", "consensus.round", telemetry.TraceID{}, int32(iter), 0, "", g.scheme, 0, delta)
+}
+
 // recordRun observes end-of-training aggregates: the rounds-to-converge
-// histogram. Nil-safe via the registry's no-op handles.
+// histogram, plus a terminal "consensus.done" journal event stamped with the
+// same public rounds-to-converge count. Nil-safe via the registry's no-op
+// handles.
 func recordRun(r *telemetry.Registry, h *History) {
 	//ppml:flow-ok rounds-to-converge is run metadata (the Fig. 4 curve), an aggregate over the whole cohort, not a sample of any learner's data
 	r.Histogram(metricADMMRounds, telemetry.IterationBuckets).Observe(float64(h.Iterations))
+	//ppml:flow-ok rounds-to-converge is run metadata (the Fig. 4 curve), an aggregate over the whole cohort, not a sample of any learner's data
+	r.Journal().Emit("reducer", "consensus.done", telemetry.TraceID{}, int32(h.Iterations), 0, "", "", 0, float64(h.Iterations))
 }

@@ -23,6 +23,7 @@ package mapreduce
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/ppml-go/ppml/internal/telemetry"
 )
@@ -49,6 +50,9 @@ type asyncComputer struct {
 	mapper   IterativeMapper
 	retries  int
 	retryCtr *telemetry.Counter
+	journal  *telemetry.Journal
+	node     string
+	trace    telemetry.TraceID
 
 	jobs    chan asyncJob
 	results chan asyncResult
@@ -60,11 +64,14 @@ type asyncComputer struct {
 	stamp   [1]byte   // reused ready-declaration staleness stamp
 }
 
-func newAsyncComputer(mapper IterativeMapper, retries int, retryCtr *telemetry.Counter) *asyncComputer {
+func newAsyncComputer(mapper IterativeMapper, retries int, retryCtr *telemetry.Counter, journal *telemetry.Journal, node string, trace telemetry.TraceID) *asyncComputer {
 	c := &asyncComputer{
 		mapper:   mapper,
 		retries:  retries,
 		retryCtr: retryCtr,
+		journal:  journal,
+		node:     node,
+		trace:    trace,
 		jobs:     make(chan asyncJob, 1),
 		// Capacity bounds the worker's undelivered backlog (≤ 1 queued job +
 		// 1 in flight) so the worker always exits after close(jobs) even if
@@ -83,6 +90,9 @@ func (c *asyncComputer) worker() {
 	for j := range c.jobs {
 		var contrib []float64
 		var err error
+		//ppml:flow-ok the job's round counter is decoded from the reducer's public state broadcast — coordination metadata, not payload content
+		c.journal.Emit(c.node, "solve.start", c.trace, int32(j.iter), 0, "", "", 0, 0)
+		solveStart := time.Now()
 		for attempt := 0; ; attempt++ {
 			contrib, err = c.mapper.Contribution(j.iter, j.state)
 			if err == nil {
@@ -94,6 +104,8 @@ func (c *asyncComputer) worker() {
 			}
 			c.retryCtr.Inc()
 		}
+		//ppml:flow-ok the job's round counter is decoded from the reducer's public state broadcast — coordination metadata, not payload content
+		c.journal.Emit(c.node, "solve.end", c.trace, int32(j.iter), 0, "", "", 0, time.Since(solveStart).Seconds())
 		// The mapper's return value aliases buffers its next solve will
 		// overwrite; the result must own its bytes.
 		c.results <- asyncResult{iter: j.iter, contrib: append([]float64(nil), contrib...)}

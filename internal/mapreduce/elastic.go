@@ -46,9 +46,12 @@ import (
 
 // elasticDriver is the Reducer-side state of one elastic job.
 type elasticDriver struct {
-	session uint64
-	names   []string
-	redEP   transport.Endpoint
+	session    uint64
+	trace      telemetry.TraceID
+	parentSpan uint64
+	journal    *telemetry.Journal
+	names      []string
+	redEP      transport.Endpoint
 
 	agg           Aggregation
 	maskMode      MaskMode
@@ -91,10 +94,7 @@ func (d *elasticDriver) recordStaleness(id int, payload []byte) {
 	if d.weights == nil {
 		return
 	}
-	s := 0
-	if len(payload) >= 1 {
-		s = int(payload[0])
-	}
+	s := stalenessStamp(payload)
 	//ppml:flow-ok the staleness stamp is a public round-age counter the mapper declares for weighting — a round-index difference, never derived from share contents
 	d.staleHist.Observe(float64(s))
 	w := 1.0
@@ -102,6 +102,16 @@ func (d *elasticDriver) recordStaleness(id int, payload []byte) {
 		w *= d.decay
 	}
 	d.weights[id] = w
+}
+
+// stalenessStamp decodes the optional round-age byte on a ready declaration
+// — 0 for a strict (empty) declaration. The stamp is a public round-counter
+// difference, never derived from share contents.
+func stalenessStamp(payload []byte) int {
+	if len(payload) >= 1 {
+		return int(payload[0])
+	}
+	return 0
 }
 
 // rosterWeight sums the recorded κ^s weights over the final roster.
@@ -234,6 +244,8 @@ func (d *elasticDriver) reduceLoop(ctx context.Context, job IterativeJob, state 
 		roundStart := time.Now()
 		spanCtx, roundSpan := telemetry.StartSpan(ctx, "round")
 		r := int32(iter)
+		//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+		d.journal.Emit(reducerName, "round.start", d.trace, r, 0, "", "", 0, 0)
 		// Sweep out frames no future filter will claim: superseded-attempt
 		// shares and late ready declarations of finished rounds.
 		if ev, ok := d.redEP.(transport.Evictor); ok {
@@ -248,6 +260,8 @@ func (d *elasticDriver) reduceLoop(ctx context.Context, job IterativeJob, state 
 		roundDurSecs := time.Since(roundStart).Seconds()
 		d.roundDur.Observe(roundDurSecs)
 		d.rounds.Inc()
+		//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+		d.journal.Emit(reducerName, "round.end", d.trace, r, 0, "", "", 0, roundDurSecs)
 		n := roster.Count()
 		d.participants.Set(float64(n))
 		for i := 0; i < m; i++ {
@@ -255,9 +269,13 @@ func (d *elasticDriver) reduceLoop(ctx context.Context, job IterativeJob, state 
 			case prev.Has(i) && !roster.Has(i):
 				d.demotions.Inc()
 				d.res.Demotions++
+				//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+				d.journal.Emit(reducerName, "mapper.demote", d.trace, r, 0, d.names[i], "", 0, 0)
 			case !prev.Has(i) && roster.Has(i):
 				d.rejoins.Inc()
 				d.res.Rejoins++
+				//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+				d.journal.Emit(reducerName, "mapper.rejoin", d.trace, r, 0, d.names[i], "", 0, 0)
 			}
 			// Missed-heartbeat write-off: a mapper demoted WriteOffAfter
 			// rounds in a row is declared permanently dead so later rounds
@@ -269,6 +287,8 @@ func (d *elasticDriver) reduceLoop(ctx context.Context, job IterativeJob, state 
 				d.silent[i] = 0
 			} else if d.silent[i]++; d.writeOffAfter > 0 && d.silent[i] >= d.writeOffAfter {
 				d.dead[i] = true
+				//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+				d.journal.Emit(reducerName, "mapper.writeoff", d.trace, r, 0, d.names[i], "", 0, float64(d.silent[i]))
 			}
 		}
 		prev = roster
@@ -314,7 +334,7 @@ func (d *elasticDriver) round(ctx context.Context, r int32, state []float64) (tr
 	for i := range d.weights {
 		d.weights[i] = 1
 	}
-	hdr := transport.Header{Session: d.session, Round: r}
+	hdr := transport.Header{Session: d.session, Round: r, Trace: d.trace, ParentSpan: d.parentSpan}
 	payload := appendStatePayload(d.scratch.bcast[:0], int(r), state)
 	d.scratch.bcast = payload
 	alive := 0
@@ -455,6 +475,8 @@ func (d *elasticDriver) fillReady(ctx context.Context, r int32, roster transport
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 				d.timeouts.Inc()
+				//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+				d.journal.Emit(reducerName, "round.timeout", d.trace, r, 0, "", "ready", 0, 0)
 				break // the deadline IS the roster declaration
 			}
 			return alive, fmt.Errorf("mapreduce ready phase: %w", err)
@@ -468,6 +490,8 @@ func (d *elasticDriver) fillReady(ctx context.Context, r int32, roster transport
 			if !d.dead[id] && !roster.Has(id) {
 				roster.Add(id)
 				d.recordStaleness(id, msg.Payload)
+				//ppml:flow-ok the round counter and staleness stamp are public round indices — coordination metadata, never derived from share contents
+				d.journal.Emit(reducerName, "ready.recv", d.trace, r, 0, d.names[id], "", 0, float64(stalenessStamp(msg.Payload)))
 				ready++
 			}
 		case KindAbort:
@@ -492,7 +516,10 @@ func (d *elasticDriver) fillReady(ctx context.Context, r int32, roster transport
 // whole roster would collapse the round.
 func (d *elasticDriver) collectAttempt(ctx context.Context, r, attempt int32, roster transport.Roster, got []bool) (sum []float64, outcome attemptOutcome, err error) {
 	n := roster.Count()
-	rosterHdr := transport.Header{Session: d.session, Round: r, Roster: roster, Attempt: attempt}
+	rosterHdr := transport.Header{Session: d.session, Round: r, Roster: roster, Attempt: attempt,
+		Trace: d.trace, ParentSpan: d.parentSpan}
+	//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+	d.journal.Emit(reducerName, "roster.declared", d.trace, r, attempt, "", "", 0, float64(n))
 	for i, name := range d.names {
 		if !roster.Has(i) {
 			continue
@@ -535,6 +562,8 @@ func (d *elasticDriver) collectAttempt(ctx context.Context, r, attempt int32, ro
 		}
 		if timedOut {
 			d.timeouts.Inc()
+			//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+			d.journal.Emit(reducerName, "round.timeout", d.trace, r, attempt, "", "share", 0, float64(collected))
 			if collected == 0 && d.maskMode == MaskPerRound {
 				return nil, attemptReready, nil
 			}
@@ -545,6 +574,8 @@ func (d *elasticDriver) collectAttempt(ctx context.Context, r, attempt int32, ro
 			// whole cohort for one tight window would abort a healthy job.
 			if collected < d.quorum && rearms < maxStuckAttempts {
 				rearms++
+				//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+				d.journal.Emit(reducerName, "window.rearm", d.trace, r, attempt, "", "", 0, float64(rearms))
 				windowEnd = time.Now().Add(d.timeout)
 				continue
 			}
@@ -576,6 +607,8 @@ func (d *elasticDriver) collectAttempt(ctx context.Context, r, attempt int32, ro
 			}
 			got[id] = true
 			collected++
+			//ppml:flow-ok the round counter and share byte length are envelope metadata — indices and sizes, not share contents
+			d.journal.Emit(reducerName, "share.recv", d.trace, r, attempt, d.names[id], securesum.KindShare, int64(len(msg.Payload)), 0)
 		case KindAbort:
 			if d.dead[id] {
 				continue
@@ -614,6 +647,8 @@ func (d *elasticDriver) recollectReady(ctx context.Context, r int32, old transpo
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 				d.timeouts.Inc()
+				//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+				d.journal.Emit(reducerName, "round.timeout", d.trace, r, 0, "", "reready", 0, 0)
 				break
 			}
 			return nil, fmt.Errorf("mapreduce re-ready phase: %w", err)
@@ -627,6 +662,8 @@ func (d *elasticDriver) recollectReady(ctx context.Context, r int32, old transpo
 			if !d.dead[id] && old.Has(id) && !roster.Has(id) {
 				roster.Add(id)
 				d.recordStaleness(id, msg.Payload)
+				//ppml:flow-ok the round counter and staleness stamp are public round indices — coordination metadata, never derived from share contents
+				d.journal.Emit(reducerName, "ready.recv", d.trace, r, 0, d.names[id], "", 0, float64(stalenessStamp(msg.Payload)))
 				ready++
 			}
 		case KindAbort:
@@ -673,6 +710,8 @@ func (d *elasticDriver) collectLoose(ctx context.Context, r int32, alive int) (t
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 				d.timeouts.Inc()
+				//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+				d.journal.Emit(reducerName, "round.timeout", d.trace, r, 0, "", kind, 0, float64(collected))
 				break
 			}
 			return nil, nil, fmt.Errorf("mapreduce reduce: %w", err)
@@ -728,6 +767,8 @@ func (d *elasticDriver) collectLoose(ctx context.Context, r int32, alive int) (t
 		}
 		roster.Add(id)
 		collected++
+		//ppml:flow-ok the round counter and share byte length are envelope metadata — indices and sizes, not share contents
+		d.journal.Emit(reducerName, "share.recv", d.trace, r, 0, d.names[id], kind, int64(len(msg.Payload)), 0)
 	}
 	if roster.Count() < d.quorum {
 		//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
@@ -783,7 +824,7 @@ func runMapperNodeElastic(ctx context.Context, cfg mapperNodeConfig) error {
 			perRound.SetTelemetry(cfg.sstel)
 		}
 	} else {
-		seeded, err = securesum.SetupSeeded(ctx, cfg.ep, cfg.names, cfg.id, cfg.dim, cfg.codec, nil, cfg.session, cfg.sstel)
+		seeded, err = securesum.SetupSeeded(ctx, cfg.ep, cfg.names, cfg.id, cfg.dim, cfg.codec, nil, cfg.header(securesum.SetupRound), cfg.sstel)
 	}
 	if err != nil {
 		return fmt.Errorf("mapper %d aggregation setup: %w", cfg.id, err)
@@ -793,7 +834,7 @@ func runMapperNodeElastic(ctx context.Context, cfg mapperNodeConfig) error {
 	// (≤ S rounds old) contribution instead of stalling the roster.
 	var ac *asyncComputer
 	if cfg.staleness > 0 {
-		ac = newAsyncComputer(cfg.mapper, cfg.retries, cfg.retryCtr)
+		ac = newAsyncComputer(cfg.mapper, cfg.retries, cfg.retryCtr, cfg.journal, cfg.node(), cfg.trace)
 		defer ac.close()
 	}
 	idle := idleFilter(cfg.session)
@@ -830,7 +871,7 @@ func runMapperNodeElastic(ctx context.Context, cfg mapperNodeConfig) error {
 		if ev, ok := cfg.ep.(transport.Evictor); ok {
 			ev.Evict(staleRoundFilter(cfg.session, round))
 		}
-		hdr := transport.Header{Session: cfg.session, Round: round}
+		hdr := cfg.header(round)
 		var contrib []float64
 		var readyPayload []byte
 		if ac != nil {
@@ -850,6 +891,9 @@ func runMapperNodeElastic(ctx context.Context, cfg mapperNodeConfig) error {
 				return fmt.Errorf("mapper %d: %w", cfg.id, err)
 			}
 		} else {
+			//ppml:flow-ok the round counter is decoded from the reducer's public state broadcast — coordination metadata, not payload content
+			cfg.journal.Emit(cfg.node(), "solve.start", cfg.trace, round, 0, "", "", 0, 0)
+			solveStart := time.Now()
 			for attempt := 0; ; attempt++ {
 				contrib, err = cfg.mapper.Contribution(iter, state)
 				if err == nil {
@@ -863,10 +907,14 @@ func runMapperNodeElastic(ctx context.Context, cfg mapperNodeConfig) error {
 				}
 				cfg.retryCtr.Inc()
 			}
+			//ppml:flow-ok the round counter is decoded from the reducer's public state broadcast — coordination metadata, not payload content
+			cfg.journal.Emit(cfg.node(), "solve.end", cfg.trace, round, 0, "", "", 0, time.Since(solveStart).Seconds())
 		}
 		if err := cfg.ep.Send(ctx, reducerName, KindReady, hdr, readyPayload); err != nil {
 			return fmt.Errorf("mapper %d: ready: %w", cfg.id, err)
 		}
+		//ppml:flow-ok the round counter (from the public state broadcast) and the staleness stamp are round indices — coordination metadata, never share contents
+		cfg.journal.Emit(cfg.node(), "ready.sent", cfg.trace, round, 0, reducerName, "", 0, float64(stalenessStamp(readyPayload)))
 		// Serve roster attempts until the next broadcast (or stop) arrives.
 		waitF := rosterWaitFilter(cfg.session, round)
 		var inner *transport.Message
@@ -892,25 +940,39 @@ func runMapperNodeElastic(ctx context.Context, cfg mapperNodeConfig) error {
 				if !m2.Roster.Has(cfg.id) {
 					continue // demoted this round; wait for the next broadcast
 				}
+				//ppml:flow-ok the round counter is decoded from the reducer's public state broadcast — coordination metadata, not payload content
+				cfg.journal.Emit(cfg.node(), "roster.recv", cfg.trace, round, m2.Attempt, "", "", 0, float64(m2.Roster.Count()))
 				live := m2.Roster.Bools(m)
-				shareHdr := transport.Header{Session: cfg.session, Round: round, Roster: m2.Roster, Attempt: m2.Attempt}
+				shareHdr := cfg.header(round)
+				shareHdr.Roster = m2.Roster
+				shareHdr.Attempt = m2.Attempt
 				if seeded != nil {
+					maskStart := time.Now()
+					cfg.sstel.JournalMaskPhase(cfg.node(), "mask.start", cfg.trace, round, m2.Attempt, 0)
 					payload, err := seeded.RoundShareBytesFor(round, contrib, live)
 					if err != nil {
 						return fmt.Errorf("mapper %d: %w", cfg.id, err)
 					}
+					cfg.sstel.JournalMaskPhase(cfg.node(), "mask.end", cfg.trace, round, m2.Attempt, time.Since(maskStart))
 					if err := cfg.ep.Send(ctx, reducerName, securesum.KindShare, shareHdr, payload); err != nil {
 						return fmt.Errorf("mapper %d: %w", cfg.id, err)
 					}
 					cfg.sstel.RecordShare(len(payload))
+					//ppml:flow-ok the round counter (from the public state broadcast) and the share's byte length are envelope metadata — indices and sizes, not share contents
+					cfg.journal.Emit(cfg.node(), "share.sent", cfg.trace, round, m2.Attempt, reducerName, securesum.KindShare, int64(len(payload)), 0)
 				} else {
 					rctx, rcancel := ctx, context.CancelFunc(nil)
 					if cfg.straggler > 0 {
 						rctx, rcancel = context.WithTimeout(ctx, cfg.straggler)
 					}
+					maskStart := time.Now()
+					cfg.sstel.JournalMaskPhase(cfg.node(), "mask.start", cfg.trace, round, m2.Attempt, 0)
 					ctrl, err := perRound.RoundRoster(rctx, shareHdr, contrib, live)
 					if rcancel != nil {
 						rcancel()
+					}
+					if err == nil {
+						cfg.sstel.JournalMaskPhase(cfg.node(), "mask.end", cfg.trace, round, m2.Attempt, time.Since(maskStart))
 					}
 					if err != nil {
 						if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
@@ -924,6 +986,8 @@ func runMapperNodeElastic(ctx context.Context, cfg mapperNodeConfig) error {
 							if err := cfg.ep.Send(ctx, reducerName, KindReady, hdr, readyPayload); err != nil {
 								return fmt.Errorf("mapper %d: ready: %w", cfg.id, err)
 							}
+							//ppml:flow-ok the round counter (from the public state broadcast) and the staleness stamp are round indices — coordination metadata, never share contents
+							cfg.journal.Emit(cfg.node(), "ready.sent", cfg.trace, round, 0, reducerName, "", 0, float64(stalenessStamp(readyPayload)))
 							continue
 						}
 						return fmt.Errorf("mapper %d aggregation: %w", cfg.id, err)

@@ -273,6 +273,12 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	}
 
 	session := sessionCounter.Add(1)
+	// Trace identity for the whole session: the reducer mints it here and
+	// stamps it into every envelope; mappers echo it back, so every node's
+	// journal keys its events to the same cross-node timeline.
+	trace := telemetry.NewTraceID()
+	parentSpan := telemetry.NewSpanID()
+	journal := reg.Journal()
 	m := len(job.Mappers)
 	elastic := opts.StragglerTimeout > 0
 	decay := opts.StalenessDecay
@@ -363,21 +369,24 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	for i := 0; i < m; i++ {
 		go func(i int) {
 			cfg := mapperNodeConfig{
-				id:        i,
-				session:   session,
-				names:     names,
-				ep:        mapEPs[i],
-				mapper:    job.Mappers[i],
-				agg:       agg,
-				maskMode:  opts.MaskMode,
-				codec:     codec,
-				dim:       job.ContributionDim,
-				retries:   opts.MapRetries,
-				straggler: opts.StragglerTimeout,
-				staleness: opts.Staleness,
-				decay:     decay,
-				sstel:     sstel,
-				retryCtr:  retries,
+				id:         i,
+				session:    session,
+				trace:      trace,
+				parentSpan: parentSpan,
+				names:      names,
+				ep:         mapEPs[i],
+				mapper:     job.Mappers[i],
+				agg:        agg,
+				maskMode:   opts.MaskMode,
+				codec:      codec,
+				dim:        job.ContributionDim,
+				retries:    opts.MapRetries,
+				straggler:  opts.StragglerTimeout,
+				staleness:  opts.Staleness,
+				decay:      decay,
+				sstel:      sstel,
+				retryCtr:   retries,
+				journal:    journal,
 			}
 			if pack != nil {
 				cfg.pack = pack
@@ -426,7 +435,8 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 	var jobErr error
 	if elastic {
 		ed := &elasticDriver{
-			session: session, names: names, redEP: redEP,
+			session: session, trace: trace, parentSpan: parentSpan, journal: journal,
+			names: names, redEP: redEP,
 			agg: agg, maskMode: opts.MaskMode, codec: codec, key: opts.PaillierKey, pack: pack,
 			quorum: quorum, timeout: opts.StragglerTimeout, writeOffAfter: opts.WriteOffAfter,
 			staleness: opts.Staleness, decay: decay,
@@ -442,7 +452,7 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 			ed.staleHist = reg.Histogram(metricStaleness, stalenessBuckets)
 		}
 		state, jobErr = ed.reduceLoop(ctx, job, state, startIter)
-		stopHdr := transport.Header{Session: session, Round: int32(res.Iterations)}
+		stopHdr := transport.Header{Session: session, Round: int32(res.Iterations), Trace: trace, ParentSpan: parentSpan}
 		stopPayload := encodeStatePayload(res.Iterations, state)
 		for _, name := range names {
 			//ppml:err-ok best-effort teardown: a demoted or dead mapper cannot receive its stop, which is exactly the failure mode the elastic driver absorbs
@@ -462,6 +472,11 @@ func RunDistributed(ctx context.Context, job IterativeJob, opts DriverOptions) (
 			<-mapperErrs
 		}
 		if jobErr != nil {
+			// Post-mortem flight-recorder dump (PPML_JOURNAL_DUMP-gated): the
+			// journal's last window is exactly the evidence an aborted
+			// distributed round leaves behind. Best-effort — the job error
+			// below is the one worth reporting.
+			_, _ = reg.AutoDumpJournal(trace.String())
 			return nil, jobErr
 		}
 		res.FinalState = state
@@ -480,7 +495,9 @@ reduceLoop:
 		if ev, ok := redEP.(transport.Evictor); ok {
 			ev.Evict(staleRoundFilter(session, int32(iter)))
 		}
-		hdr := transport.Header{Session: session, Round: int32(iter)}
+		//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+		journal.Emit(reducerName, "round.start", trace, int32(iter), 0, "", "", 0, 0)
+		hdr := transport.Header{Session: session, Round: int32(iter), Trace: trace, ParentSpan: parentSpan}
 		payload := appendStatePayload(scratch.bcast[:0], iter, state)
 		scratch.bcast = payload
 		for _, name := range names {
@@ -516,6 +533,8 @@ reduceLoop:
 		roundSpan.End()
 		roundDur.Observe(time.Since(roundStart).Seconds())
 		rounds.Inc()
+		//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
+		journal.Emit(reducerName, "round.end", trace, int32(iter), 0, "", "", 0, time.Since(roundStart).Seconds())
 		next, done, err := job.Reducer.Combine(iter, sum)
 		if err != nil {
 			//ppml:flow-ok the round counter resumes from checkpoint state — public coordination metadata, not payload content
@@ -545,7 +564,7 @@ reduceLoop:
 
 	// Tear down: final state rides on the stop message, stamped with the
 	// round the job finished on so transcripts show where it stopped.
-	stopHdr := transport.Header{Session: session, Round: int32(res.Iterations)}
+	stopHdr := transport.Header{Session: session, Round: int32(res.Iterations), Trace: trace, ParentSpan: parentSpan}
 	stopPayload := encodeStatePayload(res.Iterations, state)
 	for _, name := range names {
 		//ppml:err-ok best-effort teardown: a mapper that already exited (or a dead link) must not mask the job result collected below
@@ -557,6 +576,9 @@ reduceLoop:
 		}
 	}
 	if jobErr != nil {
+		// Best-effort post-mortem dump: the job error below is the one worth
+		// reporting.
+		_, _ = reg.AutoDumpJournal(trace.String())
 		return nil, jobErr
 	}
 	res.FinalState = state
@@ -587,23 +609,36 @@ func (p *LocalityPlan) remoteBytes(mappers int) (int64, error) {
 }
 
 type mapperNodeConfig struct {
-	id        int
-	session   uint64
-	names     []string
-	ep        transport.Endpoint
-	mapper    IterativeMapper
-	agg       Aggregation
-	maskMode  MaskMode
-	codec     fixedpoint.Codec
-	dim       int
-	retries   int
-	straggler time.Duration // elastic mode: per-attempt mask-exchange deadline
-	staleness int           // bounded-staleness window S; 0 = synchronous rounds
-	decay     float64       // κ, the per-round stale-share discount
-	pack      *paillier.Packing
-	cipherCtr *telemetry.Counter
-	sstel     *securesum.Telemetry
-	retryCtr  *telemetry.Counter
+	id         int
+	session    uint64
+	trace      telemetry.TraceID // session trace identity, echoed on every send
+	parentSpan uint64            // reducer's session span, the trace's parent edge
+	names      []string
+	ep         transport.Endpoint
+	mapper     IterativeMapper
+	agg        Aggregation
+	maskMode   MaskMode
+	codec      fixedpoint.Codec
+	dim        int
+	retries    int
+	straggler  time.Duration // elastic mode: per-attempt mask-exchange deadline
+	staleness  int           // bounded-staleness window S; 0 = synchronous rounds
+	decay      float64       // κ, the per-round stale-share discount
+	pack       *paillier.Packing
+	cipherCtr  *telemetry.Counter
+	sstel      *securesum.Telemetry
+	retryCtr   *telemetry.Counter
+	journal    *telemetry.Journal // flight recorder; nil when telemetry is off
+}
+
+// node returns this mapper's endpoint name, the journal's emitting-node
+// label.
+func (c *mapperNodeConfig) node() string { return c.names[c.id] }
+
+// header returns the session envelope for round iter, carrying the trace
+// context every mapper echoes back to the reducer.
+func (c *mapperNodeConfig) header(iter int32) transport.Header {
+	return transport.Header{Session: c.session, Round: iter, Trace: c.trace, ParentSpan: c.parentSpan}
 }
 
 // reduceScratch is the Reducer's per-session reuse state: one collector
@@ -657,7 +692,7 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 				perRound.SetTelemetry(cfg.sstel)
 			}
 		} else {
-			seeded, err = securesum.SetupSeeded(ctx, cfg.ep, cfg.names, cfg.id, cfg.dim, cfg.codec, nil, cfg.session, cfg.sstel)
+			seeded, err = securesum.SetupSeeded(ctx, cfg.ep, cfg.names, cfg.id, cfg.dim, cfg.codec, nil, cfg.header(securesum.SetupRound), cfg.sstel)
 		}
 		if err != nil {
 			return fmt.Errorf("mapper %d aggregation setup: %w", cfg.id, err)
@@ -680,7 +715,10 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 		if err != nil {
 			return fmt.Errorf("mapper %d: %w", cfg.id, err)
 		}
-		hdr := transport.Header{Session: cfg.session, Round: int32(iter)}
+		hdr := cfg.header(int32(iter))
+		//ppml:flow-ok the round counter is decoded from the reducer's public state broadcast — coordination metadata, not payload content
+		cfg.journal.Emit(cfg.node(), "solve.start", cfg.trace, int32(iter), 0, "", "", 0, 0)
+		solveStart := time.Now()
 		var contrib []float64
 		for attempt := 0; ; attempt++ {
 			contrib, err = cfg.mapper.Contribution(iter, state)
@@ -695,6 +733,8 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 			}
 			cfg.retryCtr.Inc()
 		}
+		//ppml:flow-ok the round counter is decoded from the reducer's public state broadcast — coordination metadata, not payload content
+		cfg.journal.Emit(cfg.node(), "solve.end", cfg.trace, int32(iter), 0, "", "", 0, time.Since(solveStart).Seconds())
 		switch cfg.agg {
 		case AggregationPlain:
 			//ppml:plaintext-ok AggregationPlain is the deliberate no-privacy ablation baseline (Fig. 5 comparisons); selecting it is an explicit opt-out
@@ -717,16 +757,24 @@ func runMapperNode(ctx context.Context, cfg mapperNodeConfig) error {
 			if seeded != nil {
 				// Seeded mode: derive this round's masks locally and send
 				// only the masked share — no per-round mask messages.
+				cfg.sstel.JournalMaskPhase(cfg.node(), "mask.start", cfg.trace, int32(iter), 0, 0)
+				maskStart := time.Now()
 				var payload []byte
 				payload, err = seeded.RoundShareBytes(int32(iter), contrib)
+				cfg.sstel.JournalMaskPhase(cfg.node(), "mask.end", cfg.trace, int32(iter), 0, time.Since(maskStart))
 				if err == nil {
 					err = cfg.ep.Send(ctx, reducerName, securesum.KindShare, hdr, payload)
 				}
 				if err == nil {
 					cfg.sstel.RecordShare(len(payload))
+					//ppml:flow-ok the round counter (from the public state broadcast) and the share's byte length are envelope metadata — indices and sizes, not share contents
+					cfg.journal.Emit(cfg.node(), "share.sent", cfg.trace, int32(iter), 0, reducerName, securesum.KindShare, int64(len(payload)), 0)
 				}
 			} else {
+				cfg.sstel.JournalMaskPhase(cfg.node(), "mask.start", cfg.trace, int32(iter), 0, 0)
+				maskStart := time.Now()
 				err = perRound.Round(ctx, hdr, contrib)
+				cfg.sstel.JournalMaskPhase(cfg.node(), "mask.end", cfg.trace, int32(iter), 0, time.Since(maskStart))
 			}
 			if err != nil {
 				// A stop or abort that lands mid-protocol unwinds here; it is

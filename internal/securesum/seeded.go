@@ -296,12 +296,15 @@ func seedFilter(session uint64) transport.Filter {
 // SetupSeeded runs the one-time seed exchange of a session for one Mapper:
 // it sends a fresh seed to every peer, absorbs the m−1 peer seeds, and
 // returns the session state whose RoundShare replaces the per-round protocol
-// in every subsequent round. names and self are as in RunParty. tel (which
-// may be nil) counts the seed messages and times the handshake.
-func SetupSeeded(ctx context.Context, ep transport.Endpoint, names []string, self, dim int, codec fixedpoint.Codec, random io.Reader, session uint64, tel *Telemetry) (*SeededSession, error) {
+// in every subsequent round. names and self are as in RunParty. base is the
+// session's envelope header — its Session scopes the exchange and its trace
+// context rides on every seed message; the round is overridden with
+// SetupRound. tel (which may be nil) counts the seed messages and times the
+// handshake.
+func SetupSeeded(ctx context.Context, ep transport.Endpoint, names []string, self, dim int, codec fixedpoint.Codec, random io.Reader, base transport.Header, tel *Telemetry) (*SeededSession, error) {
 	start := time.Now()
 	m := len(names)
-	s, err := NewSeededSession(self, m, dim, session, codec, random)
+	s, err := NewSeededSession(self, m, dim, base.Session, codec, random)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +312,10 @@ func SetupSeeded(ctx context.Context, ep transport.Endpoint, names []string, sel
 	for id, name := range names {
 		idOf[name] = id
 	}
-	hdr := transport.Header{Session: session, Round: SetupRound}
+	hdr := base
+	hdr.Round = SetupRound
+	hdr.Roster = nil
+	hdr.Attempt = 0
 	for peer := 0; peer < m; peer++ {
 		if peer == self {
 			continue
@@ -323,8 +329,9 @@ func SetupSeeded(ctx context.Context, ep transport.Endpoint, names []string, sel
 			return nil, fmt.Errorf("securesum: send seed to %q: %w", names[peer], err)
 		}
 		tel.RecordSeed(len(seed))
+		tel.JournalSeedSent(names[self], names[peer], hdr.Trace, len(seed))
 	}
-	filter := seedFilter(session)
+	filter := seedFilter(base.Session)
 	for received := 0; received < m-1; received++ {
 		msg, err := ep.RecvMatch(ctx, filter)
 		if err != nil {
@@ -337,7 +344,9 @@ func SetupSeeded(ctx context.Context, ep transport.Endpoint, names []string, sel
 		if err := s.SetPeerSeed(peer, msg.Payload); err != nil {
 			return nil, err
 		}
+		tel.JournalSeedRecv(names[self], msg.From, hdr.Trace, len(msg.Payload))
 	}
 	tel.ObserveHandshake(time.Since(start))
+	tel.JournalHandshakeDone(names[self], hdr.Trace, time.Since(start))
 	return s, nil
 }

@@ -228,7 +228,7 @@ func runSeededRounds(t *testing.T, net transport.Network, values [][]float64, ro
 	errs := make(chan error, m)
 	for i := 0; i < m; i++ {
 		go func(i int) {
-			s, err := SetupSeeded(ctx, eps[i], names, i, dim, codec, nil, session, nil)
+			s, err := SetupSeeded(ctx, eps[i], names, i, dim, codec, nil, transport.Header{Session: session}, nil)
 			if err != nil {
 				errs <- err
 				return

@@ -28,6 +28,7 @@ type Telemetry struct {
 	maskMsgs, maskBytes   *telemetry.Counter
 	shareMsgs, shareBytes *telemetry.Counter
 	handshake             *telemetry.Histogram
+	journal               *telemetry.Journal
 }
 
 // NewTelemetry prepares the protocol's series on r for the given mask mode.
@@ -46,6 +47,7 @@ func NewTelemetry(r *telemetry.Registry, mode MaskMode) *Telemetry {
 		shareMsgs:  r.Counter(metricMsgs, ml, kindL("share")),
 		shareBytes: r.Counter(metricBytes, ml, kindL("share")),
 		handshake:  r.Histogram(metricHandshake, telemetry.DurationBuckets, ml),
+		journal:    r.Journal(),
 	}
 }
 
@@ -82,4 +84,45 @@ func (t *Telemetry) ObserveHandshake(d time.Duration) {
 		return
 	}
 	t.handshake.Observe(d.Seconds())
+}
+
+// The journal emitters below record mask-exchange lifecycle events in the
+// flight recorder. One Telemetry is shared by every mapper of a job, so the
+// emitting node's name is a per-call argument. All arguments are public
+// coordination metadata: node names, the trace identity, round/attempt
+// counters, byte counts, durations.
+
+// JournalSeedSent records one sent setup seed (byte count only).
+func (t *Telemetry) JournalSeedSent(node, peer string, trace telemetry.TraceID, bytes int) {
+	if t == nil {
+		return
+	}
+	t.journal.Emit(node, "seed.sent", trace, SetupRound, 0, peer, "", int64(bytes), 0)
+}
+
+// JournalSeedRecv records one received setup seed (byte count only).
+func (t *Telemetry) JournalSeedRecv(node, peer string, trace telemetry.TraceID, bytes int) {
+	if t == nil {
+		return
+	}
+	t.journal.Emit(node, "seed.recv", trace, SetupRound, 0, peer, "", int64(bytes), 0)
+}
+
+// JournalHandshakeDone records one completed seed exchange with its
+// duration in seconds.
+func (t *Telemetry) JournalHandshakeDone(node string, trace telemetry.TraceID, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.journal.Emit(node, "handshake.done", trace, SetupRound, 0, "", "", 0, d.Seconds())
+}
+
+// JournalMaskPhase records the start or end of one round's mask derivation
+// (event "mask.start" / "mask.end"; the end event carries the phase
+// duration in seconds).
+func (t *Telemetry) JournalMaskPhase(node, event string, trace telemetry.TraceID, round, attempt int32, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.journal.Emit(node, event, trace, round, attempt, "", "", 0, d.Seconds())
 }

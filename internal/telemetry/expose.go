@@ -128,6 +128,10 @@ func (r *Registry) WriteVars(w io.Writer) error {
 		}})
 	}
 	vars = append(vars, kv{"spans", map[string]any{"recent": snap.Spans, "total": snap.SpansTotal}})
+	vars = append(vars, kv{"journal", map[string]any{"total": snap.JournalTotal, "capacity": r.Journal().Capacity()}})
+	if snap.RunInfo != nil {
+		vars = append(vars, kv{"runinfo", snap.RunInfo})
+	}
 	sort.Slice(vars, func(i, j int) bool { return vars[i].key < vars[j].key })
 
 	if _, err := io.WriteString(w, "{\n"); err != nil {
@@ -196,9 +200,10 @@ func (r *Registry) Handler() http.Handler {
 
 // NewMux returns an http.ServeMux exposing the registry and the runtime:
 //
-//	/metrics        Prometheus text format
-//	/debug/vars     expvar-compatible JSON snapshot
-//	/debug/pprof/   net/http/pprof profiles
+//	/metrics             Prometheus text format
+//	/debug/vars          expvar-compatible JSON snapshot
+//	/debug/ppml/journal  flight-recorder dump (JSON), merged by ppml-trace
+//	/debug/pprof/        net/http/pprof profiles
 //
 // Mounted on a private mux (not http.DefaultServeMux) so importing this
 // package never changes the default mux of the embedding process.
@@ -210,6 +215,12 @@ func NewMux(r *Registry) *http.ServeMux {
 		// A broken scrape connection is the scraper's problem; nothing to
 		// do server-side.
 		_ = r.WriteVars(w)
+	})
+	mux.HandleFunc("/debug/ppml/journal", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		// A broken scrape connection is the scraper's problem; nothing to
+		// do server-side.
+		_ = r.WriteJournal(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

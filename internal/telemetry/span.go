@@ -80,22 +80,42 @@ func (s *Span) End() {
 	})
 }
 
-// spanRingSize bounds the recent-span buffer: large enough to hold the tail
-// of a long training run, small enough to be snapshot-cheap.
-const spanRingSize = 256
+// DefaultSpanRing bounds the recent-span buffer when neither WithSpanRing
+// nor PPML_SPAN_RING resizes it: large enough to hold the tail of a long
+// training run, small enough to be snapshot-cheap. At M=64 with chunked
+// async solves a round can finish dozens of spans, so deep post-mortems
+// should raise it (DESIGN.md §16 discusses the memory tradeoff).
+const DefaultSpanRing = 256
 
-// spanRing keeps the most recent finished spans.
+// spanRing keeps the most recent finished spans. The buffer is sized
+// lazily so the zero value works and resize stays cheap before first use.
 type spanRing struct {
 	mu    sync.Mutex
-	buf   [spanRingSize]SpanRecord
+	buf   []SpanRecord
 	next  int
 	total uint64
 }
 
+// resize sets the ring capacity, dropping any buffered spans. Called at
+// registry construction, before concurrent use.
+func (r *spanRing) resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.mu.Lock()
+	r.buf = make([]SpanRecord, capacity)
+	r.next = 0
+	r.total = 0
+	r.mu.Unlock()
+}
+
 func (r *spanRing) record(rec SpanRecord) {
 	r.mu.Lock()
-	r.buf[r.next%spanRingSize] = rec
-	r.next = (r.next + 1) % spanRingSize
+	if r.buf == nil {
+		r.buf = make([]SpanRecord, DefaultSpanRing)
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
 	r.total++
 	r.mu.Unlock()
 }
@@ -105,13 +125,14 @@ func (r *spanRing) record(rec SpanRecord) {
 func (r *spanRing) snapshot() ([]SpanRecord, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	size := len(r.buf)
 	n := int(r.total)
-	if n > spanRingSize {
-		n = spanRingSize
+	if n > size {
+		n = size
 	}
 	out := make([]SpanRecord, 0, n)
 	for i := 1; i <= n; i++ {
-		out = append(out, r.buf[((r.next-i)%spanRingSize+spanRingSize)%spanRingSize])
+		out = append(out, r.buf[((r.next-i)%size+size)%size])
 	}
 	return out, r.total
 }

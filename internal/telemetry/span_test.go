@@ -88,16 +88,16 @@ func TestSpanNestingAcrossGoroutines(t *testing.T) {
 func TestSpanRingWraps(t *testing.T) {
 	r := NewRegistry()
 	ctx := NewContext(context.Background(), r)
-	for i := 0; i < spanRingSize+10; i++ {
+	for i := 0; i < DefaultSpanRing+10; i++ {
 		_, s := StartSpan(ctx, "s")
 		s.End()
 	}
 	spans, total := r.spans.snapshot()
-	if len(spans) != spanRingSize {
-		t.Fatalf("ring holds %d, want %d", len(spans), spanRingSize)
+	if len(spans) != DefaultSpanRing {
+		t.Fatalf("ring holds %d, want %d", len(spans), DefaultSpanRing)
 	}
-	if total != spanRingSize+10 {
-		t.Fatalf("total = %d, want %d", total, spanRingSize+10)
+	if total != DefaultSpanRing+10 {
+		t.Fatalf("total = %d, want %d", total, DefaultSpanRing+10)
 	}
 }
 

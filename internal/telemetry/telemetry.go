@@ -21,7 +21,9 @@ package telemetry
 import (
 	"fmt"
 	"math"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,18 +41,93 @@ type Label struct {
 // L is shorthand for constructing a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// Registry holds metric families and the recent-span ring. The zero value
-// is not usable; construct with NewRegistry. A nil *Registry is the
-// sanctioned no-op (see Disabled).
+// Registry holds metric families, the recent-span ring, the round-event
+// journal, and run attribution. The zero value is not usable; construct
+// with NewRegistry. A nil *Registry is the sanctioned no-op (see Disabled).
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	spans    spanRing
+	journal  *Journal
+	runInfo  atomic.Pointer[RunInfo]
 }
 
-// NewRegistry returns an empty live registry.
-func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+// Option configures a Registry at construction.
+type Option func(*Registry)
+
+// WithSpanRing sets the recent-span ring capacity (default
+// DefaultSpanRing). Each slot is one SpanRecord, so capacity trades a few
+// hundred bytes per slot for a longer visible tail of rounds.
+func WithSpanRing(capacity int) Option {
+	return func(r *Registry) { r.spans.resize(capacity) }
+}
+
+// WithJournal attaches a round-event journal holding the most recent
+// capacity events. Without this option (or the PPML_JOURNAL_RING env) the
+// registry has no journal and every Emit through it is a nil no-op.
+func WithJournal(capacity int) Option {
+	return func(r *Registry) { r.journal = NewJournal(capacity) }
+}
+
+// Environment overrides, read by NewRegistry so operators can resize the
+// span ring or switch on the flight recorder without a code or flag change:
+// PPML_SPAN_RING=1024 sets the span capacity, PPML_JOURNAL_RING=8192
+// enables the journal with that capacity.
+const (
+	spanRingEnv    = "PPML_SPAN_RING"
+	journalRingEnv = "PPML_JOURNAL_RING"
+)
+
+// NewRegistry returns an empty live registry. Options apply after the
+// PPML_SPAN_RING / PPML_JOURNAL_RING environment overrides, so explicit
+// configuration wins.
+func NewRegistry(opts ...Option) *Registry {
+	r := &Registry{families: make(map[string]*family)}
+	if n, err := strconv.Atoi(os.Getenv(spanRingEnv)); err == nil && n > 0 {
+		r.spans.resize(n)
+	}
+	if n, err := strconv.Atoi(os.Getenv(journalRingEnv)); err == nil && n > 0 {
+		r.journal = NewJournal(n)
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Journal returns the registry's round-event journal, or nil (the no-op
+// journal) when none is attached. Nil-safe.
+func (r *Registry) Journal() *Journal {
+	if r == nil {
+		return nil
+	}
+	return r.journal
+}
+
+// RunInfo is the build/host attribution attached to snapshots, /debug/vars,
+// and journal dumps — the telemetry-side mirror of experiments.RunMeta, so
+// a live scrape is attributable to a commit and a machine.
+type RunInfo struct {
+	Commit     string `json:"commit,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+}
+
+// SetRunInfo attaches run attribution to the registry. Nil-safe.
+func (r *Registry) SetRunInfo(info RunInfo) {
+	if r == nil {
+		return
+	}
+	r.runInfo.Store(&info)
+}
+
+// RunInfo returns the attached run attribution, or nil. Nil-safe.
+func (r *Registry) RunInfo() *RunInfo {
+	if r == nil {
+		return nil
+	}
+	return r.runInfo.Load()
 }
 
 type metricKind int

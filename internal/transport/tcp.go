@@ -35,8 +35,9 @@ const maxFrameBytes = 64 << 20
 // so the header can grow fields in later versions without silent corruption.
 // Version 2 added the roster section (elastic per-round participation sets);
 // version 3 added the attempt counter that tells two roster attempts of one
-// round apart.
-const frameVersion = 3
+// round apart; version 4 added the trace context (trace id + parent span)
+// that keys per-node journal events to one cross-node timeline.
+const frameVersion = 4
 
 // Fixed envelope layout after the 4-byte length prefix:
 //
@@ -46,12 +47,15 @@ const frameVersion = 3
 //	9       4     round   (big endian, two's complement int32)
 //	13      4     attempt (big endian, two's complement int32)
 //	17      8     seq     (big endian)
-//	25      2     roster word count, then 8 bytes (big endian) per word
+//	25      8     trace id, high word (big endian)
+//	33      8     trace id, low word (big endian)
+//	41      8     parent span (big endian)
+//	49      2     roster word count, then 8 bytes (big endian) per word
 //	..      2     len(from), then from bytes
 //	..      2     len(to), then to bytes
 //	..      2     len(kind), then kind bytes
 //	..      —     payload (everything remaining)
-const frameFixedHeader = 1 + 8 + 4 + 4 + 8
+const frameFixedHeader = 1 + 8 + 4 + 4 + 8 + 8 + 8 + 8
 
 // maxNameBytes bounds the from/to/kind strings in a frame; endpoint names and
 // message kinds are short protocol identifiers.
@@ -298,6 +302,9 @@ func appendFrame(dst []byte, msg *Message) ([]byte, error) {
 	b = binary.BigEndian.AppendUint32(b, uint32(msg.Round))
 	b = binary.BigEndian.AppendUint32(b, uint32(msg.Attempt))
 	b = binary.BigEndian.AppendUint64(b, msg.Seq)
+	b = binary.BigEndian.AppendUint64(b, msg.Trace.Hi)
+	b = binary.BigEndian.AppendUint64(b, msg.Trace.Lo)
+	b = binary.BigEndian.AppendUint64(b, msg.ParentSpan)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(msg.Roster)))
 	for _, w := range msg.Roster {
 		b = binary.BigEndian.AppendUint64(b, w)
@@ -323,6 +330,9 @@ func decodeFrame(body []byte) (Message, error) {
 	msg.Round = int32(binary.BigEndian.Uint32(body[9:]))
 	msg.Attempt = int32(binary.BigEndian.Uint32(body[13:]))
 	msg.Seq = binary.BigEndian.Uint64(body[17:])
+	msg.Trace.Hi = binary.BigEndian.Uint64(body[25:])
+	msg.Trace.Lo = binary.BigEndian.Uint64(body[33:])
+	msg.ParentSpan = binary.BigEndian.Uint64(body[41:])
 	rest := body[frameFixedHeader:]
 	if len(rest) < 2 {
 		return Message{}, fmt.Errorf("%w: truncated roster length", ErrBadFrame)
@@ -382,6 +392,7 @@ func (e *tcpEndpoint) Send(ctx context.Context, to, kind string, hdr Header, pay
 		Session: hdr.Session, Round: hdr.Round, Seq: e.seq.Add(1),
 		Roster:  hdr.Roster,
 		Attempt: hdr.Attempt,
+		Trace:   hdr.Trace, ParentSpan: hdr.ParentSpan,
 		Payload: payload,
 	}
 	bp := getFrameBuf(tel)
@@ -419,6 +430,7 @@ func (e *tcpEndpoint) Send(ctx context.Context, to, kind string, hdr Header, pay
 	e.net.bytes.Add(int64(len(payload)))
 	tel.sent(len(payload))
 	tel.frameSent(len(frame))
+	tel.journalSend(e.name, to, kind, hdr.Trace, hdr.Round, len(payload))
 	return nil
 }
 
@@ -448,7 +460,11 @@ func (e *tcpEndpoint) Recv(ctx context.Context) (Message, error) {
 }
 
 func (e *tcpEndpoint) RecvMatch(ctx context.Context, filter Filter) (Message, error) {
-	return e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped, e.net.tel.Load().staleCounter())
+	msg, err := e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped, e.net.tel.Load().staleCounter())
+	if err == nil {
+		e.net.tel.Load().journalRecv(e.name, msg.From, msg.Kind, msg.Trace, msg.Round, len(msg.Payload))
+	}
+	return msg, err
 }
 
 // Evict implements Evictor: discards stashed messages the filter Drops.

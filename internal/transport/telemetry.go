@@ -42,6 +42,7 @@ type netCounters struct {
 	errDial, errSend       *telemetry.Counter
 	errClose               *telemetry.Counter
 	stale                  *telemetry.Counter
+	journal                *telemetry.Journal
 }
 
 func newNetCounters(r *telemetry.Registry, netName string) *netCounters {
@@ -66,7 +67,28 @@ func newNetCounters(r *telemetry.Registry, netName string) *netCounters {
 		errSend:        r.Counter(metricErrors, nl, telemetry.L("op", "send")),
 		errClose:       r.Counter(metricErrors, nl, telemetry.L("op", "close")),
 		stale:          r.Counter(metricStale, nl),
+		journal:        r.Journal(),
 	}
+}
+
+// journalSend records one wire send in the flight recorder. Every argument
+// is public envelope metadata — node/peer names, a message kind, the trace
+// identity, the round counter, a byte count — never payload.
+func (t *netCounters) journalSend(from, to, kind string, trace telemetry.TraceID, round int32, payloadBytes int) {
+	if t == nil || t.journal == nil {
+		return
+	}
+	t.journal.Emit(from, "net.send", trace, round, 0, to, kind, int64(payloadBytes), 0)
+}
+
+// journalRecv records one matched receive. Same public-metadata arguments
+// as journalSend: From/Kind/Trace/Round are cleared envelope fields.
+func (t *netCounters) journalRecv(node, from, kind string, trace telemetry.TraceID, round int32, payloadBytes int) {
+	if t == nil || t.journal == nil {
+		return
+	}
+	//ppml:telemetry-ok From and Kind are envelope routing fields off the received frame — public metadata stamped on every message, never payload-derived
+	t.journal.Emit(node, "net.recv", trace, round, 0, from, kind, int64(payloadBytes), 0)
 }
 
 func (t *netCounters) sent(payloadBytes int) {

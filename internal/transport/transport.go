@@ -59,6 +59,15 @@ type Header struct {
 	// the same roster (a re-ready retry after a wedged mask exchange) and
 	// drop superseded-attempt traffic instead of folding it.
 	Attempt int32
+	// Trace is the distributed trace identity of the session, minted by the
+	// reducer at session start and echoed by mappers on every reply, so
+	// per-node journals merge into one cross-node timeline. Coordination
+	// metadata, like Session/Round/Seq: 16 random bytes chosen by the
+	// reducer, carrying nothing about any learner's data (DESIGN.md §16).
+	Trace telemetry.TraceID
+	// ParentSpan is the sender's current span identity under Trace, giving
+	// merged timelines a parent edge. Same privacy posture as Trace.
+	ParentSpan uint64
 }
 
 // Message is one datagram between named endpoints. Kind routes it within the
@@ -76,6 +85,10 @@ type Message struct {
 	Roster Roster
 	// Attempt is the roster-attempt counter copied from the sender's Header.
 	Attempt int32
+	// Trace and ParentSpan are the trace context copied from the sender's
+	// Header.
+	Trace      telemetry.TraceID
+	ParentSpan uint64
 	// Seq is a per-sender monotonic sequence number stamped by the
 	// transport on Send; it breaks ties between same-round messages and
 	// gives transcripts a total per-sender order.
@@ -85,7 +98,8 @@ type Message struct {
 
 // Header reconstructs the sender-stamped envelope of the message.
 func (m Message) Header() Header {
-	return Header{Session: m.Session, Round: m.Round, Roster: m.Roster, Attempt: m.Attempt}
+	return Header{Session: m.Session, Round: m.Round, Roster: m.Roster, Attempt: m.Attempt,
+		Trace: m.Trace, ParentSpan: m.ParentSpan}
 }
 
 // Verdict is a Filter's decision for one inbound message.
@@ -365,6 +379,7 @@ func (e *inprocEndpoint) Send(ctx context.Context, to, kind string, hdr Header, 
 		// next attempt cannot mutate a message already in flight.
 		Session: hdr.Session, Round: hdr.Round, Roster: hdr.Roster.Clone(),
 		Attempt: hdr.Attempt,
+		Trace:   hdr.Trace, ParentSpan: hdr.ParentSpan,
 		Seq:     e.seq.Add(1),
 		Payload: payload,
 	}
@@ -372,7 +387,9 @@ func (e *inprocEndpoint) Send(ctx context.Context, to, kind string, hdr Header, 
 	case dst.inbox <- msg:
 		e.net.messages.Add(1)
 		e.net.bytes.Add(int64(len(payload)))
-		e.net.tel.Load().sent(len(payload))
+		tel := e.net.tel.Load()
+		tel.sent(len(payload))
+		tel.journalSend(e.name, to, kind, hdr.Trace, hdr.Round, len(payload))
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -386,7 +403,11 @@ func (e *inprocEndpoint) Recv(ctx context.Context) (Message, error) {
 }
 
 func (e *inprocEndpoint) RecvMatch(ctx context.Context, filter Filter) (Message, error) {
-	return e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped, e.net.tel.Load().staleCounter())
+	msg, err := e.dmx.recvMatch(ctx, filter, e.inbox, e.done, &e.net.dropped, e.net.tel.Load().staleCounter())
+	if err == nil {
+		e.net.tel.Load().journalRecv(e.name, msg.From, msg.Kind, msg.Trace, msg.Round, len(msg.Payload))
+	}
+	return msg, err
 }
 
 // Evict implements Evictor over the endpoint's reorder buffer.

@@ -21,6 +21,7 @@ echo "==> generate tiny dataset"
 "$workdir/ppml-datagen" -dataset cancer -n 120 -out "$workdir" >/dev/null
 
 echo "==> train distributed with -metrics-addr 127.0.0.1:0"
+PPML_JOURNAL_RING=4096 \
 "$workdir/ppml-train" \
 	-data "$workdir/cancer.csv" -scheme horizontal-linear \
 	-learners 3 -iterations 10 -distributed \
@@ -60,9 +61,24 @@ for metric in ppml_rounds_total ppml_transport_bytes_total; do
 	fi
 done
 
+echo "==> scrape /debug/ppml/journal"
+# PPML_JOURNAL_RING enabled the flight recorder: the dump must carry round
+# lifecycle events and run attribution.
+curl -sf "http://$addr/debug/ppml/journal" >"$workdir/journal.json"
+for needle in '"round.start"' '"round.end"' '"net.recv"' '"run_info"'; do
+	if grep -q "$needle" "$workdir/journal.json"; then
+		echo "    journal has $needle"
+	else
+		echo "error: journal dump missing $needle" >&2
+		fail=1
+	fi
+done
+
 echo "==> pprof endpoint"
 curl -sf "http://$addr/debug/pprof/cmdline" >/dev/null || { echo "error: /debug/pprof/cmdline not serving" >&2; fail=1; }
-curl -sf "http://$addr/debug/vars" | grep -q '"cmdline"' || { echo "error: /debug/vars not expvar-compatible" >&2; fail=1; }
+curl -sf "http://$addr/debug/vars" >"$workdir/vars.json"
+grep -q '"cmdline"' "$workdir/vars.json" || { echo "error: /debug/vars not expvar-compatible" >&2; fail=1; }
+grep -q '"runinfo"' "$workdir/vars.json" || { echo "error: /debug/vars missing run attribution" >&2; fail=1; }
 
 kill "$train_pid" 2>/dev/null || true
 wait "$train_pid" 2>/dev/null || true

@@ -1,0 +1,64 @@
+#!/bin/sh
+# End-to-end smoke test of the flight-recorder toolchain: build ppml-trace,
+# run the built-in chaos fixture (M mappers, one flaky link with a known
+# injected tail), and assert two things a unit test cannot pin together:
+#   1. critical-path attribution names the injected straggler in >= 90% of
+#      the faulted rounds (the acceptance bar for the attribution heuristic);
+#   2. the -chrome output is valid Chrome trace-event JSON (loadable at
+#      ui.perfetto.dev).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "==> build ppml-trace"
+go build -o "$workdir/ppml-trace" ./cmd/ppml-trace
+
+echo "==> run chaos fixture (4 mappers, 40 rounds)"
+"$workdir/ppml-trace" -fixture -fixture-mappers 4 -fixture-rounds 40 \
+	-chrome "$workdir/trace.json" \
+	>"$workdir/summary.txt" 2>"$workdir/fixture.err"
+cat "$workdir/fixture.err"
+
+flaky=$(sed -n 's/^fixture: .* flaky link on \(.*\)$/\1/p' "$workdir/fixture.err")
+[ -n "$flaky" ] || { echo "error: fixture did not announce its flaky link" >&2; exit 1; }
+
+echo "==> attribution: faulted rounds must name $flaky"
+# The fixture injects a ~60ms tail on the flaky link; healthy rounds finish
+# in ~1ms. A round with a critical path over 30ms is a faulted round.
+awk -v flaky="$flaky" '
+	/^[0-9]+[ \t]/ {
+		total = $3
+		ms = total
+		sub(/ms$/, "", ms)
+		if (ms == total) next   # sub-millisecond units (µs, ns): healthy
+		if (ms + 0 < 30) next
+		faulted++
+		if ($2 == flaky) named++
+	}
+	END {
+		if (faulted == 0) { print "error: no faulted rounds found in summary" > "/dev/stderr"; exit 1 }
+		printf "    %d/%d faulted rounds attributed to %s\n", named, faulted, flaky
+		if (named < faulted * 0.9) { print "error: attribution below 90%" > "/dev/stderr"; exit 1 }
+	}
+' "$workdir/summary.txt"
+
+echo "==> validate Chrome trace JSON"
+python3 - "$workdir/trace.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+for ev in events:
+    assert ev["ph"] in ("X", "M", "i"), f"unexpected phase {ev['ph']!r}"
+    assert "pid" in ev and "name" in ev, "event missing pid/name"
+crit = [ev for ev in events if ev.get("cat") == "critical"]
+assert crit, "no critical-path slices in trace"
+print(f"    {len(events)} trace events, {len(crit)} critical-path slices")
+EOF
+
+echo "ok: straggler attribution and Chrome trace output are healthy"
